@@ -1,0 +1,37 @@
+//! Ablation: sensitivity to the overload threshold `T` (the paper fixes
+//! T = 80). Low thresholds replicate aggressively (more disk reads,
+//! more caching broadcasts); high thresholds barely replicate at all.
+
+use press_bench::{run_logged, standard_config};
+use press_net::MessageType;
+use press_trace::TracePreset;
+
+fn main() {
+    let preset = TracePreset::Clarknet;
+    println!("Ablation: overload threshold T (Clarknet, VIA/cLAN, V0)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14}",
+        "T", "req/s", "hit rate", "fwd", "caching msgs"
+    );
+    for t in [40u32, 60, 80, 120, 200, u32::MAX] {
+        let mut cfg = standard_config(preset);
+        cfg.policy.overload_threshold = t;
+        let label = if t == u32::MAX {
+            "inf".to_string()
+        } else {
+            t.to_string()
+        };
+        let m = run_logged(&format!("T={label}"), &cfg);
+        println!(
+            "{:>6} {:>10.0} {:>10.3} {:>10.3} {:>14}",
+            label,
+            m.throughput_rps,
+            m.hit_rate,
+            m.forward_fraction,
+            m.counters.count(MessageType::Caching),
+        );
+    }
+    println!();
+    println!("(T controls the replicate-vs-forward tradeoff: lower T trades disk");
+    println!(" reads and cache space for load balance)");
+}

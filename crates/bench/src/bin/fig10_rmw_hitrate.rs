@@ -1,0 +1,12 @@
+//! Regenerates Figure 10: gains achievable by using remote memory writes
+//! and zero-copy, as a function of hit rate and number of nodes.
+
+use press_model::{sweep_hit_rate, CommVariant};
+
+fn main() {
+    let grid = sweep_hit_rate(CommVariant::ViaRegular, CommVariant::ViaRmwZeroCopy, 16.0);
+    println!("Figure 10: Gains achievable by using RMW and 0-copy (hit rate x nodes)");
+    println!("(throughput ratio over regular 1-copy VIA; 16 KB files)");
+    print!("{}", grid.format_table());
+    println!("max gain: {:.3}   (paper: ~1.12)", grid.max_gain());
+}

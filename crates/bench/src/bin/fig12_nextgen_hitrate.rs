@@ -1,0 +1,13 @@
+//! Regenerates Figure 12: gains achievable by user-level communication on
+//! next-generation (zero-copy TCP) systems, as a function of hit rate and
+//! number of nodes.
+
+use press_model::{sweep_hit_rate, CommVariant};
+
+fn main() {
+    let grid = sweep_hit_rate(CommVariant::TcpNextGen, CommVariant::ViaNextGen, 16.0);
+    println!("Figure 12: Gains by user-level communication, next-gen OS (hit rate x nodes)");
+    println!("(throughput ratio; 16 KB files; both sides with halved µm)");
+    print!("{}", grid.format_table());
+    println!("max gain: {:.3}   (paper: up to ~1.55)", grid.max_gain());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 13: gains achievable by user-level communication on
+//! next-generation systems, as a function of average file size and number
+//! of nodes.
+
+use press_model::{sweep_file_size, CommVariant};
+
+fn main() {
+    let grid = sweep_file_size(CommVariant::TcpNextGen, CommVariant::ViaNextGen, 0.9);
+    println!("Figure 13: Gains by user-level communication, next-gen OS (file size x nodes)");
+    println!("(throughput ratio; 90% single-node hit rate)");
+    print!("{}", grid.format_table());
+    println!("max gain: {:.3}   (paper: larger toward small files, up to ~1.55)", grid.max_gain());
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 1: fraction of time PRESS spends on intra-cluster
+//! communication with TCP over Fast Ethernet, per trace.
+//!
+//! Two attributions are reported: CPU cycles only, and "time" including
+//! the internal NIC/wire occupancy — the paper's >50% reading corresponds
+//! to the latter (the slow Fast Ethernet transfers dominate).
+
+use press_bench::{run_logged, standard_config};
+use press_net::ProtocolCombo;
+use press_trace::TracePreset;
+
+fn main() {
+    println!("Figure 1: Time spent by PRESS (TCP/FE) on intra-cluster communication");
+    println!(
+        "{:<10} {:>14} {:>20}",
+        "Trace", "Int.comm (CPU)", "Int.comm (CPU+wire)"
+    );
+    for preset in TracePreset::ALL {
+        let mut cfg = standard_config(preset);
+        cfg.combo = ProtocolCombo::TcpFe;
+        let m = run_logged(preset.name(), &cfg);
+        println!(
+            "{:<10} {:>13.1}% {:>19.1}%",
+            preset.name(),
+            100.0 * m.intcomm_cpu_fraction,
+            100.0 * m.intcomm_wall_fraction,
+        );
+    }
+    println!();
+    println!("(paper: more than 50% of the time is intra-cluster communication for all traces)");
+}

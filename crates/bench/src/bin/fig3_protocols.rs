@@ -1,0 +1,45 @@
+//! Regenerates Figure 3: throughput for the three protocol/network
+//! combinations (TCP/FE, TCP/cLAN, VIA/cLAN) on all four traces.
+
+use press_bench::{bar, run_logged, standard_config};
+use press_net::ProtocolCombo;
+use press_trace::TracePreset;
+
+fn main() {
+    println!("Figure 3: Throughput for protocol/network combinations (8 nodes)");
+    let mut rows = Vec::new();
+    for preset in TracePreset::ALL {
+        for combo in ProtocolCombo::ALL {
+            let mut cfg = standard_config(preset);
+            cfg.combo = combo;
+            let m = run_logged(&format!("{preset}/{combo}"), &cfg);
+            rows.push((preset, combo, m.throughput_rps));
+        }
+    }
+    let max = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+    for preset in TracePreset::ALL {
+        println!("\n{preset}:");
+        let mut base = None;
+        for &(p, combo, tput) in &rows {
+            if p == preset {
+                println!("  {}", bar(combo.name(), tput, max));
+                match combo {
+                    ProtocolCombo::TcpFe => base = Some(tput),
+                    ProtocolCombo::TcpClan => {
+                        if let Some(b) = base {
+                            println!("    (+{:.1}% over TCP/FE)", 100.0 * (tput / b - 1.0));
+                        }
+                        base = Some(tput);
+                    }
+                    ProtocolCombo::ViaClan => {
+                        if let Some(b) = base {
+                            println!("    (+{:.1}% over TCP/cLAN)", 100.0 * (tput / b - 1.0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!();
+    println!("(paper: TCP/cLAN ~6% over TCP/FE on average; VIA/cLAN 14-17% over TCP/cLAN)");
+}

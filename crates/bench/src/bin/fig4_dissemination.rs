@@ -1,0 +1,30 @@
+//! Regenerates Figure 4: throughput for the load-information
+//! dissemination strategies (PB, L16, L4, L1, NLB) under VIA/cLAN.
+
+use press_bench::{bar, run_logged, standard_config};
+use press_core::Dissemination;
+use press_trace::TracePreset;
+
+fn main() {
+    println!("Figure 4: Throughput for different dissemination strategies (VIA/cLAN, 8 nodes)");
+    let mut rows = Vec::new();
+    for preset in TracePreset::ALL {
+        for strategy in Dissemination::FIGURE4 {
+            let mut cfg = standard_config(preset);
+            cfg.dissemination = strategy;
+            let m = run_logged(&format!("{preset}/{strategy}"), &cfg);
+            rows.push((preset, strategy, m.throughput_rps));
+        }
+    }
+    let max = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+    for preset in TracePreset::ALL {
+        println!("\n{preset}:");
+        for &(p, strategy, tput) in &rows {
+            if p == preset {
+                println!("  {}", bar(&strategy.name(), tput, max));
+            }
+        }
+    }
+    println!();
+    println!("(paper: PB best; increasing the threshold helps; L1 can fall below NLB)");
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 5 (and prints Table 3): throughput increase of the
+//! RMW/zero-copy versions V1–V5 over V0, per trace.
+
+use press_bench::{run_logged, standard_config};
+use press_core::ServerVersion;
+use press_net::MessageType;
+use press_trace::TracePreset;
+
+fn main() {
+    println!("Table 3: Communication characteristics of PRESS versions");
+    println!(
+        "{:<9} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}",
+        "Message", "V0", "V1", "V2", "V3", "V4", "V5"
+    );
+    for ty in [
+        MessageType::Flow,
+        MessageType::Forward,
+        MessageType::Caching,
+        MessageType::File,
+    ] {
+        print!("{:<9}", ty.name());
+        for v in ServerVersion::ALL {
+            let mode = match v.mode(ty) {
+                press_net::DeliveryMode::Regular => "reg",
+                press_net::DeliveryMode::Rmw => "rmw",
+            };
+            print!(" {mode:>4}");
+        }
+        println!();
+    }
+    println!("(V4 adds 0-copy RX, V5 adds 0-copy TX and RX for File)\n");
+
+    println!("Figure 5: Throughput increase of V1..V5 with respect to V0");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "Trace", "V1", "V2", "V3", "V4", "V5"
+    );
+    for preset in TracePreset::ALL {
+        let mut v0 = 0.0;
+        let mut incs = Vec::new();
+        for v in ServerVersion::ALL {
+            let mut cfg = standard_config(preset);
+            cfg.version = v;
+            let m = run_logged(&format!("{preset}/{v}"), &cfg);
+            if v == ServerVersion::V0 {
+                v0 = m.throughput_rps;
+            } else {
+                incs.push(m.throughput_rps / v0 - 1.0);
+            }
+        }
+        print!("{:<10}", preset.name());
+        for inc in incs {
+            print!(" {:>6.1}%", 100.0 * inc);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: V1-V3 minimal or slightly negative; V4 +4..8%; V5 +8..11%)");
+}

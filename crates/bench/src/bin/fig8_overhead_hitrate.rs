@@ -1,0 +1,12 @@
+//! Regenerates Figure 8: gains achievable by lowering processor
+//! overheads, as a function of hit rate and number of nodes.
+
+use press_model::{sweep_hit_rate, CommVariant};
+
+fn main() {
+    let grid = sweep_hit_rate(CommVariant::Tcp, CommVariant::ViaRegular, 16.0);
+    println!("Figure 8: Gains achievable by lowering overheads (hit rate x nodes)");
+    println!("(throughput ratio VIA/TCP; 16 KB files)");
+    print!("{}", grid.format_table());
+    println!("max gain: {:.3}   (paper: ~1.37 at 128 nodes, 36% hit rate)", grid.max_gain());
+}

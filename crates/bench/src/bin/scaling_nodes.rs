@@ -1,0 +1,47 @@
+//! Beyond the paper's 8-node testbed: simulate growing cluster sizes and
+//! compare the user-level communication gain against the model's Figure 8
+//! trend (gains grow with the number of nodes, then level off).
+
+use press_bench::run_logged;
+use press_core::SimConfig;
+use press_model::{throughput, CommVariant, ModelParams};
+use press_net::ProtocolCombo;
+use press_trace::TracePreset;
+
+fn main() {
+    println!("Scaling: VIA gain over TCP/cLAN vs cluster size (Clarknet)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "nodes", "TCP (req/s)", "VIA (req/s)", "sim gain", "model gain"
+    );
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
+        cfg.nodes = nodes;
+        cfg.warmup_requests = 10_000;
+        cfg.measure_requests = 40_000;
+        cfg.combo = ProtocolCombo::TcpClan;
+        let tcp = run_logged(&format!("N={nodes}/TCP"), &cfg);
+        cfg.combo = ProtocolCombo::ViaClan;
+        let via = run_logged(&format!("N={nodes}/VIA"), &cfg);
+        let sim_gain = via.throughput_rps / tcp.throughput_rps;
+
+        let mut p = ModelParams::default_at(0.95, nodes);
+        p.avg_file_kb = 9.7;
+        p.variant = CommVariant::Tcp;
+        let m_tcp = throughput(&p).total_rps;
+        p.variant = CommVariant::ViaRegular;
+        let m_via = throughput(&p).total_rps;
+
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>9.1}% {:>11.1}%",
+            nodes,
+            tcp.throughput_rps,
+            via.throughput_rps,
+            100.0 * (sim_gain - 1.0),
+            100.0 * (m_via / m_tcp - 1.0),
+        );
+    }
+    println!();
+    println!("(Figure 8's trend: gains grow with node count and level off;");
+    println!(" the simulation should track the model's direction)");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 1: main characteristics of the WWW server traces.
+//!
+//! The synthetic workloads are calibrated to the paper's file counts,
+//! request counts, and average file/request sizes.
+
+use press_trace::{TracePreset, TraceStats, Workload};
+
+fn main() {
+    println!("Table 1: Main characteristics of the WWW server traces");
+    println!("{}", TraceStats::table_header());
+    for preset in TracePreset::ALL {
+        let wl = Workload::from_preset(preset, 42);
+        let mut stats = wl.stats();
+        stats.name = preset.name().to_string();
+        println!("{stats}");
+    }
+    println!();
+    println!("(paper values: Clarknet 28864/14.2/2978121/9.7, Forth 11931/19.3/400335/8.8,");
+    println!(" Nasa 9129/27.6/3147684/21.8, Rutgers 18370/27.3/498646/19.0)");
+}

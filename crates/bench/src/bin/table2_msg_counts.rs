@@ -1,0 +1,31 @@
+//! Regenerates Table 2: intra-cluster communication per dissemination
+//! strategy (message counts, bytes, and mean sizes), on the Clarknet
+//! workload, extrapolated to the full trace length.
+
+use press_bench::{run_logged, standard_config, trace_scale};
+use press_core::Dissemination;
+use press_trace::TracePreset;
+
+fn main() {
+    let preset = TracePreset::Clarknet;
+    println!("Table 2: Intra-cluster communication and dissemination strategies");
+    println!("(Clarknet workload, counts extrapolated to the full {} requests)", preset.spec().num_requests);
+    // Paper row order: NLB, L1, L4, L16, PB.
+    let order = [
+        Dissemination::None,
+        Dissemination::Broadcast(1),
+        Dissemination::Broadcast(4),
+        Dissemination::Broadcast(16),
+        Dissemination::Piggyback,
+    ];
+    for strategy in order {
+        let mut cfg = standard_config(preset);
+        cfg.dissemination = strategy;
+        let m = run_logged(&strategy.name(), &cfg);
+        let scale = trace_scale(&cfg, preset);
+        println!("\nVersion {}:", strategy.name());
+        print!("{}", m.counters.format_table(scale));
+    }
+    println!();
+    println!("(paper, PB row: load 0, flow 1152K, forward 1985K, caching 48K, file 2577K msgs)");
+}

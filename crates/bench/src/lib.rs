@@ -1,0 +1,101 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Each table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it:
+//!
+//! | binary               | reproduces |
+//! |----------------------|------------|
+//! | `table1_traces`      | Table 1 — trace characteristics |
+//! | `fig1_cpu_time`      | Figure 1 — time in intra-cluster communication |
+//! | `fig3_protocols`     | Figure 3 — throughput per protocol/network |
+//! | `fig4_dissemination` | Figure 4 — load dissemination strategies |
+//! | `table2_msg_counts`  | Table 2 — messages per dissemination strategy |
+//! | `fig5_versions`      | Figure 5 + Table 3 — versions V0–V5 |
+//! | `table4_version_msgs`| Table 4 — messages per version |
+//! | `fig6_summary`       | Figure 6 — stacked contribution summary |
+//! | `model_validation`   | Section 4.2 — model vs. simulation |
+//! | `fig8_overhead_hitrate` … `fig13_nextgen_filesize` | Figures 8–13 |
+//!
+//! Runs are scaled down from the full traces (the paper replays millions
+//! of requests); `PRESS_MEASURE_REQUESTS` / `PRESS_WARMUP_REQUESTS`
+//! override the defaults, and message counts are extrapolated to the full
+//! trace length for table comparisons.
+
+use press_core::{run_simulation, Metrics, SimConfig};
+use press_trace::TracePreset;
+
+/// Default measured requests per run (the full traces have 0.4–3.1 M).
+pub const DEFAULT_MEASURE: u64 = 60_000;
+/// Default warmup requests completed before measurement.
+pub const DEFAULT_WARMUP: u64 = 20_000;
+
+/// Reads a `u64` override from the environment.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The standard experiment configuration for a trace preset, honoring the
+/// `PRESS_*` environment overrides.
+pub fn standard_config(preset: TracePreset) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(preset);
+    cfg.measure_requests = env_u64("PRESS_MEASURE_REQUESTS", DEFAULT_MEASURE);
+    cfg.warmup_requests = env_u64("PRESS_WARMUP_REQUESTS", DEFAULT_WARMUP);
+    cfg
+}
+
+/// Factor extrapolating a measured run's message counts to the full trace
+/// (`num_requests / measure_requests`).
+pub fn trace_scale(cfg: &SimConfig, preset: TracePreset) -> f64 {
+    preset.spec().num_requests as f64 / cfg.measure_requests as f64
+}
+
+/// Runs one configuration and prints a one-line progress note to stderr.
+pub fn run_logged(label: &str, cfg: &SimConfig) -> Metrics {
+    eprintln!("running {label} ...");
+    let m = run_simulation(cfg);
+    eprintln!(
+        "  {label}: {:.0} req/s (hit {:.3}, Q {:.3})",
+        m.throughput_rps, m.hit_rate, m.forward_fraction
+    );
+    m
+}
+
+/// Renders a labeled bar of relative height, paper-figure style.
+pub fn bar(label: &str, value: f64, max: f64) -> String {
+    let width = if max > 0.0 {
+        ((value / max) * 50.0).round() as usize
+    } else {
+        0
+    };
+    format!("{label:<10} {value:>8.0} |{}", "#".repeat(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_matches_trace_length() {
+        let cfg = standard_config(TracePreset::Forth);
+        let s = trace_scale(&cfg, TracePreset::Forth);
+        assert!((s - 400_335.0 / cfg.measure_requests as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let b = bar("x", 50.0, 100.0);
+        assert_eq!(b.matches('#').count(), 25);
+        let full = bar("y", 100.0, 100.0);
+        assert_eq!(full.matches('#').count(), 50);
+        let zero = bar("z", 0.0, 0.0);
+        assert_eq!(zero.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn env_override_parses() {
+        assert_eq!(env_u64("PRESS_TEST_NO_SUCH_VAR", 7), 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! SCSI disk service-time model.
+
+use press_sim::SimTime;
+
+/// Disk access-time model, matching `µd` of Table 5:
+/// `µd = (0.0188 + S/3000)⁻¹ ops/s` with `S` in KB — i.e. a fixed
+/// 18.8 ms positioning cost plus a 3 MB/s transfer rate.
+///
+/// # Example
+///
+/// ```
+/// use press_cluster::DiskModel;
+/// use press_sim::SimTime;
+///
+/// let disk = DiskModel::default();
+/// // A 16 KB read: 18.8 ms + 16/3000 s = ~24.1 ms.
+/// let t = disk.access_time(16 * 1024);
+/// assert!(t > SimTime::from_millis(24) && t < SimTime::from_millis(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Fixed positioning (seek + rotation + request) cost.
+    pub fixed: SimTime,
+    /// Sequential transfer rate in bytes/second.
+    pub transfer_bytes_per_sec: f64,
+}
+
+impl DiskModel {
+    /// The paper's disk: 18.8 ms fixed, 3 MB/s transfer (Table 5 uses
+    /// S in units of 1024 bytes over 3000 KB/s).
+    pub fn new() -> Self {
+        DiskModel {
+            fixed: SimTime::from_micros(18_800),
+            transfer_bytes_per_sec: 3_000.0 * 1024.0,
+        }
+    }
+
+    /// Service time to read a file of `bytes` bytes.
+    pub fn access_time(&self, bytes: u64) -> SimTime {
+        self.fixed + SimTime::from_secs_f64(bytes as f64 / self.transfer_bytes_per_sec)
+    }
+
+    /// Maximum sustainable read rate for files of `bytes` bytes, in ops/s
+    /// (the `µd` rate of Table 5).
+    pub fn rate(&self, bytes: u64) -> f64 {
+        1.0 / self.access_time(bytes).as_secs_f64()
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table5_rate() {
+        let d = DiskModel::default();
+        // Table 5 at S = 16 KB: (0.0188 + 16/3000)^-1 = 41.4 ops/s.
+        let r = d.rate(16 * 1024);
+        assert!((r - 41.4).abs() < 0.5, "rate {r}");
+    }
+
+    #[test]
+    fn zero_byte_access_is_fixed_cost() {
+        let d = DiskModel::default();
+        assert_eq!(d.access_time(0), SimTime::from_micros(18_800));
+    }
+
+    #[test]
+    fn access_time_monotone_in_size() {
+        let d = DiskModel::default();
+        assert!(d.access_time(1 << 20) > d.access_time(1 << 10));
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated cluster substrate for the PRESS reproduction.
+//!
+//! The paper's testbed is eight Linux PCs (300 MHz Pentium II, 512 MB RAM,
+//! SCSI disk) joined by switched Fast Ethernet and a Giganet cLAN. This
+//! crate provides the per-node hardware model used by the discrete-event
+//! simulation:
+//!
+//! * [`FileCache`] — a byte-capacity LRU cache of files (the in-memory file
+//!   cache whose aggregate across nodes PRESS exploits);
+//! * [`DiskModel`] — service-time model of the SCSI disk (`µd` in Table 5:
+//!   18.8 ms fixed + 3 MB/s transfer);
+//! * [`Node`] — a node's resources: CPU (with the external/internal time
+//!   split of Figure 1), disk, and the internal/external NIC pairs;
+//! * [`ServiceRates`] — the client-facing CPU cost constants (`µp`, `µm`).
+//!
+//! # Example
+//!
+//! ```
+//! use press_cluster::{FileCache, NodeId};
+//! use press_trace::FileId;
+//!
+//! let mut cache = FileCache::new(10_000);
+//! assert!(cache.insert(FileId(1), 6_000).is_empty());
+//! // Inserting beyond capacity evicts the least recently used file:
+//! let evicted = cache.insert(FileId(2), 6_000);
+//! assert_eq!(evicted, vec![FileId(1)]);
+//! # let _ = NodeId(0);
+//! ```
+
+mod cache;
+mod disk;
+mod node;
+
+pub use cache::FileCache;
+pub use disk::DiskModel;
+pub use node::{CpuCategory, Node, NodeId, ServiceRates};

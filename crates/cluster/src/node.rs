@@ -1,0 +1,198 @@
+//! Per-node hardware state.
+
+use press_sim::{Resource, SimTime};
+
+use crate::cache::FileCache;
+use crate::disk::DiskModel;
+
+/// Index of a cluster node, `0..N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// CPU time-accounting categories, matching the split of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuCategory {
+    /// External communication with clients plus request servicing
+    /// ("Ext.comm+Service" in Figure 1).
+    ExtCommService = 0,
+    /// Intra-cluster communication ("Int.comm." in Figure 1).
+    IntComm = 1,
+}
+
+/// Client-facing CPU cost constants (Table 5).
+///
+/// * `µp = 5882 ops/s` — request read + parse: 170 µs of CPU;
+/// * `µm = (0.00027 + S/12500)⁻¹` — sending a locally stored reply to the
+///   client: 270 µs fixed plus 80 ns/byte (TCP to the client over Fast
+///   Ethernet, including the kernel copy);
+/// * `µe = (0.000004 + size/12500)⁻¹` — the external NIC: 4 µs per message
+///   plus the 12.5 MB/s Fast Ethernet wire. (Table 5 prints the divisor as
+///   125000, but the text derives `µe` from "100 Mbits/s full-duplex
+///   links", i.e. 12.5 MB/s; we follow the text.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceRates {
+    /// CPU time to read and parse one request.
+    pub parse: SimTime,
+    /// Fixed CPU time to send a client reply.
+    pub reply_fixed: SimTime,
+    /// CPU rate for streaming reply bytes to the client, bytes/second.
+    pub reply_bytes_per_sec: f64,
+    /// External NIC fixed per-message time.
+    pub ext_nic_fixed: SimTime,
+    /// External link bandwidth, bytes/second.
+    pub ext_wire_bytes_per_sec: f64,
+}
+
+impl ServiceRates {
+    /// The Table 5 values.
+    pub fn new() -> Self {
+        ServiceRates {
+            parse: SimTime::from_micros(170),
+            reply_fixed: SimTime::from_micros(270),
+            reply_bytes_per_sec: 12_500.0 * 1000.0,
+            ext_nic_fixed: SimTime::from_micros(4),
+            ext_wire_bytes_per_sec: 12.5e6,
+        }
+    }
+
+    /// CPU time to send a `bytes`-byte reply to a client.
+    pub fn reply_time(&self, bytes: u64) -> SimTime {
+        self.reply_fixed + SimTime::from_secs_f64(bytes as f64 / self.reply_bytes_per_sec)
+    }
+
+    /// External NIC occupancy for a `bytes`-byte transfer.
+    pub fn ext_nic_time(&self, bytes: u64) -> SimTime {
+        self.ext_nic_fixed + SimTime::from_secs_f64(bytes as f64 / self.ext_wire_bytes_per_sec)
+    }
+}
+
+impl Default for ServiceRates {
+    fn default() -> Self {
+        ServiceRates::new()
+    }
+}
+
+/// One cluster node: CPU, disk, NICs, file cache, and load state.
+///
+/// "Load" is the number of open client connections, the metric PRESS uses
+/// for its balancing decisions (threshold `T = 80` in the paper).
+#[derive(Debug)]
+pub struct Node {
+    /// The node's identity.
+    pub id: NodeId,
+    /// The CPU, with [`CpuCategory`] accounting buckets.
+    pub cpu: Resource,
+    /// The SCSI disk (FIFO; service times from [`DiskModel`]).
+    pub disk: Resource,
+    /// Internal (intra-cluster) NIC, transmit side.
+    pub nic_int_tx: Resource,
+    /// Internal NIC, receive side.
+    pub nic_int_rx: Resource,
+    /// External (client-facing) NIC, transmit side.
+    pub nic_ext_tx: Resource,
+    /// External NIC, receive side.
+    pub nic_ext_rx: Resource,
+    /// In-memory file cache.
+    pub cache: FileCache,
+    /// The disk's timing model.
+    pub disk_model: DiskModel,
+    /// Open client connections (the load metric).
+    pub open_connections: u32,
+}
+
+impl Node {
+    /// Creates a node with a `cache_bytes` file cache.
+    pub fn new(id: NodeId, cache_bytes: u64) -> Self {
+        Node {
+            id,
+            cpu: Resource::new("cpu", 2),
+            disk: Resource::new("disk", 1),
+            nic_int_tx: Resource::new("nic-int-tx", 1),
+            nic_int_rx: Resource::new("nic-int-rx", 1),
+            nic_ext_tx: Resource::new("nic-ext-tx", 1),
+            nic_ext_rx: Resource::new("nic-ext-rx", 1),
+            cache: FileCache::new(cache_bytes),
+            disk_model: DiskModel::default(),
+            open_connections: 0,
+        }
+    }
+
+    /// Fraction of CPU busy time spent on intra-cluster communication —
+    /// the quantity plotted in Figure 1.
+    pub fn intcomm_cpu_fraction(&self) -> f64 {
+        let int = self.cpu.category_busy(CpuCategory::IntComm as usize);
+        let ext = self.cpu.category_busy(CpuCategory::ExtCommService as usize);
+        let total = int + ext;
+        if total == SimTime::ZERO {
+            0.0
+        } else {
+            int.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+
+    /// Resets all resource and cache statistics (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.cpu.reset_stats();
+        self.disk.reset_stats();
+        self.nic_int_tx.reset_stats();
+        self.nic_int_rx.reset_stats();
+        self.nic_ext_tx.reset_stats();
+        self.nic_ext_rx.reset_stats();
+        self.cache.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_rates_match_table5() {
+        let r = ServiceRates::default();
+        // µp = 5882 ops/s -> 170 µs.
+        assert_eq!(r.parse, SimTime::from_micros(170));
+        // µm at S = 16 KB: 0.00027 + 16/12500 = 1.55 ms.
+        let t = r.reply_time(16 * 1024);
+        assert!(
+            t > SimTime::from_micros(1540) && t < SimTime::from_micros(1590),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn ext_nic_time_includes_wire() {
+        let r = ServiceRates::default();
+        let t = r.ext_nic_time(12_500_000);
+        assert!(t >= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn node_cpu_fraction() {
+        let mut n = Node::new(NodeId(3), 1 << 20);
+        assert_eq!(n.intcomm_cpu_fraction(), 0.0);
+        n.cpu.submit(
+            SimTime::ZERO,
+            SimTime::from_micros(300),
+            CpuCategory::ExtCommService as usize,
+        );
+        n.cpu.submit(
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            CpuCategory::IntComm as usize,
+        );
+        assert!((n.intcomm_cpu_fraction() - 0.25).abs() < 1e-12);
+        n.reset_stats();
+        assert_eq!(n.intcomm_cpu_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_node_id() {
+        assert_eq!(NodeId(5).to_string(), "node5");
+    }
+}

@@ -1,0 +1,327 @@
+//! Configuring and running complete simulations.
+
+use press_cluster::ServiceRates;
+use press_net::ProtocolCombo;
+use press_sim::{SimTime, Simulator};
+use press_trace::{RequestLog, TracePreset, Workload, WorkloadSpec};
+
+use crate::load::Dissemination;
+use crate::metrics::Metrics;
+use crate::policy::PolicyConfig;
+use crate::server::{ClusterSim, Event, RunParams, SimWorkload};
+use crate::version::ServerVersion;
+
+/// Full configuration of one simulated experiment.
+///
+/// The defaults reproduce the paper's experimental setup: 8 nodes,
+/// VIA/cLAN, version 0, piggy-backed load dissemination, `T = 80`,
+/// a 256 MB per-node file cache (the machines had 512 MB), and a client
+/// population (40 connections per node, ~ the paper's ten client
+/// machines) that saturates the server without collapsing into
+/// overload-driven replication.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The workload; presets match the paper's four traces.
+    pub workload: WorkloadSource,
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Intra-cluster protocol/network combination.
+    pub combo: ProtocolCombo,
+    /// Server version (Table 3). Ignored (treated as regular messages,
+    /// no app-level copies) under the TCP combos.
+    pub version: ServerVersion,
+    /// Load-information dissemination strategy.
+    pub dissemination: Dissemination,
+    /// Use remote memory writes for load broadcasts (the ablation at the
+    /// end of Section 3.3).
+    pub rmw_load_broadcast: bool,
+    /// Distribution policy tunables.
+    pub policy: PolicyConfig,
+    /// Per-node file-cache capacity in bytes.
+    pub cache_bytes_per_node: u64,
+    /// Closed-loop client connections per node (times `nodes` gives the
+    /// total population).
+    pub clients_per_node: usize,
+    /// Requests completed before measurement starts (cache warmup is also
+    /// performed structurally at startup).
+    pub warmup_requests: u64,
+    /// Requests measured.
+    pub measure_requests: u64,
+    /// RNG seed (workload generation and request sampling).
+    pub seed: u64,
+}
+
+/// Where the workload comes from.
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// One of the paper's four trace presets.
+    Preset(TracePreset),
+    /// An explicit spec.
+    Spec(WorkloadSpec),
+    /// Replay a recorded request log (e.g. a converted real server log),
+    /// cycling when the log is shorter than warmup + measurement.
+    Replay(RequestLog),
+}
+
+impl SimConfig {
+    /// The paper's defaults for a given trace.
+    pub fn paper_default(preset: TracePreset) -> Self {
+        SimConfig {
+            workload: WorkloadSource::Preset(preset),
+            nodes: 8,
+            combo: ProtocolCombo::ViaClan,
+            version: ServerVersion::V0,
+            dissemination: Dissemination::Piggyback,
+            rmw_load_broadcast: false,
+            policy: PolicyConfig::default(),
+            cache_bytes_per_node: 256 << 20,
+            clients_per_node: 40,
+            warmup_requests: 30_000,
+            measure_requests: 120_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A small, fast configuration for tests, doc examples and the
+    /// quickstart example (a few thousand requests on 4 nodes).
+    pub fn quick_demo() -> Self {
+        SimConfig {
+            workload: WorkloadSource::Spec(WorkloadSpec {
+                num_files: 2_000,
+                avg_file_bytes: 12 * 1024,
+                num_requests: 50_000,
+                target_avg_request_bytes: 9 * 1024,
+                zipf_alpha: 0.8,
+                size_bias: 0.4,
+            }),
+            nodes: 4,
+            combo: ProtocolCombo::ViaClan,
+            version: ServerVersion::V0,
+            dissemination: Dissemination::Piggyback,
+            rmw_load_broadcast: false,
+            policy: PolicyConfig::default(),
+            cache_bytes_per_node: 6 << 20,
+            clients_per_node: 16,
+            warmup_requests: 1_000,
+            measure_requests: 4_000,
+            seed: 7,
+        }
+    }
+
+    /// Builds the request source described by this configuration.
+    pub(crate) fn build_source(&self) -> SimWorkload {
+        match &self.workload {
+            WorkloadSource::Preset(p) => {
+                SimWorkload::Synthetic(Workload::from_preset(*p, self.seed))
+            }
+            WorkloadSource::Spec(s) => SimWorkload::Synthetic(Workload::from_spec(*s, self.seed)),
+            WorkloadSource::Replay(log) => SimWorkload::Replay(log.clone()),
+        }
+    }
+}
+
+/// Runs one complete simulation to completion and returns its metrics.
+///
+/// The run warms caches structurally (files pre-distributed round-robin by
+/// popularity), completes `warmup_requests` before resetting statistics,
+/// then measures `measure_requests`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero nodes or clients) or if
+/// the simulation fails to reach its measurement target (a model bug).
+///
+/// # Example
+///
+/// ```
+/// use press_core::{run_simulation, SimConfig};
+///
+/// let metrics = run_simulation(&SimConfig::quick_demo());
+/// assert!(metrics.throughput_rps > 0.0);
+/// assert!(metrics.hit_rate > 0.5);
+/// ```
+pub fn run_simulation(cfg: &SimConfig) -> Metrics {
+    assert!(cfg.nodes >= 2, "the cluster needs at least two nodes");
+    assert!(cfg.clients_per_node >= 1, "at least one client per node");
+    assert!(cfg.measure_requests >= 1, "nothing to measure");
+    let source = cfg.build_source();
+    let params = RunParams {
+        nodes: cfg.nodes,
+        cost: cfg.combo.cost_model(),
+        version: cfg.version,
+        dissemination: cfg.dissemination,
+        policy: cfg.policy,
+        rates: ServiceRates::default(),
+        rmw_load_broadcast: cfg.rmw_load_broadcast,
+        warmup_requests: cfg.warmup_requests,
+        measure_requests: cfg.measure_requests,
+    };
+    let sim_model = ClusterSim::new(params, source, cfg.cache_bytes_per_node, cfg.seed ^ 0x5EED);
+    let mut sim = Simulator::new(sim_model);
+    // Stagger the initial client population to avoid a thundering herd at
+    // t = 0 (clients then pick nodes uniformly at random on every request).
+    let total_clients = cfg.clients_per_node * cfg.nodes;
+    for c in 0..total_clients {
+        let node = (c % cfg.nodes) as u16;
+        let at = SimTime::from_micros(97 * c as u64);
+        sim.scheduler_mut().schedule(at, Event::NewRequest { node });
+    }
+    sim.run();
+    assert!(
+        sim.model().finished(),
+        "simulation drained before reaching the measurement target"
+    );
+    Metrics::from_sim(sim.model())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_demo_runs_and_measures() {
+        let m = run_simulation(&SimConfig::quick_demo());
+        assert_eq!(m.measured_requests, 4_000);
+        assert_eq!(m.stuck_messages, 0, "flow-control credits leaked");
+        assert!(m.throughput_rps > 0.0);
+        assert!(m.measure_seconds > 0.0);
+        assert!(m.mean_response_ms > 0.0);
+        assert!(m.hit_rate > 0.0 && m.hit_rate <= 1.0);
+        assert!(m.forward_fraction >= 0.0 && m.forward_fraction <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_simulation(&SimConfig::quick_demo());
+        let b = run_simulation(&SimConfig::quick_demo());
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.counters.total_count(), b.counters.total_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SimConfig::quick_demo();
+        let a = run_simulation(&cfg);
+        cfg.seed = 8;
+        let b = run_simulation(&cfg);
+        assert_ne!(a.throughput_rps, b.throughput_rps);
+    }
+
+    #[test]
+    fn tcp_slower_than_via() {
+        let mut cfg = SimConfig::quick_demo();
+        cfg.combo = ProtocolCombo::ViaClan;
+        let via = run_simulation(&cfg);
+        cfg.combo = ProtocolCombo::TcpFe;
+        let tcp = run_simulation(&cfg);
+        assert!(
+            via.throughput_rps > tcp.throughput_rps,
+            "VIA {} <= TCP/FE {}",
+            via.throughput_rps,
+            tcp.throughput_rps
+        );
+    }
+
+    #[test]
+    fn via_has_flow_messages_tcp_does_not() {
+        use press_net::MessageType;
+        let mut cfg = SimConfig::quick_demo();
+        let via = run_simulation(&cfg);
+        assert!(via.counters.count(MessageType::Flow) > 0);
+        cfg.combo = ProtocolCombo::TcpClan;
+        let tcp = run_simulation(&cfg);
+        assert_eq!(tcp.counters.count(MessageType::Flow), 0);
+    }
+
+    #[test]
+    fn infinite_threshold_disables_replication() {
+        // With T = infinity the overload escape hatch never fires, so no
+        // file is ever replicated after warmup: caching broadcasts stop.
+        use press_net::MessageType;
+        let mut cfg = SimConfig::quick_demo();
+        cfg.policy.overload_threshold = u32::MAX;
+        let m = run_simulation(&cfg);
+        let per_request =
+            m.counters.count(MessageType::Caching) as f64 / m.measured_requests as f64;
+        assert!(per_request < 0.02, "caching msgs/request {per_request}");
+    }
+
+    #[test]
+    fn rmw_load_broadcast_helps_l1() {
+        use crate::load::Dissemination;
+        let mut cfg = SimConfig::quick_demo();
+        cfg.dissemination = Dissemination::Broadcast(1);
+        cfg.rmw_load_broadcast = false;
+        let regular = run_simulation(&cfg);
+        cfg.rmw_load_broadcast = true;
+        let rmw = run_simulation(&cfg);
+        // The paper: "using remote memory writes for the load broadcasts
+        // improves the performance of L1 significantly".
+        assert!(
+            rmw.throughput_rps > regular.throughput_rps,
+            "rmw {} vs regular {}",
+            rmw.throughput_rps,
+            regular.throughput_rps
+        );
+    }
+
+    #[test]
+    fn more_nodes_more_throughput() {
+        let mut cfg = SimConfig::quick_demo();
+        cfg.nodes = 2;
+        let two = run_simulation(&cfg);
+        cfg.nodes = 8;
+        cfg.clients_per_node = 16;
+        let eight = run_simulation(&cfg);
+        assert!(eight.throughput_rps > 2.0 * two.throughput_rps);
+    }
+
+    #[test]
+    fn replayed_log_drives_the_simulation() {
+        use press_trace::{RequestLog, Workload};
+        // Record a log from the quick-demo workload, then replay it: the
+        // same requests in the same order make the run deterministic and
+        // independent of the Zipf sampler.
+        let base = SimConfig::quick_demo();
+        let wl = match &base.workload {
+            WorkloadSource::Spec(s) => Workload::from_spec(*s, base.seed),
+            _ => unreachable!("quick demo uses a spec"),
+        };
+        let log = RequestLog::sample(&wl, 8_000, 99);
+        let mut cfg = base;
+        cfg.workload = WorkloadSource::Replay(log);
+        cfg.warmup_requests = 500;
+        cfg.measure_requests = 2_000;
+        let a = run_simulation(&cfg);
+        let b = run_simulation(&cfg);
+        assert!(a.throughput_rps > 0.0);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.counters.total_count(), b.counters.total_count());
+    }
+
+    #[test]
+    fn short_logs_cycle() {
+        use press_trace::{FileCatalog, RequestLog};
+        use press_trace::FileId;
+        // A 50-request log replayed for 1500 completions must wrap.
+        let catalog = FileCatalog::from_sizes(vec![4096; 20]);
+        let requests: Vec<FileId> = (0..50).map(|i| FileId(i % 20)).collect();
+        let log = RequestLog::from_parts(catalog, requests);
+        let mut cfg = SimConfig::quick_demo();
+        cfg.workload = WorkloadSource::Replay(log);
+        cfg.cache_bytes_per_node = 1 << 20;
+        cfg.warmup_requests = 300;
+        cfg.measure_requests = 1_200;
+        let m = run_simulation(&cfg);
+        assert_eq!(m.measured_requests, 1_200);
+        assert!(m.hit_rate > 0.9, "tiny cycled working set should hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let mut cfg = SimConfig::quick_demo();
+        cfg.nodes = 1;
+        let _ = run_simulation(&cfg);
+    }
+}

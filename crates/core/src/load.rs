@@ -1,0 +1,89 @@
+//! Load-information dissemination strategies (Section 3.3, Figure 4).
+
+/// How nodes learn about each other's load (open-connection counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dissemination {
+    /// Append the sender's current load to every intra-cluster message
+    /// ("PB" in Figure 4) — no explicit load messages at all.
+    Piggyback,
+    /// Broadcast the load whenever it moved at least this many connections
+    /// away from the last broadcast value ("L1"/"L4"/"L16" in Figure 4).
+    Broadcast(u32),
+    /// No load information at all; distribution is purely locality-driven
+    /// ("NLB" in Figure 4).
+    None,
+}
+
+impl Dissemination {
+    /// The five strategies evaluated in Figure 4, in bar order
+    /// (PB, L16, L4, L1, NLB).
+    pub const FIGURE4: [Dissemination; 5] = [
+        Dissemination::Piggyback,
+        Dissemination::Broadcast(16),
+        Dissemination::Broadcast(4),
+        Dissemination::Broadcast(1),
+        Dissemination::None,
+    ];
+
+    /// The figure label.
+    pub fn name(self) -> String {
+        match self {
+            Dissemination::Piggyback => "PB".to_string(),
+            Dissemination::Broadcast(k) => format!("L{k}"),
+            Dissemination::None => "NLB".to_string(),
+        }
+    }
+
+    /// Whether the policy may use load information under this strategy.
+    pub fn load_balancing(self) -> bool {
+        !matches!(self, Dissemination::None)
+    }
+
+    /// Whether a node whose load moved from `last_broadcast` to `load`
+    /// must broadcast now.
+    pub fn should_broadcast(self, load: u32, last_broadcast: u32) -> bool {
+        match self {
+            Dissemination::Broadcast(k) => load.abs_diff(last_broadcast) >= k,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Dissemination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_labels() {
+        let labels: Vec<String> = Dissemination::FIGURE4.iter().map(|d| d.name()).collect();
+        assert_eq!(labels, vec!["PB", "L16", "L4", "L1", "NLB"]);
+    }
+
+    #[test]
+    fn broadcast_threshold_both_directions() {
+        let l4 = Dissemination::Broadcast(4);
+        assert!(!l4.should_broadcast(3, 0));
+        assert!(l4.should_broadcast(4, 0));
+        assert!(l4.should_broadcast(0, 4));
+        assert!(!l4.should_broadcast(10, 8));
+    }
+
+    #[test]
+    fn piggyback_and_none_never_broadcast() {
+        assert!(!Dissemination::Piggyback.should_broadcast(100, 0));
+        assert!(!Dissemination::None.should_broadcast(100, 0));
+    }
+
+    #[test]
+    fn load_balancing_flag() {
+        assert!(Dissemination::Piggyback.load_balancing());
+        assert!(Dissemination::Broadcast(1).load_balancing());
+        assert!(!Dissemination::None.load_balancing());
+    }
+}

@@ -1,0 +1,120 @@
+//! Run metrics extracted from a finished simulation.
+
+use press_net::MsgCounters;
+use press_sim::SimTime;
+
+use crate::server::ClusterSim;
+
+/// Results of one simulated run, covering the measurement window only.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Completed requests per simulated second — the paper's throughput
+    /// metric (Figures 3–6).
+    pub throughput_rps: f64,
+    /// Requests completed in the measurement window.
+    pub measured_requests: u64,
+    /// Length of the measurement window in simulated seconds.
+    pub measure_seconds: f64,
+    /// Mean client response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// Median client response time in milliseconds.
+    pub p50_response_ms: f64,
+    /// 95th-percentile client response time in milliseconds.
+    pub p95_response_ms: f64,
+    /// 99th-percentile client response time in milliseconds.
+    pub p99_response_ms: f64,
+    /// Aggregate cache hit rate across nodes during measurement.
+    pub hit_rate: f64,
+    /// Fraction of requests forwarded to a remote service node (`Q`).
+    pub forward_fraction: f64,
+    /// Mean across nodes of the CPU-time fraction spent on intra-cluster
+    /// communication (Figure 1's metric, CPU cycles only).
+    pub intcomm_cpu_fraction: f64,
+    /// Like `intcomm_cpu_fraction` but counting internal-NIC/wire
+    /// occupancy as communication time as well — the "time spent on
+    /// intra-cluster communication" including transfer time.
+    pub intcomm_wall_fraction: f64,
+    /// Mean CPU utilization across nodes over the measurement window.
+    pub cpu_utilization: f64,
+    /// Mean disk utilization across nodes.
+    pub disk_utilization: f64,
+    /// Intra-cluster message counters (Tables 2 and 4).
+    pub counters: MsgCounters,
+    /// Messages still queued on flow-control channels at the end of the
+    /// run; always zero unless credits leaked (a bug).
+    pub stuck_messages: usize,
+}
+
+impl Metrics {
+    /// Extracts metrics from a finished simulation.
+    pub(crate) fn from_sim(sim: &ClusterSim) -> Metrics {
+        let (start, end) = sim.measurement_window();
+        let span = end.saturating_sub(start);
+        let secs = span.as_secs_f64();
+        let measured = sim.measured_completed();
+        let nodes = sim.nodes();
+
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut int_cpu = SimTime::ZERO;
+        let mut ext_cpu = SimTime::ZERO;
+        let mut int_nic = SimTime::ZERO;
+        let mut ext_nic = SimTime::ZERO;
+        let mut cpu_busy = SimTime::ZERO;
+        let mut disk_busy = SimTime::ZERO;
+        for n in nodes {
+            let (h, m) = n.cache.hit_stats();
+            hits += h;
+            misses += m;
+            int_cpu += n.cpu.category_busy(1);
+            ext_cpu += n.cpu.category_busy(0);
+            int_nic += n.nic_int_tx.stats().busy + n.nic_int_rx.stats().busy;
+            ext_nic += n.nic_ext_tx.stats().busy + n.nic_ext_rx.stats().busy;
+            cpu_busy += n.cpu.stats().busy;
+            disk_busy += n.disk.stats().busy;
+        }
+        let cpu_total = int_cpu + ext_cpu;
+        let intcomm_cpu_fraction = if cpu_total == SimTime::ZERO {
+            0.0
+        } else {
+            int_cpu.as_secs_f64() / cpu_total.as_secs_f64()
+        };
+        let wall_int = int_cpu + int_nic;
+        let wall_total = cpu_total + int_nic + ext_nic;
+        let intcomm_wall_fraction = if wall_total == SimTime::ZERO {
+            0.0
+        } else {
+            wall_int.as_secs_f64() / wall_total.as_secs_f64()
+        };
+        let horizon_all = secs * nodes.len() as f64;
+        Metrics {
+            throughput_rps: if secs > 0.0 { measured as f64 / secs } else { 0.0 },
+            measured_requests: measured,
+            measure_seconds: secs,
+            mean_response_ms: sim.response_stats().mean(),
+            p50_response_ms: sim.response_histogram().percentile(50.0),
+            p95_response_ms: sim.response_histogram().percentile(95.0),
+            p99_response_ms: sim.response_histogram().percentile(99.0),
+            hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            forward_fraction: sim.forward_fraction(),
+            intcomm_cpu_fraction,
+            intcomm_wall_fraction,
+            cpu_utilization: if horizon_all > 0.0 {
+                cpu_busy.as_secs_f64() / horizon_all
+            } else {
+                0.0
+            },
+            disk_utilization: if horizon_all > 0.0 {
+                disk_busy.as_secs_f64() / horizon_all
+            } else {
+                0.0
+            },
+            counters: *sim.counters(),
+            stuck_messages: sim.stuck_messages(),
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The event-driven PRESS cluster: nodes, messages, and the request
+//! lifecycle, as a [`press_sim::Model`].
+//!
+//! Each node follows the architecture of Figure 2: a main thread that
+//! parses requests, makes distribution decisions and sends replies; helper
+//! threads for disk access and for sending/receiving intra-cluster
+//! messages. In the simulation those threads appear as calibrated CPU
+//! demands (the fixed send/receive costs include the thread hand-offs) on
+//! a single CPU resource per node, plus disk and NIC resources.
+
+use std::collections::{HashMap, VecDeque};
+
+use press_cluster::{CpuCategory, Node, NodeId, ServiceRates};
+use press_net::{
+    recv_cost, send_cost, wire_bytes, CostModel, DeliveryMode, MessageType, MsgCounters,
+    FILE_SEGMENT_BYTES,
+};
+use press_sim::{Histogram, MeanVar, Model, Scheduler, SimTime};
+use press_trace::{FileCatalog, FileId, RequestLog, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::load::Dissemination;
+use crate::policy::{decide, Decision, PolicyConfig, RequestView};
+use crate::version::ServerVersion;
+
+/// Mean wire size of a client HTTP request (GET line + headers).
+const CLIENT_REQUEST_BYTES: u64 = 256;
+/// HTTP response header bytes added to each client reply.
+const REPLY_HEADER_BYTES: u64 = 128;
+/// Per-channel flow-control window (descriptors posted per VI pair).
+const CREDIT_WINDOW: u32 = 32;
+/// Receiver returns credits after consuming this many messages
+/// (calibrated against Table 2: roughly one flow message per four
+/// credit-consuming messages).
+const CREDIT_BATCH: u32 = 4;
+/// Mean delay before a polled (RMW) message is noticed by the main loop.
+const POLL_DELAY: SimTime = SimTime::from_micros(30);
+/// Main-loop polling period used for the background-overhead estimate.
+const POLL_INTERVAL_NS: f64 = 100_000.0;
+/// CPU cost of checking one RMW circular buffer for a new sequence number.
+const POLL_COST_NS: f64 = 150.0;
+
+/// Immutable parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub(crate) struct RunParams {
+    pub nodes: usize,
+    pub cost: CostModel,
+    pub version: ServerVersion,
+    pub dissemination: Dissemination,
+    pub policy: PolicyConfig,
+    pub rates: ServiceRates,
+    pub rmw_load_broadcast: bool,
+    pub warmup_requests: u64,
+    pub measure_requests: u64,
+}
+
+/// One in-flight client request.
+#[derive(Debug, Clone)]
+struct Request {
+    file: FileId,
+    bytes: u64,
+    initial: NodeId,
+    started: SimTime,
+    forwarded: bool,
+    /// Intra-cluster file messages still to be consumed before the reply.
+    pending_file_msgs: u32,
+}
+
+/// One intra-cluster message.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    ty: MessageType,
+    from: u16,
+    to: u16,
+    wire: u64,
+    /// Request this message belongs to (forward, file), if any.
+    req: Option<u64>,
+    /// Credits carried by a Flow message.
+    credits: u32,
+    /// Sender's load at transmit time (piggy-backing / load broadcast).
+    sender_load: u32,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A client opens a connection to `node` and sends a request.
+    NewRequest { node: u16 },
+    /// The initial node finished parsing request `req`.
+    Parsed { req: u64 },
+    /// The disk at `node` finished reading the file of request `req`.
+    DiskDone { req: u64, node: u16 },
+    /// An intra-cluster message finished arriving at the receiver's NIC.
+    MsgDelivered(Msg),
+    /// The receiver's CPU finished consuming the message.
+    MsgConsumed(Msg),
+    /// The initial node's CPU finished sending the reply.
+    ReplyCpuDone { req: u64 },
+    /// The external NIC finished transmitting the reply.
+    ReplyDelivered { req: u64 },
+}
+
+/// Per-channel (sender→receiver) flow-control state.
+#[derive(Debug, Default)]
+struct Channel {
+    credits: u32,
+    /// Messages consumed by the receiver since the last credit return.
+    freed: u32,
+    queued: VecDeque<Msg>,
+}
+
+/// Where the simulated requests come from.
+#[derive(Debug)]
+pub enum SimWorkload {
+    /// Sample files from a Zipf-distributed synthetic workload.
+    Synthetic(Workload),
+    /// Replay a recorded request log in order, cycling at the end.
+    Replay(RequestLog),
+}
+
+impl SimWorkload {
+    fn into_parts(self) -> (FileCatalog, Option<Workload>, Vec<FileId>) {
+        match self {
+            SimWorkload::Synthetic(wl) => {
+                let catalog = wl.catalog().clone();
+                (catalog, Some(wl), Vec::new())
+            }
+            SimWorkload::Replay(log) => {
+                assert!(
+                    !log.requests().is_empty(),
+                    "replay log must contain requests"
+                );
+                let catalog = log.catalog().clone();
+                let requests = log.requests().to_vec();
+                (catalog, None, requests)
+            }
+        }
+    }
+}
+
+/// The full cluster simulation state.
+#[derive(Debug)]
+pub struct ClusterSim {
+    params: RunParams,
+    catalog: FileCatalog,
+    sampler: Option<Workload>,
+    replay: Vec<FileId>,
+    replay_next: usize,
+    nodes: Vec<Node>,
+    rng: StdRng,
+    /// Bitmask of nodes caching each file (supports up to 128 nodes).
+    cachers: Vec<u128>,
+    ever_requested: Vec<bool>,
+    /// `load_views[i][j]` = node i's belief about node j's load.
+    load_views: Vec<Vec<u32>>,
+    last_broadcast: Vec<u32>,
+    channels: Vec<Channel>,
+    requests: HashMap<u64, Request>,
+    next_req: u64,
+    cpu_inflation: f64,
+    // --- measurement state ---
+    counters: MsgCounters,
+    forwarded: u64,
+    served: u64,
+    resp_ms: MeanVar,
+    resp_hist: Histogram,
+    total_completed: u64,
+    measured_completed: u64,
+    measuring: bool,
+    measure_start: SimTime,
+    measure_end: SimTime,
+    stop_arrivals: bool,
+}
+
+impl ClusterSim {
+    /// Builds the cluster with warm (pre-filled) caches.
+    pub(crate) fn new(params: RunParams, source: SimWorkload, cache_bytes: u64, seed: u64) -> Self {
+        assert!(params.nodes >= 1 && params.nodes <= 128, "1..=128 nodes");
+        let n = params.nodes;
+        let (catalog, sampler, replay) = source.into_parts();
+        let num_files = catalog.len();
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|i| Node::new(NodeId(i as u16), cache_bytes))
+            .collect();
+        let mut cachers = vec![0u128; num_files];
+        let mut ever_requested = vec![false; num_files];
+
+        // Warm the caches: place each file at a pseudo-random node (as a
+        // random first-touch would), inserting each node's share from
+        // least to most popular so the hottest files end most recently
+        // used. A multiplicative hash rather than `rank % n` keeps the
+        // placement realistically uneven: popular files can cluster on a
+        // node, which is exactly what load balancing must compensate for.
+        let mut assigned: Vec<Vec<(FileId, u64)>> = vec![Vec::new(); n];
+        let mut used = vec![0u64; n];
+        for (file, size) in catalog.iter() {
+            let node = ((file.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+            if used[node] + size <= cache_bytes {
+                used[node] += size;
+                assigned[node].push((file, size));
+            }
+        }
+        for (node, files) in assigned.into_iter().enumerate() {
+            for &(file, size) in files.iter().rev() {
+                let evicted = nodes[node].cache.insert(file, size);
+                debug_assert!(evicted.is_empty());
+                cachers[file.0 as usize] |= 1 << node;
+                ever_requested[file.0 as usize] = true;
+            }
+        }
+
+        let rmw_queues = if params.cost.supports_rmw {
+            params.version.rmw_queues(n)
+        } else {
+            1
+        };
+        let poll_frac = (POLL_COST_NS * rmw_queues as f64 / POLL_INTERVAL_NS).min(0.5);
+        let cpu_inflation = 1.0 / (1.0 - poll_frac);
+
+        ClusterSim {
+            nodes,
+            catalog,
+            sampler,
+            replay,
+            replay_next: 0,
+            rng: StdRng::seed_from_u64(seed),
+            cachers,
+            ever_requested,
+            load_views: vec![vec![0; n]; n],
+            last_broadcast: vec![0; n],
+            channels: (0..n * n).map(|_| Channel::new_with_window()).collect(),
+            requests: HashMap::new(),
+            next_req: 1,
+            cpu_inflation,
+            counters: MsgCounters::default(),
+            forwarded: 0,
+            served: 0,
+            resp_ms: MeanVar::default(),
+            resp_hist: Histogram::new(),
+            total_completed: 0,
+            measured_completed: 0,
+            measuring: false,
+            measure_start: SimTime::ZERO,
+            measure_end: SimTime::ZERO,
+            stop_arrivals: false,
+            params,
+        }
+    }
+
+    /// The next requested file: replayed from the log, or Zipf-sampled.
+    fn next_file(&mut self) -> FileId {
+        if self.replay.is_empty() {
+            self.sampler
+                .as_ref()
+                .expect("synthetic workload present")
+                .sample(&mut self.rng)
+        } else {
+            let file = self.replay[self.replay_next % self.replay.len()];
+            self.replay_next += 1;
+            file
+        }
+    }
+
+    /// Whether the measured request target has been reached.
+    pub fn finished(&self) -> bool {
+        self.stop_arrivals
+    }
+
+    /// Nodes, for metric extraction.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub(crate) fn counters(&self) -> &MsgCounters {
+        &self.counters
+    }
+
+    pub(crate) fn measurement_window(&self) -> (SimTime, SimTime) {
+        (self.measure_start, self.measure_end)
+    }
+
+    pub(crate) fn measured_completed(&self) -> u64 {
+        self.measured_completed
+    }
+
+    pub(crate) fn response_stats(&self) -> MeanVar {
+        self.resp_ms
+    }
+
+    pub(crate) fn response_histogram(&self) -> &Histogram {
+        &self.resp_hist
+    }
+
+    /// Messages still waiting for flow-control credits — nonzero after a
+    /// completed run would indicate a credit leak (deadlock).
+    pub(crate) fn stuck_messages(&self) -> usize {
+        self.channels.iter().map(|c| c.queued.len()).sum()
+    }
+
+    pub(crate) fn forward_fraction(&self) -> f64 {
+        let total = self.forwarded + self.served;
+        if total == 0 {
+            0.0
+        } else {
+            self.forwarded as f64 / total as f64
+        }
+    }
+
+    // ----- helpers -----
+
+    fn channel_mut(&mut self, from: u16, to: u16) -> &mut Channel {
+        let n = self.params.nodes;
+        &mut self.channels[from as usize * n + to as usize]
+    }
+
+    /// Charges CPU demand (inflated by the background polling overhead)
+    /// and returns the completion time.
+    fn cpu(&mut self, node: u16, now: SimTime, demand: SimTime, cat: CpuCategory) -> SimTime {
+        let inflated =
+            SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation);
+        self.nodes[node as usize]
+            .cpu
+            .submit(now, inflated, cat as usize)
+    }
+
+    fn mode_of(&self, ty: MessageType) -> DeliveryMode {
+        if !self.params.cost.supports_rmw {
+            return DeliveryMode::Regular;
+        }
+        if ty == MessageType::Load && self.params.rmw_load_broadcast {
+            return DeliveryMode::Rmw;
+        }
+        self.params.version.mode(ty)
+    }
+
+    fn piggyback(&self) -> bool {
+        self.params.dissemination == Dissemination::Piggyback
+    }
+
+    fn needs_credit(&self, ty: MessageType) -> bool {
+        self.params.cost.explicit_flow_control
+            && matches!(
+                ty,
+                MessageType::Forward | MessageType::Caching | MessageType::File
+            )
+    }
+
+    fn tx_copy(&self, ty: MessageType) -> bool {
+        // Only file payloads are big enough for copies to matter; TCP's
+        // per-byte stack cost already covers its copies.
+        ty == MessageType::File
+            && self.params.cost.supports_rmw
+            && self.params.version.file_tx_copy()
+    }
+
+    fn rx_copy(&self, ty: MessageType) -> bool {
+        ty == MessageType::File
+            && self.params.cost.supports_rmw
+            && self.params.version.file_rx_copy()
+    }
+
+    /// Builds and sends one intra-cluster message, respecting flow control.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire-message fields
+    fn send_msg(
+        &mut self,
+        now: SimTime,
+        ty: MessageType,
+        from: u16,
+        to: u16,
+        data_len: u64,
+        req: Option<u64>,
+        credits: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        debug_assert_ne!(from, to, "no self-messages");
+        let mode = self.mode_of(ty);
+        let wire = wire_bytes(ty, data_len, mode, self.piggyback());
+        let msg = Msg {
+            ty,
+            from,
+            to,
+            wire,
+            req,
+            credits,
+            sender_load: self.nodes[from as usize].open_connections,
+        };
+        if self.needs_credit(ty) {
+            let ch = self.channel_mut(from, to);
+            if ch.credits == 0 {
+                ch.queued.push_back(msg);
+                return;
+            }
+            ch.credits -= 1;
+        }
+        self.transmit(now, msg, sched);
+    }
+
+    /// Pays the send-side costs and schedules delivery.
+    fn transmit(&mut self, now: SimTime, mut msg: Msg, sched: &mut Scheduler<Event>) {
+        // Load is piggy-backed at the instant of transmission.
+        msg.sender_load = self.nodes[msg.from as usize].open_connections;
+        self.counters.record(msg.ty, msg.wire);
+        let sc = send_cost(&self.params.cost, msg.wire, self.tx_copy(msg.ty));
+        let cpu_done = self.cpu(msg.from, now, sc.cpu, CpuCategory::IntComm);
+        let nic_done = self.nodes[msg.from as usize]
+            .nic_int_tx
+            .submit(cpu_done, sc.nic, 0);
+        let arrive = nic_done + self.params.cost.wire_latency;
+        let rc = recv_cost(
+            &self.params.cost,
+            msg.wire,
+            self.mode_of(msg.ty),
+            self.rx_copy(msg.ty),
+        );
+        let rx_done = self.nodes[msg.to as usize]
+            .nic_int_rx
+            .submit(arrive, rc.nic, 0);
+        sched.schedule(rx_done, Event::MsgDelivered(msg));
+    }
+
+    /// A connection opened or closed at `node`: update the local view and
+    /// broadcast under threshold dissemination.
+    fn load_changed(&mut self, now: SimTime, node: u16, sched: &mut Scheduler<Event>) {
+        let load = self.nodes[node as usize].open_connections;
+        self.load_views[node as usize][node as usize] = load;
+        if self
+            .params
+            .dissemination
+            .should_broadcast(load, self.last_broadcast[node as usize])
+        {
+            self.last_broadcast[node as usize] = load;
+            for peer in 0..self.params.nodes as u16 {
+                if peer != node {
+                    self.send_msg(now, MessageType::Load, node, peer, 0, None, 0, sched);
+                }
+            }
+        }
+    }
+
+    /// Inserts a freshly read file into `node`'s cache and broadcasts the
+    /// caching information (insertions and the evictions they caused share
+    /// one broadcast, as replacement notices).
+    fn cache_insert(&mut self, now: SimTime, node: u16, file: FileId, sched: &mut Scheduler<Event>) {
+        let bytes = self.catalog.size(file);
+        let evicted = self.nodes[node as usize].cache.insert(file, bytes);
+        let bit = 1u128 << node;
+        self.cachers[file.0 as usize] |= bit;
+        for ev in &evicted {
+            self.cachers[ev.0 as usize] &= !bit;
+        }
+        for peer in 0..self.params.nodes as u16 {
+            if peer != node {
+                self.send_msg(now, MessageType::Caching, node, peer, 0, None, 0, sched);
+            }
+        }
+    }
+
+    /// Sends the file of `req` from `from` to the request's initial node:
+    /// data segments plus, for RMW transfers, one metadata message.
+    fn send_file(&mut self, now: SimTime, req_id: u64, from: u16, sched: &mut Scheduler<Event>) {
+        let (to, bytes) = {
+            let req = &self.requests[&req_id];
+            (req.initial.0, req.bytes)
+        };
+        let segments = bytes.div_ceil(FILE_SEGMENT_BYTES).max(1);
+        let metadata = self.mode_of(MessageType::File) == DeliveryMode::Rmw
+            && self.params.version.file_metadata_message();
+        let total = segments as u32 + u32::from(metadata);
+        if let Some(req) = self.requests.get_mut(&req_id) {
+            req.pending_file_msgs = total;
+        }
+        let mut remaining = bytes;
+        for _ in 0..segments {
+            let seg = remaining.min(FILE_SEGMENT_BYTES);
+            remaining -= seg;
+            self.send_msg(now, MessageType::File, from, to, seg, Some(req_id), 0, sched);
+        }
+        if metadata {
+            // The metadata message: file id + offset + length, no payload.
+            self.send_msg(now, MessageType::File, from, to, 0, Some(req_id), 0, sched);
+        }
+    }
+
+    /// The initial node starts sending the reply to the client.
+    fn start_reply(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
+        let (node, bytes) = {
+            let req = &self.requests[&req_id];
+            (req.initial.0, req.bytes)
+        };
+        let demand = self.params.rates.reply_time(bytes + REPLY_HEADER_BYTES);
+        let done = self.cpu(node, now, demand, CpuCategory::ExtCommService);
+        sched.schedule(done, Event::ReplyCpuDone { req: req_id });
+    }
+
+    /// Serves `req` at `node` from cache or disk, then replies/transfers.
+    fn service_request(&mut self, now: SimTime, req_id: u64, node: u16, sched: &mut Scheduler<Event>) {
+        let file = self.requests[&req_id].file;
+        if self.nodes[node as usize].cache.touch(file) {
+            self.after_content_ready(now, req_id, node, sched);
+        } else {
+            let bytes = self.requests[&req_id].bytes;
+            let demand = self.nodes[node as usize].disk_model.access_time(bytes);
+            let done = self.nodes[node as usize].disk.submit(now, demand, 0);
+            sched.schedule(done, Event::DiskDone { req: req_id, node });
+        }
+    }
+
+    /// The content is in `node`'s memory: reply (if initial) or transfer.
+    fn after_content_ready(&mut self, now: SimTime, req_id: u64, node: u16, sched: &mut Scheduler<Event>) {
+        if self.requests[&req_id].initial.0 == node {
+            self.start_reply(now, req_id, sched);
+        } else {
+            self.send_file(now, req_id, node, sched);
+        }
+    }
+
+    fn complete_request(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
+        let req = self
+            .requests
+            .remove(&req_id)
+            .expect("completed request must exist");
+        let node = req.initial.0;
+        self.nodes[node as usize].open_connections -= 1;
+        self.load_changed(now, node, sched);
+        self.total_completed += 1;
+        if self.measuring && !self.stop_arrivals {
+            self.measured_completed += 1;
+            let ms = (now - req.started).as_secs_f64() * 1e3;
+            self.resp_ms.push(ms);
+            self.resp_hist.record(ms);
+            if req.forwarded {
+                self.forwarded += 1;
+            } else {
+                self.served += 1;
+            }
+            if self.measured_completed >= self.params.measure_requests && !self.stop_arrivals {
+                self.measure_end = now;
+                self.stop_arrivals = true;
+            }
+        } else if !self.measuring && self.total_completed >= self.params.warmup_requests {
+            self.begin_measurement(now);
+        }
+        // Closed loop: the client immediately issues its next request to a
+        // uniformly random node.
+        if !self.stop_arrivals {
+            let next = self.rng.gen_range(0..self.params.nodes) as u16;
+            sched.schedule(now, Event::NewRequest { node: next });
+        }
+    }
+
+    fn begin_measurement(&mut self, now: SimTime) {
+        self.measuring = true;
+        self.measure_start = now;
+        self.counters = MsgCounters::default();
+        self.resp_ms = MeanVar::default();
+        self.resp_hist = Histogram::new();
+        self.forwarded = 0;
+        self.served = 0;
+        for n in &mut self.nodes {
+            n.reset_stats();
+        }
+    }
+
+    fn handle_consumed(&mut self, now: SimTime, msg: Msg, sched: &mut Scheduler<Event>) {
+        // Piggy-backed load refreshes the receiver's view of the sender.
+        if self.piggyback() || msg.ty == MessageType::Load {
+            self.load_views[msg.to as usize][msg.from as usize] = msg.sender_load;
+        }
+        // Credit-consuming messages eventually trigger a credit return.
+        if self.needs_credit(msg.ty) {
+            let batch_ready = {
+                let ch = self.channel_mut(msg.from, msg.to);
+                ch.freed += 1;
+                if ch.freed >= CREDIT_BATCH {
+                    ch.freed = 0;
+                    true
+                } else {
+                    false
+                }
+            };
+            if batch_ready {
+                self.send_msg(
+                    now,
+                    MessageType::Flow,
+                    msg.to,
+                    msg.from,
+                    0,
+                    None,
+                    CREDIT_BATCH,
+                    sched,
+                );
+            }
+        }
+        match msg.ty {
+            MessageType::Load | MessageType::Caching => {}
+            MessageType::Flow => {
+                let mut release = Vec::new();
+                {
+                    let ch = self.channel_mut(msg.to, msg.from);
+                    ch.credits += msg.credits;
+                    while ch.credits > 0 && !ch.queued.is_empty() {
+                        ch.credits -= 1;
+                        release.push(ch.queued.pop_front().expect("non-empty queue"));
+                    }
+                }
+                for m in release {
+                    self.transmit(now, m, sched);
+                }
+            }
+            MessageType::Forward => {
+                let req_id = msg.req.expect("forward carries a request");
+                self.service_request(now, req_id, msg.to, sched);
+            }
+            MessageType::File => {
+                let req_id = msg.req.expect("file message carries a request");
+                let ready = {
+                    let req = self
+                        .requests
+                        .get_mut(&req_id)
+                        .expect("file message for live request");
+                    req.pending_file_msgs -= 1;
+                    req.pending_file_msgs == 0
+                };
+                if ready {
+                    self.start_reply(now, req_id, sched);
+                }
+            }
+        }
+    }
+}
+
+impl Channel {
+    fn new_with_window() -> Self {
+        Channel {
+            credits: CREDIT_WINDOW,
+            freed: 0,
+            queued: VecDeque::new(),
+        }
+    }
+}
+
+impl Model for ClusterSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::NewRequest { node } => {
+                if self.stop_arrivals {
+                    return;
+                }
+                let file = self.next_file();
+                let bytes = self.catalog.size(file);
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.requests.insert(
+                    req_id,
+                    Request {
+                        file,
+                        bytes,
+                        initial: NodeId(node),
+                        started: now,
+                        forwarded: false,
+                        pending_file_msgs: 0,
+                    },
+                );
+                self.nodes[node as usize].open_connections += 1;
+                self.load_changed(now, node, sched);
+                // Request bytes arrive on the external NIC, then parse.
+                let rx_done = self.nodes[node as usize].nic_ext_rx.submit(
+                    now,
+                    self.params.rates.ext_nic_time(CLIENT_REQUEST_BYTES),
+                    0,
+                );
+                let parse = self.params.rates.parse;
+                let parsed = self.cpu(node, rx_done, parse, CpuCategory::ExtCommService);
+                sched.schedule(parsed, Event::Parsed { req: req_id });
+            }
+            Event::Parsed { req: req_id } => {
+                let (node, file, bytes) = {
+                    let req = &self.requests[&req_id];
+                    (req.initial.0, req.file, req.bytes)
+                };
+                let first = !self.ever_requested[file.0 as usize];
+                self.ever_requested[file.0 as usize] = true;
+                let cachers_mask = self.cachers[file.0 as usize];
+                let cachers: Vec<NodeId> = (0..self.params.nodes as u16)
+                    .filter(|&i| cachers_mask & (1 << i) != 0)
+                    .map(NodeId)
+                    .collect();
+                let decision = decide(
+                    &self.params.policy,
+                    &RequestView {
+                        initial: NodeId(node),
+                        file_bytes: bytes,
+                        cached_locally: self.nodes[node as usize].cache.contains(file),
+                        first_request: first,
+                        cachers: &cachers,
+                        loads: &self.load_views[node as usize],
+                        load_balancing: self.params.dissemination.load_balancing(),
+                    },
+                );
+                match decision {
+                    Decision::ServeLocal => {
+                        self.service_request(now, req_id, node, sched);
+                    }
+                    Decision::Forward(target) => {
+                        if let Some(r) = self.requests.get_mut(&req_id) {
+                            r.forwarded = true;
+                        }
+                        self.send_msg(
+                            now,
+                            MessageType::Forward,
+                            node,
+                            target.0,
+                            0,
+                            Some(req_id),
+                            0,
+                            sched,
+                        );
+                    }
+                }
+            }
+            Event::DiskDone { req: req_id, node } => {
+                let file = self.requests[&req_id].file;
+                self.cache_insert(now, node, file, sched);
+                self.after_content_ready(now, req_id, node, sched);
+            }
+            Event::MsgDelivered(msg) => {
+                let mode = self.mode_of(msg.ty);
+                let rc = recv_cost(&self.params.cost, msg.wire, mode, self.rx_copy(msg.ty));
+                let start = if mode == DeliveryMode::Rmw {
+                    now + POLL_DELAY
+                } else {
+                    now
+                };
+                let done = self.cpu(msg.to, start, rc.cpu, CpuCategory::IntComm);
+                sched.schedule(done, Event::MsgConsumed(msg));
+            }
+            Event::MsgConsumed(msg) => self.handle_consumed(now, msg, sched),
+            Event::ReplyCpuDone { req: req_id } => {
+                let (node, bytes) = {
+                    let req = &self.requests[&req_id];
+                    (req.initial.0, req.bytes)
+                };
+                let done = self.nodes[node as usize].nic_ext_tx.submit(
+                    now,
+                    self.params
+                        .rates
+                        .ext_nic_time(bytes + REPLY_HEADER_BYTES),
+                    0,
+                );
+                sched.schedule(done, Event::ReplyDelivered { req: req_id });
+            }
+            Event::ReplyDelivered { req: req_id } => {
+                self.complete_request(now, req_id, sched);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The six server versions V0–V5 (Table 3 of the paper).
+
+use press_net::{DeliveryMode, MessageType};
+
+/// A PRESS version: how far it pushes remote memory writes and zero-copy.
+///
+/// Table 3 of the paper:
+///
+/// | Message  | V0  | V1  | V2  | V3  | V4            | V5                |
+/// |----------|-----|-----|-----|-----|---------------|-------------------|
+/// | Flow     | reg | rmw | rmw | rmw | rmw           | rmw               |
+/// | Forward  | reg | reg | rmw | rmw | rmw           | rmw               |
+/// | Caching  | reg | reg | rmw | rmw | rmw           | rmw               |
+/// | File     | reg | reg | reg | rmw | rmw + 0-cp RX | rmw + 0-cp TX&RX  |
+///
+/// V3 pays two messages per file transfer (data + metadata) instead of one;
+/// V4 sends client replies straight out of the large RMW buffer (no
+/// receive-side copy); V5 registers all cache pages with VIA (no send-side
+/// copy either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServerVersion {
+    /// Regular messages only; copies at both ends of a file transfer.
+    V0,
+    /// RMW for flow-control messages.
+    V1,
+    /// RMW also for forward and caching messages.
+    V2,
+    /// RMW also for file transfers (data + metadata message pair).
+    V3,
+    /// V3 plus zero-copy at the file receiver.
+    V4,
+    /// V4 plus zero-copy at the file sender (cache registered with VIA).
+    V5,
+}
+
+impl ServerVersion {
+    /// All versions in order.
+    pub const ALL: [ServerVersion; 6] = [
+        ServerVersion::V0,
+        ServerVersion::V1,
+        ServerVersion::V2,
+        ServerVersion::V3,
+        ServerVersion::V4,
+        ServerVersion::V5,
+    ];
+
+    /// The label used in Figure 5 and Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerVersion::V0 => "V0",
+            ServerVersion::V1 => "V1",
+            ServerVersion::V2 => "V2",
+            ServerVersion::V3 => "V3",
+            ServerVersion::V4 => "V4",
+            ServerVersion::V5 => "V5",
+        }
+    }
+
+    /// Delivery mode used for `ty` (Table 3). Only meaningful when the
+    /// protocol supports RMW; the TCP driver forces `Regular`.
+    pub fn mode(self, ty: MessageType) -> DeliveryMode {
+        use DeliveryMode::{Regular, Rmw};
+        use ServerVersion::*;
+        match ty {
+            MessageType::Flow | MessageType::Load => {
+                if self == V0 {
+                    Regular
+                } else {
+                    Rmw
+                }
+            }
+            MessageType::Forward | MessageType::Caching => match self {
+                V0 | V1 => Regular,
+                _ => Rmw,
+            },
+            MessageType::File => match self {
+                V0 | V1 | V2 => Regular,
+                _ => Rmw,
+            },
+        }
+    }
+
+    /// Whether a file transfer costs an extra metadata message
+    /// (RMW file transfers send data and metadata separately).
+    pub fn file_metadata_message(self) -> bool {
+        self.mode(MessageType::File) == DeliveryMode::Rmw
+    }
+
+    /// Whether the sender copies file data into a registered send buffer.
+    /// False only for V5, which registers all cached pages with VIA.
+    pub fn file_tx_copy(self) -> bool {
+        self != ServerVersion::V5
+    }
+
+    /// Whether the receiver copies file data out of the communication
+    /// buffer before replying to the client. False for V4 and V5.
+    pub fn file_rx_copy(self) -> bool {
+        !matches!(self, ServerVersion::V4 | ServerVersion::V5)
+    }
+
+    /// Number of RMW circular buffers each node must poll, given the
+    /// cluster size. Drives the background polling overhead, which grows
+    /// with the number of nodes (Section 2.2).
+    ///
+    /// V0 polls only the single structure shared with the receive thread.
+    /// V1's RMW flow words are overwritable and checked opportunistically.
+    /// V2 adds forward + caching buffers per peer; V3–V5 add the file
+    /// buffers.
+    pub fn rmw_queues(self, nodes: usize) -> usize {
+        let peers = nodes.saturating_sub(1);
+        match self {
+            ServerVersion::V0 | ServerVersion::V1 => 1,
+            ServerVersion::V2 => 1 + 2 * peers,
+            _ => 1 + 3 * peers,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MessageType::*;
+
+    #[test]
+    fn table3_matrix() {
+        use DeliveryMode::{Regular, Rmw};
+        use ServerVersion::*;
+        // Spot-check every row of Table 3.
+        assert_eq!(V0.mode(Flow), Regular);
+        assert_eq!(V1.mode(Flow), Rmw);
+        assert_eq!(V1.mode(Forward), Regular);
+        assert_eq!(V2.mode(Forward), Rmw);
+        assert_eq!(V2.mode(Caching), Rmw);
+        assert_eq!(V2.mode(File), Regular);
+        assert_eq!(V3.mode(File), Rmw);
+        assert_eq!(V4.mode(File), Rmw);
+        assert_eq!(V5.mode(File), Rmw);
+    }
+
+    #[test]
+    fn copy_flags_follow_table3() {
+        use ServerVersion::*;
+        for v in ServerVersion::ALL {
+            match v {
+                V4 => {
+                    assert!(v.file_tx_copy());
+                    assert!(!v.file_rx_copy());
+                }
+                V5 => {
+                    assert!(!v.file_tx_copy());
+                    assert!(!v.file_rx_copy());
+                }
+                _ => {
+                    assert!(v.file_tx_copy());
+                    assert!(v.file_rx_copy());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_message_only_for_rmw_files() {
+        assert!(!ServerVersion::V2.file_metadata_message());
+        assert!(ServerVersion::V3.file_metadata_message());
+        assert!(ServerVersion::V5.file_metadata_message());
+    }
+
+    #[test]
+    fn rmw_queues_according_to_cluster_size() {
+        assert_eq!(ServerVersion::V0.rmw_queues(8), 1);
+        assert_eq!(ServerVersion::V2.rmw_queues(8), 15);
+        assert_eq!(ServerVersion::V3.rmw_queues(8), 22);
+        assert_eq!(ServerVersion::V5.rmw_queues(1), 1);
+    }
+
+    #[test]
+    fn names_in_order() {
+        let names: Vec<&str> = ServerVersion::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["V0", "V1", "V2", "V3", "V4", "V5"]);
+    }
+}

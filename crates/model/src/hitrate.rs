@@ -1,0 +1,148 @@
+//! Cache-hit algebra: `Hsn`, `Hlc`, `h`, `Q` (Section 4.1).
+
+use press_trace::zipf_mass;
+
+/// Derived cache behaviour of the locality-conscious cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheBehavior {
+    /// Number of files `F` implied by the single-node hit rate.
+    pub num_files: usize,
+    /// Locality-conscious (cluster-wide) hit rate `Hlc`.
+    pub hit_rate: f64,
+    /// Hit rate on the replicated head of the distribution, `h`.
+    pub replicated_hit_rate: f64,
+    /// Fraction of requests forwarded to another node, `Q`.
+    pub forwarded: f64,
+}
+
+/// Finds the number of files `F` such that a single node caching
+/// `C/S` files sees hit rate `hsn`: solves `z(C/S, F) = hsn` for `F`.
+///
+/// Monotonicity: growing `F` dilutes the cached head, lowering the hit
+/// rate, so a binary search applies. `hsn` is clamped to `(0.02, 1.0)`;
+/// at `hsn = 1.0` the working set just fits (`F = C/S`).
+///
+/// # Example
+///
+/// ```
+/// use press_model::files_for_hit_rate;
+/// use press_trace::zipf_mass;
+///
+/// let cached = 8192; // files a single node can hold
+/// let f = files_for_hit_rate(0.7, cached, 0.8);
+/// let achieved = zipf_mass(cached, f, 0.8);
+/// assert!((achieved - 0.7).abs() < 0.01);
+/// ```
+pub fn files_for_hit_rate(hsn: f64, cached_files: usize, alpha: f64) -> usize {
+    let hsn = hsn.clamp(0.02, 1.0);
+    if hsn >= 0.999_999 {
+        return cached_files.max(1);
+    }
+    let cached = cached_files.max(1);
+    let (mut lo, mut hi) = (cached, cached * 2);
+    // Grow the upper bound until the hit rate drops below the target.
+    while zipf_mass(cached, hi, alpha) > hsn {
+        lo = hi;
+        match hi.checked_mul(2) {
+            Some(next) if next < 1 << 40 => hi = next,
+            _ => break,
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if zipf_mass(cached, mid, alpha) > hsn {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+impl CacheBehavior {
+    /// Computes the cluster's cache behaviour per Section 4.1:
+    ///
+    /// * `Clc = N(1-R)C + RC` (replicated head stored once per node);
+    /// * `Hlc = z(min(Clc/S, F), F)`;
+    /// * `h = z(min(RC/S, F), F)`;
+    /// * `Q = (N-1)(1-h)/N`.
+    ///
+    /// `cache_bytes` is the per-node cache `C`; `file_bytes` the average
+    /// file size `S`.
+    pub fn derive(
+        hsn: f64,
+        nodes: usize,
+        cache_bytes: f64,
+        file_bytes: f64,
+        replication: f64,
+        alpha: f64,
+    ) -> CacheBehavior {
+        let n = nodes.max(1) as f64;
+        let per_node_files = (cache_bytes / file_bytes).max(1.0) as usize;
+        let num_files = files_for_hit_rate(hsn, per_node_files, alpha);
+        let clc = n * (1.0 - replication) * cache_bytes + replication * cache_bytes;
+        let cached_cluster = ((clc / file_bytes) as usize).min(num_files);
+        let hit_rate = zipf_mass(cached_cluster, num_files, alpha);
+        let replicated = ((replication * cache_bytes / file_bytes) as usize).min(num_files);
+        let replicated_hit_rate = zipf_mass(replicated, num_files, alpha);
+        let forwarded = (n - 1.0) * (1.0 - replicated_hit_rate) / n;
+        CacheBehavior {
+            num_files,
+            hit_rate,
+            replicated_hit_rate,
+            forwarded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_search_is_consistent() {
+        for &hsn in &[0.2, 0.5, 0.9, 0.99] {
+            let f = files_for_hit_rate(hsn, 10_000, 0.8);
+            let achieved = zipf_mass(10_000, f, 0.8);
+            assert!((achieved - hsn).abs() < 0.01, "hsn {hsn} -> {achieved}");
+        }
+    }
+
+    #[test]
+    fn full_hit_rate_means_working_set_fits() {
+        assert_eq!(files_for_hit_rate(1.0, 5_000, 0.8), 5_000);
+    }
+
+    #[test]
+    fn lower_hit_rate_means_more_files() {
+        let f9 = files_for_hit_rate(0.9, 8_192, 0.8);
+        let f5 = files_for_hit_rate(0.5, 8_192, 0.8);
+        assert!(f5 > f9);
+        assert!(f9 > 8_192);
+    }
+
+    #[test]
+    fn cluster_hit_rate_improves_with_nodes() {
+        let one = CacheBehavior::derive(0.6, 1, 128e6, 16e3, 0.15, 0.8);
+        let eight = CacheBehavior::derive(0.6, 8, 128e6, 16e3, 0.15, 0.8);
+        assert!(eight.hit_rate > one.hit_rate);
+        assert!(eight.hit_rate > 0.6);
+    }
+
+    #[test]
+    fn forwarding_grows_with_nodes_and_caps() {
+        let two = CacheBehavior::derive(0.9, 2, 128e6, 16e3, 0.15, 0.8);
+        let many = CacheBehavior::derive(0.9, 64, 128e6, 16e3, 0.15, 0.8);
+        assert!(many.forwarded > two.forwarded);
+        assert!(many.forwarded < 1.0);
+        // Q = (N-1)(1-h)/N < (1-h)
+        assert!(many.forwarded < 1.0 - many.replicated_hit_rate + 1e-12);
+    }
+
+    #[test]
+    fn replication_head_is_hot() {
+        let cb = CacheBehavior::derive(0.8, 8, 128e6, 16e3, 0.15, 0.8);
+        // 15% of the cache holds far more than 15% of the request mass.
+        assert!(cb.replicated_hit_rate > 0.3);
+    }
+}

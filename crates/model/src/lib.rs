@@ -1,0 +1,44 @@
+//! The paper's analytical model of a locality-conscious cluster server
+//! (Section 4, Figure 7, Table 5).
+//!
+//! The model is an open queueing network: requests arrive at rate `N·λ`,
+//! are balanced perfectly across nodes, and visit the external NIC, the
+//! CPU (parse, reply, forward, intra-cluster send/receive), the internal
+//! NIC, and the disk, with the M/M/1 service rates of Table 5. Because
+//! the distribution algorithm, caching-information dissemination and flow
+//! control are assumed cost-free, the model is an *upper bound* on
+//! throughput; its value is in the *ratios* between protocol variants
+//! (Figures 8–13).
+//!
+//! Cache behaviour follows the paper's Zipf algebra: the single-node hit
+//! rate `Hsn = z(C/S, F)` pins the working-set size, the
+//! locality-conscious hit rate is `Hlc = z(Clc/S, F)` with
+//! `Clc = N(1-R)C + RC`, the replicated hit rate is `h = z(RC/S, F)`, and
+//! the forwarded fraction is `Q = (N-1)(1-h)/N`.
+//!
+//! # Example
+//!
+//! ```
+//! use press_model::{ModelParams, CommVariant, throughput};
+//!
+//! let mut p = ModelParams::default_at(0.9, 8);
+//! p.variant = CommVariant::Tcp;
+//! let tcp = throughput(&p);
+//! p.variant = CommVariant::ViaRegular;
+//! let via = throughput(&p);
+//! assert!(via.total_rps > tcp.total_rps);
+//! ```
+
+mod hitrate;
+mod params;
+mod rates;
+mod response;
+mod sweep;
+mod throughput;
+
+pub use hitrate::{files_for_hit_rate, CacheBehavior};
+pub use params::{CommVariant, ModelParams};
+pub use rates::Rates;
+pub use response::{response_time, ResponseTime};
+pub use sweep::{sweep_file_size, sweep_hit_rate, GainGrid};
+pub use throughput::{throughput, Station, ThroughputBreakdown};

@@ -1,0 +1,95 @@
+//! Model parameters (Table 5).
+
+/// Communication variant the model evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommVariant {
+    /// TCP intra-cluster communication (fixed cost 270 µs per side).
+    Tcp,
+    /// Next-generation TCP: zero-copy sends along the lines of IO-Lite —
+    /// `µm` doubled and the fixed costs of the TCP `µf`, `µs`, `µg` halved
+    /// (Section 4.2, "Future systems").
+    TcpNextGen,
+    /// VIA with regular messages and one copy at each end of a file
+    /// transfer (version 0 of the server).
+    ViaRegular,
+    /// VIA with remote memory writes and zero-copy transfers (version 5):
+    /// no copies, no receive interrupt, but two messages per file.
+    ViaRmwZeroCopy,
+    /// VIA (RMW + zero-copy) on a next-generation OS: `µm` halved, like
+    /// [`CommVariant::TcpNextGen`] — the "user-level communication" side
+    /// of Figures 12 and 13.
+    ViaNextGen,
+}
+
+impl CommVariant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommVariant::Tcp => "TCP",
+            CommVariant::TcpNextGen => "TCP (next-gen)",
+            CommVariant::ViaRegular => "VIA (regular)",
+            CommVariant::ViaRmwZeroCopy => "VIA (RMW + 0-copy)",
+            CommVariant::ViaNextGen => "VIA (next-gen OS)",
+        }
+    }
+}
+
+/// The model's inputs, defaults from Table 5.
+///
+/// `hsn` expresses the working-set size indirectly: it is the cache hit
+/// rate a *single-node* server would see, from which the number of files
+/// is derived (larger working sets → lower `hsn`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Number of cluster nodes `N`.
+    pub nodes: usize,
+    /// Single-node cache hit rate (proxy for working-set size).
+    pub hsn: f64,
+    /// Average requested file size `S` in KB.
+    pub avg_file_kb: f64,
+    /// Per-node cache size `C` in MB (128 in Table 5).
+    pub cache_mb: f64,
+    /// Fraction of memory used for replication `R` (0.15 in Table 5).
+    pub replication: f64,
+    /// Zipf exponent α (0.8 in Table 5).
+    pub zipf_alpha: f64,
+    /// Which communication system is modeled.
+    pub variant: CommVariant,
+}
+
+impl ModelParams {
+    /// Table 5 defaults at a given single-node hit rate and cluster size,
+    /// with 16 KB files and VIA (regular) communication.
+    pub fn default_at(hsn: f64, nodes: usize) -> Self {
+        ModelParams {
+            nodes,
+            hsn,
+            avg_file_kb: 16.0,
+            cache_mb: 128.0,
+            replication: 0.15,
+            zipf_alpha: 0.8,
+            variant: CommVariant::ViaRegular,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table5() {
+        let p = ModelParams::default_at(0.9, 8);
+        assert_eq!(p.cache_mb, 128.0);
+        assert_eq!(p.replication, 0.15);
+        assert_eq!(p.zipf_alpha, 0.8);
+        assert_eq!(p.avg_file_kb, 16.0);
+        assert_eq!(p.nodes, 8);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(CommVariant::Tcp.name(), "TCP");
+        assert_eq!(CommVariant::ViaRmwZeroCopy.name(), "VIA (RMW + 0-copy)");
+    }
+}

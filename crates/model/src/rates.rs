@@ -1,0 +1,174 @@
+//! The Table 5 service rates, in seconds of demand per operation.
+
+use crate::params::CommVariant;
+
+/// Per-operation service demands (the reciprocals of Table 5's µ rates),
+/// all in seconds. `S` is the average requested file size in KB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// Request read/parse by the CPU (`1/µp`).
+    pub parse: f64,
+    /// Client reply send by the CPU (`1/µm`).
+    pub reply: f64,
+    /// Disk access (`1/µd`).
+    pub disk: f64,
+    /// Intra-cluster request forwarding by the CPU (`1/µf`).
+    pub forward: f64,
+    /// Intra-cluster reply send by the CPU (`1/µs`), including the extra
+    /// metadata message for RMW transfers.
+    pub cluster_send: f64,
+    /// Intra-cluster reply reception by the CPU (`1/µg`).
+    pub cluster_recv: f64,
+    /// Internal NIC demand for one forwarded request: the small forward
+    /// message plus the file reply (and metadata message under RMW).
+    pub internal_nic: f64,
+    /// External NIC demand per request: request in + reply out.
+    pub external_nic: f64,
+}
+
+impl Rates {
+    /// Builds the Table 5 demands for file size `s_kb` and `variant`.
+    ///
+    /// Table 5 (with `size` the transfer size in KB):
+    ///
+    /// * `µp = 5882 ops/s`
+    /// * `µm = (0.00027 + S/12500)⁻¹`
+    /// * `µd = (0.0188 + S/3000)⁻¹`
+    /// * `µf = 31250 (VIA) / 3676 (TCP) ops/s`
+    /// * `µs = µg = (0.00003 + S/125000)⁻¹ (VIA), (0.00027 + S/125000)⁻¹ (TCP)`
+    /// * `µi = (0.000003 + size/125000)⁻¹`, `µe = (0.000004 + size/125000)⁻¹`
+    ///
+    /// The RMW + zero-copy variant drops the `S/125000` copy terms from
+    /// `µs`/`µg`, uses the cheap polling receive, and pays a second (
+    /// metadata) message per file on the sender CPU and internal NIC.
+    /// The next-generation TCP variant halves the fixed cost of `µm` and
+    /// of the TCP `µf`/`µs`/`µg` (Section 4.2).
+    pub fn from_table5(s_kb: f64, variant: CommVariant) -> Rates {
+        let via = matches!(
+            variant,
+            CommVariant::ViaRegular | CommVariant::ViaRmwZeroCopy | CommVariant::ViaNextGen
+        );
+        let rmw = matches!(
+            variant,
+            CommVariant::ViaRmwZeroCopy | CommVariant::ViaNextGen
+        );
+        // "Next-generation" (Section 4.2) is an OS property: zero-copy
+        // client sends halve µm's fixed cost for BOTH systems being
+        // compared, and the TCP intra-cluster paths lose their copy-
+        // related fixed costs (µf/µs/µg fixed terms halved).
+        let next_gen = matches!(
+            variant,
+            CommVariant::TcpNextGen | CommVariant::ViaNextGen
+        );
+
+        let copy = s_kb / 125_000.0;
+        let tcp_fixed = if variant == CommVariant::TcpNextGen {
+            0.000_135
+        } else {
+            0.000_27
+        };
+
+        // Section 4.2 halves the fixed cost of the TCP µf/µs/µg for the
+        // next-generation system; µf is entirely fixed cost.
+        let forward = if via {
+            1.0 / 31_250.0
+        } else if variant == CommVariant::TcpNextGen {
+            0.5 / 3_676.0
+        } else {
+            1.0 / 3_676.0
+        };
+        let (cluster_send, cluster_recv) = if rmw {
+            // Two messages per file (data + metadata), no copies; the
+            // receiver polls (2 µs per message) instead of taking an
+            // interrupt.
+            (2.0 * 0.000_03, 2.0 * 0.000_002)
+        } else if via {
+            (0.000_03 + copy, 0.000_03 + copy)
+        } else {
+            (tcp_fixed + copy, tcp_fixed + copy)
+        };
+
+        let nic_small = 0.000_003 + 0.05 / 125_000.0;
+        let nic_file = 0.000_003 + s_kb / 125_000.0;
+        let internal_nic = nic_small + nic_file + if rmw { 0.000_003 } else { 0.0 };
+
+        let ext_in = 0.000_004 + 0.25 / 125_000.0;
+        let ext_out = 0.000_004 + s_kb / 125_000.0;
+
+        // Section 4.2 halves µm outright for next-generation systems:
+        // IO-Lite-style zero-copy sends remove a full copy+checksum pass
+        // over the reply bytes.
+        let reply_scale = if next_gen { 0.5 } else { 1.0 };
+        Rates {
+            parse: 1.0 / 5_882.0,
+            reply: reply_scale * (0.000_27 + s_kb / 12_500.0),
+            disk: 0.018_8 + s_kb / 3_000.0,
+            forward,
+            cluster_send,
+            cluster_recv,
+            internal_nic,
+            external_nic: ext_in + ext_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_rates_match_table5_at_16kb() {
+        let r = Rates::from_table5(16.0, CommVariant::Tcp);
+        assert!((1.0 / r.parse - 5_882.0).abs() < 1.0);
+        // µm = (0.00027 + 16/12500)^-1 = 645 ops/s
+        assert!((1.0 / r.reply - 645.0).abs() < 5.0);
+        // µd = (0.0188 + 16/3000)^-1 = 41.4 ops/s
+        assert!((1.0 / r.disk - 41.4).abs() < 0.5);
+        // µf = 3676
+        assert!((1.0 / r.forward - 3_676.0).abs() < 1.0);
+        // µs = (0.00027 + 16/125000)^-1 = 2512 ops/s
+        assert!((1.0 / r.cluster_send - 2_512.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn via_rates_match_table5_at_16kb() {
+        let r = Rates::from_table5(16.0, CommVariant::ViaRegular);
+        assert!((1.0 / r.forward - 31_250.0).abs() < 1.0);
+        // µs = (0.00003 + 16/125000)^-1 = 6313 ops/s
+        assert!((1.0 / r.cluster_send - 6_313.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn rmw_zero_copy_removes_copy_terms() {
+        let reg = Rates::from_table5(64.0, CommVariant::ViaRegular);
+        let rmw = Rates::from_table5(64.0, CommVariant::ViaRmwZeroCopy);
+        // Large files: copies dominate, so RMW+0copy is much cheaper on
+        // the CPU despite the extra metadata message...
+        assert!(rmw.cluster_send < reg.cluster_send);
+        assert!(rmw.cluster_recv < reg.cluster_recv);
+        // ...but costs one extra internal-NIC message.
+        assert!(rmw.internal_nic > reg.internal_nic);
+    }
+
+    #[test]
+    fn next_gen_halves_fixed_costs() {
+        let tcp = Rates::from_table5(16.0, CommVariant::Tcp);
+        let ng = Rates::from_table5(16.0, CommVariant::TcpNextGen);
+        assert!(ng.reply < tcp.reply);
+        assert!(ng.cluster_send < tcp.cluster_send);
+        // µm halves outright (zero-copy client sends).
+        assert!((ng.reply - tcp.reply / 2.0).abs() < 1e-12);
+        // µf is all fixed cost, so it halves exactly (Section 4.2).
+        assert!((ng.forward - tcp.forward / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demands_scale_with_file_size() {
+        let small = Rates::from_table5(4.0, CommVariant::Tcp);
+        let large = Rates::from_table5(128.0, CommVariant::Tcp);
+        assert!(large.reply > small.reply);
+        assert!(large.disk > small.disk);
+        assert!(large.internal_nic > small.internal_nic);
+        assert!(large.external_nic > small.external_nic);
+    }
+}

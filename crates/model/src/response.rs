@@ -1,0 +1,122 @@
+//! M/M/1 response-time analysis of the queueing network.
+//!
+//! The paper solves its model for maximum throughput only; since every
+//! station of Figure 7 is M/M/1, the same traffic equations also yield
+//! expected response times, `R = D / (1 − U)` per station, where `D` is
+//! the per-visit demand and `U = λ·D_total` the utilization. This module
+//! adds that analysis — useful for studying the latency side of
+//! user-level communication, which the paper leaves implicit ("server
+//! latencies are almost always low compared to the overall latency a
+//! client experiences").
+
+use crate::params::ModelParams;
+use crate::throughput::{throughput, Station};
+
+/// Response-time prediction at a given offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseTime {
+    /// Offered per-node arrival rate (requests/second).
+    pub lambda_per_node: f64,
+    /// Utilization of each station at this load.
+    pub utilization: [(Station, f64); 4],
+    /// Expected per-request residence time (queueing + service) at each
+    /// station, in seconds.
+    pub residence: [(Station, f64); 4],
+    /// Expected total server-side response time in seconds.
+    pub total_seconds: f64,
+}
+
+/// Evaluates the M/M/1 response time at `lambda_per_node` requests/s.
+///
+/// Returns `None` when any station would be saturated (`U ≥ 1`) — the
+/// open network has no steady state there.
+///
+/// # Example
+///
+/// ```
+/// use press_model::{response_time, throughput, ModelParams};
+///
+/// let p = ModelParams::default_at(0.9, 8);
+/// let max = throughput(&p).per_node_rps;
+/// let light = response_time(&p, 0.3 * max).expect("stable");
+/// let heavy = response_time(&p, 0.9 * max).expect("stable");
+/// assert!(heavy.total_seconds > light.total_seconds);
+/// assert!(response_time(&p, 1.1 * max).is_none());
+/// ```
+pub fn response_time(params: &ModelParams, lambda_per_node: f64) -> Option<ResponseTime> {
+    let t = throughput(params);
+    let mut utilization = [(Station::Cpu, 0.0); 4];
+    let mut residence = [(Station::Cpu, 0.0); 4];
+    let mut total = 0.0;
+    for (i, &(station, demand)) in t.demands.iter().enumerate() {
+        let u = lambda_per_node * demand;
+        if u >= 1.0 {
+            return None;
+        }
+        // M/M/1 residence time per request's total demand at the station.
+        let r = if demand > 0.0 { demand / (1.0 - u) } else { 0.0 };
+        utilization[i] = (station, u);
+        residence[i] = (station, r);
+        total += r;
+    }
+    Some(ResponseTime {
+        lambda_per_node,
+        utilization,
+        residence,
+        total_seconds: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CommVariant;
+
+    #[test]
+    fn zero_load_gives_pure_service_time() {
+        let p = ModelParams::default_at(0.9, 8);
+        let r = response_time(&p, 0.0).expect("stable at zero load");
+        let t = throughput(&p);
+        let service: f64 = t.demands.iter().map(|&(_, d)| d).sum();
+        assert!((r.total_seconds - service).abs() < 1e-12);
+        for (_, u) in r.utilization {
+            assert_eq!(u, 0.0);
+        }
+    }
+
+    #[test]
+    fn response_time_blows_up_near_saturation() {
+        let p = ModelParams::default_at(0.9, 8);
+        let max = throughput(&p).per_node_rps;
+        let r50 = response_time(&p, 0.5 * max).expect("stable");
+        let r99 = response_time(&p, 0.99 * max).expect("stable");
+        assert!(r99.total_seconds > 5.0 * r50.total_seconds);
+        assert!(response_time(&p, max * 1.0001).is_none());
+    }
+
+    #[test]
+    fn via_responds_faster_than_tcp_at_same_load() {
+        let mut p = ModelParams::default_at(0.9, 8);
+        p.variant = CommVariant::Tcp;
+        let tcp_max = throughput(&p).per_node_rps;
+        let lam = 0.8 * tcp_max;
+        let tcp = response_time(&p, lam).expect("stable");
+        p.variant = CommVariant::ViaRegular;
+        let via = response_time(&p, lam).expect("stable");
+        assert!(via.total_seconds < tcp.total_seconds);
+    }
+
+    #[test]
+    fn cpu_dominates_residence_when_cpu_bound() {
+        let p = ModelParams::default_at(0.95, 8);
+        let max = throughput(&p).per_node_rps;
+        let r = response_time(&p, 0.9 * max).expect("stable");
+        let cpu = r
+            .residence
+            .iter()
+            .find(|(s, _)| *s == Station::Cpu)
+            .map(|&(_, v)| v)
+            .expect("cpu station");
+        assert!(cpu > r.total_seconds * 0.5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bottleneck throughput of the queueing network (Figure 7).
+
+use crate::hitrate::CacheBehavior;
+use crate::params::ModelParams;
+use crate::rates::Rates;
+
+/// The stations of Figure 7's queueing network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Station {
+    /// The node CPU.
+    Cpu,
+    /// The SCSI disk.
+    Disk,
+    /// The internal (intra-cluster) network interface.
+    InternalNic,
+    /// The external (client-facing) network interface.
+    ExternalNic,
+}
+
+/// Model output: per-station demands and the resulting throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputBreakdown {
+    /// Seconds of demand per request at each station (per node).
+    pub demands: [(Station, f64); 4],
+    /// The saturating station.
+    pub bottleneck: Station,
+    /// Maximum per-node throughput in requests/second.
+    pub per_node_rps: f64,
+    /// Cluster throughput (`N ×` per-node).
+    pub total_rps: f64,
+    /// Derived cache behaviour.
+    pub cache: CacheBehavior,
+}
+
+/// Solves the model: derives the cache behaviour, computes per-station
+/// demands per request, and returns the bottleneck throughput.
+///
+/// Demand composition per request (averaged over the cluster, so the
+/// initial-node and service-node costs of a forwarded request both appear
+/// once, weighted by the forwarded fraction `Q`):
+///
+/// * CPU: `1/µp + 1/µm + Q·(1/µf + 1/µs + 1/µg)`
+/// * Disk: `(1 − Hlc)·(1/µd)`
+/// * Internal NIC: `Q ·` (forward message + file reply, both directions
+///   combined into the single station of Figure 7)
+/// * External NIC: request in + reply out
+///
+/// The station with the largest demand saturates first; the model's
+/// maximum per-node throughput is the reciprocal of that demand.
+///
+/// # Example
+///
+/// ```
+/// use press_model::{throughput, ModelParams, Station};
+///
+/// // Tiny hit rate: the disk must be the bottleneck.
+/// let p = ModelParams::default_at(0.1, 4);
+/// let t = throughput(&p);
+/// assert_eq!(t.bottleneck, Station::Disk);
+/// ```
+pub fn throughput(params: &ModelParams) -> ThroughputBreakdown {
+    let cache = CacheBehavior::derive(
+        params.hsn,
+        params.nodes,
+        params.cache_mb * 1e6,
+        params.avg_file_kb * 1e3,
+        params.replication,
+        params.zipf_alpha,
+    );
+    let r = Rates::from_table5(params.avg_file_kb, params.variant);
+    let q = cache.forwarded;
+
+    let cpu = r.parse + r.reply + q * (r.forward + r.cluster_send + r.cluster_recv);
+    let disk = (1.0 - cache.hit_rate) * r.disk;
+    let internal = q * r.internal_nic;
+    let external = r.external_nic;
+
+    let demands = [
+        (Station::Cpu, cpu),
+        (Station::Disk, disk),
+        (Station::InternalNic, internal),
+        (Station::ExternalNic, external),
+    ];
+    let (bottleneck, max_demand) = demands
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite demands"))
+        .expect("four stations");
+    let per_node = if max_demand > 0.0 {
+        1.0 / max_demand
+    } else {
+        f64::INFINITY
+    };
+    ThroughputBreakdown {
+        demands,
+        bottleneck,
+        per_node_rps: per_node,
+        total_rps: per_node * params.nodes as f64,
+        cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CommVariant;
+
+    #[test]
+    fn via_beats_tcp_when_cpu_bound() {
+        let mut p = ModelParams::default_at(0.9, 16);
+        p.variant = CommVariant::Tcp;
+        let tcp = throughput(&p);
+        p.variant = CommVariant::ViaRegular;
+        let via = throughput(&p);
+        assert_eq!(tcp.bottleneck, Station::Cpu);
+        assert!(via.total_rps > tcp.total_rps);
+    }
+
+    #[test]
+    fn disk_bound_at_low_hit_rates_hides_protocol() {
+        let mut p = ModelParams::default_at(0.2, 2);
+        p.variant = CommVariant::Tcp;
+        let tcp = throughput(&p);
+        p.variant = CommVariant::ViaRegular;
+        let via = throughput(&p);
+        assert_eq!(tcp.bottleneck, Station::Disk);
+        assert_eq!(via.bottleneck, Station::Disk);
+        // Figure 8's flat region: no gain when the disk saturates.
+        let gain = via.total_rps / tcp.total_rps;
+        assert!((gain - 1.0).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn throughput_scales_with_nodes() {
+        let small = throughput(&ModelParams::default_at(0.9, 4));
+        let large = throughput(&ModelParams::default_at(0.9, 32));
+        assert!(large.total_rps > small.total_rps * 4.0);
+    }
+
+    #[test]
+    fn rmw_zero_copy_beats_regular_via() {
+        let mut p = ModelParams::default_at(0.9, 64);
+        p.variant = CommVariant::ViaRegular;
+        let reg = throughput(&p);
+        p.variant = CommVariant::ViaRmwZeroCopy;
+        let rmw = throughput(&p);
+        assert!(rmw.total_rps > reg.total_rps);
+        // Figure 10: the gain is modest (max ~12%).
+        assert!(rmw.total_rps / reg.total_rps < 1.2);
+    }
+
+    #[test]
+    fn next_gen_tcp_improves_on_tcp() {
+        let mut p = ModelParams::default_at(0.9, 8);
+        p.variant = CommVariant::Tcp;
+        let tcp = throughput(&p);
+        p.variant = CommVariant::TcpNextGen;
+        let ng = throughput(&p);
+        assert!(ng.total_rps > tcp.total_rps);
+    }
+
+    #[test]
+    fn demands_are_positive_and_finite() {
+        for &hsn in &[0.2, 0.6, 0.95] {
+            for &n in &[1usize, 8, 128] {
+                let t = throughput(&ModelParams::default_at(hsn, n));
+                for (_, d) in t.demands {
+                    assert!(d.is_finite() && d >= 0.0);
+                }
+                assert!(t.total_rps.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The three calibrated protocol/network combinations of Section 3.2.
+
+use press_sim::SimTime;
+
+use crate::cost::CostModel;
+
+/// A protocol/network combination from the paper's experiments.
+///
+/// All intra-cluster communication in a run uses one combination; the
+/// communication with clients is always TCP over Fast Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolCombo {
+    /// TCP through additional Fast Ethernet interfaces.
+    TcpFe,
+    /// The complete TCP stack, run over the cLAN network.
+    TcpClan,
+    /// VIA over cLAN: user-level communication with RMW support.
+    ViaClan,
+}
+
+impl ProtocolCombo {
+    /// All combinations, in the bar order of Figure 3.
+    pub const ALL: [ProtocolCombo; 3] = [
+        ProtocolCombo::TcpFe,
+        ProtocolCombo::TcpClan,
+        ProtocolCombo::ViaClan,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolCombo::TcpFe => "TCP/FE",
+            ProtocolCombo::TcpClan => "TCP/cLAN",
+            ProtocolCombo::ViaClan => "VIA/cLAN",
+        }
+    }
+
+    /// The calibrated cost model for this combination.
+    ///
+    /// Calibration anchors, all from the paper:
+    ///
+    /// * Per-message server-context CPU at the traces' ~10 KB mean file
+    ///   size: **~280–330 µs/side for TCP** (Table 5's `µs`/`µg` give
+    ///   ~350 µs) vs. **~30 µs + one copy for VIA** — the large
+    ///   processor-overhead gap of Section 3.2, decomposed into a fixed
+    ///   part (80 µs vs 30 µs) and a per-byte stack cost (20 ns/byte for
+    ///   TCP on cLAN, 25 ns/byte on Fast Ethernet whose driver pays
+    ///   per-frame costs on the 1.5 KB MTU; zero for VIA, which DMAs
+    ///   from registered memory).
+    /// * Application copy bandwidth 70 MB/s. Table 5's `S/125000` term
+    ///   suggests 125 MB/s warm memcpy, but the experimental V4/V5 gains
+    ///   (6.6% and further 4% from removing one copy each) imply the
+    ///   effective rate on cold, freshly DMA'd buffers is lower; 70 MB/s
+    ///   reproduces Figure 5's ladder.
+    /// * Wire rates: 12.5 MB/s Fast Ethernet (observed 11.5), 125 MB/s
+    ///   cLAN, 102 MB/s for VIA/cLAN (the NIC DMA engine's observed peak).
+    /// * Raw 4-byte ping-pong latency: 82 / 76 / 9 µs (kept as reference
+    ///   and reflected in `wire_latency`).
+    ///
+    /// Known compromise: with these values TCP/cLAN's CPU-limited
+    /// streaming bandwidth at 32 KB messages is ~45 MB/s rather than the
+    /// observed 32 MB/s. Matching the per-message totals of Table 5 was
+    /// prioritized, because server throughput is governed by per-message
+    /// CPU cost, not by the streaming micro-benchmark.
+    pub fn cost_model(self) -> CostModel {
+        const COPY_BW: f64 = 70.0e6;
+        const TCP_CLAN_NS_PER_BYTE: f64 = 20.0;
+        const TCP_FE_NS_PER_BYTE: f64 = 25.0;
+        match self {
+            ProtocolCombo::TcpFe => CostModel {
+                name: "TCP/FE",
+                send_cpu_fixed: SimTime::from_micros(80),
+                recv_cpu_regular: SimTime::from_micros(80),
+                recv_cpu_rmw: SimTime::from_micros(80),
+                protocol_cpu_per_byte_ns: TCP_FE_NS_PER_BYTE,
+                copy_bytes_per_sec: COPY_BW,
+                wire_bytes_per_sec: 12.5e6,
+                nic_fixed: SimTime::from_micros(4),
+                wire_latency: SimTime::from_micros(20),
+                raw_small_msg_latency: SimTime::from_micros(82),
+                supports_rmw: false,
+                explicit_flow_control: false,
+            },
+            ProtocolCombo::TcpClan => CostModel {
+                name: "TCP/cLAN",
+                send_cpu_fixed: SimTime::from_micros(80),
+                recv_cpu_regular: SimTime::from_micros(80),
+                recv_cpu_rmw: SimTime::from_micros(80),
+                protocol_cpu_per_byte_ns: TCP_CLAN_NS_PER_BYTE,
+                copy_bytes_per_sec: COPY_BW,
+                wire_bytes_per_sec: 125.0e6,
+                nic_fixed: SimTime::from_micros(3),
+                wire_latency: SimTime::from_micros(10),
+                raw_small_msg_latency: SimTime::from_micros(76),
+                supports_rmw: false,
+                explicit_flow_control: false,
+            },
+            ProtocolCombo::ViaClan => CostModel {
+                name: "VIA/cLAN",
+                send_cpu_fixed: SimTime::from_micros(30),
+                recv_cpu_regular: SimTime::from_micros(30),
+                recv_cpu_rmw: SimTime::from_micros(2),
+                protocol_cpu_per_byte_ns: 0.0,
+                copy_bytes_per_sec: COPY_BW,
+                wire_bytes_per_sec: 102.0e6,
+                nic_fixed: SimTime::from_micros(3),
+                wire_latency: SimTime::from_micros(5),
+                raw_small_msg_latency: SimTime::from_micros(9),
+                supports_rmw: true,
+                explicit_flow_control: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolCombo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_overhead_clearly_exceeds_via() {
+        // Section 3.2 quotes a factor-of-8 gap for the raw protocol
+        // overhead. Our server-context decomposition folds thread hand-off
+        // costs (paid by both protocols) into the fixed terms, so the
+        // per-message fixed ratio here is smaller (~2.7); the gap at the
+        // ~10 KB working point is checked in
+        // `per_message_cost_at_10kb_matches_table5`.
+        let tcp = ProtocolCombo::TcpClan.cost_model().small_message_cpu();
+        let via = ProtocolCombo::ViaClan.cost_model().small_message_cpu();
+        let ratio = tcp.as_nanos() as f64 / via.as_nanos() as f64;
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn streaming_bandwidths_match_observed() {
+        // Section 3.2 observed bandwidths at 32 KB messages:
+        // 11.5, 32, 102 MB/s (within calibration slack).
+        let fe = ProtocolCombo::TcpFe.cost_model().streaming_bandwidth(32_768);
+        assert!(
+            (11.0e6..13.0e6).contains(&fe),
+            "TCP/FE {:.1} MB/s",
+            fe / 1e6
+        );
+        // TCP/cLAN: above the 32 MB/s observation (documented compromise)
+        // but well below both the wire and VIA.
+        let clan = ProtocolCombo::TcpClan
+            .cost_model()
+            .streaming_bandwidth(32_768);
+        assert!(
+            (26.0e6..60.0e6).contains(&clan),
+            "TCP/cLAN {:.1} MB/s",
+            clan / 1e6
+        );
+        let via = ProtocolCombo::ViaClan
+            .cost_model()
+            .streaming_bandwidth(32_768);
+        assert!(
+            (95.0e6..107.0e6).contains(&via),
+            "VIA/cLAN {:.1} MB/s",
+            via / 1e6
+        );
+    }
+
+    #[test]
+    fn raw_latencies_match_section_3_2() {
+        assert_eq!(
+            ProtocolCombo::TcpFe.cost_model().raw_small_msg_latency,
+            SimTime::from_micros(82)
+        );
+        assert_eq!(
+            ProtocolCombo::TcpClan.cost_model().raw_small_msg_latency,
+            SimTime::from_micros(76)
+        );
+        assert_eq!(
+            ProtocolCombo::ViaClan.cost_model().raw_small_msg_latency,
+            SimTime::from_micros(9)
+        );
+    }
+
+    #[test]
+    fn per_message_cost_at_10kb_matches_table5() {
+        // Table 5 at S = 10 KB: TCP µs-side cost ≈ 270 + 80 = 350 µs;
+        // VIA ≈ 30 + 80 = 110 µs. Our decomposition should land within
+        // ~30% of those totals (the send side; Table 5 folds thread and
+        // NIC shares differently).
+        let bytes = 10 * 1024;
+        let tcp = ProtocolCombo::TcpClan.cost_model();
+        let tcp_side =
+            (tcp.send_cpu_fixed + tcp.protocol_byte_time(bytes)).as_micros() as f64;
+        assert!((200.0..400.0).contains(&tcp_side), "tcp {tcp_side}");
+        let via = ProtocolCombo::ViaClan.cost_model();
+        let via_side =
+            (via.send_cpu_fixed + via.copy_time(bytes)).as_micros() as f64;
+        assert!((90.0..210.0).contains(&via_side), "via {via_side}");
+        assert!(tcp_side / via_side > 1.5);
+    }
+
+    #[test]
+    fn only_via_supports_rmw_and_needs_flow_control() {
+        for combo in ProtocolCombo::ALL {
+            let m = combo.cost_model();
+            assert_eq!(m.supports_rmw, combo == ProtocolCombo::ViaClan);
+            assert_eq!(m.explicit_flow_control, combo == ProtocolCombo::ViaClan);
+        }
+    }
+
+    #[test]
+    fn names_match_figures() {
+        let names: Vec<&str> = ProtocolCombo::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["TCP/FE", "TCP/cLAN", "VIA/cLAN"]);
+    }
+}

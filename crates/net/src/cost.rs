@@ -1,0 +1,203 @@
+//! Per-message cost decomposition.
+
+use press_sim::SimTime;
+
+use crate::msg::DeliveryMode;
+
+/// Calibrated costs of one protocol/network combination.
+///
+/// The decomposition follows the paper's measurements. Two cost families
+/// matter and must not be conflated:
+///
+/// * **Server-context per-message CPU costs** — what a send or receive
+///   costs PRESS, including protocol stack, thread hand-offs (main thread →
+///   send thread, receive thread → main thread) and descriptor management.
+///   These are the fixed terms of the Table 5 service rates: ~270 µs per
+///   side for TCP (`µs`, `µg`, `µf` ≈ 1/3676 s), ~30 µs per side for VIA.
+/// * **Microbenchmark latency** — the paper's "sending a 4-byte message
+///   takes 82/76/9 µs", a raw ping-pong number without server threads. It
+///   informs `wire_latency` but not CPU occupancy.
+///
+/// Per-byte costs: TCP charges `protocol_cpu_per_byte` on each side
+/// (kernel copies, checksums, segmentation). VIA transfers DMA directly
+/// from registered memory, so its per-byte CPU cost is zero except for
+/// the *application-level* copies that the V0–V4 server versions perform,
+/// charged at `copy_bytes_per_sec` (70 MB/s effective on cold buffers;
+/// see [`crate::ProtocolCombo::cost_model`] for the calibration).
+///
+/// Use [`crate::ProtocolCombo::cost_model`] for the calibrated instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Human-readable name ("TCP/FE", ...).
+    pub name: &'static str,
+    /// Fixed server-context CPU cost to send one message.
+    pub send_cpu_fixed: SimTime,
+    /// Fixed server-context CPU cost to receive a regular message:
+    /// interrupt, receive-thread wakeup, demultiplexing, digest hand-off.
+    pub recv_cpu_regular: SimTime,
+    /// Fixed CPU cost to consume a remote-memory-write message discovered
+    /// by polling (no interrupt, no receive thread).
+    pub recv_cpu_rmw: SimTime,
+    /// Protocol per-byte CPU cost (ns/byte), charged on both sides.
+    /// Zero for VIA (DMA from registered memory).
+    pub protocol_cpu_per_byte_ns: f64,
+    /// Application memory-copy bandwidth in bytes/second; used for the
+    /// optional tx/rx copies of the VIA server versions.
+    pub copy_bytes_per_sec: f64,
+    /// Raw wire bandwidth in bytes/second.
+    pub wire_bytes_per_sec: f64,
+    /// NIC per-message processing time (the 3 µs of `µi` in Table 5).
+    pub nic_fixed: SimTime,
+    /// One-way propagation + switching latency.
+    pub wire_latency: SimTime,
+    /// Raw 4-byte ping-pong latency from Section 3.2, for reference.
+    pub raw_small_msg_latency: SimTime,
+    /// Whether the protocol supports remote memory writes.
+    pub supports_rmw: bool,
+    /// Whether the server must run its own window-based flow control
+    /// (true for VIA; TCP provides flow control transparently).
+    pub explicit_flow_control: bool,
+}
+
+impl CostModel {
+    /// Fixed server-context CPU spent on a minimal message, summed over
+    /// both endpoints. The paper quotes VIA's overhead as roughly a factor
+    /// of 8 below TCP's; see the crate-level example.
+    pub fn small_message_cpu(&self) -> SimTime {
+        self.send_cpu_fixed + self.recv_cpu_regular
+    }
+
+    /// CPU time for the protocol to push/pull `bytes` through the stack
+    /// (one side).
+    pub fn protocol_byte_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.protocol_cpu_per_byte_ns * 1e-9)
+    }
+
+    /// CPU time to copy `bytes` through memory once (application copy).
+    pub fn copy_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.copy_bytes_per_sec)
+    }
+
+    /// Wire occupancy (serialization time) of `bytes`.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.wire_bytes_per_sec)
+    }
+
+    /// Effective streaming bandwidth for messages of `msg_bytes`, in
+    /// bytes/second: the minimum of the wire rate and the sender-CPU rate.
+    /// Reproduces the paper's observed bandwidths at 32 KB messages.
+    pub fn streaming_bandwidth(&self, msg_bytes: u64) -> f64 {
+        let cpu_per_msg = (self.send_cpu_fixed + self.protocol_byte_time(msg_bytes)).as_secs_f64();
+        let cpu_rate = msg_bytes as f64 / cpu_per_msg;
+        cpu_rate.min(self.wire_bytes_per_sec)
+    }
+}
+
+/// CPU and NIC demands charged to one endpoint for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointCost {
+    /// Demand on the endpoint's CPU.
+    pub cpu: SimTime,
+    /// Occupancy of the endpoint's NIC (includes wire serialization).
+    pub nic: SimTime,
+}
+
+/// Costs charged to the *sender* of a message of `bytes` wire bytes.
+///
+/// `tx_copy` is true when the implementation copies the payload into a
+/// registered/staging buffer before transmission (all VIA versions of
+/// PRESS except V5, which registers the whole file cache with VIA). TCP's
+/// kernel copy is already part of `protocol_cpu_per_byte_ns`, so TCP
+/// callers pass `false`.
+///
+/// # Example
+///
+/// ```
+/// use press_net::{send_cost, ProtocolCombo};
+///
+/// let m = ProtocolCombo::ViaClan.cost_model();
+/// let with_copy = send_cost(&m, 32 * 1024, true);
+/// let zero_copy = send_cost(&m, 32 * 1024, false);
+/// assert!(with_copy.cpu > zero_copy.cpu);
+/// assert_eq!(with_copy.nic, zero_copy.nic);
+/// ```
+pub fn send_cost(model: &CostModel, bytes: u64, tx_copy: bool) -> EndpointCost {
+    let mut cpu = model.send_cpu_fixed + model.protocol_byte_time(bytes);
+    if tx_copy {
+        cpu += model.copy_time(bytes);
+    }
+    EndpointCost {
+        cpu,
+        nic: model.nic_fixed + model.wire_time(bytes),
+    }
+}
+
+/// Costs charged to the *receiver* of a message of `bytes` wire bytes.
+///
+/// `rx_copy` is true when the payload must be copied out of the
+/// communication buffer (VIA file payloads copy until version V4 starts
+/// sending replies straight out of the large RMW buffer).
+///
+/// # Example
+///
+/// ```
+/// use press_net::{recv_cost, DeliveryMode, ProtocolCombo};
+///
+/// let m = ProtocolCombo::ViaClan.cost_model();
+/// let regular = recv_cost(&m, 1024, DeliveryMode::Regular, true);
+/// let rmw = recv_cost(&m, 1024, DeliveryMode::Rmw, true);
+/// // RMW avoids the interrupt/receive-thread fixed cost:
+/// assert!(rmw.cpu < regular.cpu);
+/// ```
+pub fn recv_cost(model: &CostModel, bytes: u64, mode: DeliveryMode, rx_copy: bool) -> EndpointCost {
+    let mut cpu = match mode {
+        DeliveryMode::Regular => model.recv_cpu_regular,
+        DeliveryMode::Rmw => model.recv_cpu_rmw,
+    } + model.protocol_byte_time(bytes);
+    if rx_copy {
+        cpu += model.copy_time(bytes);
+    }
+    EndpointCost {
+        cpu,
+        nic: model.nic_fixed + model.wire_time(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combos::ProtocolCombo;
+
+    #[test]
+    fn copy_and_wire_time_scale_linearly() {
+        let m = ProtocolCombo::ViaClan.cost_model();
+        assert_eq!(m.copy_time(0), SimTime::ZERO);
+        let one = m.copy_time(70_000);
+        assert_eq!(one, SimTime::from_millis(1)); // 70 MB/s
+    }
+
+    #[test]
+    fn send_cost_components() {
+        let m = ProtocolCombo::ViaClan.cost_model();
+        let c = send_cost(&m, 0, false);
+        assert_eq!(c.cpu, m.send_cpu_fixed);
+        assert_eq!(c.nic, m.nic_fixed);
+    }
+
+    #[test]
+    fn rx_copy_adds_copy_time() {
+        let m = ProtocolCombo::ViaClan.cost_model();
+        let a = recv_cost(&m, 70_000, DeliveryMode::Rmw, true);
+        let b = recv_cost(&m, 70_000, DeliveryMode::Rmw, false);
+        assert_eq!(a.cpu - b.cpu, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn tcp_per_byte_charged_both_sides() {
+        let m = ProtocolCombo::TcpClan.cost_model();
+        let s = send_cost(&m, 10_000, false);
+        let r = recv_cost(&m, 10_000, DeliveryMode::Regular, false);
+        assert!(s.cpu > m.send_cpu_fixed);
+        assert!(r.cpu > m.recv_cpu_regular);
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-message-type accounting: the rows of Tables 2 and 4.
+
+use press_sim::Counter;
+use serde::{Deserialize, Serialize};
+
+use crate::msg::MessageType;
+
+/// Message and byte counts for every intra-cluster message type.
+///
+/// # Example
+///
+/// ```
+/// use press_net::{MsgCounters, MessageType};
+///
+/// let mut c = MsgCounters::default();
+/// c.record(MessageType::File, 7400);
+/// c.record(MessageType::Flow, 13);
+/// assert_eq!(c.count(MessageType::File), 1);
+/// assert_eq!(c.total_count(), 2);
+/// assert_eq!(c.total_bytes(), 7413);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsgCounters {
+    counters: [Counter; 5],
+}
+
+impl MsgCounters {
+    /// Records one message of `wire_bytes` bytes.
+    pub fn record(&mut self, ty: MessageType, wire_bytes: u64) {
+        self.counters[Self::index(ty)].add(wire_bytes);
+    }
+
+    /// Message count for one type.
+    pub fn count(&self, ty: MessageType) -> u64 {
+        self.counters[Self::index(ty)].count()
+    }
+
+    /// Byte count for one type.
+    pub fn bytes(&self, ty: MessageType) -> u64 {
+        self.counters[Self::index(ty)].bytes()
+    }
+
+    /// Mean message size for one type.
+    pub fn mean_size(&self, ty: MessageType) -> f64 {
+        self.counters[Self::index(ty)].mean_size()
+    }
+
+    /// Total messages across all types (the TOTAL row of Tables 2 and 4).
+    pub fn total_count(&self) -> u64 {
+        self.counters.iter().map(|c| c.count()).sum()
+    }
+
+    /// Total bytes across all types.
+    pub fn total_bytes(&self) -> u64 {
+        self.counters.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &MsgCounters) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            a.merge(*b);
+        }
+    }
+
+    /// Produces the table rows (one per type, in paper order).
+    pub fn rows(&self) -> Vec<CounterRow> {
+        MessageType::ALL
+            .iter()
+            .map(|&ty| CounterRow {
+                msg_type: ty.name().to_string(),
+                count: self.count(ty),
+                bytes: self.bytes(ty),
+                mean_size: self.mean_size(ty),
+            })
+            .collect()
+    }
+
+    /// Formats the counters like a Table 2/4 block, with counts in
+    /// thousands and bytes in MB as in the paper, scaled by
+    /// `scale` (used to extrapolate a sampled run to the full trace).
+    pub fn format_table(&self, scale: f64) -> String {
+        let mut out = format!(
+            "{:<9} {:>12} {:>12} {:>10}\n",
+            "Msg type", "Num msgs (K)", "Num bytes(MB)", "Avg size"
+        );
+        for row in self.rows() {
+            out.push_str(&format!(
+                "{:<9} {:>12.1} {:>12.1} {:>10.1}\n",
+                row.msg_type,
+                row.count as f64 * scale / 1e3,
+                row.bytes as f64 * scale / 1e6,
+                row.mean_size,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<9} {:>12.1} {:>12.1} {:>10}\n",
+            "TOTAL",
+            self.total_count() as f64 * scale / 1e3,
+            self.total_bytes() as f64 * scale / 1e6,
+            "-",
+        ));
+        out
+    }
+
+    fn index(ty: MessageType) -> usize {
+        MessageType::ALL
+            .iter()
+            .position(|&t| t == ty)
+            .expect("MessageType::ALL covers every variant")
+    }
+}
+
+/// One row of a Table 2/4-style report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRow {
+    /// Message type name.
+    pub msg_type: String,
+    /// Number of messages.
+    pub count: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Mean message size in bytes.
+    pub mean_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_type() {
+        let mut c = MsgCounters::default();
+        c.record(MessageType::Load, 4);
+        c.record(MessageType::Load, 4);
+        c.record(MessageType::File, 1000);
+        assert_eq!(c.count(MessageType::Load), 2);
+        assert_eq!(c.bytes(MessageType::Load), 8);
+        assert_eq!(c.count(MessageType::Flow), 0);
+        assert_eq!(c.mean_size(MessageType::File), 1000.0);
+    }
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = MsgCounters::default();
+        a.record(MessageType::Forward, 53);
+        let mut b = MsgCounters::default();
+        b.record(MessageType::Forward, 57);
+        b.record(MessageType::Caching, 59);
+        a.merge(&b);
+        assert_eq!(a.total_count(), 3);
+        assert_eq!(a.total_bytes(), 169);
+        assert_eq!(a.mean_size(MessageType::Forward), 55.0);
+    }
+
+    #[test]
+    fn rows_in_paper_order() {
+        let c = MsgCounters::default();
+        let rows = c.rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.msg_type.as_str()).collect();
+        assert_eq!(names, vec!["Load", "Flow", "Forward", "Caching", "File"]);
+    }
+
+    #[test]
+    fn format_table_scales() {
+        let mut c = MsgCounters::default();
+        for _ in 0..1000 {
+            c.record(MessageType::File, 7400);
+        }
+        let table = c.format_table(10.0);
+        // 1000 msgs * 10 = 10.0 K
+        assert!(table.contains("10.0"), "{table}");
+        assert!(table.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Intra-cluster communication cost models for the PRESS reproduction.
+//!
+//! The paper evaluates PRESS under three protocol/network combinations
+//! (Section 3.2):
+//!
+//! * **TCP/FE** — TCP over switched Fast Ethernet: 82 µs 4-byte message,
+//!   11.5 MB/s observed bandwidth at 32 KB messages;
+//! * **TCP/cLAN** — the full TCP stack over the Giganet cLAN: 76 µs 4-byte
+//!   message, 32 MB/s observed bandwidth;
+//! * **VIA/cLAN** — user-level VIA over cLAN: 9 µs 4-byte message,
+//!   102 MB/s observed bandwidth, with remote memory writes (RMW).
+//!
+//! This crate captures those combinations as [`CostModel`]s: per-message
+//! fixed CPU overheads at sender and receiver (regular vs. RMW delivery),
+//! per-byte memory-copy cost, NIC occupancy and wire bandwidth. It also
+//! defines the five intra-cluster message types of PRESS (Section 2.2) and
+//! the per-type counters that reproduce Tables 2 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use press_net::{ProtocolCombo, MessageType};
+//!
+//! let via = ProtocolCombo::ViaClan.cost_model();
+//! let tcp = ProtocolCombo::TcpClan.cost_model();
+//! // User-level communication costs far less CPU per message:
+//! assert!(tcp.small_message_cpu() > via.small_message_cpu());
+//! // ... and transfers bytes without per-byte stack processing:
+//! assert_eq!(via.protocol_cpu_per_byte_ns, 0.0);
+//! assert!(tcp.protocol_cpu_per_byte_ns > 0.0);
+//! # let _ = MessageType::File;
+//! ```
+
+mod combos;
+mod cost;
+mod counters;
+mod msg;
+
+pub use combos::ProtocolCombo;
+pub use cost::{recv_cost, send_cost, CostModel, EndpointCost};
+pub use counters::{CounterRow, MsgCounters};
+pub use msg::{wire_bytes, DeliveryMode, MessageType, FILE_SEGMENT_BYTES};

@@ -1,0 +1,189 @@
+//! The five intra-cluster message types of PRESS and their wire encoding.
+
+/// Maximum payload of one intra-cluster data message.
+///
+/// Both the TCP and the VIA implementations of PRESS move file data through
+/// fixed communication buffers; larger files are segmented. The paper's
+/// bandwidth figures are quoted at this message size (32 KB), and Table 2's
+/// mean file-message size (~7.4 KB for ~9.7 KB mean requests) reflects the
+/// resulting segmentation.
+pub const FILE_SEGMENT_BYTES: u64 = 32 * 1024;
+
+/// The five types of intra-cluster messages (Section 2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageType {
+    /// Exchange of load information — very short, carries a connection count.
+    Load,
+    /// Window-based flow control — very short, carries empty buffer slots.
+    Flow,
+    /// Request forwarding — short, carries a file name.
+    Forward,
+    /// Exchange of caching information — short, carries a file name.
+    Caching,
+    /// File transfer — long, carries file data.
+    File,
+}
+
+impl MessageType {
+    /// All message types, in the row order of Tables 2 and 4.
+    pub const ALL: [MessageType; 5] = [
+        MessageType::Load,
+        MessageType::Flow,
+        MessageType::Forward,
+        MessageType::Caching,
+        MessageType::File,
+    ];
+
+    /// The row label used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageType::Load => "Load",
+            MessageType::Flow => "Flow",
+            MessageType::Forward => "Forward",
+            MessageType::Caching => "Caching",
+            MessageType::File => "File",
+        }
+    }
+
+    /// Application payload bytes carried by one message of this type.
+    ///
+    /// For [`MessageType::File`], pass the segment's data length; for the
+    /// others the payload is fixed (a word for load/flow, a file name for
+    /// forward/caching).
+    pub fn payload_bytes(self, data_len: u64) -> u64 {
+        match self {
+            MessageType::Load => 4,
+            MessageType::Flow => 4,
+            MessageType::Forward => 44,
+            MessageType::Caching => 50,
+            MessageType::File => data_len + 24, // data + transfer metadata
+        }
+    }
+}
+
+impl std::fmt::Display for MessageType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a message is delivered to the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// Regular send/receive: a posted descriptor completes at the receiver,
+    /// waking the receive thread (or, for TCP, the kernel delivers into a
+    /// socket and the receive thread is woken).
+    Regular,
+    /// Remote memory write: the data lands directly in a registered buffer
+    /// at the receiver, which discovers it by polling sequence numbers; no
+    /// receiver-side interrupt or receive-thread involvement.
+    Rmw,
+}
+
+/// Bytes on the wire for one message, including per-mode framing.
+///
+/// Calibrated against the mean message sizes of Tables 2 and 4:
+///
+/// * regular messages carry a 9-byte descriptor/stream header, so a 4-byte
+///   flow-control payload shows up as ~13 bytes (Table 2, "Flow", 13.0);
+/// * piggy-backing the sender's load appends 4 bytes to regular messages
+///   (Table 2, PB row: flow 17.0 vs. 13.0 without piggy-backing);
+/// * RMW small messages are raw word overwrites (Table 4, V1 "Flow": 4.0);
+/// * RMW buffer entries for forward/caching/file carry a 5-byte
+///   sequence-number/length trailer instead of the header and cannot
+///   piggy-back load information.
+///
+/// # Example
+///
+/// ```
+/// use press_net::{wire_bytes, MessageType, DeliveryMode};
+///
+/// // A regular flow-control message with piggy-backed load:
+/// assert_eq!(wire_bytes(MessageType::Flow, 0, DeliveryMode::Regular, true), 17);
+/// // The same as a remote memory write: a bare word.
+/// assert_eq!(wire_bytes(MessageType::Flow, 0, DeliveryMode::Rmw, true), 4);
+/// ```
+pub fn wire_bytes(ty: MessageType, data_len: u64, mode: DeliveryMode, piggyback: bool) -> u64 {
+    const REGULAR_HEADER: u64 = 9;
+    const RMW_TRAILER: u64 = 5;
+    const PIGGYBACK: u64 = 4;
+    let payload = ty.payload_bytes(data_len);
+    match mode {
+        DeliveryMode::Regular => payload + REGULAR_HEADER + if piggyback { PIGGYBACK } else { 0 },
+        DeliveryMode::Rmw => match ty {
+            // Raw overwritable word: no framing, no piggy-backing.
+            MessageType::Load | MessageType::Flow => payload,
+            _ => payload + RMW_TRAILER,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_order_and_names() {
+        let names: Vec<&str> = MessageType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["Load", "Flow", "Forward", "Caching", "File"]);
+        assert_eq!(MessageType::File.to_string(), "File");
+    }
+
+    #[test]
+    fn regular_sizes_match_table2() {
+        // Table 2, non-PB rows: flow 13.0, forward 52.9, caching 58.9.
+        assert_eq!(
+            wire_bytes(MessageType::Flow, 0, DeliveryMode::Regular, false),
+            13
+        );
+        assert_eq!(
+            wire_bytes(MessageType::Forward, 0, DeliveryMode::Regular, false),
+            53
+        );
+        assert_eq!(
+            wire_bytes(MessageType::Caching, 0, DeliveryMode::Regular, false),
+            59
+        );
+    }
+
+    #[test]
+    fn piggyback_adds_four_bytes_to_regular() {
+        // Table 2, PB row: flow 17.0, forward 56.8, caching 62.8.
+        assert_eq!(
+            wire_bytes(MessageType::Flow, 0, DeliveryMode::Regular, true),
+            17
+        );
+        assert_eq!(
+            wire_bytes(MessageType::Forward, 0, DeliveryMode::Regular, true),
+            57
+        );
+        assert_eq!(
+            wire_bytes(MessageType::Caching, 0, DeliveryMode::Regular, true),
+            63
+        );
+    }
+
+    #[test]
+    fn rmw_small_messages_are_bare_words() {
+        // Table 4, V1/V2: flow mean size 4.0.
+        assert_eq!(wire_bytes(MessageType::Load, 0, DeliveryMode::Rmw, true), 4);
+        assert_eq!(wire_bytes(MessageType::Flow, 0, DeliveryMode::Rmw, false), 4);
+    }
+
+    #[test]
+    fn rmw_named_messages_use_trailer() {
+        // Table 4, V2: forward 52.8 — close to the regular non-PB size.
+        assert_eq!(
+            wire_bytes(MessageType::Forward, 0, DeliveryMode::Rmw, true),
+            49
+        );
+    }
+
+    #[test]
+    fn file_messages_scale_with_data() {
+        let small = wire_bytes(MessageType::File, 1024, DeliveryMode::Regular, false);
+        let big = wire_bytes(MessageType::File, 32 * 1024, DeliveryMode::Regular, false);
+        assert_eq!(big - small, 31 * 1024);
+        assert!(small > 1024);
+    }
+}

@@ -1,0 +1,434 @@
+//! Wiring and public API of the live cluster.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use press_core::PolicyConfig;
+use press_trace::{FileCatalog, FileId};
+use press_via::{CompletionQueue, Fabric, Descriptor, MemHandle, Reliability};
+
+use crate::node::{
+    disk_loop, main_loop, recv_loop, send_loop, slot_bytes_for, FileTransferMode, MainConfig,
+    NodeCtx, NodeEvent, SendJob,
+};
+use crate::stats::ServerStats;
+use crate::wire::{HEADER_BYTES, RING_TRAILER_BYTES};
+
+/// Configuration of a live cluster.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of node threads (each with send/recv/disk helpers).
+    pub nodes: usize,
+    /// Per-peer credit window (outstanding credit-consuming messages).
+    pub window: u32,
+    /// Credits returned per flow-control message.
+    pub credit_batch: u32,
+    /// Per-node file-cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Fixed disk access latency (scaled down from the paper's 18.8 ms to
+    /// keep live runs quick; the ordering "disk ≫ network" is preserved).
+    pub disk_fixed: Duration,
+    /// Disk transfer rate in bytes/second.
+    pub disk_bytes_per_sec: f64,
+    /// Distribution-policy tunables (`T`, large-file cutoff).
+    pub policy: PolicyConfig,
+    /// RDMA-write the load table after this many main-loop events.
+    pub load_write_period: u32,
+    /// How file data travels back to the initial node: regular messages
+    /// (V0–V2) or remote writes into polled circular buffers (V3–V5).
+    pub file_transfer: FileTransferMode,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            nodes: 4,
+            window: 16,
+            credit_batch: 4,
+            cache_bytes: 4 << 20,
+            disk_fixed: Duration::from_millis(2),
+            disk_bytes_per_sec: 30e6,
+            policy: PolicyConfig::default(),
+            load_write_period: 8,
+            file_transfer: FileTransferMode::Regular,
+        }
+    }
+}
+
+/// Errors surfaced to live-cluster clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// The cluster is shutting down.
+    Disconnected,
+    /// The request did not complete in time.
+    Timeout,
+    /// The file id is outside the catalog.
+    UnknownFile,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            LiveError::Disconnected => "cluster is shutting down",
+            LiveError::Timeout => "request timed out",
+            LiveError::UnknownFile => "file id outside the catalog",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// A running PRESS cluster of real threads over the software VIA fabric.
+///
+/// Each node runs the Figure 2 thread set: a main thread (decisions,
+/// caching, pending-request tracking), a send thread, a receive thread
+/// blocked on a completion queue, and a disk thread. Load information
+/// travels via remote memory writes into per-node load tables; forwards,
+/// file transfers and caching broadcasts are credit-controlled regular
+/// messages.
+///
+/// # Example
+///
+/// ```
+/// use press_server::{LiveCluster, LiveConfig, file_contents};
+/// use press_trace::{FileCatalog, FileId};
+/// use std::time::Duration;
+///
+/// let catalog = FileCatalog::from_sizes(vec![2048; 32]);
+/// let cluster = LiveCluster::start(LiveConfig::default(), catalog);
+/// let data = cluster
+///     .request(0, FileId(17), Duration::from_secs(5))
+///     .expect("request");
+/// assert_eq!(data, file_contents(FileId(17), 2048));
+/// cluster.shutdown();
+/// ```
+pub struct LiveCluster {
+    mains: Vec<Sender<NodeEvent>>,
+    stats: Arc<ServerStats>,
+    catalog: Arc<FileCatalog>,
+    shutdown: Arc<AtomicBool>,
+    send_txs: Vec<Sender<SendJob>>,
+    threads: Vec<JoinHandle<()>>,
+    load_handles: Vec<MemHandle>,
+    /// NICs must outlive the node threads (dropping a NIC kills its engine).
+    nics: Vec<Arc<press_via::Nic>>,
+}
+
+/// The ring at `dst` that `src` writes into (None for self or Regular
+/// mode). Must be looked up before `dst`'s own row is consumed.
+fn rings_peer_view(
+    rings: &[Vec<Option<MemHandle>>],
+    src: usize,
+    dst: usize,
+) -> Option<MemHandle> {
+    if src == dst {
+        return None;
+    }
+    rings.get(dst).and_then(|row| row.get(src).copied().flatten())
+}
+
+impl LiveCluster {
+    /// Starts the cluster: creates the fabric, NICs, VI mesh, registered
+    /// regions and all node threads, with caches pre-filled by hashing
+    /// files across nodes (the same placement the simulator uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is not in `2..=64` or the configuration is
+    /// internally inconsistent (e.g. window not a multiple of the batch).
+    pub fn start(cfg: LiveConfig, catalog: FileCatalog) -> LiveCluster {
+        assert!((2..=64).contains(&cfg.nodes), "2..=64 nodes");
+        assert!(cfg.window > 0 && cfg.credit_batch > 0);
+        assert_eq!(
+            cfg.window % cfg.credit_batch,
+            0,
+            "window must be a multiple of the credit batch"
+        );
+        let n = cfg.nodes;
+        let catalog = Arc::new(catalog);
+        let max_file = catalog.iter().map(|(_, s)| s).max().unwrap_or(0);
+        let slot_bytes = slot_bytes_for(max_file);
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let fabric = Fabric::new();
+        let nics: Vec<Arc<press_via::Nic>> = (0..n)
+            .map(|i| Arc::new(fabric.create_nic(&format!("press-node{i}"))))
+            .collect();
+
+        // Load tables: RDMA-writable, one u32 slot per node.
+        let load_regions: Vec<MemHandle> = (0..n)
+            .map(|i| {
+                nics[i]
+                    .register(vec![0u8; 4 * n], true)
+                    .expect("register load table")
+            })
+            .collect();
+
+        // Completion queues: one per node, aggregating all its VIs.
+        let cqs: Vec<CompletionQueue> = (0..n).map(|_| CompletionQueue::new()).collect();
+
+        // VI mesh + per-peer regions.
+        let mut vis: Vec<Vec<Option<press_via::Vi>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut vi_peers: Vec<HashMap<u64, usize>> = (0..n).map(|_| HashMap::new()).collect();
+        let mut send_regions: Vec<Vec<Option<MemHandle>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut flow_regions: Vec<Vec<Option<MemHandle>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        // Inbound file rings for the RemoteWrite transfer mode:
+        // rings[dst][src] is registered at dst, written remotely by src.
+        let ring_slot_bytes = max_file as usize + RING_TRAILER_BYTES;
+        let mut rings: Vec<Vec<Option<MemHandle>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+
+        let window = cfg.window as usize;
+        // Receive descriptors must also absorb credit-free flow messages.
+        let posted_per_peer = window + window / cfg.credit_batch as usize + 2;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (vi_i, vi_j) = fabric
+                    .connect_with_cqs(
+                        &nics[i],
+                        &nics[j],
+                        Reliability::ReliableDelivery,
+                        Some(&cqs[i]),
+                        Some(&cqs[j]),
+                    )
+                    .expect("connect mesh");
+                vi_peers[i].insert(vi_i.id(), j);
+                vi_peers[j].insert(vi_j.id(), i);
+                vis[i][j] = Some(vi_i);
+                vis[j][i] = Some(vi_j);
+            }
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let recv = nics[i]
+                    .register(vec![0u8; slot_bytes * posted_per_peer], false)
+                    .expect("register recv region");
+                for s in 0..posted_per_peer {
+                    vis[i][j]
+                        .as_ref()
+                        .expect("mesh vi")
+                        .post_recv(Descriptor::new(recv, s * slot_bytes, slot_bytes))
+                        .expect("post recv");
+                }
+                send_regions[i][j] = Some(
+                    nics[i]
+                        .register(vec![0u8; slot_bytes * window], false)
+                        .expect("register send region"),
+                );
+                flow_regions[i][j] = Some(
+                    nics[i]
+                        .register(vec![0u8; HEADER_BYTES * window], false)
+                        .expect("register flow region"),
+                );
+                if cfg.file_transfer == FileTransferMode::RemoteWrite {
+                    rings[i][j] = Some(
+                        nics[i]
+                            .register(vec![0u8; ring_slot_bytes * window], true)
+                            .expect("register file ring"),
+                    );
+                }
+            }
+        }
+
+        // Shared initial placement: hash files across nodes (identical to
+        // the simulator's warm start).
+        let mut prefill: Vec<Vec<(FileId, u64)>> = vec![Vec::new(); n];
+        let mut used = vec![0u64; n];
+        let mut cachers = vec![0u128; catalog.len()];
+        for (file, size) in catalog.iter() {
+            let node = ((file.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+            if used[node] + size <= cfg.cache_bytes {
+                used[node] += size;
+                prefill[node].push((file, size));
+                cachers[file.0 as usize] |= 1 << node;
+            }
+        }
+        // Most popular inserted last => most recently used.
+        for p in &mut prefill {
+            p.reverse();
+        }
+
+        // Snapshot every node's view of peer rings before rows are moved
+        // into node contexts.
+        let peer_rings_all: Vec<Vec<Option<MemHandle>>> = (0..n)
+            .map(|i| (0..n).map(|j| rings_peer_view(&rings, i, j)).collect())
+            .collect();
+
+        let mut mains = Vec::new();
+        let mut send_txs = Vec::new();
+        let mut threads = Vec::new();
+        let mut cq_iter = cqs.into_iter();
+        for i in 0..n {
+            let (main_tx, main_rx) = unbounded::<NodeEvent>();
+            let (send_tx, send_rx) = unbounded::<SendJob>();
+            let (disk_tx, disk_rx) = unbounded::<(FileId, u64)>();
+            let ctx = Arc::new(NodeCtx {
+                id: i,
+                nodes: n,
+                nic: Arc::clone(&nics[i]),
+                vis: std::mem::take(&mut vis[i]),
+                vi_peers: std::mem::take(&mut vi_peers[i]),
+                send_regions: std::mem::take(&mut send_regions[i]),
+                flow_regions: std::mem::take(&mut flow_regions[i]),
+                load_region: load_regions[i],
+                peer_load_regions: load_regions.clone(),
+                file_mode: cfg.file_transfer,
+                own_rings: std::mem::take(&mut rings[i]),
+                // peer_rings[j] = the ring j registered for data from us.
+                peer_rings: peer_rings_all[i].clone(),
+                ring_slot_bytes,
+                scratch_region: nics[i]
+                    .register(vec![0u8; 4], false)
+                    .expect("register scratch"),
+                window: cfg.window,
+                credit_batch: cfg.credit_batch,
+                slot_bytes,
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+            });
+            let main_cfg = MainConfig {
+                catalog: Arc::clone(&catalog),
+                cache_bytes: cfg.cache_bytes,
+                policy: cfg.policy,
+                load_write_period: cfg.load_write_period,
+                disk_tx,
+            };
+            let cq = cq_iter.next().expect("one cq per node");
+
+            let ctx_main = Arc::clone(&ctx);
+            let send_for_main = send_tx.clone();
+            let node_prefill = std::mem::take(&mut prefill[i]);
+            let node_cachers = cachers.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("press{i}-main"))
+                    .spawn(move || {
+                        main_loop(
+                            ctx_main,
+                            main_cfg,
+                            main_rx,
+                            send_for_main,
+                            node_prefill,
+                            node_cachers,
+                        )
+                    })
+                    .expect("spawn main"),
+            );
+            let ctx_send = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("press{i}-send"))
+                    .spawn(move || send_loop(ctx_send, send_rx))
+                    .expect("spawn send"),
+            );
+            let ctx_recv = Arc::clone(&ctx);
+            let main_for_recv = main_tx.clone();
+            let send_for_recv = send_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("press{i}-recv"))
+                    .spawn(move || recv_loop(ctx_recv, cq, main_for_recv, send_for_recv))
+                    .expect("spawn recv"),
+            );
+            let main_for_disk = main_tx.clone();
+            let (fixed, rate) = (cfg.disk_fixed, cfg.disk_bytes_per_sec);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("press{i}-disk"))
+                    .spawn(move || disk_loop(disk_rx, main_for_disk, fixed, rate))
+                    .expect("spawn disk"),
+            );
+            mains.push(main_tx);
+            send_txs.push(send_tx);
+        }
+
+        LiveCluster {
+            mains,
+            stats,
+            catalog,
+            shutdown,
+            send_txs,
+            threads,
+            load_handles: load_regions,
+            nics,
+        }
+    }
+
+    /// Issues one request to `node` and waits for the reply bytes.
+    ///
+    /// # Errors
+    ///
+    /// * [`LiveError::UnknownFile`] if `file` is outside the catalog;
+    /// * [`LiveError::Timeout`] if no reply arrives in `timeout`;
+    /// * [`LiveError::Disconnected`] during shutdown.
+    pub fn request(
+        &self,
+        node: usize,
+        file: FileId,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, LiveError> {
+        if (file.0 as usize) >= self.catalog.len() {
+            return Err(LiveError::UnknownFile);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.mains[node % self.mains.len()]
+            .send(NodeEvent::Client {
+                file,
+                reply: reply_tx,
+            })
+            .map_err(|_| LiveError::Disconnected)?;
+        reply_rx.recv_timeout(timeout).map_err(|_| LiveError::Timeout)
+    }
+
+    /// The cluster's catalog.
+    pub fn catalog(&self) -> &FileCatalog {
+        &self.catalog
+    }
+
+    /// Shared statistics (live; counters keep moving while requests run).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.mains.len()
+    }
+
+    /// Reads node `i`'s view of every node's load, as deposited by the
+    /// remote memory writes — no node involvement, just like the writes.
+    pub fn load_table(&self, node: usize) -> Vec<u32> {
+        match self.nics[node].read_region(self.load_handles[node], 0, 4 * self.nodes()) {
+            Ok(bytes) => bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+            Err(_) => vec![0; self.nodes()],
+        }
+    }
+
+    /// Stops every thread and joins them. Outstanding requests receive
+    /// [`LiveError::Disconnected`] through their dropped reply channels.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for tx in &self.mains {
+            let _ = tx.send(NodeEvent::Shutdown);
+        }
+        for tx in &self.send_txs {
+            let _ = tx.send(SendJob::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

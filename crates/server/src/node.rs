@@ -1,0 +1,688 @@
+//! The per-node threads of the live server, mirroring Figure 2 of the
+//! paper: a non-blocking main thread, helper threads for sending and
+//! receiving intra-cluster messages, and a disk thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use press_cluster::{FileCache, NodeId};
+use press_core::{decide, Decision, PolicyConfig, RequestView};
+use press_trace::{FileCatalog, FileId};
+use press_via::{CompletionKind, CompletionQueue, Descriptor, MemHandle, Nic, RemoteBuffer, Vi};
+use std::collections::HashMap;
+
+use crate::stats::ServerStats;
+use crate::wire::{
+    decode_ring_trailer, encode_ring_slot, file_contents, WireKind, WireMsg, HEADER_BYTES,
+    RING_TRAILER_BYTES,
+};
+
+/// How file data travels back from the service node to the initial node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileTransferMode {
+    /// Regular VIA send/receive: the receiver's posted descriptor
+    /// completes and wakes the receive thread (versions V0–V2).
+    Regular,
+    /// Remote memory writes into per-pair circular buffers, discovered by
+    /// the main thread polling sequence numbers (versions V3–V5).
+    RemoteWrite,
+}
+
+/// Events delivered to a node's main thread.
+#[derive(Debug)]
+pub(crate) enum NodeEvent {
+    /// A client request arrived at this (initial) node.
+    Client {
+        file: FileId,
+        reply: Sender<Vec<u8>>,
+    },
+    /// The receive thread decoded an intra-cluster message.
+    Remote { from: usize, msg: WireMsg },
+    /// The disk thread finished reading `file`.
+    DiskDone { file: FileId },
+    /// Stop the main loop.
+    Shutdown,
+}
+
+/// Jobs for a node's send thread.
+#[derive(Debug)]
+pub(crate) enum SendJob {
+    /// Transmit a message; `needs_credit` messages respect the window.
+    Msg {
+        to: usize,
+        msg: WireMsg,
+        needs_credit: bool,
+    },
+    /// The receive thread observed returned credits from `from`.
+    Credits { from: usize, n: u32 },
+    /// RDMA-write our current load into every peer's load table.
+    RdmaLoad { load: u32 },
+    /// Stop the send loop.
+    Shutdown,
+}
+
+/// Everything a node's threads share.
+pub(crate) struct NodeCtx {
+    pub id: usize,
+    pub nodes: usize,
+    pub nic: Arc<Nic>,
+    /// `vis[peer]` — the VI to each peer (None for self).
+    pub vis: Vec<Option<Vi>>,
+    /// Map from a VI's fabric id to the peer index (receive demux).
+    pub vi_peers: HashMap<u64, usize>,
+    /// Per-peer send region (window * slot_bytes).
+    pub send_regions: Vec<Option<MemHandle>>,
+    /// Per-peer region for flow-control sends (window small slots); flow
+    /// messages bypass the credit window, so they get their own slots to
+    /// avoid overwriting in-flight data messages.
+    pub flow_regions: Vec<Option<MemHandle>>,
+    /// This node's RDMA-writable load table (4 bytes per node).
+    pub load_region: MemHandle,
+    /// Every peer's load-table handle (for RDMA writes).
+    pub peer_load_regions: Vec<MemHandle>,
+    /// Scratch region for RDMA load writes.
+    pub scratch_region: MemHandle,
+    /// How file data is transferred.
+    pub file_mode: FileTransferMode,
+    /// This node's inbound file rings, one per source peer
+    /// (window slots of `ring_slot_bytes`); None in Regular mode.
+    pub own_rings: Vec<Option<MemHandle>>,
+    /// Every peer's inbound ring for data *we* send them.
+    pub peer_rings: Vec<Option<MemHandle>>,
+    /// Ring slot size: max payload + trailer.
+    pub ring_slot_bytes: usize,
+    pub window: u32,
+    pub credit_batch: u32,
+    pub slot_bytes: usize,
+    pub stats: Arc<ServerStats>,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// Per-node policy/runtime configuration shared by the main loop.
+pub(crate) struct MainConfig {
+    pub catalog: Arc<FileCatalog>,
+    pub cache_bytes: u64,
+    pub policy: PolicyConfig,
+    /// Write the load table after this many main-loop events.
+    pub load_write_period: u32,
+    pub disk_tx: Sender<(FileId, u64)>,
+}
+
+/// What to do when a disk read completes.
+enum DiskWaiter {
+    ReplyLocal(Sender<Vec<u8>>),
+    SendBack { to: usize, token: u64 },
+}
+
+/// The main thread: parses requests, decides locally-vs-forward, tracks
+/// pending forwards, and never blocks on communication (helper threads do).
+pub(crate) fn main_loop(
+    ctx: Arc<NodeCtx>,
+    cfg: MainConfig,
+    events: Receiver<NodeEvent>,
+    send_tx: Sender<SendJob>,
+    prefill: Vec<(FileId, u64)>,
+    initial_cachers: Vec<u128>,
+) {
+    let mut cache = FileCache::new(cfg.cache_bytes);
+    for &(file, size) in &prefill {
+        cache.insert(file, size);
+    }
+    let mut cachers = initial_cachers;
+    let mut pending: HashMap<u64, Sender<Vec<u8>>> = HashMap::new();
+    let mut waiting_disk: HashMap<FileId, Vec<DiskWaiter>> = HashMap::new();
+    let mut load: u32 = 0;
+    let mut next_token: u64 = (ctx.id as u64) << 48 | 1;
+    let mut events_since_load_write = 0u32;
+    // Peer loads as last observed; refreshed from the RDMA region.
+    let mut loads = vec![0u32; ctx.nodes];
+
+    let read_loads = |own: u32, loads: &mut Vec<u32>| {
+        if let Ok(bytes) = ctx.nic.read_region(ctx.load_region, 0, 4 * ctx.nodes) {
+            for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+                loads[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+        }
+        loads[ctx.id] = own;
+    };
+
+    let mut ring_expected = vec![1u64; ctx.nodes];
+    let mut ring_consumed = vec![0u32; ctx.nodes];
+    loop {
+        let event = if ctx.file_mode == FileTransferMode::RemoteWrite {
+            match events.recv_timeout(Duration::from_micros(100)) {
+                Ok(ev) => Some(ev),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                Err(_) => break,
+            }
+        } else {
+            match events.recv() {
+                Ok(ev) => Some(ev),
+                Err(_) => break,
+            }
+        };
+        let got_event = event.is_some();
+        if let Some(event) = event {
+        match event {
+            NodeEvent::Shutdown => break,
+            NodeEvent::Client { file, reply } => {
+                load += 1;
+                let bytes = cfg.catalog.size(file);
+                read_loads(load, &mut loads);
+                let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
+                    .filter(|&i| cachers[file.0 as usize] & (1 << i) != 0)
+                    .map(NodeId)
+                    .collect();
+                let decision = decide(
+                    &cfg.policy,
+                    &RequestView {
+                        initial: NodeId(ctx.id as u16),
+                        file_bytes: bytes,
+                        cached_locally: cache.contains(file),
+                        first_request: cachers[file.0 as usize] == 0,
+                        cachers: &cacher_list,
+                        loads: &loads,
+                        load_balancing: true,
+                    },
+                );
+                match decision {
+                    Decision::ServeLocal => {
+                        if cache.touch(file) {
+                            send_reply(&ctx.stats, &reply, file, bytes);
+                            load -= 1;
+                        } else {
+                            enqueue_disk(
+                                &cfg,
+                                &ctx.stats,
+                                &mut waiting_disk,
+                                file,
+                                bytes,
+                                DiskWaiter::ReplyLocal(reply),
+                            );
+                        }
+                    }
+                    Decision::Forward(target) => {
+                        let token = next_token;
+                        next_token += 1;
+                        pending.insert(token, reply);
+                        ServerStats::bump(&ctx.stats.forward_msgs);
+                        ServerStats::bump(&ctx.stats.forwarded);
+                        let _ = send_tx.send(SendJob::Msg {
+                            to: target.0 as usize,
+                            msg: WireMsg {
+                                kind: WireKind::Forward,
+                                file,
+                                token,
+                                sender_load: load,
+                                payload: Vec::new(),
+                            },
+                            needs_credit: true,
+                        });
+                    }
+                }
+            }
+            NodeEvent::Remote { from, msg } => {
+                // Piggy-backed load keeps our view of the sender fresh
+                // even between RDMA load writes.
+                loads[from] = msg.sender_load;
+                match msg.kind {
+                    WireKind::Forward => {
+                        let file = msg.file;
+                        let bytes = cfg.catalog.size(file);
+                        if cache.touch(file) {
+                            send_file_back(&ctx, &send_tx, from, msg.token, file, bytes, load);
+                        } else {
+                            enqueue_disk(
+                                &cfg,
+                                &ctx.stats,
+                                &mut waiting_disk,
+                                file,
+                                bytes,
+                                DiskWaiter::SendBack {
+                                    to: from,
+                                    token: msg.token,
+                                },
+                            );
+                        }
+                    }
+                    WireKind::FileData => {
+                        if let Some(reply) = pending.remove(&msg.token) {
+                            let _ = reply.send(msg.payload);
+                        }
+                    }
+                    WireKind::Caching => {
+                        // token 0 = now caches, 1 = evicted.
+                        let bit = 1u128 << from;
+                        if msg.token == 0 {
+                            cachers[msg.file.0 as usize] |= bit;
+                        } else {
+                            cachers[msg.file.0 as usize] &= !bit;
+                        }
+                    }
+                    // Flow is consumed by the receive thread.
+                    WireKind::Flow => {}
+                }
+            }
+            NodeEvent::DiskDone { file } => {
+                let bytes = cfg.catalog.size(file);
+                // Cache the file and broadcast the caching information
+                // (insertion plus any evictions), as in Section 2.2.
+                let evicted = cache.insert(file, bytes);
+                let bit = 1u128 << ctx.id;
+                cachers[file.0 as usize] |= bit;
+                broadcast_caching(&ctx, &send_tx, file, 0, load);
+                for ev in evicted {
+                    cachers[ev.0 as usize] &= !bit;
+                    broadcast_caching(&ctx, &send_tx, ev, 1, load);
+                }
+                for waiter in waiting_disk.remove(&file).unwrap_or_default() {
+                    match waiter {
+                        DiskWaiter::ReplyLocal(reply) => {
+                            send_reply(&ctx.stats, &reply, file, bytes);
+                            load -= 1;
+                        }
+                        DiskWaiter::SendBack { to, token } => {
+                            send_file_back(&ctx, &send_tx, to, token, file, bytes, load);
+                        }
+                    }
+                }
+            }
+        }
+        }
+        // Poll the RMW file rings at the end of the main server loop, as
+        // in the paper: consume every entry whose sequence number landed.
+        if ctx.file_mode == FileTransferMode::RemoteWrite {
+            poll_file_rings(
+                &ctx,
+                &send_tx,
+                &mut ring_expected,
+                &mut ring_consumed,
+                &mut pending,
+            );
+        }
+        // Periodic load dissemination through remote memory writes: no
+        // receiver involvement, overwritable — the paper's ideal use.
+        if got_event {
+            events_since_load_write += 1;
+            if events_since_load_write >= cfg.load_write_period {
+                events_since_load_write = 0;
+                let _ = send_tx.send(SendJob::RdmaLoad { load });
+            }
+        }
+    }
+}
+
+/// Drains every inbound file ring: reads the sequence number at each
+/// slot's last bytes, and when the next expected number has landed,
+/// consumes the entry (completing the pending client request) and
+/// returns credits in batches. This is PRESS's version-3 receive path —
+/// no interrupts, no receive-thread involvement.
+fn poll_file_rings(
+    ctx: &NodeCtx,
+    send_tx: &Sender<SendJob>,
+    expected: &mut [u64],
+    consumed: &mut [u32],
+    pending: &mut HashMap<u64, Sender<Vec<u8>>>,
+) {
+    for src in 0..ctx.nodes {
+        let Some(ring) = ctx.own_rings[src] else {
+            continue;
+        };
+        loop {
+            let slot = ((expected[src] - 1) % ctx.window as u64) as usize;
+            let trailer_off =
+                slot * ctx.ring_slot_bytes + ctx.ring_slot_bytes - RING_TRAILER_BYTES;
+            let Ok(trailer) = ctx.nic.read_region(ring, trailer_off, RING_TRAILER_BYTES) else {
+                break;
+            };
+            let Some((len, token, seq)) = decode_ring_trailer(&trailer) else {
+                break;
+            };
+            if seq != expected[src] {
+                break;
+            }
+            let payload = ctx
+                .nic
+                .read_region(ring, slot * ctx.ring_slot_bytes, len)
+                .expect("ring payload");
+            expected[src] += 1;
+            if let Some(reply) = pending.remove(&token) {
+                let _ = reply.send(payload);
+            }
+            consumed[src] += 1;
+            if consumed[src] >= ctx.credit_batch {
+                let n = consumed[src];
+                consumed[src] = 0;
+                ServerStats::bump(&ctx.stats.flow_msgs);
+                let _ = send_tx.send(SendJob::Msg {
+                    to: src,
+                    msg: WireMsg {
+                        kind: WireKind::Flow,
+                        file: FileId(0),
+                        token: n as u64,
+                        sender_load: 0,
+                        payload: Vec::new(),
+                    },
+                    needs_credit: false,
+                });
+            }
+        }
+    }
+}
+
+fn send_reply(stats: &ServerStats, reply: &Sender<Vec<u8>>, file: FileId, bytes: u64) {
+    ServerStats::bump(&stats.served_local);
+    let _ = reply.send(file_contents(file, bytes as usize));
+}
+
+fn enqueue_disk(
+    cfg: &MainConfig,
+    stats: &ServerStats,
+    waiting: &mut HashMap<FileId, Vec<DiskWaiter>>,
+    file: FileId,
+    bytes: u64,
+    waiter: DiskWaiter,
+) {
+    let entry = waiting.entry(file).or_default();
+    entry.push(waiter);
+    if entry.len() == 1 {
+        ServerStats::bump(&stats.disk_reads);
+        let _ = cfg.disk_tx.send((file, bytes));
+    }
+}
+
+fn send_file_back(
+    ctx: &NodeCtx,
+    send_tx: &Sender<SendJob>,
+    to: usize,
+    token: u64,
+    file: FileId,
+    bytes: u64,
+    load: u32,
+) {
+    ServerStats::bump(&ctx.stats.file_msgs);
+    let _ = send_tx.send(SendJob::Msg {
+        to,
+        msg: WireMsg {
+            kind: WireKind::FileData,
+            file,
+            token,
+            sender_load: load,
+            payload: file_contents(file, bytes as usize),
+        },
+        needs_credit: true,
+    });
+}
+
+fn broadcast_caching(ctx: &NodeCtx, send_tx: &Sender<SendJob>, file: FileId, action: u64, load: u32) {
+    for peer in 0..ctx.nodes {
+        if peer == ctx.id {
+            continue;
+        }
+        ServerStats::bump(&ctx.stats.caching_msgs);
+        let _ = send_tx.send(SendJob::Msg {
+            to: peer,
+            msg: WireMsg {
+                kind: WireKind::Caching,
+                file,
+                token: action,
+                sender_load: load,
+                payload: Vec::new(),
+            },
+            needs_credit: true,
+        });
+    }
+}
+
+/// The send thread (Figure 2): marshals messages into registered send
+/// buffers and posts descriptors, respecting the per-peer credit window.
+pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
+    let n = ctx.nodes;
+    let mut credits = vec![ctx.window; n];
+    let mut queued: Vec<std::collections::VecDeque<WireMsg>> =
+        (0..n).map(|_| std::collections::VecDeque::new()).collect();
+    let mut next_slot = vec![0usize; n];
+    let mut next_flow_slot = vec![0usize; n];
+    let mut next_ring_seq = vec![1u64; n];
+    let mut buf = vec![0u8; ctx.slot_bytes.max(ctx.ring_slot_bytes)];
+
+    // In-flight safety: data messages are bounded by the credit window
+    // (at most `window` unconsumed per peer, matching the `window` send
+    // slots); flow messages self-limit to window/batch outstanding and
+    // rotate through their own region.
+    let post = |peer: usize,
+                    msg: &WireMsg,
+                    next_slot: &mut Vec<usize>,
+                    next_flow_slot: &mut Vec<usize>,
+                    buf: &mut Vec<u8>| {
+        let len = msg.encode(buf);
+        let (region, slot, slot_size) = if msg.kind == WireKind::Flow {
+            let region = ctx.flow_regions[peer].expect("flow region for peer");
+            let slot = next_flow_slot[peer];
+            next_flow_slot[peer] = (slot + 1) % ctx.window as usize;
+            (region, slot, HEADER_BYTES)
+        } else {
+            let region = ctx.send_regions[peer].expect("send region for peer");
+            let slot = next_slot[peer];
+            next_slot[peer] = (slot + 1) % ctx.window as usize;
+            (region, slot, ctx.slot_bytes)
+        };
+        let offset = slot * slot_size;
+        ctx.nic
+            .write_region(region, offset, &buf[..len])
+            .expect("stage message");
+        ctx.vis[peer]
+            .as_ref()
+            .expect("vi for peer")
+            .post_send(Descriptor::new(region, offset, len))
+            .expect("post send");
+    };
+
+    while let Ok(job) = jobs.recv() {
+        match job {
+            SendJob::Shutdown => break,
+            SendJob::Msg {
+                to,
+                msg,
+                needs_credit,
+            } => {
+                if needs_credit {
+                    if credits[to] == 0 {
+                        queued[to].push_back(msg);
+                        continue;
+                    }
+                    credits[to] -= 1;
+                }
+                if ctx.file_mode == FileTransferMode::RemoteWrite
+                    && msg.kind == WireKind::FileData
+                {
+                    rmw_file(&ctx, to, &msg, &mut next_slot, &mut next_ring_seq, &mut buf);
+                } else {
+                    post(to, &msg, &mut next_slot, &mut next_flow_slot, &mut buf);
+                }
+            }
+            SendJob::Credits { from, n } => {
+                credits[from] += n;
+                while credits[from] > 0 {
+                    match queued[from].pop_front() {
+                        Some(msg) => {
+                            credits[from] -= 1;
+                            if ctx.file_mode == FileTransferMode::RemoteWrite
+                                && msg.kind == WireKind::FileData
+                            {
+                                rmw_file(&ctx, from, &msg, &mut next_slot, &mut next_ring_seq, &mut buf);
+                            } else {
+                                post(from, &msg, &mut next_slot, &mut next_flow_slot, &mut buf);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            SendJob::RdmaLoad { load } => {
+                ctx.nic
+                    .write_region(ctx.scratch_region, 0, &load.to_le_bytes())
+                    .expect("stage load");
+                for peer in 0..n {
+                    if peer == ctx.id {
+                        continue;
+                    }
+                    ServerStats::bump(&ctx.stats.rdma_load_writes);
+                    ctx.vis[peer]
+                        .as_ref()
+                        .expect("vi for peer")
+                        .rdma_write(
+                            Descriptor::new(ctx.scratch_region, 0, 4),
+                            RemoteBuffer {
+                                region: ctx.peer_load_regions[peer],
+                                offset: 4 * ctx.id,
+                            },
+                        )
+                        .expect("rdma load write");
+                }
+            }
+        }
+    }
+}
+
+/// Stages a file into the sender's send slot and remote-writes it into
+/// the peer's inbound ring: one RDMA covering payload and trailer, with
+/// the sequence number in the slot's last bytes (Section 3.4, version 3).
+/// The credit window bounds in-flight entries to the ring capacity, so a
+/// slot is never overwritten before the reader consumed it.
+fn rmw_file(
+    ctx: &NodeCtx,
+    to: usize,
+    msg: &WireMsg,
+    next_slot: &mut [usize],
+    next_ring_seq: &mut [u64],
+    buf: &mut [u8],
+) {
+    let seq = next_ring_seq[to];
+    next_ring_seq[to] += 1;
+    let ring_slot = ((seq - 1) % ctx.window as u64) as usize;
+    encode_ring_slot(buf, ctx.ring_slot_bytes, &msg.payload, msg.token, seq);
+    // Stage in our send region (the credit window keeps the slot live
+    // until the reader consumed the previous occupant of the ring slot).
+    let region = ctx.send_regions[to].expect("send region for peer");
+    let slot = next_slot[to];
+    next_slot[to] = (slot + 1) % ctx.window as usize;
+    let offset = slot * ctx.slot_bytes;
+    ctx.nic
+        .write_region(region, offset, &buf[..ctx.ring_slot_bytes])
+        .expect("stage ring entry");
+    ServerStats::bump(&ctx.stats.rdma_file_writes);
+    ctx.vis[to]
+        .as_ref()
+        .expect("vi for peer")
+        .rdma_write(
+            Descriptor::new(region, offset, ctx.ring_slot_bytes),
+            RemoteBuffer {
+                region: ctx.peer_rings[to].expect("peer ring"),
+                offset: ring_slot * ctx.ring_slot_bytes,
+            },
+        )
+        .expect("rdma file write");
+}
+
+/// The receive thread (Figure 2): waits on the completion queue, decodes
+/// arrivals, reposts descriptors, handles flow control, and hands digests
+/// to the main thread.
+pub(crate) fn recv_loop(
+    ctx: Arc<NodeCtx>,
+    cq: CompletionQueue,
+    main_tx: Sender<NodeEvent>,
+    send_tx: Sender<SendJob>,
+) {
+    let mut consumed = vec![0u32; ctx.nodes];
+    loop {
+        match cq.wait(Duration::from_millis(20)) {
+            Err(_) => {
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Ok(c) => {
+                // Send-side and RDMA completions need no action here.
+                if c.kind != CompletionKind::Recv {
+                    continue;
+                }
+                let Some(&peer) = ctx.vi_peers.get(&c.vi_id) else {
+                    continue;
+                };
+                if c.status.is_err() {
+                    continue;
+                }
+                let data = ctx
+                    .nic
+                    .read_region(c.descriptor.region, c.descriptor.offset, c.transferred)
+                    .expect("read arrived message");
+                // Repost the consumed descriptor immediately so the slot
+                // can take another message.
+                ctx.vis[peer]
+                    .as_ref()
+                    .expect("vi for peer")
+                    .post_recv(Descriptor::new(
+                        c.descriptor.region,
+                        c.descriptor.offset,
+                        ctx.slot_bytes,
+                    ))
+                    .expect("repost recv");
+                let Some(msg) = WireMsg::decode(&data) else {
+                    continue; // malformed: drop, like a real server
+                };
+                if msg.kind == WireKind::Flow {
+                    let _ = send_tx.send(SendJob::Credits {
+                        from: peer,
+                        n: msg.token as u32,
+                    });
+                    continue;
+                }
+                // Credit-consuming message: count toward a batch return.
+                consumed[peer] += 1;
+                if consumed[peer] >= ctx.credit_batch {
+                    let n = consumed[peer];
+                    consumed[peer] = 0;
+                    ServerStats::bump(&ctx.stats.flow_msgs);
+                    let _ = send_tx.send(SendJob::Msg {
+                        to: peer,
+                        msg: WireMsg {
+                            kind: WireKind::Flow,
+                            file: FileId(0),
+                            token: n as u64,
+                            sender_load: 0,
+                            payload: Vec::new(),
+                        },
+                        needs_credit: false,
+                    });
+                }
+                let _ = main_tx.send(NodeEvent::Remote { from: peer, msg });
+            }
+        }
+    }
+}
+
+/// The disk thread: sleeps for the modeled access time, then notifies the
+/// main thread. Uses a scaled-down latency so tests stay fast while
+/// preserving the "disk is slow" ordering.
+pub(crate) fn disk_loop(
+    jobs: Receiver<(FileId, u64)>,
+    main_tx: Sender<NodeEvent>,
+    fixed: Duration,
+    bytes_per_sec: f64,
+) {
+    while let Ok((file, bytes)) = jobs.recv() {
+        let transfer = Duration::from_secs_f64(bytes as f64 / bytes_per_sec);
+        std::thread::sleep(fixed + transfer);
+        if main_tx.send(NodeEvent::DiskDone { file }).is_err() {
+            break;
+        }
+    }
+}
+
+/// Upper bound on wire size for a file of `bytes` (header + payload).
+pub(crate) fn slot_bytes_for(max_file_bytes: u64) -> usize {
+    HEADER_BYTES + max_file_bytes as usize
+}

@@ -1,0 +1,62 @@
+//! Shared atomic counters for the live cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated across all node threads.
+///
+/// All counters are monotone and updated with relaxed ordering — they are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered from the initial node (local cache or disk).
+    pub served_local: AtomicU64,
+    /// Requests forwarded to a service node.
+    pub forwarded: AtomicU64,
+    /// Disk reads performed (cache misses + replication).
+    pub disk_reads: AtomicU64,
+    /// Forward messages sent.
+    pub forward_msgs: AtomicU64,
+    /// File-data messages sent.
+    pub file_msgs: AtomicU64,
+    /// Caching broadcasts sent.
+    pub caching_msgs: AtomicU64,
+    /// Flow-control (credit return) messages sent.
+    pub flow_msgs: AtomicU64,
+    /// Remote memory writes of load information.
+    pub rdma_load_writes: AtomicU64,
+    /// Remote memory writes of file data (RemoteWrite transfer mode).
+    pub rdma_file_writes: AtomicU64,
+}
+
+impl ServerStats {
+    /// Bumps a counter by one.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Total requests completed.
+    pub fn completed(&self) -> u64 {
+        Self::get(&self.served_local) + Self::get(&self.forwarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.served_local);
+        ServerStats::bump(&s.forwarded);
+        ServerStats::bump(&s.forwarded);
+        assert_eq!(ServerStats::get(&s.served_local), 1);
+        assert_eq!(ServerStats::get(&s.forwarded), 2);
+        assert_eq!(s.completed(), 3);
+    }
+}

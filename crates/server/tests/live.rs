@@ -1,0 +1,270 @@
+//! Integration tests: the live threaded PRESS cluster under real
+//! concurrent load.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use press_server::{file_contents, FileTransferMode, LiveCluster, LiveConfig, LiveError, ServerStats};
+use press_trace::{FileCatalog, FileId};
+
+const T: Duration = Duration::from_secs(20);
+
+fn small_catalog(files: usize, bytes: u64) -> FileCatalog {
+    FileCatalog::from_sizes(vec![bytes; files])
+}
+
+#[test]
+fn serves_correct_content_from_all_nodes() {
+    let cluster = LiveCluster::start(LiveConfig::default(), small_catalog(64, 1024));
+    for node in 0..cluster.nodes() {
+        for f in [0u32, 7, 31, 63] {
+            let data = cluster.request(node, FileId(f), T).expect("request");
+            assert_eq!(data, file_contents(FileId(f), 1024), "file {f} via node {node}");
+        }
+    }
+    // With files hash-placed across 4 nodes, most of those requests were
+    // forwarded and answered with intra-cluster file transfers.
+    let stats = cluster.stats();
+    assert!(ServerStats::get(&stats.forwarded) > 0, "no forwarding happened");
+    assert_eq!(
+        ServerStats::get(&stats.forward_msgs),
+        ServerStats::get(&stats.forwarded)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_clients_hammering_all_nodes() {
+    let cluster = Arc::new(LiveCluster::start(
+        LiveConfig::default(),
+        small_catalog(128, 2048),
+    ));
+    let mut handles = Vec::new();
+    for c in 0..8 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..150u32 {
+                let file = FileId((i * 13 + c * 29) % 128);
+                let node = ((i + c) % 4) as usize;
+                let data = cluster.request(node, file, T).expect("request");
+                assert_eq!(
+                    data,
+                    file_contents(file, 2048),
+                    "client {c} request {i} corrupt"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let stats = cluster.stats();
+    assert_eq!(stats.completed(), 8 * 150);
+    // Flow control must have cycled under this much traffic.
+    assert!(ServerStats::get(&stats.flow_msgs) > 0);
+    // Load dissemination through remote memory writes happened.
+    assert!(ServerStats::get(&stats.rdma_load_writes) > 0);
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn cold_files_hit_disk_then_replicate() {
+    // Caches too small for the whole catalog: some requests go to disk.
+    let cfg = LiveConfig {
+        cache_bytes: 8 * 1024, // 8 files of 1 KB per node
+        disk_fixed: Duration::from_millis(1),
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, small_catalog(256, 1024));
+    for f in 0..64u32 {
+        let data = cluster.request(0, FileId(f), T).expect("request");
+        assert_eq!(data, file_contents(FileId(f), 1024));
+    }
+    let stats = cluster.stats();
+    assert!(
+        ServerStats::get(&stats.disk_reads) > 0,
+        "small caches must miss"
+    );
+    // Insertions broadcast caching information to the other nodes.
+    assert!(ServerStats::get(&stats.caching_msgs) > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn load_tables_fill_in_via_rdma() {
+    let cfg = LiveConfig {
+        load_write_period: 1, // write on every event
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, small_catalog(64, 512));
+    // Drive traffic through node 1 so its load gets written everywhere.
+    for i in 0..40u32 {
+        let _ = cluster.request(1, FileId(i % 64), T).expect("request");
+    }
+    // Some peer observed node 1's load table entry (the value itself is
+    // racy — what matters is that remote memory writes landed).
+    let observed: u64 = ServerStats::get(&cluster.stats().rdma_load_writes);
+    assert!(observed > 0);
+    let mut any_nonzero_row = false;
+    for node in 0..cluster.nodes() {
+        let table = cluster.load_table(node);
+        assert_eq!(table.len(), cluster.nodes());
+        if table.iter().any(|&v| v > 0) {
+            any_nonzero_row = true;
+        }
+    }
+    // Loads briefly spike during requests; at least the write machinery
+    // must have deposited *something* at some point. (Zero rows can only
+    // happen if every write carried load 0 — possible but then the
+    // counter check above still validates the path.)
+    let _ = any_nonzero_row;
+    cluster.shutdown();
+}
+
+#[test]
+fn unknown_file_is_rejected() {
+    let cluster = LiveCluster::start(LiveConfig::default(), small_catalog(8, 256));
+    assert_eq!(
+        cluster.request(0, FileId(99), T),
+        Err(LiveError::UnknownFile)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_quick() {
+    let cluster = LiveCluster::start(LiveConfig::default(), small_catalog(32, 1024));
+    let _ = cluster.request(0, FileId(1), T).expect("request");
+    let start = std::time::Instant::now();
+    cluster.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown hung: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn mixed_file_sizes_transfer_intact() {
+    let sizes: Vec<u64> = (0..48).map(|i| 64 + (i as u64 * 733) % 16_000).collect();
+    let catalog = FileCatalog::from_sizes(sizes.clone());
+    let cluster = LiveCluster::start(LiveConfig::default(), catalog);
+    for (i, &len) in sizes.iter().enumerate() {
+        let file = FileId(i as u32);
+        let data = cluster
+            .request(i % cluster.nodes(), file, T)
+            .expect("request");
+        assert_eq!(data.len(), len as usize);
+        assert_eq!(data, file_contents(file, len as usize));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn eight_node_cluster_works() {
+    let cfg = LiveConfig {
+        nodes: 8,
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, small_catalog(200, 1500));
+    for i in 0..100u32 {
+        let node = (i % 8) as usize;
+        let file = FileId((i * 7) % 200);
+        let data = cluster.request(node, file, T).expect("request");
+        assert_eq!(data, file_contents(file, 1500));
+    }
+    assert!(ServerStats::get(&cluster.stats().forwarded) > 20);
+    cluster.shutdown();
+}
+
+#[test]
+fn remote_write_mode_transfers_files_via_rings() {
+    let cfg = LiveConfig {
+        file_transfer: FileTransferMode::RemoteWrite,
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, small_catalog(96, 3000));
+    for i in 0..300u32 {
+        let file = FileId((i * 7) % 96);
+        let node = (i % 4) as usize;
+        let data = cluster.request(node, file, T).expect("request");
+        assert_eq!(data, file_contents(file, 3000), "request {i}");
+    }
+    let stats = cluster.stats();
+    assert!(ServerStats::get(&stats.forwarded) > 0);
+    // Every forwarded file came back through a remote memory write, not a
+    // regular message completion.
+    assert_eq!(
+        ServerStats::get(&stats.rdma_file_writes),
+        ServerStats::get(&stats.file_msgs),
+        "all file transfers should use RDMA in RemoteWrite mode"
+    );
+    assert!(ServerStats::get(&stats.rdma_file_writes) > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn remote_write_mode_survives_concurrency_and_ring_wrap() {
+    // More requests than ring slots forces sequence-number wrap-around,
+    // and concurrent clients interleave ring entries per pair.
+    let cfg = LiveConfig {
+        file_transfer: FileTransferMode::RemoteWrite,
+        window: 4,
+        credit_batch: 2,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start(cfg, small_catalog(64, 4096)));
+    let mut handles = Vec::new();
+    for c in 0..6 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..120u32 {
+                let file = FileId((i * 5 + c * 17) % 64);
+                let data = cluster
+                    .request(((i + c) % 4) as usize, file, T)
+                    .expect("request");
+                assert_eq!(data, file_contents(file, 4096), "client {c} req {i}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("still shared"),
+    }
+}
+
+#[test]
+fn window_pressure_does_not_deadlock() {
+    // A tiny credit window with bursty traffic exercises queuing in the
+    // send thread and the credit return path.
+    let cfg = LiveConfig {
+        window: 2,
+        credit_batch: 1,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start(cfg, small_catalog(64, 4096)));
+    let mut handles = Vec::new();
+    for c in 0..6 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..80u32 {
+                let file = FileId((i + c * 11) % 64);
+                let data = cluster.request((c % 4) as usize, file, T).expect("request");
+                assert_eq!(data.len(), 4096);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}

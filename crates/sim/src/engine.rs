@@ -1,0 +1,299 @@
+//! The event loop: a time-ordered queue of model events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A simulation model: application state plus an event handler.
+///
+/// The engine is generic over the event type so that models can use a plain
+/// `enum` of events with no boxing on the hot path.
+pub trait Model {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    ///
+    /// The handler may schedule any number of future events through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Entry in the pending-event heap.
+///
+/// `seq` breaks ties between events scheduled for the same instant: events
+/// fire in the order they were scheduled, which makes runs reproducible.
+struct Pending<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue handed to [`Model::handle`] for scheduling future events.
+///
+/// A `Scheduler` can only insert events; popping is the engine's job. This
+/// split lets the engine borrow the model mutably while the model schedules.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Pending<E>>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pending", &self.heap.len())
+            .field("total_scheduled", &self.scheduled)
+            .finish()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Events scheduled for the same instant fire in scheduling order.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Pending { at, seq, event }));
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(p)| (p.at, p.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(p)| p.at)
+    }
+}
+
+/// The simulation engine: owns the model, the clock, and the event queue.
+///
+/// See the crate-level documentation for a complete example.
+pub struct Simulator<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> std::fmt::Debug for Simulator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("pending", &self.sched.pending())
+            .finish()
+    }
+}
+
+impl<M: Model> Simulator<M> {
+    /// Creates a simulator at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulator {
+            model,
+            sched: Scheduler::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Exclusive access to the scheduler, e.g. to seed initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.sched
+    }
+
+    /// Runs one event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is scheduled in the past (a model bug).
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((at, event)) => {
+                assert!(at >= self.now, "event scheduled in the past");
+                self.now = at;
+                self.processed += 1;
+                self.model.handle(at, event, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the next event is after `deadline`.
+    ///
+    /// Events at exactly `deadline` are processed. On return the clock is
+    /// the time of the last processed event (it is *not* advanced to
+    /// `deadline` when the queue drains early).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.sched.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Consumes the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now.as_nanos(), ev));
+            if ev == 42 {
+                sched.schedule(now + SimTime::from_nanos(5), 43);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new(Recorder::default());
+        sim.scheduler_mut().schedule(SimTime::from_nanos(30), 3);
+        sim.scheduler_mut().schedule(SimTime::from_nanos(10), 1);
+        sim.scheduler_mut().schedule(SimTime::from_nanos(20), 2);
+        sim.run();
+        assert_eq!(sim.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_scheduling_order() {
+        let mut sim = Simulator::new(Recorder::default());
+        let t = SimTime::from_nanos(7);
+        for ev in 0..5 {
+            sim.scheduler_mut().schedule(t, ev);
+        }
+        sim.run();
+        let evs: Vec<u32> = sim.model().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim = Simulator::new(Recorder::default());
+        sim.scheduler_mut().schedule(SimTime::from_nanos(1), 42);
+        sim.run();
+        assert_eq!(sim.model().seen, vec![(1, 42), (6, 43)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(Recorder::default());
+        for i in 1..=10 {
+            sim.scheduler_mut().schedule(SimTime::from_nanos(i * 10), i as u32);
+        }
+        sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(sim.model().seen.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        assert_eq!(sim.scheduler_mut().pending(), 5);
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 10);
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut sim = Simulator::new(Recorder::default());
+        assert!(!sim.step());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.schedule(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulator::new(Bad);
+        sim.scheduler_mut().schedule(SimTime::from_nanos(10), ());
+        // First event at t=10 schedules one at t=0 -> panic on processing.
+        sim.step();
+        sim.step();
+    }
+}

@@ -1,0 +1,198 @@
+//! Passive FIFO single-server resources.
+//!
+//! A [`Resource`] models a station that serves work requests one at a time
+//! in arrival order — a CPU, a disk, a NIC, or a network wire. It is
+//! *passive*: submitting work returns the completion time, and the caller
+//! (the model) schedules the corresponding event. This keeps the engine free
+//! of callbacks and makes resource state trivially serializable.
+
+use crate::time::SimTime;
+
+/// Utilization and demand statistics for a [`Resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceStats {
+    /// Total busy time accumulated.
+    pub busy: SimTime,
+    /// Number of work items served.
+    pub jobs: u64,
+    /// Total time items spent waiting before service began.
+    pub waited: SimTime,
+}
+
+impl ResourceStats {
+    /// Mean waiting time per job, or zero if no jobs were served.
+    pub fn mean_wait(&self) -> SimTime {
+        match self.waited.as_nanos().checked_div(self.jobs) {
+            Some(ns) => SimTime::from_nanos(ns),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Utilization over the interval `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / horizon.as_secs_f64()
+        }
+    }
+}
+
+/// A FIFO single-server queueing station with deterministic service demands.
+///
+/// Work submitted at time `t` with demand `d` begins service at
+/// `max(t, busy_until)` and completes `d` later. The resource tracks busy
+/// time, job counts and waiting time, optionally split across caller-defined
+/// categories (used to reproduce the paper's Figure 1 CPU-time breakdown).
+///
+/// # Example
+///
+/// ```
+/// use press_sim::{Resource, SimTime};
+///
+/// let mut cpu = Resource::new("cpu", 2);
+/// let t0 = SimTime::ZERO;
+/// let done_a = cpu.submit(t0, SimTime::from_micros(100), 0);
+/// let done_b = cpu.submit(t0, SimTime::from_micros(50), 1);
+/// assert_eq!(done_a, SimTime::from_micros(100));
+/// // b queued behind a:
+/// assert_eq!(done_b, SimTime::from_micros(150));
+/// assert_eq!(cpu.stats().jobs, 2);
+/// assert_eq!(cpu.category_busy(1), SimTime::from_micros(50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    busy_until: SimTime,
+    stats: ResourceStats,
+    category_busy: Vec<SimTime>,
+}
+
+impl Resource {
+    /// Creates a resource with `categories` accounting buckets.
+    ///
+    /// `name` is used in `Debug` output and diagnostics only.
+    pub fn new(name: &'static str, categories: usize) -> Self {
+        Resource {
+            name,
+            busy_until: SimTime::ZERO,
+            stats: ResourceStats::default(),
+            category_busy: vec![SimTime::ZERO; categories.max(1)],
+        }
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Submits work arriving at `now` with service demand `demand`, charged
+    /// to accounting bucket `category`. Returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn submit(&mut self, now: SimTime, demand: SimTime, category: usize) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + demand;
+        self.stats.waited += start - now;
+        self.stats.busy += demand;
+        self.stats.jobs += 1;
+        self.category_busy[category] += demand;
+        self.busy_until = done;
+        done
+    }
+
+    /// The earliest instant at which newly submitted work would start.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the resource would serve work submitted at `now` immediately.
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ResourceStats {
+        self.stats
+    }
+
+    /// Busy time charged to `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn category_busy(&self, category: usize) -> SimTime {
+        self.category_busy[category]
+    }
+
+    /// Resets statistics (but not the busy horizon); used at the end of a
+    /// warmup phase so that measurements cover only the steady state.
+    pub fn reset_stats(&mut self) {
+        self.stats = ResourceStats::default();
+        for c in &mut self.category_busy {
+            *c = SimTime::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering_and_waiting() {
+        let mut r = Resource::new("disk", 1);
+        let d1 = r.submit(SimTime::from_micros(0), SimTime::from_micros(10), 0);
+        let d2 = r.submit(SimTime::from_micros(2), SimTime::from_micros(10), 0);
+        assert_eq!(d1, SimTime::from_micros(10));
+        assert_eq!(d2, SimTime::from_micros(20));
+        // Second job waited 8us.
+        assert_eq!(r.stats().waited, SimTime::from_micros(8));
+        assert_eq!(r.stats().mean_wait(), SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = Resource::new("cpu", 1);
+        r.submit(SimTime::ZERO, SimTime::from_micros(5), 0);
+        assert!(!r.idle_at(SimTime::from_micros(3)));
+        assert!(r.idle_at(SimTime::from_micros(5)));
+        let d = r.submit(SimTime::from_micros(100), SimTime::from_micros(5), 0);
+        assert_eq!(d, SimTime::from_micros(105));
+    }
+
+    #[test]
+    fn category_accounting() {
+        let mut r = Resource::new("cpu", 3);
+        r.submit(SimTime::ZERO, SimTime::from_micros(7), 0);
+        r.submit(SimTime::ZERO, SimTime::from_micros(11), 2);
+        r.submit(SimTime::ZERO, SimTime::from_micros(13), 2);
+        assert_eq!(r.category_busy(0), SimTime::from_micros(7));
+        assert_eq!(r.category_busy(1), SimTime::ZERO);
+        assert_eq!(r.category_busy(2), SimTime::from_micros(24));
+        assert_eq!(r.stats().busy, SimTime::from_micros(31));
+    }
+
+    #[test]
+    fn utilization() {
+        let mut r = Resource::new("nic", 1);
+        r.submit(SimTime::ZERO, SimTime::from_micros(25), 0);
+        let u = r.stats().utilization(SimTime::from_micros(100));
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(r.stats().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_horizon() {
+        let mut r = Resource::new("cpu", 2);
+        r.submit(SimTime::ZERO, SimTime::from_micros(50), 1);
+        r.reset_stats();
+        assert_eq!(r.stats().jobs, 0);
+        assert_eq!(r.category_busy(1), SimTime::ZERO);
+        // Horizon survives: new work queues behind old.
+        let d = r.submit(SimTime::ZERO, SimTime::from_micros(1), 0);
+        assert_eq!(d, SimTime::from_micros(51));
+    }
+}

@@ -1,0 +1,227 @@
+//! Small statistics helpers shared by the simulation and the harness.
+
+use crate::time::SimTime;
+
+/// A saturating event counter with byte accounting.
+///
+/// # Example
+///
+/// ```
+/// use press_sim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(1024);
+/// c.add(2048);
+/// assert_eq!(c.count(), 2);
+/// assert_eq!(c.bytes(), 3072);
+/// assert_eq!(c.mean_size(), 1536.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+    bytes: u64,
+}
+
+impl Counter {
+    /// Records one event of `bytes` bytes.
+    pub fn add(&mut self, bytes: u64) {
+        self.count = self.count.saturating_add(1);
+        self.bytes = self.bytes.saturating_add(bytes);
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: Counter) {
+        self.count = self.count.saturating_add(other.count);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+    }
+
+    /// Number of recorded events.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total recorded bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean event size in bytes, or zero with no events.
+    pub fn mean_size(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.count as f64
+        }
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use press_sim::MeanVar;
+///
+/// let mut mv = MeanVar::default();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     mv.push(x);
+/// }
+/// assert_eq!(mv.mean(), 5.0);
+/// assert!((mv.variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero with no observations).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or number of open connections over simulated time.
+///
+/// # Example
+///
+/// ```
+/// use press_sim::{TimeWeighted, SimTime};
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.update(SimTime::from_secs(1), 10.0); // value was 0 for 1s
+/// tw.update(SimTime::from_secs(3), 0.0);  // value was 10 for 2s
+/// assert!((tw.average(SimTime::from_secs(3)) - 20.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    last_at: SimTime,
+    value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_at: start,
+            value,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `at`.
+    ///
+    /// Updates with `at` earlier than the previous update are ignored
+    /// (the signal is assumed right-continuous).
+    pub fn update(&mut self, at: SimTime, value: f64) {
+        if at > self.last_at {
+            let dt = (at - self.last_at).as_secs_f64();
+            self.weighted_sum += self.value * dt;
+            self.last_at = at;
+        }
+        self.value = value;
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[start, until]`.
+    pub fn average(&self, until: SimTime) -> f64 {
+        let mut sum = self.weighted_sum;
+        if until > self.last_at {
+            sum += self.value * (until - self.last_at).as_secs_f64();
+        }
+        let span = until.saturating_sub(self.start).as_secs_f64();
+        if span == 0.0 {
+            self.value
+        } else {
+            sum / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merge() {
+        let mut a = Counter::default();
+        a.add(10);
+        let mut b = Counter::default();
+        b.add(20);
+        b.add(30);
+        a.merge(b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bytes(), 60);
+    }
+
+    #[test]
+    fn counter_empty_mean() {
+        assert_eq!(Counter::default().mean_size(), 0.0);
+    }
+
+    #[test]
+    fn meanvar_small_counts() {
+        let mut mv = MeanVar::default();
+        assert_eq!(mv.mean(), 0.0);
+        assert_eq!(mv.variance(), 0.0);
+        mv.push(3.0);
+        assert_eq!(mv.mean(), 3.0);
+        assert_eq!(mv.variance(), 0.0);
+        assert_eq!(mv.count(), 1);
+    }
+
+    #[test]
+    fn time_weighted_ignores_out_of_order() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(1), 5.0);
+        tw.update(SimTime::from_secs(3), 1.0);
+        tw.update(SimTime::from_secs(2), 99.0); // late: value change applied, no time credit
+        let avg = tw.average(SimTime::from_secs(3));
+        assert!((avg - 5.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 99.0);
+    }
+
+    #[test]
+    fn time_weighted_extends_to_horizon() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.update(SimTime::from_secs(1), 4.0);
+        // avg over [0, 2] = (2*1 + 4*1)/2 = 3
+        assert!((tw.average(SimTime::from_secs(2)) - 3.0).abs() < 1e-12);
+    }
+}

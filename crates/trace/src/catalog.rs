@@ -1,0 +1,243 @@
+//! File catalogs: the set of (static) files a server instance exports.
+
+use rand::Rng;
+use rand_distr_lognormal::LogNormal;
+
+/// Identifier of a file in a [`FileCatalog`], by popularity rank
+/// (0 = most popular).
+///
+/// Indexing by popularity rank makes Zipf sampling, cache-hit analysis and
+/// the paper's `z(n, F)` algebra line up with no indirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// An immutable catalog of file sizes, indexed by popularity rank.
+///
+/// # Example
+///
+/// ```
+/// use press_trace::{FileCatalog, FileId};
+///
+/// let cat = FileCatalog::from_sizes(vec![4096, 1024, 65536]);
+/// assert_eq!(cat.len(), 3);
+/// assert_eq!(cat.size(FileId(1)), 1024);
+/// assert_eq!(cat.total_bytes(), 70656);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileCatalog {
+    sizes: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl FileCatalog {
+    /// Builds a catalog from explicit sizes; index i is popularity rank i.
+    pub fn from_sizes(sizes: Vec<u64>) -> Self {
+        let total_bytes = sizes.iter().sum();
+        FileCatalog { sizes, total_bytes }
+    }
+
+    /// Generates a catalog of `n` files whose sizes follow a (truncated)
+    /// lognormal distribution with the given mean, with popular files biased
+    /// toward smaller sizes.
+    ///
+    /// `size_bias` in `[0, 1]` controls how strongly popularity correlates
+    /// with small size: `0.0` assigns sizes to ranks at random, `1.0`
+    /// assigns them fully sorted (rank 0 gets the smallest file). Real WWW
+    /// traces show average requested size below average file size, i.e. a
+    /// positive bias.
+    ///
+    /// Sizes are clamped to `[min_bytes, max_bytes]`; the lognormal σ is
+    /// fixed at 1.5 (heavy-tailed, matching observed WWW file-size spreads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `mean_bytes == 0`, or `min_bytes > max_bytes`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        mean_bytes: u64,
+        min_bytes: u64,
+        max_bytes: u64,
+        size_bias: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "catalog must contain at least one file");
+        assert!(mean_bytes > 0, "mean size must be positive");
+        assert!(min_bytes <= max_bytes, "min size exceeds max size");
+        const SIGMA: f64 = 1.5;
+        // For lognormal, mean = exp(mu + sigma^2/2).
+        let mu = (mean_bytes as f64).ln() - SIGMA * SIGMA / 2.0;
+        let dist = LogNormal::new(mu, SIGMA);
+        let mut sizes: Vec<u64> = (0..n)
+            .map(|_| (dist.sample(rng).round() as u64).clamp(min_bytes, max_bytes))
+            .collect();
+        // Rescale so the empirical mean hits the target despite truncation.
+        let empirical = sizes.iter().sum::<u64>() as f64 / n as f64;
+        let scale = mean_bytes as f64 / empirical;
+        for s in &mut sizes {
+            *s = ((*s as f64 * scale).round() as u64).clamp(min_bytes, max_bytes);
+        }
+
+        // Size-popularity bias: interpolate between fully sorted
+        // (bias = 1, rank 0 gets the smallest file) and a uniform shuffle
+        // (bias = 0). Each file's sort key blends its normalized sorted
+        // position with an independent uniform draw.
+        sizes.sort_unstable();
+        let size_bias = size_bias.clamp(0.0, 1.0);
+        if size_bias < 1.0 {
+            let n_f = n as f64;
+            let mut keyed: Vec<(f64, u64)> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let key = size_bias * (i as f64 / n_f) + (1.0 - size_bias) * rng.gen::<f64>();
+                    (key, s)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("keys are finite"));
+            sizes = keyed.into_iter().map(|(_, s)| s).collect();
+        }
+        FileCatalog::from_sizes(sizes)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Size in bytes of file `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn size(&self, id: FileId) -> u64 {
+        self.sizes[id.0 as usize]
+    }
+
+    /// Sum of all file sizes (the working-set size).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Mean file size in bytes.
+    pub fn mean_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.sizes.len() as f64
+        }
+    }
+
+    /// Iterates over `(FileId, size)` pairs in popularity order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, u64)> + '_ {
+        self.sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (FileId(i as u32), s))
+    }
+}
+
+/// Minimal lognormal sampler (Box–Muller over `exp`), local to this crate to
+/// avoid pulling in `rand_distr`.
+mod rand_distr_lognormal {
+    use rand::Rng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct LogNormal {
+        mu: f64,
+        sigma: f64,
+    }
+
+    impl LogNormal {
+        pub fn new(mu: f64, sigma: f64) -> Self {
+            LogNormal { mu, sigma }
+        }
+
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.mu + self.sigma * z).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_sizes_accessors() {
+        let cat = FileCatalog::from_sizes(vec![10, 20, 30]);
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.size(FileId(2)), 30);
+        assert_eq!(cat.total_bytes(), 60);
+        assert_eq!(cat.mean_size(), 20.0);
+        let ids: Vec<u32> = cat.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn generate_hits_target_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cat = FileCatalog::generate(20_000, 14_540, 64, 2 << 20, 0.6, &mut rng);
+        let rel = (cat.mean_size() - 14_540.0).abs() / 14_540.0;
+        assert!(rel < 0.05, "mean off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn generate_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cat = FileCatalog::generate(5_000, 10_000, 512, 100_000, 0.5, &mut rng);
+        for (_, s) in cat.iter() {
+            assert!((512..=100_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn bias_makes_popular_files_smaller() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cat = FileCatalog::generate(10_000, 20_000, 64, 4 << 20, 0.7, &mut rng);
+        let head: f64 = (0..1000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 1000.0;
+        let tail: f64 = (9000..10_000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 1000.0;
+        assert!(head < tail, "head {head} should be smaller than tail {tail}");
+    }
+
+    #[test]
+    fn zero_bias_is_roughly_uncorrelated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cat = FileCatalog::generate(10_000, 20_000, 64, 4 << 20, 0.0, &mut rng);
+        let head: f64 = (0..5000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 5000.0;
+        let tail: f64 = (5000..10_000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 5000.0;
+        let ratio = head / tail;
+        assert!(ratio > 0.7 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FileCatalog::generate(100, 8000, 64, 1 << 20, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = FileCatalog::generate(100, 8000, 64, 1 << 20, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn generate_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FileCatalog::generate(0, 1000, 64, 2048, 0.5, &mut rng);
+    }
+}

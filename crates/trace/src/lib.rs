@@ -1,0 +1,39 @@
+//! Synthetic WWW server workloads for the PRESS reproduction.
+//!
+//! The paper drives its 8-node cluster with four real WWW traces
+//! (Clarknet, Forth, Nasa, Rutgers — Table 1). Those traces are not
+//! redistributable, so this crate generates *synthetic equivalents*: a file
+//! catalog with a heavy-tailed (lognormal) size distribution and a Zipf-like
+//! popularity distribution (the paper's own modeling section approximates
+//! WWW access patterns with Zipf, α ≈ 0.8, citing Breslau et al.).
+//!
+//! Each preset matches the corresponding trace's Table 1 statistics:
+//! number of files, average file size, number of requests, and average
+//! *requested* size (popular files are smaller than average in all four
+//! traces, which the generator reproduces with a size–popularity bias).
+//!
+//! # Example
+//!
+//! ```
+//! use press_trace::{TracePreset, Workload};
+//!
+//! let wl = Workload::from_preset(TracePreset::Clarknet, 42);
+//! assert_eq!(wl.catalog().len(), 28_864);
+//! let stats = wl.stats();
+//! // Average file size calibrated to ~14.2 KB:
+//! assert!((stats.avg_file_bytes - 14.2 * 1024.0).abs() / (14.2 * 1024.0) < 0.05);
+//! ```
+
+mod catalog;
+mod log;
+mod presets;
+mod stats;
+mod stream;
+mod zipf;
+
+pub use catalog::{FileCatalog, FileId};
+pub use log::RequestLog;
+pub use presets::{TracePreset, WorkloadSpec};
+pub use stats::TraceStats;
+pub use stream::{RequestStream, Workload};
+pub use zipf::{zipf_mass, ZipfSampler};

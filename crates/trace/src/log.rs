@@ -1,0 +1,246 @@
+//! Reading and writing request logs.
+//!
+//! The paper replays real WWW server access logs. This module provides a
+//! minimal, line-oriented log format so users can (a) export the synthetic
+//! workloads for inspection or external tools, and (b) replay their own
+//! traces through the simulator after converting them to this format:
+//!
+//! ```text
+//! # press request log v1
+//! # file_id<TAB>bytes
+//! 17<TAB>8192
+//! 3<TAB>1024
+//! ```
+//!
+//! File ids index a catalog; each distinct id's byte size must be
+//! consistent across the log (the loader validates this and rebuilds the
+//! catalog from the log).
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::catalog::{FileCatalog, FileId};
+use crate::stats::TraceStats;
+
+/// Magic first line of the log format.
+const HEADER: &str = "# press request log v1";
+
+/// A materialized request trace: a catalog plus an ordered request list.
+///
+/// # Example
+///
+/// ```
+/// use press_trace::{RequestLog, Workload, WorkloadSpec};
+///
+/// let wl = Workload::from_spec(WorkloadSpec::tiny(), 7);
+/// let log = RequestLog::sample(&wl, 100, 1);
+/// let mut buf = Vec::new();
+/// log.write(&mut buf)?;
+/// let back = RequestLog::read(buf.as_slice())?;
+/// assert_eq!(back.requests(), log.requests());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestLog {
+    catalog: FileCatalog,
+    requests: Vec<FileId>,
+}
+
+impl RequestLog {
+    /// Builds a log by sampling `n` requests from a workload.
+    pub fn sample(workload: &crate::stream::Workload, n: usize, seed: u64) -> Self {
+        let requests: Vec<FileId> = workload.stream(seed).take(n).collect();
+        RequestLog {
+            catalog: workload.catalog().clone(),
+            requests,
+        }
+    }
+
+    /// Builds a log from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request references a file outside the catalog.
+    pub fn from_parts(catalog: FileCatalog, requests: Vec<FileId>) -> Self {
+        for r in &requests {
+            assert!(
+                (r.0 as usize) < catalog.len(),
+                "request for unknown file {r}"
+            );
+        }
+        RequestLog { catalog, requests }
+    }
+
+    /// The catalog reconstructed from (or supplied with) the log.
+    pub fn catalog(&self) -> &FileCatalog {
+        &self.catalog
+    }
+
+    /// The ordered requests.
+    pub fn requests(&self) -> &[FileId] {
+        &self.requests
+    }
+
+    /// Summary statistics of the log (exact, from the recorded requests).
+    pub fn stats(&self) -> TraceStats {
+        let total: u64 = self
+            .requests
+            .iter()
+            .map(|&f| self.catalog.size(f))
+            .sum();
+        TraceStats {
+            name: String::new(),
+            num_files: self.catalog.len(),
+            avg_file_bytes: self.catalog.mean_size(),
+            num_requests: self.requests.len() as u64,
+            avg_request_bytes: if self.requests.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.requests.len() as f64
+            },
+        }
+    }
+
+    /// Writes the log in the line format described at module level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut out = BufWriter::new(w);
+        writeln!(out, "{HEADER}")?;
+        writeln!(out, "# file_id\tbytes")?;
+        for &f in &self.requests {
+            writeln!(out, "{}\t{}", f.0, self.catalog.size(f))?;
+        }
+        out.flush()
+    }
+
+    /// Reads a log, rebuilding the catalog from the observed
+    /// (id, size) pairs. Unobserved catalog entries are lost — a log
+    /// round-trips exactly only when every file was requested at least
+    /// once; the requests themselves always round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad header, malformed lines, or a file id
+    /// appearing with two different sizes.
+    pub fn read<R: Read>(r: R) -> io::Result<Self> {
+        let mut lines = BufReader::new(r).lines();
+        let first = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| bad("empty log"))?;
+        if first.trim() != HEADER {
+            return Err(bad("missing log header"));
+        }
+        let mut sizes: Vec<Option<u64>> = Vec::new();
+        let mut requests = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (id_str, size_str) = line
+                .split_once('\t')
+                .ok_or_else(|| bad(&format!("line {}: expected id<TAB>bytes", lineno + 2)))?;
+            let id: u32 = id_str
+                .parse()
+                .map_err(|_| bad(&format!("line {}: bad file id", lineno + 2)))?;
+            let size: u64 = size_str
+                .parse()
+                .map_err(|_| bad(&format!("line {}: bad size", lineno + 2)))?;
+            if sizes.len() <= id as usize {
+                sizes.resize(id as usize + 1, None);
+            }
+            match sizes[id as usize] {
+                None => sizes[id as usize] = Some(size),
+                Some(existing) if existing != size => {
+                    return Err(bad(&format!(
+                        "file {id} appears with sizes {existing} and {size}"
+                    )))
+                }
+                Some(_) => {}
+            }
+            requests.push(FileId(id));
+        }
+        let catalog = FileCatalog::from_sizes(
+            sizes.into_iter().map(|s| s.unwrap_or(0)).collect(),
+        );
+        Ok(RequestLog { catalog, requests })
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::WorkloadSpec;
+    use crate::stream::Workload;
+
+    fn tiny_log() -> RequestLog {
+        let wl = Workload::from_spec(WorkloadSpec::tiny(), 3);
+        RequestLog::sample(&wl, 500, 11)
+    }
+
+    #[test]
+    fn sample_has_requested_count() {
+        let log = tiny_log();
+        assert_eq!(log.requests().len(), 500);
+        assert!(log.stats().avg_request_bytes > 0.0);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let log = tiny_log();
+        let mut buf = Vec::new();
+        log.write(&mut buf).expect("write");
+        let back = RequestLog::read(buf.as_slice()).expect("read");
+        assert_eq!(back.requests(), log.requests());
+        // Sizes of requested files survive.
+        for &f in log.requests() {
+            assert_eq!(back.catalog().size(f), log.catalog().size(f));
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = RequestLog::read("1\t100\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_inconsistent_sizes() {
+        let text = format!("{HEADER}\n1\t100\n1\t200\n");
+        let err = RequestLog::read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("sizes"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = format!("{HEADER}\nnot-a-line\n");
+        assert!(RequestLog::read(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\nx\t100\n");
+        assert!(RequestLog::read(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\n1\tlots\n");
+        assert!(RequestLog::read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = format!("{HEADER}\n# comment\n\n3\t64\n");
+        let log = RequestLog::read(text.as_bytes()).expect("read");
+        assert_eq!(log.requests(), &[FileId(3)]);
+        assert_eq!(log.catalog().size(FileId(3)), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn from_parts_validates() {
+        let catalog = FileCatalog::from_sizes(vec![10, 20]);
+        let _ = RequestLog::from_parts(catalog, vec![FileId(5)]);
+    }
+}

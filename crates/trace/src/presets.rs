@@ -1,0 +1,150 @@
+//! Workload presets matching Table 1 of the paper.
+
+/// The four WWW server traces evaluated in the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TracePreset {
+    /// Commercial Internet provider trace: many small files.
+    Clarknet,
+    /// FORTH Institute (Greece): small trace, small requests.
+    Forth,
+    /// NASA Kennedy Space Center: few, large files; large requests.
+    Nasa,
+    /// Rutgers CS department, March 2000: large files.
+    Rutgers,
+}
+
+impl TracePreset {
+    /// All presets, in the order the paper's figures list them.
+    pub const ALL: [TracePreset; 4] = [
+        TracePreset::Clarknet,
+        TracePreset::Forth,
+        TracePreset::Nasa,
+        TracePreset::Rutgers,
+    ];
+
+    /// The trace's display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePreset::Clarknet => "Clarknet",
+            TracePreset::Forth => "Forth",
+            TracePreset::Nasa => "Nasa",
+            TracePreset::Rutgers => "Rutgers",
+        }
+    }
+
+    /// The generation parameters reproducing this trace's Table 1 row.
+    pub fn spec(self) -> WorkloadSpec {
+        // Table 1 of the paper. Sizes there are decimal-ish KB; we treat
+        // them as KiB, which is within the calibration slack of the study.
+        match self {
+            TracePreset::Clarknet => WorkloadSpec {
+                num_files: 28_864,
+                avg_file_bytes: (14.2 * 1024.0) as u64,
+                num_requests: 2_978_121,
+                target_avg_request_bytes: (9.7 * 1024.0) as u64,
+                zipf_alpha: 0.8,
+                size_bias: 0.42,
+            },
+            TracePreset::Forth => WorkloadSpec {
+                num_files: 11_931,
+                avg_file_bytes: (19.3 * 1024.0) as u64,
+                num_requests: 400_335,
+                target_avg_request_bytes: (8.8 * 1024.0) as u64,
+                zipf_alpha: 0.8,
+                size_bias: 0.72,
+            },
+            TracePreset::Nasa => WorkloadSpec {
+                num_files: 9_129,
+                avg_file_bytes: (27.6 * 1024.0) as u64,
+                num_requests: 3_147_684,
+                target_avg_request_bytes: (21.8 * 1024.0) as u64,
+                zipf_alpha: 0.8,
+                size_bias: 0.22,
+            },
+            TracePreset::Rutgers => WorkloadSpec {
+                num_files: 18_370,
+                avg_file_bytes: (27.3 * 1024.0) as u64,
+                num_requests: 498_646,
+                target_avg_request_bytes: (19.0 * 1024.0) as u64,
+                zipf_alpha: 0.8,
+                size_bias: 0.33,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TracePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters from which a [`crate::Workload`] is generated.
+///
+/// The fields mirror Table 1 of the paper plus the two distribution knobs
+/// (`zipf_alpha`, `size_bias`) that shape popularity and the
+/// size–popularity correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of distinct files served.
+    pub num_files: usize,
+    /// Target mean file size in bytes.
+    pub avg_file_bytes: u64,
+    /// Number of requests in the full trace (used by the harness to scale
+    /// message-count tables to the paper's totals).
+    pub num_requests: u64,
+    /// Target mean *requested* size in bytes (popularity-weighted).
+    pub target_avg_request_bytes: u64,
+    /// Zipf exponent of the popularity distribution.
+    pub zipf_alpha: f64,
+    /// Size–popularity bias passed to [`crate::FileCatalog::generate`].
+    pub size_bias: f64,
+}
+
+impl WorkloadSpec {
+    /// A tiny spec for fast unit tests and doc examples.
+    pub fn tiny() -> Self {
+        WorkloadSpec {
+            num_files: 200,
+            avg_file_bytes: 8 * 1024,
+            num_requests: 10_000,
+            target_avg_request_bytes: 6 * 1024,
+            zipf_alpha: 0.8,
+            size_bias: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_match_paper() {
+        let names: Vec<&str> = TracePreset::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["Clarknet", "Forth", "Nasa", "Rutgers"]);
+    }
+
+    #[test]
+    fn specs_match_table1_counts() {
+        assert_eq!(TracePreset::Clarknet.spec().num_files, 28_864);
+        assert_eq!(TracePreset::Forth.spec().num_requests, 400_335);
+        assert_eq!(TracePreset::Nasa.spec().num_files, 9_129);
+        assert_eq!(TracePreset::Rutgers.spec().num_files, 18_370);
+    }
+
+    #[test]
+    fn all_specs_request_smaller_than_file_mean() {
+        // Table 1: every trace's average requested size is below its
+        // average file size.
+        for p in TracePreset::ALL {
+            let s = p.spec();
+            assert!(s.target_avg_request_bytes < s.avg_file_bytes, "{p}");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(TracePreset::Nasa.to_string(), "Nasa");
+    }
+}

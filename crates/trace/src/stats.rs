@@ -1,0 +1,75 @@
+//! Trace statistics — the rows of Table 1.
+
+/// Summary statistics of a workload, matching the columns of Table 1 in the
+/// paper ("Main characteristics of the WWW server traces").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Trace name (empty when derived from a bare spec).
+    pub name: String,
+    /// Number of distinct files.
+    pub num_files: usize,
+    /// Mean file size in bytes.
+    pub avg_file_bytes: f64,
+    /// Number of requests in the full trace.
+    pub num_requests: u64,
+    /// Popularity-weighted mean requested size in bytes.
+    pub avg_request_bytes: f64,
+}
+
+impl TraceStats {
+    /// Formats the stats as a Table 1 row:
+    /// `name, num files, avg file size (KB), num requests, avg req size (KB)`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>8} {:>12.1} {:>12} {:>12.1}",
+            self.name,
+            self.num_files,
+            self.avg_file_bytes / 1024.0,
+            self.num_requests,
+            self.avg_request_bytes / 1024.0,
+        )
+    }
+
+    /// The header matching [`TraceStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>8} {:>12} {:>12} {:>12}",
+            "Logs", "Files", "AvgFile(KB)", "Requests", "AvgReq(KB)"
+        )
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_kilobytes() {
+        let s = TraceStats {
+            name: "Clarknet".into(),
+            num_files: 28_864,
+            avg_file_bytes: 14.2 * 1024.0,
+            num_requests: 2_978_121,
+            avg_request_bytes: 9.7 * 1024.0,
+        };
+        let row = s.table_row();
+        assert!(row.contains("Clarknet"));
+        assert!(row.contains("28864"));
+        assert!(row.contains("14.2"));
+        assert!(row.contains("9.7"));
+        assert_eq!(s.to_string(), row);
+    }
+
+    #[test]
+    fn header_aligns_with_row() {
+        // Same number of columns; widths chosen to line up.
+        let header = TraceStats::table_header();
+        assert!(header.contains("AvgReq(KB)"));
+    }
+}

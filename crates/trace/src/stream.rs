@@ -1,0 +1,218 @@
+//! Workloads and request streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{FileCatalog, FileId};
+use crate::presets::{TracePreset, WorkloadSpec};
+use crate::stats::TraceStats;
+use crate::zipf::ZipfSampler;
+
+/// A complete synthetic workload: file catalog plus popularity distribution.
+///
+/// Construction calibrates the size–popularity bias so that the expected
+/// requested size matches the preset's Table 1 target (bisection over the
+/// bias knob; the expectation is computed analytically from the Zipf
+/// probabilities, so calibration is exact up to generation noise).
+///
+/// # Example
+///
+/// ```
+/// use press_trace::{Workload, WorkloadSpec};
+///
+/// let wl = Workload::from_spec(WorkloadSpec::tiny(), 7);
+/// let mut rng = rand::thread_rng();
+/// let id = wl.sample(&mut rng);
+/// assert!(wl.catalog().size(id) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    catalog: FileCatalog,
+    sampler: ZipfSampler,
+}
+
+impl Workload {
+    /// Generates the workload for a paper trace preset.
+    pub fn from_preset(preset: TracePreset, seed: u64) -> Self {
+        Workload::from_spec(preset.spec(), seed)
+    }
+
+    /// Generates a workload from an explicit spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero files or zero mean size).
+    pub fn from_spec(spec: WorkloadSpec, seed: u64) -> Self {
+        let sampler = ZipfSampler::new(spec.num_files, spec.zipf_alpha);
+        let max_bytes = (spec.avg_file_bytes * 64).max(1 << 20);
+        let generate = |bias: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FileCatalog::generate(spec.num_files, spec.avg_file_bytes, 64, max_bytes, bias, &mut rng)
+        };
+        // Bisection on the bias: expected requested size is monotonically
+        // decreasing in bias (more bias -> popular files smaller).
+        let target = spec.target_avg_request_bytes as f64;
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        let mut best = generate(spec.size_bias, seed);
+        let mut best_err = f64::INFINITY;
+        for _ in 0..12 {
+            let mid = 0.5 * (lo + hi);
+            let cat = generate(mid, seed);
+            let expected = expected_request_bytes(&cat, &sampler);
+            let err = (expected - target).abs();
+            if err < best_err {
+                best_err = err;
+                best = cat;
+            }
+            if expected > target {
+                lo = mid; // need more bias
+            } else {
+                hi = mid;
+            }
+            if err / target < 0.01 {
+                break;
+            }
+        }
+        Workload {
+            spec,
+            catalog: best,
+            sampler,
+        }
+    }
+
+    /// The generation spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The file catalog.
+    pub fn catalog(&self) -> &FileCatalog {
+        &self.catalog
+    }
+
+    /// The popularity distribution.
+    pub fn sampler(&self) -> &ZipfSampler {
+        &self.sampler
+    }
+
+    /// Draws the next requested file.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FileId {
+        FileId(self.sampler.sample(rng) as u32)
+    }
+
+    /// Expected requested size in bytes (popularity-weighted mean).
+    pub fn expected_request_bytes(&self) -> f64 {
+        expected_request_bytes(&self.catalog, &self.sampler)
+    }
+
+    /// Analytic trace statistics (the Table 1 row for this workload).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            name: String::new(),
+            num_files: self.catalog.len(),
+            avg_file_bytes: self.catalog.mean_size(),
+            num_requests: self.spec.num_requests,
+            avg_request_bytes: self.expected_request_bytes(),
+        }
+    }
+
+    /// A seeded infinite iterator of requests.
+    pub fn stream(&self, seed: u64) -> RequestStream<'_> {
+        RequestStream {
+            workload: self,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+fn expected_request_bytes(catalog: &FileCatalog, sampler: &ZipfSampler) -> f64 {
+    catalog
+        .iter()
+        .map(|(id, size)| sampler.probability(id.0 as usize) * size as f64)
+        .sum()
+}
+
+/// Infinite, seeded iterator over requested files.
+///
+/// # Example
+///
+/// ```
+/// use press_trace::{Workload, WorkloadSpec};
+///
+/// let wl = Workload::from_spec(WorkloadSpec::tiny(), 7);
+/// let ids: Vec<_> = wl.stream(1).take(3).collect();
+/// let again: Vec<_> = wl.stream(1).take(3).collect();
+/// assert_eq!(ids, again); // same seed, same stream
+/// ```
+#[derive(Debug)]
+pub struct RequestStream<'a> {
+    workload: &'a Workload,
+    rng: StdRng,
+}
+
+impl Iterator for RequestStream<'_> {
+    type Item = FileId;
+
+    fn next(&mut self) -> Option<FileId> {
+        Some(self.workload.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_request_size_target() {
+        for preset in TracePreset::ALL {
+            let wl = Workload::from_preset(preset, 11);
+            let spec = preset.spec();
+            let rel = (wl.expected_request_bytes() - spec.target_avg_request_bytes as f64).abs()
+                / spec.target_avg_request_bytes as f64;
+            assert!(
+                rel < 0.10,
+                "{preset}: expected request bytes off by {:.1}%",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn file_mean_stays_on_target() {
+        let wl = Workload::from_preset(TracePreset::Nasa, 5);
+        let target = TracePreset::Nasa.spec().avg_file_bytes as f64;
+        let rel = (wl.catalog().mean_size() - target).abs() / target;
+        assert!(rel < 0.05, "off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let wl = Workload::from_spec(WorkloadSpec::tiny(), 3);
+        let a: Vec<_> = wl.stream(9).take(100).collect();
+        let b: Vec<_> = wl.stream(9).take(100).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = wl.stream(10).take(100).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let wl = Workload::from_spec(WorkloadSpec::tiny(), 3);
+        for id in wl.stream(4).take(1000) {
+            assert!((id.0 as usize) < wl.catalog().len());
+        }
+    }
+
+    #[test]
+    fn popular_files_requested_more() {
+        let wl = Workload::from_spec(WorkloadSpec::tiny(), 3);
+        let mut counts = vec![0u32; wl.catalog().len()];
+        for id in wl.stream(5).take(50_000) {
+            counts[id.0 as usize] += 1;
+        }
+        let head: u32 = counts[..20].iter().sum();
+        let tail: u32 = counts[counts.len() - 20..].iter().sum();
+        assert!(head > tail * 5, "head {head} vs tail {tail}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Zipf-like popularity distributions.
+//!
+//! The paper models file popularity with a Zipf-like distribution where the
+//! probability of a request for the i'th most popular file is proportional
+//! to `1/i^α`, with `α` typically below one (α = 0.8 in Table 5). Both the
+//! workload generator and the analytical model need the *accumulated* mass
+//! of the top-n files, `z(n, F)` — provided here as [`zipf_mass`].
+
+use rand::Rng;
+
+/// Accumulated probability `z(n, F)` of requesting the `n` most popular
+/// files out of `F`, under a Zipf-like distribution with exponent `alpha`.
+///
+/// This is the generalized harmonic ratio `H(n, α) / H(F, α)`. Inputs are
+/// clamped: `n` is capped at `f`, and `f == 0` yields `0.0`.
+///
+/// # Example
+///
+/// ```
+/// use press_trace::zipf_mass;
+///
+/// let all = zipf_mass(1000, 1000, 0.8);
+/// assert!((all - 1.0).abs() < 1e-12);
+/// // The head holds disproportionate mass:
+/// assert!(zipf_mass(100, 1000, 0.8) > 0.3);
+/// assert!(zipf_mass(0, 1000, 0.8) == 0.0);
+/// ```
+pub fn zipf_mass(n: usize, f: usize, alpha: f64) -> f64 {
+    if f == 0 {
+        return 0.0;
+    }
+    let n = n.min(f);
+    harmonic(n, alpha) / harmonic(f, alpha)
+}
+
+/// Generalized harmonic number `H(n, α) = Σ_{i=1..n} 1/i^α`.
+///
+/// Exact summation for small `n`; for large `n` the tail is approximated by
+/// the integral of `x^-α` (Euler–Maclaurin leading term), which keeps model
+/// sweeps over millions of files fast while staying within 1e-6 relative
+/// error of the exact sum.
+pub fn harmonic(n: usize, alpha: f64) -> f64 {
+    const EXACT_LIMIT: usize = 100_000;
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= EXACT_LIMIT {
+        return (1..=n).map(|i| (i as f64).powf(-alpha)).sum();
+    }
+    let head = cached_head(alpha, EXACT_LIMIT);
+    let a = EXACT_LIMIT as f64 + 0.5;
+    let b = n as f64 + 0.5;
+    let tail = if (alpha - 1.0).abs() < 1e-12 {
+        (b / a).ln()
+    } else {
+        (b.powf(1.0 - alpha) - a.powf(1.0 - alpha)) / (1.0 - alpha)
+    };
+    head + tail
+}
+
+/// Memoizes `H(EXACT_LIMIT, α)` per exponent — model sweeps call
+/// [`harmonic`] thousands of times with a handful of distinct alphas.
+fn cached_head(alpha: f64, limit: usize) -> f64 {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static HEADS: RefCell<HashMap<u64, f64>> = RefCell::new(HashMap::new());
+    }
+    HEADS.with(|h| {
+        *h.borrow_mut().entry(alpha.to_bits()).or_insert_with(|| {
+            (1..=limit).map(|i| (i as f64).powf(-alpha)).sum()
+        })
+    })
+}
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^α`.
+///
+/// Uses a precomputed CDF with binary search: O(n) memory, O(log n) per
+/// sample, exact to f64 precision — appropriate for catalogs of up to a few
+/// million files.
+///
+/// # Example
+///
+/// ```
+/// use press_trace::ZipfSampler;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let z = ZipfSampler::new(1000, 0.8);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut head = 0u32;
+/// for _ in 0..1000 {
+///     if z.sample(&mut rng) < 100 {
+///         head += 1;
+///     }
+/// }
+/// // ~53% of mass lives in the top decile at alpha = 0.8.
+/// assert!(head > 450 && head < 610);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The Zipf exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of rank `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_mass_boundaries() {
+        assert_eq!(zipf_mass(0, 100, 0.8), 0.0);
+        assert!((zipf_mass(100, 100, 0.8) - 1.0).abs() < 1e-12);
+        assert!((zipf_mass(500, 100, 0.8) - 1.0).abs() < 1e-12); // n clamped
+        assert_eq!(zipf_mass(10, 0, 0.8), 0.0);
+    }
+
+    #[test]
+    fn zipf_mass_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in 1..=50 {
+            let m = zipf_mass(n, 50, 0.8);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn harmonic_approximation_matches_exact() {
+        // Compare approximate path (n > 100k) against direct summation.
+        let n = 150_000;
+        let exact: f64 = (1..=n).map(|i| (i as f64).powf(-0.8)).sum();
+        let approx = harmonic(n, 0.8);
+        assert!((exact - approx).abs() / exact < 1e-6);
+    }
+
+    #[test]
+    fn sampler_probabilities_sum_to_one() {
+        let z = ZipfSampler::new(500, 0.8);
+        let total: f64 = (0..500).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(499));
+    }
+
+    #[test]
+    fn sampler_empirical_head_mass() {
+        let z = ZipfSampler::new(10_000, 0.8);
+        let expected = zipf_mass(1000, 10_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(123);
+        let draws = 200_000;
+        let head = (0..draws).filter(|_| z.sample(&mut rng) < 1000).count();
+        let observed = head as f64 / draws as f64;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sampler_uniform_when_alpha_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn sampler_rejects_empty() {
+        let _ = ZipfSampler::new(0, 0.8);
+    }
+}

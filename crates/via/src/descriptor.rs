@@ -1,0 +1,105 @@
+//! Work-queue descriptors and their completions.
+
+use crate::mem::MemHandle;
+
+/// A work descriptor: names the registered buffer segment taking part in
+/// a send, receive, or remote write (Section 2.1: "each descriptor
+/// contains all the information that the network interface controller
+/// needs to process the corresponding request").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// The registered region holding (send) or receiving (recv) the data.
+    pub region: MemHandle,
+    /// Byte offset within the region.
+    pub offset: usize,
+    /// Length of the segment in bytes.
+    pub len: usize,
+}
+
+impl Descriptor {
+    /// Describes `len` bytes at `offset` within `region`.
+    pub fn new(region: MemHandle, offset: usize, len: usize) -> Self {
+        Descriptor {
+            region,
+            offset,
+            len,
+        }
+    }
+}
+
+/// What a completed descriptor did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// A send descriptor completed.
+    Send,
+    /// A receive descriptor completed (data arrived).
+    Recv,
+    /// A remote memory write completed at the sender.
+    RdmaWrite,
+}
+
+/// A completed (or failed) descriptor, as delivered on a VI's done queue
+/// or an attached [`crate::CompletionQueue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Which VI this completion belongs to (index assigned by the fabric).
+    pub vi_id: u64,
+    /// The original descriptor.
+    pub descriptor: Descriptor,
+    /// What kind of operation completed.
+    pub kind: CompletionKind,
+    /// Bytes actually transferred (receives may be shorter than the
+    /// posted buffer).
+    pub transferred: usize,
+    /// `Err` carries the VIA error reported for this descriptor.
+    pub status: Result<(), crate::error::ViaError>,
+}
+
+impl Completion {
+    /// Whether the operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status.is_ok()
+    }
+
+    /// Bytes moved by the operation (0 on failure).
+    pub fn bytes_transferred(&self) -> usize {
+        if self.is_ok() {
+            self.transferred
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ViaError;
+
+    #[test]
+    fn descriptor_construction() {
+        let d = Descriptor::new(MemHandle(3), 16, 128);
+        assert_eq!(d.region, MemHandle(3));
+        assert_eq!(d.offset, 16);
+        assert_eq!(d.len, 128);
+    }
+
+    #[test]
+    fn completion_accessors() {
+        let ok = Completion {
+            vi_id: 1,
+            descriptor: Descriptor::new(MemHandle(0), 0, 64),
+            kind: CompletionKind::Recv,
+            transferred: 48,
+            status: Ok(()),
+        };
+        assert!(ok.is_ok());
+        assert_eq!(ok.bytes_transferred(), 48);
+        let bad = Completion {
+            status: Err(ViaError::ReceiverNotReady),
+            ..ok
+        };
+        assert!(!bad.is_ok());
+        assert_eq!(bad.bytes_transferred(), 0);
+    }
+}

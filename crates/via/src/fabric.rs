@@ -1,0 +1,1004 @@
+//! The in-process fabric: NICs, VIs, completion queues, and the engine
+//! threads that process posted descriptors asynchronously.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::descriptor::{Completion, CompletionKind, Descriptor};
+use crate::error::ViaError;
+use crate::mem::{MemHandle, Region};
+
+/// VIA reliability levels (Section 2.1). Giganet VIA — and this fabric —
+/// supports unreliable and reliable delivery, but not reliable reception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reliability {
+    /// Messages (regular and remote writes) may be lost without being
+    /// detected or retransmitted; sends still complete successfully.
+    UnreliableDelivery,
+    /// Data arrives exactly once and in order in the absence of errors;
+    /// errors (e.g. no receive descriptor posted) are reported.
+    ReliableDelivery,
+}
+
+/// Fault injection for a NIC's outgoing traffic. Only unreliable
+/// connections drop; reliable connections ignore the probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that an outgoing message is dropped.
+    pub drop_probability: f64,
+    /// RNG seed for reproducible drop patterns.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A remote region target for [`Vi::rdma_write`]: the peer communicates
+/// its registered handle (and the writer an offset) out of band, exactly
+/// as PRESS exchanges circular-buffer locations at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteBuffer {
+    /// The peer's registered region.
+    pub region: MemHandle,
+    /// Byte offset within the peer's region.
+    pub offset: usize,
+}
+
+enum EngineOp {
+    Send { vi: u64, desc: Descriptor },
+    Rdma { vi: u64, desc: Descriptor, remote: RemoteBuffer },
+    Stop,
+}
+
+struct ViState {
+    recv_queue: VecDeque<Descriptor>,
+    peer: Option<(Weak<NicShared>, u64)>,
+    reliability: Reliability,
+}
+
+struct ViShared {
+    id: u64,
+    state: Mutex<ViState>,
+    send_done: (Sender<Completion>, Receiver<Completion>),
+    recv_done: (Sender<Completion>, Receiver<Completion>),
+    /// When attached, completions go to the CQ instead of the VI queues.
+    cq: Option<Sender<Completion>>,
+}
+
+impl ViShared {
+    fn complete_send(&self, c: Completion) {
+        match &self.cq {
+            Some(cq) => {
+                let _ = cq.send(c);
+            }
+            None => {
+                let _ = self.send_done.0.send(c);
+            }
+        }
+    }
+
+    fn complete_recv(&self, c: Completion) {
+        match &self.cq {
+            Some(cq) => {
+                let _ = cq.send(c);
+            }
+            None => {
+                let _ = self.recv_done.0.send(c);
+            }
+        }
+    }
+}
+
+struct NicShared {
+    #[allow(dead_code)]
+    name: String,
+    regions: Mutex<HashMap<u64, Region>>,
+    vis: Mutex<HashMap<u64, Arc<ViShared>>>,
+    ops: Sender<EngineOp>,
+    fault: Mutex<(FaultConfig, StdRng)>,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+impl NicShared {
+    fn region(&self, h: MemHandle) -> Result<Region, ViaError> {
+        self.regions
+            .lock()
+            .get(&h.0)
+            .cloned()
+            .ok_or(ViaError::UnknownRegion)
+    }
+
+    fn validate(&self, d: &Descriptor) -> Result<Region, ViaError> {
+        let r = self.region(d.region)?;
+        if d.offset + d.len > r.len() {
+            return Err(ViaError::OutOfBounds);
+        }
+        Ok(r)
+    }
+
+    fn should_drop(&self) -> bool {
+        let mut g = self.fault.lock();
+        let p = g.0.drop_probability;
+        p > 0.0 && g.1.gen::<f64>() < p
+    }
+}
+
+/// The in-process network connecting NICs.
+///
+/// See the crate-level example for typical use.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+struct FabricInner {
+    next_mr: AtomicU64,
+    next_vi: AtomicU64,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric::new()
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                next_mr: AtomicU64::new(1),
+                next_vi: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Creates a NIC on this fabric, spawning its engine thread.
+    pub fn create_nic(&self, name: &str) -> Nic {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(NicShared {
+            name: name.to_string(),
+            regions: Mutex::new(HashMap::new()),
+            vis: Mutex::new(HashMap::new()),
+            ops: tx,
+            fault: Mutex::new((FaultConfig::default(), StdRng::seed_from_u64(0))),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let engine_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("via-nic-{name}"))
+            .spawn(move || engine_loop(engine_shared, rx))
+            .expect("spawn nic engine thread");
+        Nic {
+            fabric: self.clone(),
+            shared,
+            engine: Some(handle),
+        }
+    }
+
+    /// Connects a fresh VI pair between two NICs, returning the two
+    /// endpoints. The connection is bidirectional.
+    pub fn connect(
+        &self,
+        a: &Nic,
+        b: &Nic,
+        reliability: Reliability,
+    ) -> Result<(Vi, Vi), ViaError> {
+        self.connect_inner(a, b, reliability, None, None)
+    }
+
+    /// Like [`Fabric::connect`] but directing each endpoint's completions
+    /// to a [`CompletionQueue`] (pass `None` to keep per-VI queues).
+    pub fn connect_with_cqs(
+        &self,
+        a: &Nic,
+        b: &Nic,
+        reliability: Reliability,
+        cq_a: Option<&CompletionQueue>,
+        cq_b: Option<&CompletionQueue>,
+    ) -> Result<(Vi, Vi), ViaError> {
+        self.connect_inner(a, b, reliability, cq_a, cq_b)
+    }
+
+    fn connect_inner(
+        &self,
+        a: &Nic,
+        b: &Nic,
+        reliability: Reliability,
+        cq_a: Option<&CompletionQueue>,
+        cq_b: Option<&CompletionQueue>,
+    ) -> Result<(Vi, Vi), ViaError> {
+        let id_a = self.inner.next_vi.fetch_add(1, Ordering::Relaxed);
+        let id_b = self.inner.next_vi.fetch_add(1, Ordering::Relaxed);
+        let vi_a = Arc::new(ViShared {
+            id: id_a,
+            state: Mutex::new(ViState {
+                recv_queue: VecDeque::new(),
+                peer: Some((Arc::downgrade(&b.shared), id_b)),
+                reliability,
+            }),
+            send_done: unbounded(),
+            recv_done: unbounded(),
+            cq: cq_a.map(|c| c.tx.clone()),
+        });
+        let vi_b = Arc::new(ViShared {
+            id: id_b,
+            state: Mutex::new(ViState {
+                recv_queue: VecDeque::new(),
+                peer: Some((Arc::downgrade(&a.shared), id_a)),
+                reliability,
+            }),
+            send_done: unbounded(),
+            recv_done: unbounded(),
+            cq: cq_b.map(|c| c.tx.clone()),
+        });
+        a.shared.vis.lock().insert(id_a, Arc::clone(&vi_a));
+        b.shared.vis.lock().insert(id_b, Arc::clone(&vi_b));
+        Ok((
+            Vi {
+                shared: vi_a,
+                nic: Arc::clone(&a.shared),
+            },
+            Vi {
+                shared: vi_b,
+                nic: Arc::clone(&b.shared),
+            },
+        ))
+    }
+
+    fn next_mr(&self) -> u64 {
+        self.inner.next_mr.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A network interface: owns registered memory and an engine thread that
+/// asynchronously processes posted descriptors.
+pub struct Nic {
+    fabric: Fabric,
+    shared: Arc<NicShared>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Nic {
+    /// Registers `data` as a memory region. `allow_remote_write` grants
+    /// peers RDMA-write access (PRESS enables it for its circular
+    /// buffers, and for all cache pages in version V5).
+    pub fn register(&self, data: Vec<u8>, allow_remote_write: bool) -> Result<MemHandle, ViaError> {
+        let h = self.fabric.next_mr();
+        self.shared
+            .regions
+            .lock()
+            .insert(h, Region::new(data, allow_remote_write));
+        Ok(MemHandle(h))
+    }
+
+    /// Deregisters a region. Outstanding descriptors naming it will fail.
+    pub fn deregister(&self, h: MemHandle) -> Result<(), ViaError> {
+        self.shared
+            .regions
+            .lock()
+            .remove(&h.0)
+            .map(|_| ())
+            .ok_or(ViaError::UnknownRegion)
+    }
+
+    /// Copies `len` bytes out of a registered region (a test/debug aid;
+    /// a real application reads its own memory directly).
+    pub fn read_region(&self, h: MemHandle, offset: usize, len: usize) -> Result<Vec<u8>, ViaError> {
+        let r = self.shared.region(h)?;
+        let bytes = r.bytes.read();
+        if offset + len > bytes.len() {
+            return Err(ViaError::OutOfBounds);
+        }
+        Ok(bytes[offset..offset + len].to_vec())
+    }
+
+    /// Writes bytes into a registered region (local access; tests and
+    /// senders preparing buffers).
+    pub fn write_region(&self, h: MemHandle, offset: usize, data: &[u8]) -> Result<(), ViaError> {
+        let r = self.shared.region(h)?;
+        let mut bytes = r.bytes.write();
+        if offset + data.len() > bytes.len() {
+            return Err(ViaError::OutOfBounds);
+        }
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Configures fault injection for this NIC's outgoing messages.
+    pub fn set_fault(&self, cfg: FaultConfig) {
+        *self.shared.fault.lock() = (cfg, StdRng::seed_from_u64(cfg.seed));
+    }
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("name", &self.shared.name)
+            .field("regions", &self.shared.regions.lock().len())
+            .field("vis", &self.shared.vis.lock().len())
+            .finish()
+    }
+}
+
+impl Drop for Nic {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.shared.ops.send(EngineOp::Stop);
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One endpoint of a connected Virtual Interface pair.
+#[derive(Clone)]
+pub struct Vi {
+    shared: Arc<ViShared>,
+    nic: Arc<NicShared>,
+}
+
+impl Vi {
+    /// This endpoint's fabric-wide id (used in [`Completion::vi_id`]).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Posts a receive descriptor. Arriving messages consume descriptors
+    /// in FIFO order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the descriptor's region is unknown or out of bounds.
+    pub fn post_recv(&self, desc: Descriptor) -> Result<(), ViaError> {
+        self.nic.validate(&desc)?;
+        self.shared.state.lock().recv_queue.push_back(desc);
+        Ok(())
+    }
+
+    /// Posts a send descriptor; the NIC engine transfers the segment to
+    /// the peer's next posted receive descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails immediately if the region is unknown/out of bounds or the
+    /// engine has shut down. Delivery errors are reported through the
+    /// completion.
+    pub fn post_send(&self, desc: Descriptor) -> Result<(), ViaError> {
+        if self.nic.shutdown.load(Ordering::Acquire) {
+            return Err(ViaError::Shutdown);
+        }
+        self.nic.validate(&desc)?;
+        self.nic
+            .ops
+            .send(EngineOp::Send {
+                vi: self.shared.id,
+                desc,
+            })
+            .map_err(|_| ViaError::Shutdown)
+    }
+
+    /// Posts a remote memory write: the local segment is written into the
+    /// peer's registered region without any receiver involvement.
+    ///
+    /// # Errors
+    ///
+    /// Fails immediately on local validation problems; remote validation
+    /// problems (unknown region, bounds, permission) are reported through
+    /// the completion.
+    pub fn rdma_write(&self, desc: Descriptor, remote: RemoteBuffer) -> Result<(), ViaError> {
+        if self.nic.shutdown.load(Ordering::Acquire) {
+            return Err(ViaError::Shutdown);
+        }
+        self.nic.validate(&desc)?;
+        self.nic
+            .ops
+            .send(EngineOp::Rdma {
+                vi: self.shared.id,
+                desc,
+                remote,
+            })
+            .map_err(|_| ViaError::Shutdown)
+    }
+
+    /// Waits for the next send (or RDMA-write) completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ViaError::Timeout`] if nothing completes in time. Not available
+    /// when the VI is attached to a [`CompletionQueue`].
+    pub fn wait_send_completion(&self, timeout: Duration) -> Result<Completion, ViaError> {
+        self.shared
+            .send_done
+            .1
+            .recv_timeout(timeout)
+            .map_err(|_| ViaError::Timeout)
+    }
+
+    /// Waits for the next receive completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ViaError::Timeout`] if nothing arrives in time.
+    pub fn wait_recv_completion(&self, timeout: Duration) -> Result<Completion, ViaError> {
+        self.shared
+            .recv_done
+            .1
+            .recv_timeout(timeout)
+            .map_err(|_| ViaError::Timeout)
+    }
+
+    /// Non-blocking poll of the receive completion queue.
+    pub fn poll_recv_completion(&self) -> Option<Completion> {
+        self.shared.recv_done.1.try_recv().ok()
+    }
+
+    /// Number of receive descriptors currently posted.
+    pub fn posted_recvs(&self) -> usize {
+        self.shared.state.lock().recv_queue.len()
+    }
+
+    /// Crate-internal region access for helpers layered over a `Vi`
+    /// (e.g. [`crate::CreditChannel`]): reads registered memory of the
+    /// owning NIC.
+    pub(crate) fn region_read(
+        &self,
+        region: MemHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ViaError> {
+        let r = self.nic.region(region)?;
+        let bytes = r.bytes.read();
+        if offset + len > bytes.len() {
+            return Err(ViaError::OutOfBounds);
+        }
+        Ok(bytes[offset..offset + len].to_vec())
+    }
+
+    /// Crate-internal write into the owning NIC's registered memory.
+    pub(crate) fn region_write(
+        &self,
+        region: MemHandle,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ViaError> {
+        let r = self.nic.region(region)?;
+        let mut bytes = r.bytes.write();
+        if offset + data.len() > bytes.len() {
+            return Err(ViaError::OutOfBounds);
+        }
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Vi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vi")
+            .field("id", &self.shared.id)
+            .field("posted_recvs", &self.posted_recvs())
+            .finish()
+    }
+}
+
+/// Aggregates descriptor completions of multiple VIs into one queue
+/// (Section 2.1's CQs).
+pub struct CompletionQueue {
+    tx: Sender<Completion>,
+    rx: Receiver<Completion>,
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        CompletionQueue::new()
+    }
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        CompletionQueue { tx, rx }
+    }
+
+    /// Non-blocking poll.
+    pub fn poll(&self) -> Option<Completion> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking wait.
+    ///
+    /// # Errors
+    ///
+    /// [`ViaError::Timeout`] if nothing completes in time.
+    pub fn wait(&self, timeout: Duration) -> Result<Completion, ViaError> {
+        self.rx.recv_timeout(timeout).map_err(|_| ViaError::Timeout)
+    }
+
+    /// Number of completions waiting.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether no completions are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}
+
+/// The engine: processes this NIC's posted sends and remote writes, in
+/// order, against peers' receive queues and regions.
+fn engine_loop(nic: Arc<NicShared>, ops: Receiver<EngineOp>) {
+    while let Ok(op) = ops.recv() {
+        match op {
+            EngineOp::Stop => break,
+            EngineOp::Send { vi, desc } => process_send(&nic, vi, desc),
+            EngineOp::Rdma { vi, desc, remote } => process_rdma(&nic, vi, desc, remote),
+        }
+    }
+}
+
+/// A resolved peer endpoint: the owning NIC plus the VI state.
+type PeerRef = (Arc<NicShared>, Arc<ViShared>);
+
+fn lookup(
+    nic: &Arc<NicShared>,
+    vi: u64,
+) -> Option<(Arc<ViShared>, Reliability, Option<PeerRef>)> {
+    let local = nic.vis.lock().get(&vi).cloned()?;
+    let (reliability, peer) = {
+        let st = local.state.lock();
+        let peer = st.peer.as_ref().and_then(|(w, id)| {
+            let peer_nic = w.upgrade()?;
+            let peer_vi = peer_nic.vis.lock().get(id).cloned()?;
+            Some((peer_nic, peer_vi))
+        });
+        (st.reliability, peer)
+    };
+    Some((local, reliability, peer))
+}
+
+fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
+    let Some((local, reliability, peer)) = lookup(nic, vi) else {
+        return;
+    };
+    let fail = |err: ViaError| {
+        local.complete_send(Completion {
+            vi_id: vi,
+            descriptor: desc,
+            kind: CompletionKind::Send,
+            transferred: 0,
+            status: Err(err),
+        });
+    };
+    let Some((peer_nic, peer_vi)) = peer else {
+        fail(ViaError::NotConnected);
+        return;
+    };
+    let data = match nic.region(desc.region) {
+        Ok(r) => r.bytes.read()[desc.offset..desc.offset + desc.len].to_vec(),
+        Err(e) => {
+            fail(e);
+            return;
+        }
+    };
+    // Fault injection: unreliable delivery drops silently — the send
+    // still completes successfully and the peer's descriptor stays
+    // posted (the "message lost without being detected" of Section 2.1).
+    if reliability == Reliability::UnreliableDelivery && nic.should_drop() {
+        local.complete_send(Completion {
+            vi_id: vi,
+            descriptor: desc,
+            kind: CompletionKind::Send,
+            transferred: desc.len,
+            status: Ok(()),
+        });
+        return;
+    }
+    let recv_desc = peer_vi.state.lock().recv_queue.pop_front();
+    let Some(rd) = recv_desc else {
+        match reliability {
+            // Lost: nobody was listening, nobody is told.
+            Reliability::UnreliableDelivery => {
+                local.complete_send(Completion {
+                    vi_id: vi,
+                    descriptor: desc,
+                    kind: CompletionKind::Send,
+                    transferred: desc.len,
+                    status: Ok(()),
+                });
+            }
+            Reliability::ReliableDelivery => fail(ViaError::ReceiverNotReady),
+        }
+        return;
+    };
+    if rd.len < data.len() {
+        fail(ViaError::RecvBufferTooSmall);
+        peer_vi.complete_recv(Completion {
+            vi_id: peer_vi.id,
+            descriptor: rd,
+            kind: CompletionKind::Recv,
+            transferred: 0,
+            status: Err(ViaError::RecvBufferTooSmall),
+        });
+        return;
+    }
+    let status = match peer_nic.region(rd.region) {
+        Ok(r) => {
+            let mut bytes = r.bytes.write();
+            if rd.offset + data.len() > bytes.len() {
+                Err(ViaError::OutOfBounds)
+            } else {
+                bytes[rd.offset..rd.offset + data.len()].copy_from_slice(&data);
+                Ok(())
+            }
+        }
+        Err(e) => Err(e),
+    };
+    local.complete_send(Completion {
+        vi_id: vi,
+        descriptor: desc,
+        kind: CompletionKind::Send,
+        transferred: if status.is_ok() { data.len() } else { 0 },
+        status: status.clone(),
+    });
+    peer_vi.complete_recv(Completion {
+        vi_id: peer_vi.id,
+        descriptor: rd,
+        kind: CompletionKind::Recv,
+        transferred: if status.is_ok() { data.len() } else { 0 },
+        status,
+    });
+}
+
+fn process_rdma(nic: &Arc<NicShared>, vi: u64, desc: Descriptor, remote: RemoteBuffer) {
+    let Some((local, reliability, peer)) = lookup(nic, vi) else {
+        return;
+    };
+    let complete = |status: Result<(), ViaError>, transferred: usize| {
+        local.complete_send(Completion {
+            vi_id: vi,
+            descriptor: desc,
+            kind: CompletionKind::RdmaWrite,
+            transferred,
+            status,
+        });
+    };
+    let Some((peer_nic, _peer_vi)) = peer else {
+        complete(Err(ViaError::NotConnected), 0);
+        return;
+    };
+    let data = match nic.region(desc.region) {
+        Ok(r) => r.bytes.read()[desc.offset..desc.offset + desc.len].to_vec(),
+        Err(e) => {
+            complete(Err(e), 0);
+            return;
+        }
+    };
+    if reliability == Reliability::UnreliableDelivery && nic.should_drop() {
+        complete(Ok(()), desc.len);
+        return;
+    }
+    let status = match peer_nic.region(remote.region) {
+        Ok(r) => {
+            if !r.allow_remote_write {
+                Err(ViaError::RemoteWriteForbidden)
+            } else {
+                let mut bytes = r.bytes.write();
+                if remote.offset + data.len() > bytes.len() {
+                    Err(ViaError::OutOfBounds)
+                } else {
+                    bytes[remote.offset..remote.offset + data.len()].copy_from_slice(&data);
+                    Ok(())
+                }
+            }
+        }
+        Err(e) => Err(e),
+    };
+    let ok = status.is_ok();
+    complete(status, if ok { data.len() } else { 0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(2);
+
+    fn pair(reliability: Reliability) -> (Nic, Nic, Vi, Vi) {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let (va, vb) = fabric.connect(&a, &b, reliability).expect("connect");
+        (a, b, va, vb)
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(b"hello via".to_vec(), false).unwrap();
+        let mb = b.register(vec![0; 64], false).unwrap();
+        vb.post_recv(Descriptor::new(mb, 0, 64)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 9)).unwrap();
+        let s = va.wait_send_completion(T).unwrap();
+        assert!(s.is_ok());
+        assert_eq!(s.kind, CompletionKind::Send);
+        let r = vb.wait_recv_completion(T).unwrap();
+        assert_eq!(r.bytes_transferred(), 9);
+        assert_eq!(b.read_region(mb, 0, 9).unwrap(), b"hello via");
+    }
+
+    #[test]
+    fn bidirectional_transfers() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![7; 16], false).unwrap();
+        let mb = b.register(vec![9; 16], false).unwrap();
+        va.post_recv(Descriptor::new(ma, 8, 8)).unwrap();
+        vb.post_recv(Descriptor::new(mb, 8, 8)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 8)).unwrap();
+        vb.post_send(Descriptor::new(mb, 0, 8)).unwrap();
+        assert!(va.wait_recv_completion(T).unwrap().is_ok());
+        assert!(vb.wait_recv_completion(T).unwrap().is_ok());
+        assert_eq!(a.read_region(ma, 8, 8).unwrap(), vec![9; 8]);
+        assert_eq!(b.read_region(mb, 8, 8).unwrap(), vec![7; 8]);
+    }
+
+    #[test]
+    fn reliable_in_order_delivery() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register((0..=255).collect(), false).unwrap();
+        let mb = b.register(vec![0; 256], false).unwrap();
+        for i in 0..8 {
+            vb.post_recv(Descriptor::new(mb, i * 32, 32)).unwrap();
+        }
+        for i in 0..8 {
+            va.post_send(Descriptor::new(ma, i * 32, 32)).unwrap();
+        }
+        for _ in 0..8 {
+            assert!(vb.wait_recv_completion(T).unwrap().is_ok());
+        }
+        // In-order: receive buffers filled in posting order.
+        let got = b.read_region(mb, 0, 256).unwrap();
+        let want: Vec<u8> = (0..=255).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reliable_send_without_recv_reports_error() {
+        let (a, _b, va, _vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![1; 8], false).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 8)).unwrap();
+        let c = va.wait_send_completion(T).unwrap();
+        assert_eq!(c.status, Err(ViaError::ReceiverNotReady));
+    }
+
+    #[test]
+    fn unreliable_send_without_recv_is_silent() {
+        let (a, _b, va, _vb) = pair(Reliability::UnreliableDelivery);
+        let ma = a.register(vec![1; 8], false).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 8)).unwrap();
+        let c = va.wait_send_completion(T).unwrap();
+        assert!(c.is_ok(), "unreliable sends complete even when lost");
+    }
+
+    #[test]
+    fn unreliable_drops_with_fault_injection() {
+        let (a, b, va, vb) = pair(Reliability::UnreliableDelivery);
+        a.set_fault(FaultConfig {
+            drop_probability: 1.0,
+            seed: 1,
+        });
+        let ma = a.register(vec![5; 8], false).unwrap();
+        let mb = b.register(vec![0; 8], false).unwrap();
+        vb.post_recv(Descriptor::new(mb, 0, 8)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 8)).unwrap();
+        assert!(va.wait_send_completion(T).unwrap().is_ok());
+        // Nothing arrives; the recv descriptor stays posted.
+        assert_eq!(
+            vb.wait_recv_completion(Duration::from_millis(100)),
+            Err(ViaError::Timeout)
+        );
+        assert_eq!(vb.posted_recvs(), 1);
+        assert_eq!(b.read_region(mb, 0, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn reliable_ignores_fault_injection() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        a.set_fault(FaultConfig {
+            drop_probability: 1.0,
+            seed: 1,
+        });
+        let ma = a.register(vec![5; 8], false).unwrap();
+        let mb = b.register(vec![0; 8], false).unwrap();
+        vb.post_recv(Descriptor::new(mb, 0, 8)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 8)).unwrap();
+        assert_eq!(vb.wait_recv_completion(T).unwrap().bytes_transferred(), 8);
+    }
+
+    #[test]
+    fn rdma_write_without_receiver_involvement() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(b"rdma!".to_vec(), false).unwrap();
+        let mb = b.register(vec![0; 32], true).unwrap();
+        // No post_recv on vb at all.
+        va.rdma_write(
+            Descriptor::new(ma, 0, 5),
+            RemoteBuffer {
+                region: mb,
+                offset: 10,
+            },
+        )
+        .unwrap();
+        let c = va.wait_send_completion(T).unwrap();
+        assert!(c.is_ok());
+        assert_eq!(c.kind, CompletionKind::RdmaWrite);
+        assert_eq!(b.read_region(mb, 10, 5).unwrap(), b"rdma!");
+        let _ = vb;
+    }
+
+    #[test]
+    fn rdma_write_requires_permission() {
+        let (a, b, va, _vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![1; 4], false).unwrap();
+        let mb = b.register(vec![0; 4], false).unwrap(); // no remote write
+        va.rdma_write(
+            Descriptor::new(ma, 0, 4),
+            RemoteBuffer {
+                region: mb,
+                offset: 0,
+            },
+        )
+        .unwrap();
+        let c = va.wait_send_completion(T).unwrap();
+        assert_eq!(c.status, Err(ViaError::RemoteWriteForbidden));
+        assert_eq!(b.read_region(mb, 0, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn rdma_write_bounds_checked_remotely() {
+        let (a, b, va, _vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![1; 16], false).unwrap();
+        let mb = b.register(vec![0; 8], true).unwrap();
+        va.rdma_write(
+            Descriptor::new(ma, 0, 16),
+            RemoteBuffer {
+                region: mb,
+                offset: 0,
+            },
+        )
+        .unwrap();
+        let c = va.wait_send_completion(T).unwrap();
+        assert_eq!(c.status, Err(ViaError::OutOfBounds));
+    }
+
+    #[test]
+    fn local_validation_errors_are_synchronous() {
+        let (a, _b, va, _vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![0; 8], false).unwrap();
+        assert_eq!(
+            va.post_send(Descriptor::new(ma, 4, 8)),
+            Err(ViaError::OutOfBounds)
+        );
+        assert_eq!(
+            va.post_send(Descriptor::new(MemHandle(999), 0, 1)),
+            Err(ViaError::UnknownRegion)
+        );
+        assert_eq!(
+            va.post_recv(Descriptor::new(ma, 0, 16)),
+            Err(ViaError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn recv_buffer_too_small_fails_both_sides() {
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        let ma = a.register(vec![1; 64], false).unwrap();
+        let mb = b.register(vec![0; 64], false).unwrap();
+        vb.post_recv(Descriptor::new(mb, 0, 16)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 32)).unwrap();
+        assert_eq!(
+            va.wait_send_completion(T).unwrap().status,
+            Err(ViaError::RecvBufferTooSmall)
+        );
+        assert_eq!(
+            vb.wait_recv_completion(T).unwrap().status,
+            Err(ViaError::RecvBufferTooSmall)
+        );
+    }
+
+    #[test]
+    fn completion_queue_aggregates_vis() {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let cq = CompletionQueue::new();
+        let (va1, vb1) = fabric
+            .connect_with_cqs(&a, &b, Reliability::ReliableDelivery, None, Some(&cq))
+            .unwrap();
+        let (va2, vb2) = fabric
+            .connect_with_cqs(&a, &b, Reliability::ReliableDelivery, None, Some(&cq))
+            .unwrap();
+        let ma = a.register(vec![3; 32], false).unwrap();
+        let mb = b.register(vec![0; 64], false).unwrap();
+        vb1.post_recv(Descriptor::new(mb, 0, 16)).unwrap();
+        vb2.post_recv(Descriptor::new(mb, 16, 16)).unwrap();
+        va1.post_send(Descriptor::new(ma, 0, 16)).unwrap();
+        va2.post_send(Descriptor::new(ma, 16, 16)).unwrap();
+        let c1 = cq.wait(T).unwrap();
+        let c2 = cq.wait(T).unwrap();
+        let mut ids = vec![c1.vi_id, c2.vi_id];
+        ids.sort_unstable();
+        let mut expect = vec![vb1.id(), vb2.id()];
+        expect.sort_unstable();
+        assert_eq!(ids, expect);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn deregister_invalidates_handle() {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let ma = a.register(vec![0; 8], false).unwrap();
+        a.deregister(ma).unwrap();
+        assert_eq!(a.read_region(ma, 0, 1), Err(ViaError::UnknownRegion));
+        assert_eq!(a.deregister(ma), Err(ViaError::UnknownRegion));
+    }
+
+    #[test]
+    fn shutdown_fails_pending_posts() {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let (va, _vb) = fabric.connect(&a, &b, Reliability::ReliableDelivery).unwrap();
+        let ma = a.register(vec![0; 8], false).unwrap();
+        drop(a);
+        // The engine is gone: posting reports shutdown.
+        assert_eq!(
+            va.post_send(Descriptor::new(ma, 0, 8)),
+            Err(ViaError::Shutdown)
+        );
+    }
+
+    #[test]
+    fn many_concurrent_transfers() {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let (va, vb) = fabric.connect(&a, &b, Reliability::ReliableDelivery).unwrap();
+        let ma = a.register(vec![0xAB; 1 << 16], false).unwrap();
+        let mb = b.register(vec![0; 1 << 16], false).unwrap();
+        for i in 0..256 {
+            vb.post_recv(Descriptor::new(mb, i * 256, 256)).unwrap();
+        }
+        for i in 0..256 {
+            va.post_send(Descriptor::new(ma, i * 256, 256)).unwrap();
+        }
+        for _ in 0..256 {
+            assert!(vb.wait_recv_completion(T).unwrap().is_ok());
+        }
+        assert_eq!(b.read_region(mb, 0, 1 << 16).unwrap(), vec![0xAB; 1 << 16]);
+    }
+}

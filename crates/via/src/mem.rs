@@ -1,0 +1,60 @@
+//! Registered memory regions.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Handle to a memory region registered with a [`crate::Nic`].
+///
+/// VIA requires every buffer involved in a transfer to be registered:
+/// registration pins the pages so the NIC can DMA directly into user
+/// memory. In this software implementation a handle names a byte buffer
+/// owned by the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemHandle(pub(crate) u64);
+
+impl std::fmt::Display for MemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mr#{}", self.0)
+    }
+}
+
+/// A registered region: shared bytes plus the remote-write permission.
+#[derive(Debug, Clone)]
+pub(crate) struct Region {
+    pub bytes: Arc<RwLock<Vec<u8>>>,
+    /// Whether remote NICs may RDMA-write into this region.
+    pub allow_remote_write: bool,
+}
+
+impl Region {
+    pub fn new(data: Vec<u8>, allow_remote_write: bool) -> Self {
+        Region {
+            bytes: Arc::new(RwLock::new(data)),
+            allow_remote_write,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_shares_bytes() {
+        let r = Region::new(vec![1, 2, 3], true);
+        let clone = r.clone();
+        clone.bytes.write()[0] = 9;
+        assert_eq!(r.bytes.read()[0], 9);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn handle_display() {
+        assert_eq!(MemHandle(7).to_string(), "mr#7");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the VIA fabric and the credit channel.
+
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use press_via::{CreditChannel, Descriptor, Fabric, Reliability, RemoteBuffer};
+
+const T: Duration = Duration::from_secs(10);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary message sequences arrive complete, in order, and intact
+    /// through the credit channel, for any legal window/batch combination.
+    #[test]
+    fn credit_channel_preserves_order_and_content(
+        sizes in vec(1usize..512, 1..60),
+        window_exp in 0u32..4,
+        batch_exp in 0u32..3,
+    ) {
+        let window = 1u32 << (window_exp + batch_exp.min(window_exp + 2));
+        let batch = 1u32 << batch_exp.min(window_exp + batch_exp);
+        prop_assume!(batch <= window && window.is_multiple_of(batch));
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let (mut tx, mut rx) =
+            CreditChannel::pair(&fabric, &a, &b, window, batch, 512).expect("pair");
+        let sizes_clone = sizes.clone();
+        let producer = std::thread::spawn(move || {
+            for (i, &len) in sizes_clone.iter().enumerate() {
+                let payload = vec![(i % 251) as u8; len];
+                tx.send(&payload, T).expect("send");
+            }
+        });
+        for (i, &len) in sizes.iter().enumerate() {
+            let got = rx.recv(T).expect("recv");
+            prop_assert_eq!(got.len(), len);
+            prop_assert!(got.iter().all(|&byte| byte == (i % 251) as u8));
+        }
+        producer.join().expect("producer");
+    }
+
+    /// RDMA writes land exactly where directed, for arbitrary offsets and
+    /// lengths within bounds.
+    #[test]
+    fn rdma_writes_land_exactly(
+        region_len in 64usize..4096,
+        writes in vec((0usize..4096, 1usize..256, 0u8..255), 1..20),
+    ) {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        let (vi, _peer) = fabric
+            .connect(&a, &b, Reliability::ReliableDelivery)
+            .expect("connect");
+        let mb = b.register(vec![0u8; region_len], true).expect("register");
+        let mut shadow = vec![0u8; region_len];
+        for &(offset, len, fill) in &writes {
+            let ma = a.register(vec![fill; len], false).expect("register src");
+            let in_bounds = offset + len <= region_len;
+            vi.rdma_write(
+                Descriptor::new(ma, 0, len),
+                RemoteBuffer { region: mb, offset },
+            )
+            .expect("post");
+            let c = vi.wait_send_completion(T).expect("completion");
+            if in_bounds {
+                prop_assert!(c.is_ok(), "in-bounds write failed: {:?}", c.status);
+                shadow[offset..offset + len].fill(fill);
+            } else {
+                prop_assert!(!c.is_ok(), "out-of-bounds write succeeded");
+            }
+        }
+        let got = b.read_region(mb, 0, region_len).expect("read");
+        prop_assert_eq!(got, shadow);
+    }
+
+    /// Under unreliable delivery with drop injection, everything that
+    /// does arrive is intact, and nothing arrives out of order.
+    #[test]
+    fn lossy_delivery_never_corrupts(
+        drop_prob in 0.0f64..1.0,
+        seed in 0u64..1000,
+        count in 1usize..40,
+    ) {
+        let fabric = Fabric::new();
+        let a = fabric.create_nic("a");
+        let b = fabric.create_nic("b");
+        a.set_fault(press_via::FaultConfig {
+            drop_probability: drop_prob,
+            seed,
+        });
+        let (va, vb) = fabric
+            .connect(&a, &b, Reliability::UnreliableDelivery)
+            .expect("connect");
+        // Each message i carries the byte i in a 16-byte payload.
+        let ma = a.register((0..count).flat_map(|i| [i as u8; 16]).collect(), false)
+            .expect("register");
+        let mb = b.register(vec![0xFF; 16 * count], false).expect("register");
+        for i in 0..count {
+            vb.post_recv(Descriptor::new(mb, i * 16, 16)).expect("post recv");
+        }
+        for i in 0..count {
+            va.post_send(Descriptor::new(ma, i * 16, 16)).expect("post send");
+            // Unreliable sends always complete OK.
+            let c = va.wait_send_completion(T).expect("send completion");
+            prop_assert!(c.is_ok());
+        }
+        // Drain whatever arrived.
+        let mut arrived = Vec::new();
+        while let Some(c) = vb.poll_recv_completion() {
+            prop_assert!(c.is_ok());
+            let data = b
+                .read_region(mb, c.descriptor.offset, 16)
+                .expect("read arrived");
+            prop_assert!(data.iter().all(|&x| x == data[0]), "torn message");
+            arrived.push(data[0]);
+        }
+        // In-order: arrived sequence numbers strictly increase.
+        for w in arrived.windows(2) {
+            prop_assert!(w[0] < w[1], "reordered: {arrived:?}");
+        }
+        prop_assert!(arrived.len() <= count);
+        if drop_prob == 0.0 {
+            prop_assert_eq!(arrived.len(), count);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! A live mini-PRESS: four node threads serving a Zipf workload over the
+//! software VIA fabric, with request forwarding through credit-controlled
+//! channels and load dissemination through remote memory writes.
+//!
+//! This exercises the user-level communication substrate for real (threads,
+//! descriptors, flow control, RDMA) rather than in simulation.
+//!
+//! Run with: `cargo run --release --example live_cluster`
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use press::trace::ZipfSampler;
+use press::via::{CreditChannel, Descriptor, Fabric, Reliability, RemoteBuffer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: usize = 4;
+const FILES: u32 = 256;
+const FILE_BYTES: usize = 4096;
+const REQUESTS_PER_NODE: u32 = 1500;
+const T: Duration = Duration::from_secs(10);
+
+/// Deterministic file contents so receivers can verify transfers.
+fn file_byte(file: u32) -> u8 {
+    (file.wrapping_mul(31).wrapping_add(7) & 0xFF) as u8
+}
+
+fn owner(file: u32) -> usize {
+    (file as usize) % NODES
+}
+
+fn main() {
+    let fabric = Fabric::new();
+    let nics: Vec<_> = (0..NODES)
+        .map(|i| Arc::new(fabric.create_nic(&format!("node{i}"))))
+        .collect();
+
+    // Load table: each node registers an RDMA-writable region where peers
+    // deposit their completed-request counts — the paper's "remote memory
+    // writes are ideal for overwritable load information".
+    let load_regions: Vec<_> = (0..NODES)
+        .map(|i| {
+            nics[i]
+                .register(vec![0u8; 4 * NODES], true)
+                .expect("register load table")
+        })
+        .collect();
+
+    // Raw VI mesh for the RDMA load writes.
+    let mut load_vis: Vec<Vec<Option<press::via::Vi>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    // Forward-request and file-reply channels, per ordered pair.
+    let mut fwd_tx: Vec<Vec<Option<CreditChannel>>> =
+        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+    let mut fwd_rx: Vec<Vec<Option<CreditChannel>>> =
+        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+    let mut rep_tx: Vec<Vec<Option<CreditChannel>>> =
+        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+    let mut rep_rx: Vec<Vec<Option<CreditChannel>>> =
+        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+
+    for i in 0..NODES {
+        for j in 0..NODES {
+            if i == j {
+                continue;
+            }
+            let (tx, rx) = CreditChannel::pair(&fabric, &nics[i], &nics[j], 8, 4, 16)
+                .expect("forward channel");
+            fwd_tx[i][j] = Some(tx);
+            fwd_rx[j][i] = Some(rx);
+            let (tx, rx) =
+                CreditChannel::pair(&fabric, &nics[j], &nics[i], 8, 4, FILE_BYTES)
+                    .expect("reply channel");
+            rep_tx[j][i] = Some(tx);
+            rep_rx[i][j] = Some(rx);
+            let (vi, _peer) = fabric
+                .connect(&nics[i], &nics[j], Reliability::ReliableDelivery)
+                .expect("load vi");
+            load_vis[i][j] = Some(vi);
+        }
+    }
+
+    let done = Arc::new(AtomicU32::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+
+    // Server threads: answer forwarded requests with file contents.
+    for j in 0..NODES {
+        let mut rxs: Vec<(usize, CreditChannel)> = (0..NODES)
+            .filter_map(|i| fwd_rx[j][i].take().map(|c| (i, c)))
+            .collect();
+        let mut txs: Vec<(usize, CreditChannel)> = (0..NODES)
+            .filter_map(|i| rep_tx[j][i].take().map(|c| (i, c)))
+            .collect();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let poll = Duration::from_millis(1);
+            while done.load(Ordering::Acquire) < (NODES as u32) {
+                for (from, rx) in rxs.iter_mut() {
+                    if let Ok(req) = rx.recv(poll) {
+                        let file = u32::from_le_bytes([req[0], req[1], req[2], req[3]]);
+                        assert_eq!(owner(file), j, "request routed to the wrong owner");
+                        let payload = vec![file_byte(file); FILE_BYTES];
+                        let (_, tx) = txs
+                            .iter_mut()
+                            .find(|(i, _)| i == from)
+                            .expect("reply channel to requester");
+                        tx.send(&payload, T).expect("send file reply");
+                    }
+                }
+            }
+        }));
+    }
+
+    // Client threads: issue Zipf-distributed requests, forwarding misses.
+    for i in 0..NODES {
+        let mut txs: Vec<(usize, CreditChannel)> = (0..NODES)
+            .filter_map(|j| fwd_tx[i][j].take().map(|c| (j, c)))
+            .collect();
+        let mut rxs: Vec<(usize, CreditChannel)> = (0..NODES)
+            .filter_map(|j| rep_rx[i][j].take().map(|c| (j, c)))
+            .collect();
+        let vis: Vec<(usize, press::via::Vi)> = (0..NODES)
+            .filter_map(|j| load_vis[i][j].take().map(|v| (j, v)))
+            .collect();
+        let scratch = nics[i].register(vec![0u8; 4], false).expect("scratch");
+        let nic = Arc::clone(&nics[i]);
+        let regions = load_regions.clone();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(FILES as usize, 0.8);
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let mut local = 0u32;
+            let mut remote = 0u32;
+            for n in 0..REQUESTS_PER_NODE {
+                let file = zipf.sample(&mut rng) as u32;
+                if owner(file) == i {
+                    local += 1; // served from the local store
+                } else {
+                    let j = owner(file);
+                    let (_, tx) = txs.iter_mut().find(|(t, _)| *t == j).expect("fwd tx");
+                    tx.send(&file.to_le_bytes(), T).expect("forward request");
+                    let (_, rx) = rxs.iter_mut().find(|(t, _)| *t == j).expect("rep rx");
+                    let data = rx.recv(T).expect("file reply");
+                    assert_eq!(data.len(), FILE_BYTES);
+                    assert!(data.iter().all(|&b| b == file_byte(file)), "corrupt transfer");
+                    remote += 1;
+                }
+                // Every 64 requests, RDMA-write our progress into every
+                // peer's load table — no receiver involvement at all.
+                if n % 64 == 0 {
+                    nic.write_region(scratch, 0, &n.to_le_bytes()).expect("scratch write");
+                    for (j, vi) in &vis {
+                        vi.rdma_write(
+                            Descriptor::new(scratch, 0, 4),
+                            RemoteBuffer {
+                                region: regions[*j],
+                                offset: 4 * i,
+                            },
+                        )
+                        .expect("rdma load write");
+                        vi.wait_send_completion(T).expect("rdma completion").status.expect("rdma ok");
+                    }
+                }
+            }
+            println!(
+                "node{i}: {local} local + {remote} forwarded = {} requests",
+                local + remote
+            );
+            done.fetch_add(1, Ordering::Release);
+        }));
+    }
+
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+    let elapsed = start.elapsed();
+    let total = NODES as u32 * REQUESTS_PER_NODE;
+    println!(
+        "\n{total} requests across {NODES} nodes in {:.2?} ({:.0} req/s)",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64()
+    );
+
+    // Read back the RDMA-written load tables.
+    println!("\nload tables (requests observed via remote memory writes):");
+    for j in 0..NODES {
+        let table = nics[j].read_region(load_regions[j], 0, 4 * NODES).expect("read table");
+        let view: Vec<u32> = (0..NODES)
+            .map(|i| u32::from_le_bytes([table[4 * i], table[4 * i + 1], table[4 * i + 2], table[4 * i + 3]]))
+            .collect();
+        println!("  node{j} sees {view:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the paper's analytical model: where does user-level
+//! communication pay off, and what saturates the server?
+//!
+//! Run with: `cargo run --release --example model_explore`
+
+use press::model::{response_time, throughput, CommVariant, ModelParams, Station};
+
+fn main() {
+    println!("Bottleneck map (VIA regular, 16 KB files): which station saturates?\n");
+    println!("{:>10} | {:>8} {:>8} {:>8} {:>8}", "hit rate", "N=2", "N=8", "N=32", "N=128");
+    for hsn in [0.2, 0.4, 0.6, 0.8, 0.9, 0.95] {
+        print!("{hsn:>10.2} |");
+        for nodes in [2usize, 8, 32, 128] {
+            let t = throughput(&ModelParams::default_at(hsn, nodes));
+            let tag = match t.bottleneck {
+                Station::Cpu => "cpu",
+                Station::Disk => "disk",
+                Station::InternalNic => "nic-i",
+                Station::ExternalNic => "nic-e",
+            };
+            print!(" {tag:>8}");
+        }
+        println!();
+    }
+
+    println!("\nThroughput and user-level gain at 8 nodes, 16 KB files:\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "hit rate", "TCP (req/s)", "VIA (req/s)", "gain"
+    );
+    for hsn in [0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99] {
+        let mut p = ModelParams::default_at(hsn, 8);
+        p.variant = CommVariant::Tcp;
+        let tcp = throughput(&p).total_rps;
+        p.variant = CommVariant::ViaRegular;
+        let via = throughput(&p).total_rps;
+        println!("{hsn:>10.2} {tcp:>12.0} {via:>12.0} {:>7.1}%", 100.0 * (via / tcp - 1.0));
+    }
+
+    // Where does the disk stop masking the protocol difference?
+    let mut crossover = None;
+    for i in 0..400 {
+        let hsn = 0.2 + 0.002 * i as f64;
+        let mut p = ModelParams::default_at(hsn, 8);
+        p.variant = CommVariant::Tcp;
+        let tcp = throughput(&p);
+        if tcp.bottleneck != Station::Disk {
+            crossover = Some(hsn);
+            break;
+        }
+    }
+    match crossover {
+        Some(h) => println!(
+            "\nAt 8 nodes the TCP server stops being disk-bound around Hsn = {h:.2};\n\
+             below that, user-level communication cannot help (Figure 8's flat region)."
+        ),
+        None => println!("\nDisk-bound across the whole sweep."),
+    }
+
+    // Response times: what user-level communication buys in latency.
+    println!("\nServer-side response time vs offered load (8 nodes, Hsn 0.9, 16 KB):\n");
+    println!("{:>8} {:>14} {:>14}", "load", "TCP (ms)", "VIA (ms)");
+    let mut tcp_p = ModelParams::default_at(0.9, 8);
+    tcp_p.variant = CommVariant::Tcp;
+    let tcp_max = throughput(&tcp_p).per_node_rps;
+    let mut via_p = tcp_p;
+    via_p.variant = CommVariant::ViaRegular;
+    for frac in [0.3, 0.6, 0.8, 0.9, 0.95] {
+        let lam = frac * tcp_max;
+        let tcp_r = response_time(&tcp_p, lam).expect("stable below TCP max");
+        let via_r = response_time(&via_p, lam).expect("stable below TCP max");
+        println!(
+            "{:>7.0}% {:>14.2} {:>14.2}",
+            100.0 * frac,
+            1e3 * tcp_r.total_seconds,
+            1e3 * via_r.total_seconds
+        );
+    }
+    println!("\nAt the same offered load, the VIA server queues less: lower");
+    println!("response times even before the throughput ceiling is reached.");
+}

@@ -1,0 +1,96 @@
+//! Run the live, threaded PRESS server: real node threads (main, send,
+//! receive, disk — Figure 2 of the paper) over the software VIA fabric,
+//! with locality-conscious forwarding and RDMA-disseminated load.
+//!
+//! Run with: `cargo run --release --example press_live`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use press::server::{file_contents, FileTransferMode, LiveCluster, LiveConfig, ServerStats};
+use press::trace::{FileCatalog, FileId, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FILES: usize = 512;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: u32 = 800;
+const T: Duration = Duration::from_secs(30);
+
+fn main() {
+    for mode in [FileTransferMode::Regular, FileTransferMode::RemoteWrite] {
+        println!("=== file transfer mode: {mode:?} ===");
+        run_mode(mode);
+        println!();
+    }
+    println!("Note: wall-clock throughput here reflects host thread scheduling,");
+    println!("not the paper's Pentium-II CPU costs — the CPU-side RMW/zero-copy");
+    println!("gains are reproduced by the calibrated simulator (fig5_versions).");
+    println!("This example demonstrates the *mechanism*: files arriving through");
+    println!("polled remote memory writes, byte-for-byte intact.");
+}
+
+fn run_mode(mode: FileTransferMode) {
+    // A small catalog with varied sizes, served by a 4-node cluster whose
+    // caches cannot hold everything (so some requests hit the "disk").
+    let sizes: Vec<u64> = (0..FILES as u64).map(|i| 512 + (i * 977) % 12_000).collect();
+    let catalog = FileCatalog::from_sizes(sizes.clone());
+    let cfg = LiveConfig {
+        cache_bytes: 512 * 1024,
+        disk_fixed: Duration::from_millis(1),
+        file_transfer: mode,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start(cfg, catalog));
+    println!(
+        "live PRESS: {} nodes x (main + send + recv + disk) threads, {} files",
+        cluster.nodes(),
+        FILES
+    );
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let cluster = Arc::clone(&cluster);
+        let sizes = sizes.clone();
+        handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(FILES, 0.8);
+            let mut rng = StdRng::seed_from_u64(c as u64);
+            for _ in 0..REQUESTS_PER_CLIENT {
+                let file = FileId(zipf.sample(&mut rng) as u32);
+                let node = rng.gen_range(0..cluster.nodes());
+                let data = cluster.request(node, file, T).expect("request");
+                assert_eq!(
+                    data,
+                    file_contents(file, sizes[file.0 as usize] as usize),
+                    "corrupt transfer for {file}"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+
+    let s = cluster.stats();
+    let total = (CLIENTS as u32 * REQUESTS_PER_CLIENT) as u64;
+    println!("\n{total} requests in {elapsed:.2?} ({:.0} req/s)", total as f64 / elapsed.as_secs_f64());
+    println!("served locally:   {:>8}", ServerStats::get(&s.served_local));
+    println!("forwarded:        {:>8}", ServerStats::get(&s.forwarded));
+    println!("disk reads:       {:>8}", ServerStats::get(&s.disk_reads));
+    println!("file messages:    {:>8}", ServerStats::get(&s.file_msgs));
+    println!("caching msgs:     {:>8}", ServerStats::get(&s.caching_msgs));
+    println!("flow msgs:        {:>8}", ServerStats::get(&s.flow_msgs));
+    println!("RDMA load writes: {:>8}", ServerStats::get(&s.rdma_load_writes));
+    println!("RDMA file writes: {:>8}", ServerStats::get(&s.rdma_file_writes));
+    println!("\nload tables (deposited by remote memory writes, no receiver involvement):");
+    for node in 0..cluster.nodes() {
+        println!("  node{node} sees {:?}", cluster.load_table(node));
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("all clients joined"),
+    }
+    println!("\nclean shutdown.");
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the PRESS reproduction.
+//!
+//! This crate re-exports the public APIs of every workspace member so that
+//! downstream users (and the examples and integration tests in this
+//! repository) can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`trace`] — synthetic WWW workload generation (Table 1 presets).
+//! * [`via`] — software Virtual Interface Architecture (user-level comm).
+//! * [`net`] — protocol/network cost models and message accounting.
+//! * [`cluster`] — simulated cluster nodes (CPU, disk, NIC, cache, clients).
+//! * [`core`] — the PRESS server: policy, dissemination strategies, V0–V5.
+//! * [`model`] — the paper's analytical queueing model (Figures 8–13).
+//! * [`server`] — a live, threaded PRESS server over the software VIA.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use press::core::{SimConfig, run_simulation};
+//! use press::net::ProtocolCombo;
+//!
+//! let cfg = SimConfig::quick_demo();
+//! let metrics = run_simulation(&cfg);
+//! assert!(metrics.throughput_rps > 0.0);
+//! # let _ = ProtocolCombo::ViaClan;
+//! ```
+
+pub use press_cluster as cluster;
+pub use press_core as core;
+pub use press_model as model;
+pub use press_net as net;
+pub use press_server as server;
+pub use press_sim as sim;
+pub use press_trace as trace;
+pub use press_via as via;

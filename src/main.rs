@@ -1,0 +1,273 @@
+//! `press` — command-line front end for the PRESS reproduction.
+//!
+//! ```text
+//! press traces
+//! press simulate --trace clarknet --combo via --version v5 --nodes 8
+//! press model --hsn 0.9 --nodes 32 --file-kb 16
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use press::core::{run_simulation, Dissemination, ServerVersion, SimConfig, WorkloadSource};
+use press::model::{throughput, CommVariant, ModelParams};
+use press::net::ProtocolCombo;
+use press::trace::{RequestLog, TracePreset, TraceStats, Workload};
+
+const USAGE: &str = "\
+press — User-Level Communication in Cluster-Based Servers (reproduction)
+
+USAGE:
+    press traces
+        Print the synthetic trace characteristics (Table 1).
+
+    press simulate [OPTIONS]
+        Run one cluster simulation and print its metrics.
+        --trace    clarknet|forth|nasa|rutgers   (default clarknet)
+        --replay   path to a request log (overrides --trace)
+        --combo    tcp-fe|tcp-clan|via           (default via)
+        --version  v0..v5                        (default v0)
+        --strategy pb|l1|l4|l16|nlb              (default pb)
+        --nodes    N                             (default 8)
+        --measure  requests                      (default 60000)
+        --warmup   requests                      (default 20000)
+        --seed     u64                           (default 12648430)
+
+    press export [OPTIONS]
+        Write a synthetic request log for external tools or later replay.
+        --trace    clarknet|forth|nasa|rutgers   (default clarknet)
+        --requests number of requests            (default 100000)
+        --out      output path                   (required)
+        --seed     u64                           (default 42)
+
+    press model [OPTIONS]
+        Evaluate the analytical model (Section 4).
+        --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen (default via)
+        --hsn      single-node hit rate          (default 0.9)
+        --nodes    N                             (default 8)
+        --file-kb  average file size             (default 16)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("traces") => cmd_traces(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("model") => cmd_model(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs; rejects unknown keys against `allowed`.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {key}"))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown flag --{key}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_traces() -> ExitCode {
+    println!("{}", TraceStats::table_header());
+    for preset in TracePreset::ALL {
+        let wl = Workload::from_preset(preset, 42);
+        let mut stats = wl.stats();
+        stats.name = preset.name().to_string();
+        println!("{stats}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(
+            args,
+            &[
+                "trace", "replay", "combo", "version", "strategy", "nodes", "measure", "warmup",
+                "seed",
+            ],
+        )?;
+        let preset = parse_preset(flags.get("trace").map(String::as_str))?;
+        let mut cfg = SimConfig::paper_default(preset);
+        if let Some(path) = flags.get("replay") {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            let log = RequestLog::read(file).map_err(|e| format!("bad log {path}: {e}"))?;
+            cfg.workload = WorkloadSource::Replay(log);
+        }
+        cfg.combo = match flags.get("combo").map(String::as_str).unwrap_or("via") {
+            "tcp-fe" => ProtocolCombo::TcpFe,
+            "tcp-clan" => ProtocolCombo::TcpClan,
+            "via" => ProtocolCombo::ViaClan,
+            other => return Err(format!("unknown combo {other}")),
+        };
+        cfg.version = match flags.get("version").map(String::as_str).unwrap_or("v0") {
+            "v0" => ServerVersion::V0,
+            "v1" => ServerVersion::V1,
+            "v2" => ServerVersion::V2,
+            "v3" => ServerVersion::V3,
+            "v4" => ServerVersion::V4,
+            "v5" => ServerVersion::V5,
+            other => return Err(format!("unknown version {other}")),
+        };
+        cfg.dissemination = match flags.get("strategy").map(String::as_str).unwrap_or("pb") {
+            "pb" => Dissemination::Piggyback,
+            "l1" => Dissemination::Broadcast(1),
+            "l4" => Dissemination::Broadcast(4),
+            "l16" => Dissemination::Broadcast(16),
+            "nlb" => Dissemination::None,
+            other => return Err(format!("unknown strategy {other}")),
+        };
+        cfg.nodes = parse(&flags, "nodes", 8usize)?;
+        cfg.measure_requests = parse(&flags, "measure", 60_000u64)?;
+        cfg.warmup_requests = parse(&flags, "warmup", 20_000u64)?;
+        cfg.seed = parse(&flags, "seed", cfg.seed)?;
+
+        let m = run_simulation(&cfg);
+        println!(
+            "{} nodes, {}, {}, {} strategy, {} measured requests",
+            cfg.nodes,
+            cfg.combo.name(),
+            cfg.version.name(),
+            cfg.dissemination.name(),
+            m.measured_requests
+        );
+        println!("throughput:        {:>10.0} req/s", m.throughput_rps);
+        println!("mean response:     {:>10.2} ms", m.mean_response_ms);
+        println!(
+            "response p50/p95/p99: {:>7.1} / {:.1} / {:.1} ms",
+            m.p50_response_ms, m.p95_response_ms, m.p99_response_ms
+        );
+        println!("cache hit rate:    {:>10.4}", m.hit_rate);
+        println!("forwarded:         {:>10.3}", m.forward_fraction);
+        println!("int-comm CPU:      {:>9.1}%", 100.0 * m.intcomm_cpu_fraction);
+        println!("int-comm CPU+wire: {:>9.1}%", 100.0 * m.intcomm_wall_fraction);
+        println!("cpu utilization:   {:>10.3}", m.cpu_utilization);
+        println!("disk utilization:  {:>10.3}", m.disk_utilization);
+        println!("\nintra-cluster messages:");
+        print!("{}", m.counters.format_table(1.0));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_preset(name: Option<&str>) -> Result<TracePreset, String> {
+    match name.unwrap_or("clarknet") {
+        "clarknet" => Ok(TracePreset::Clarknet),
+        "forth" => Ok(TracePreset::Forth),
+        "nasa" => Ok(TracePreset::Nasa),
+        "rutgers" => Ok(TracePreset::Rutgers),
+        other => Err(format!("unknown trace {other}")),
+    }
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(args, &["trace", "requests", "out", "seed"])?;
+        let preset = parse_preset(flags.get("trace").map(String::as_str))?;
+        let requests: usize = parse(&flags, "requests", 100_000)?;
+        let seed: u64 = parse(&flags, "seed", 42)?;
+        let out = flags
+            .get("out")
+            .ok_or_else(|| "--out is required".to_string())?;
+        let wl = Workload::from_preset(preset, seed);
+        let log = RequestLog::sample(&wl, requests, seed ^ 0xA5A5);
+        let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        log.write(file).map_err(|e| format!("write failed: {e}"))?;
+        let stats = log.stats();
+        println!(
+            "wrote {requests} requests over {} files to {out} (avg request {:.1} KB)",
+            stats.num_files,
+            stats.avg_request_bytes / 1024.0
+        );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_model(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(args, &["variant", "hsn", "nodes", "file-kb"])?;
+        let variant = match flags.get("variant").map(String::as_str).unwrap_or("via") {
+            "tcp" => CommVariant::Tcp,
+            "tcp-nextgen" => CommVariant::TcpNextGen,
+            "via" => CommVariant::ViaRegular,
+            "via-rmw" => CommVariant::ViaRmwZeroCopy,
+            "via-nextgen" => CommVariant::ViaNextGen,
+            other => return Err(format!("unknown variant {other}")),
+        };
+        let hsn: f64 = parse(&flags, "hsn", 0.9)?;
+        let nodes: usize = parse(&flags, "nodes", 8)?;
+        let file_kb: f64 = parse(&flags, "file-kb", 16.0)?;
+        let mut p = ModelParams::default_at(hsn, nodes);
+        p.avg_file_kb = file_kb;
+        p.variant = variant;
+        let t = throughput(&p);
+        println!(
+            "{} | {} nodes, Hsn {:.2}, {:.0} KB files",
+            variant.name(),
+            nodes,
+            hsn,
+            file_kb
+        );
+        println!("throughput: {:.0} req/s ({:.0}/node)", t.total_rps, t.per_node_rps);
+        println!("bottleneck: {:?}", t.bottleneck);
+        println!(
+            "cache: Hlc {:.4}, h {:.4}, Q {:.3}, F {}",
+            t.cache.hit_rate, t.cache.replicated_hit_rate, t.cache.forwarded, t.cache.num_files
+        );
+        println!("per-request demands (µs/request):");
+        for (station, d) in t.demands {
+            println!("  {:?}: {:.1}", station, d * 1e6);
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

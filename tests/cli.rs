@@ -1,0 +1,124 @@
+//! End-to-end tests of the `press` CLI binary.
+
+use std::process::Command;
+
+fn press() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_press"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = press().arg("--help").output().expect("run press");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["traces", "simulate", "model"] {
+        assert!(text.contains(cmd), "help should mention {cmd}");
+    }
+}
+
+#[test]
+fn traces_prints_table1() {
+    let out = press().arg("traces").output().expect("run press");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for trace in ["Clarknet", "Forth", "Nasa", "Rutgers"] {
+        assert!(text.contains(trace), "missing {trace}: {text}");
+    }
+    assert!(text.contains("28864"));
+}
+
+#[test]
+fn model_evaluates() {
+    let out = press()
+        .args(["model", "--variant", "via-rmw", "--nodes", "16", "--hsn", "0.85"])
+        .output()
+        .expect("run press");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("throughput:"), "{text}");
+    assert!(text.contains("bottleneck:"), "{text}");
+}
+
+#[test]
+fn simulate_small_run() {
+    let out = press()
+        .args([
+            "simulate",
+            "--trace",
+            "forth",
+            "--measure",
+            "2000",
+            "--warmup",
+            "500",
+        ])
+        .output()
+        .expect("run press");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("throughput:"), "{text}");
+    assert!(text.contains("TOTAL"), "{text}");
+}
+
+#[test]
+fn export_then_replay_round_trip() {
+    let dir = std::env::temp_dir().join("press-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log_path = dir.join("forth.log");
+    let out = press()
+        .args([
+            "export",
+            "--trace",
+            "forth",
+            "--requests",
+            "5000",
+            "--out",
+            log_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run export");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = press()
+        .args([
+            "simulate",
+            "--replay",
+            log_path.to_str().expect("utf8 path"),
+            "--measure",
+            "1500",
+            "--warmup",
+            "400",
+        ])
+        .output()
+        .expect("run replay");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("throughput:"));
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn replay_missing_file_fails_cleanly() {
+    let out = press()
+        .args(["simulate", "--replay", "/nonexistent/press.log"])
+        .output()
+        .expect("run press");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = press().arg("frobnicate").output().expect("run press");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn bad_flag_fails_cleanly() {
+    let out = press()
+        .args(["simulate", "--nonsense", "1"])
+        .output()
+        .expect("run press");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

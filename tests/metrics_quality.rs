@@ -1,0 +1,83 @@
+//! Quality invariants on the simulator's reported metrics, across every
+//! server version and protocol combination.
+
+use press::core::{run_simulation, Metrics, ServerVersion, SimConfig};
+use press::net::{MessageType, ProtocolCombo};
+
+fn check_invariants(label: &str, m: &Metrics) {
+    // Flow control never leaks credits.
+    assert_eq!(m.stuck_messages, 0, "{label}: stuck messages");
+    // Percentiles are ordered and bracket the mean sanely.
+    assert!(
+        m.p50_response_ms <= m.p95_response_ms && m.p95_response_ms <= m.p99_response_ms,
+        "{label}: percentile ordering {} / {} / {}",
+        m.p50_response_ms,
+        m.p95_response_ms,
+        m.p99_response_ms
+    );
+    assert!(m.p50_response_ms > 0.0, "{label}: zero median");
+    assert!(
+        m.mean_response_ms < m.p99_response_ms * 1.5,
+        "{label}: mean {} wildly above p99 {}",
+        m.mean_response_ms,
+        m.p99_response_ms
+    );
+    // Utilizations are proper fractions.
+    for (name, v) in [
+        ("cpu", m.cpu_utilization),
+        ("disk", m.disk_utilization),
+        ("hit", m.hit_rate),
+        ("fwd", m.forward_fraction),
+        ("int cpu", m.intcomm_cpu_fraction),
+        ("int wall", m.intcomm_wall_fraction),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{label}: {name} = {v}");
+    }
+    // Message accounting: forwarded requests imply forward messages and
+    // at least as many file messages (segmentation/metadata only add).
+    let fwd = m.counters.count(MessageType::Forward);
+    let files = m.counters.count(MessageType::File);
+    if m.forward_fraction > 0.0 {
+        assert!(fwd > 0, "{label}: forwarding without forward messages");
+        assert!(files >= fwd, "{label}: files {files} < forwards {fwd}");
+    }
+    // Bytes are dominated by file payloads.
+    assert!(
+        m.counters.bytes(MessageType::File) > m.counters.bytes(MessageType::Forward),
+        "{label}: file bytes should dominate"
+    );
+}
+
+#[test]
+fn invariants_hold_across_versions() {
+    for version in ServerVersion::ALL {
+        let mut cfg = SimConfig::quick_demo();
+        cfg.version = version;
+        let m = run_simulation(&cfg);
+        check_invariants(version.name(), &m);
+    }
+}
+
+#[test]
+fn invariants_hold_across_protocols() {
+    for combo in ProtocolCombo::ALL {
+        let mut cfg = SimConfig::quick_demo();
+        cfg.combo = combo;
+        let m = run_simulation(&cfg);
+        check_invariants(combo.name(), &m);
+    }
+}
+
+#[test]
+fn measurement_window_excludes_warmup() {
+    // Doubling warmup must not change how many requests are measured,
+    // and the window length stays in the same ballpark.
+    let mut cfg = SimConfig::quick_demo();
+    cfg.warmup_requests = 500;
+    let a = run_simulation(&cfg);
+    cfg.warmup_requests = 2_000;
+    let b = run_simulation(&cfg);
+    assert_eq!(a.measured_requests, b.measured_requests);
+    let ratio = a.measure_seconds / b.measure_seconds;
+    assert!((0.5..2.0).contains(&ratio), "window ratio {ratio}");
+}

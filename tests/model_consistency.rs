@@ -1,0 +1,144 @@
+//! Cross-checks between the analytical model, the paper's reported
+//! surfaces, and the discrete-event simulation.
+
+use press::core::{run_simulation, ServerVersion, SimConfig};
+use press::model::{
+    sweep_file_size, sweep_hit_rate, throughput, CommVariant, ModelParams, Station,
+};
+use press::net::ProtocolCombo;
+use press::trace::TracePreset;
+
+#[test]
+fn paper_headline_numbers() {
+    // Section 5: user-level communication can improve throughput by as
+    // much as 49% for current OSes (37% overhead + 12% RMW/0-copy) and
+    // 55% for next-generation OSes.
+    let fig8 = sweep_hit_rate(CommVariant::Tcp, CommVariant::ViaRegular, 16.0);
+    assert!(
+        (1.25..1.55).contains(&fig8.max_gain()),
+        "figure 8 max {}",
+        fig8.max_gain()
+    );
+    let fig10 = sweep_hit_rate(CommVariant::ViaRegular, CommVariant::ViaRmwZeroCopy, 16.0);
+    assert!(
+        (1.03..1.20).contains(&fig10.max_gain()),
+        "figure 10 max {}",
+        fig10.max_gain()
+    );
+    let fig12 = sweep_hit_rate(CommVariant::TcpNextGen, CommVariant::ViaNextGen, 16.0);
+    assert!(
+        fig12.max_gain() > fig8.max_gain(),
+        "next-gen gains ({}) should exceed current-gen ({})",
+        fig12.max_gain(),
+        fig8.max_gain()
+    );
+}
+
+#[test]
+fn gains_grow_with_cluster_size() {
+    // Figures 8/10/12: at a fixed hit rate, adding nodes increases the
+    // gain, with diminishing increments (intra-cluster traffic grows by
+    // 1/(N(N-1)) per added node).
+    let g = sweep_hit_rate(CommVariant::Tcp, CommVariant::ViaRegular, 16.0);
+    let row = &g.gains[7]; // high hit rate: CPU-bound everywhere
+    for w in row.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "gain dropped with more nodes: {row:?}");
+    }
+    // Going from 64 to 128 nodes moves the gain far less than going
+    // from 2 to 8 nodes (the paper's "improvements level off").
+    let early = row[3] - row[1];
+    let late = row[row.len() - 1] - row[row.len() - 3];
+    assert!(late < early, "late {late} vs early {early}: {row:?}");
+}
+
+#[test]
+fn overhead_gains_shrink_with_file_size() {
+    // Figure 9: fixed per-message overhead matters less as files grow.
+    let g = sweep_file_size(CommVariant::Tcp, CommVariant::ViaRegular, 0.9);
+    let at_4kb = g.gains[1][8];
+    let at_128kb = g.gains[8][8];
+    assert!(at_4kb > at_128kb, "{at_4kb} vs {at_128kb}");
+}
+
+#[test]
+fn rmw_gains_grow_with_file_size() {
+    // Figure 11: copies scale with bytes, so zero-copy pays off more for
+    // larger files (up to the point where client-send time dominates).
+    let g = sweep_file_size(CommVariant::ViaRegular, CommVariant::ViaRmwZeroCopy, 0.9);
+    let at_2kb = g.gains[0][8];
+    let at_64kb = g.gains[6][8];
+    assert!(at_64kb > at_2kb, "{at_64kb} vs {at_2kb}");
+}
+
+#[test]
+fn bottleneck_transitions_are_sane() {
+    // Sweeping hit rate at fixed size must move the bottleneck away from
+    // the disk exactly once (no oscillation).
+    let mut seen_non_disk = false;
+    for i in 0..60 {
+        let hsn = 0.2 + 0.013 * i as f64;
+        let t = throughput(&ModelParams::default_at(hsn.min(0.99), 8));
+        if t.bottleneck != Station::Disk {
+            seen_non_disk = true;
+        } else {
+            assert!(!seen_non_disk, "disk bottleneck returned at hsn {hsn}");
+        }
+    }
+    assert!(seen_non_disk, "bottleneck never left the disk");
+}
+
+#[test]
+fn model_upper_bounds_simulation() {
+    // Section 4.2: the model assumes cost-free distribution, perfect
+    // balance and no contention, so it should sit above the simulated
+    // throughput at comparable parameters — and within a sane factor.
+    let mut cfg = SimConfig::paper_default(TracePreset::Nasa);
+    cfg.warmup_requests = 2_000;
+    cfg.measure_requests = 6_000;
+    cfg.version = ServerVersion::V5;
+    let sim = run_simulation(&cfg);
+
+    let mut p = ModelParams::default_at(0.9, 8);
+    p.avg_file_kb = TracePreset::Nasa.spec().target_avg_request_bytes as f64 / 1024.0;
+    p.cache_mb = (cfg.cache_bytes_per_node >> 20) as f64;
+    p.variant = CommVariant::ViaRmwZeroCopy;
+    let model = throughput(&p);
+
+    assert!(
+        model.total_rps > sim.throughput_rps * 0.9,
+        "model {} should not be far below the simulation {}",
+        model.total_rps,
+        sim.throughput_rps
+    );
+    assert!(
+        model.total_rps < sim.throughput_rps * 3.0,
+        "model {} should be a *tight-ish* upper bound over {}",
+        model.total_rps,
+        sim.throughput_rps
+    );
+}
+
+#[test]
+fn simulated_protocol_gap_matches_model_direction() {
+    let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
+    cfg.warmup_requests = 2_000;
+    cfg.measure_requests = 6_000;
+    cfg.combo = ProtocolCombo::TcpClan;
+    let tcp = run_simulation(&cfg).throughput_rps;
+    cfg.combo = ProtocolCombo::ViaClan;
+    let via = run_simulation(&cfg).throughput_rps;
+    let sim_gain = via / tcp;
+
+    let mut p = ModelParams::default_at(0.95, 8);
+    p.avg_file_kb = 9.7;
+    p.variant = CommVariant::Tcp;
+    let m_tcp = throughput(&p).total_rps;
+    p.variant = CommVariant::ViaRegular;
+    let m_via = throughput(&p).total_rps;
+    let model_gain = m_via / m_tcp;
+
+    assert!(sim_gain > 1.0 && model_gain > 1.0);
+    // Both should land in the paper's 10-25% band for 8 nodes.
+    assert!((1.03..1.4).contains(&sim_gain), "sim gain {sim_gain}");
+    assert!((1.03..1.4).contains(&model_gain), "model gain {model_gain}");
+}

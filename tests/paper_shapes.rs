@@ -1,0 +1,173 @@
+//! Integration tests asserting the paper's qualitative results on
+//! scaled-down simulations (small enough for debug-mode CI).
+//!
+//! The full-scale reproductions live in the `press-bench` binaries; these
+//! tests pin the *orderings* the paper reports so regressions in any
+//! crate surface here.
+
+use press::core::{run_simulation, Dissemination, Metrics, ServerVersion, SimConfig};
+use press::net::{MessageType, ProtocolCombo};
+use press::trace::WorkloadSpec;
+
+/// A mid-size configuration: big enough for stable orderings, small
+/// enough for debug builds.
+fn shape_config() -> SimConfig {
+    let mut cfg = SimConfig::quick_demo();
+    cfg.workload = press::core::WorkloadSource::Spec(WorkloadSpec {
+        num_files: 4_000,
+        avg_file_bytes: 12 * 1024,
+        num_requests: 100_000,
+        target_avg_request_bytes: 9 * 1024,
+        zipf_alpha: 0.8,
+        size_bias: 0.4,
+    });
+    cfg.nodes = 8;
+    cfg.cache_bytes_per_node = 8 << 20;
+    cfg.clients_per_node = 56;
+    cfg.warmup_requests = 3_000;
+    cfg.measure_requests = 9_000;
+    cfg
+}
+
+fn run_with(f: impl FnOnce(&mut SimConfig)) -> Metrics {
+    let mut cfg = shape_config();
+    f(&mut cfg);
+    run_simulation(&cfg)
+}
+
+#[test]
+fn figure3_protocol_ordering() {
+    let fe = run_with(|c| c.combo = ProtocolCombo::TcpFe);
+    let clan = run_with(|c| c.combo = ProtocolCombo::TcpClan);
+    let via = run_with(|c| c.combo = ProtocolCombo::ViaClan);
+    assert!(
+        fe.throughput_rps < clan.throughput_rps,
+        "TCP/FE {} should trail TCP/cLAN {}",
+        fe.throughput_rps,
+        clan.throughput_rps
+    );
+    assert!(
+        clan.throughput_rps < via.throughput_rps,
+        "TCP/cLAN {} should trail VIA/cLAN {}",
+        clan.throughput_rps,
+        via.throughput_rps
+    );
+    // The bandwidth effect (FE -> cLAN) is small next to the user-level
+    // communication effect (cLAN TCP -> VIA).
+    let bandwidth_gain = clan.throughput_rps / fe.throughput_rps - 1.0;
+    let userlevel_gain = via.throughput_rps / clan.throughput_rps - 1.0;
+    assert!(
+        userlevel_gain > bandwidth_gain,
+        "user-level gain {userlevel_gain:.3} should exceed bandwidth gain {bandwidth_gain:.3}"
+    );
+}
+
+#[test]
+fn figure1_intcluster_time_dominates_under_tcp_fe() {
+    let fe = run_with(|c| c.combo = ProtocolCombo::TcpFe);
+    let via = run_with(|c| c.combo = ProtocolCombo::ViaClan);
+    // TCP/FE burns far more of its time on intra-cluster communication.
+    assert!(fe.intcomm_wall_fraction > 0.3, "{}", fe.intcomm_wall_fraction);
+    assert!(
+        fe.intcomm_cpu_fraction > via.intcomm_cpu_fraction,
+        "TCP {} vs VIA {}",
+        fe.intcomm_cpu_fraction,
+        via.intcomm_cpu_fraction
+    );
+}
+
+#[test]
+fn figure4_l1_broadcast_storm_hurts() {
+    let pb = run_with(|c| c.dissemination = Dissemination::Piggyback);
+    let l1 = run_with(|c| c.dissemination = Dissemination::Broadcast(1));
+    let l16 = run_with(|c| c.dissemination = Dissemination::Broadcast(16));
+    assert!(
+        l1.throughput_rps < pb.throughput_rps * 0.95,
+        "L1 {} should clearly trail PB {}",
+        l1.throughput_rps,
+        pb.throughput_rps
+    );
+    assert!(
+        l16.throughput_rps > l1.throughput_rps,
+        "higher threshold should beat L1"
+    );
+    // Message accounting: piggy-backing sends no load messages at all;
+    // L1 floods them.
+    assert_eq!(pb.counters.count(MessageType::Load), 0);
+    assert!(l1.counters.count(MessageType::Load) > 10 * l16.counters.count(MessageType::Load));
+}
+
+#[test]
+fn figure5_zero_copy_versions_win() {
+    let v0 = run_with(|c| c.version = ServerVersion::V0);
+    let v5 = run_with(|c| c.version = ServerVersion::V5);
+    assert!(
+        v5.throughput_rps > v0.throughput_rps,
+        "V5 {} should beat V0 {}",
+        v5.throughput_rps,
+        v0.throughput_rps
+    );
+    // V5 spends clearly less CPU on intra-cluster communication.
+    assert!(v5.intcomm_cpu_fraction < v0.intcomm_cpu_fraction * 0.8);
+}
+
+#[test]
+fn table4_rmw_doubles_file_messages() {
+    let v2 = run_with(|c| c.version = ServerVersion::V2);
+    let v3 = run_with(|c| c.version = ServerVersion::V3);
+    let ratio = v3.counters.count(MessageType::File) as f64
+        / v2.counters.count(MessageType::File) as f64;
+    // One metadata message per file: segmentation keeps it below 2.0.
+    assert!(
+        (1.5..=2.1).contains(&ratio),
+        "file message ratio V3/V2 = {ratio}"
+    );
+    // And the mean file-message size drops accordingly (Table 4).
+    assert!(v3.counters.mean_size(MessageType::File) < v2.counters.mean_size(MessageType::File));
+}
+
+#[test]
+fn flow_control_batches_credits() {
+    let m = run_with(|_| {});
+    let consuming = m.counters.count(MessageType::Forward)
+        + m.counters.count(MessageType::Caching)
+        + m.counters.count(MessageType::File);
+    let flow = m.counters.count(MessageType::Flow);
+    assert!(flow > 0, "VIA runs must exchange flow-control messages");
+    let per_flow = consuming as f64 / flow as f64;
+    // Credits return in batches of 4 (Table 2: ~1 flow message per ~4
+    // credit-consuming messages).
+    assert!(
+        (3.0..=5.5).contains(&per_flow),
+        "credit batch ratio {per_flow}"
+    );
+}
+
+#[test]
+fn tcp_runs_have_no_flow_or_rmw_messages() {
+    let tcp = run_with(|c| c.combo = ProtocolCombo::TcpClan);
+    assert_eq!(tcp.counters.count(MessageType::Flow), 0);
+    // Sanity: the other message types flow normally.
+    assert!(tcp.counters.count(MessageType::Forward) > 0);
+    assert!(tcp.counters.count(MessageType::File) > 0);
+}
+
+#[test]
+fn forwarding_fraction_matches_locality_design() {
+    let m = run_with(|_| {});
+    // With 8 nodes and modest replication most remote-cached requests are
+    // forwarded: Q = (N-1)(1-h)/N caps at 7/8.
+    assert!(m.forward_fraction > 0.4, "{}", m.forward_fraction);
+    assert!(m.forward_fraction < 0.875 + 1e-9, "{}", m.forward_fraction);
+}
+
+#[test]
+fn nlb_forwards_more_but_serves_fewer() {
+    let pb = run_with(|_| {});
+    let nlb = run_with(|c| c.dissemination = Dissemination::None);
+    // Without load balancing there is no overload-driven replication, so
+    // strictly more requests are forwarded...
+    assert!(nlb.forward_fraction > pb.forward_fraction);
+    // ...and no load messages of any kind exist.
+    assert_eq!(nlb.counters.count(MessageType::Load), 0);
+}
