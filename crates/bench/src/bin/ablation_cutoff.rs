@@ -1,22 +1,38 @@
 //! Ablation: sensitivity to the large-file cutoff (the paper serves
 //! files >= 512 KB locally, never forwarding them).
 
-use press_bench::{run_logged, standard_config};
+use press_bench::{run_all, standard_config};
+use press_core::Job;
 use press_trace::TracePreset;
 
 fn main() {
     let preset = TracePreset::Rutgers; // largest files of the four traces
     println!("Ablation: large-file cutoff (Rutgers, VIA/cLAN, V0)");
-    println!("{:>10} {:>10} {:>10} {:>10}", "cutoff", "req/s", "fwd", "disk util");
-    for cutoff_kb in [64u64, 128, 256, 512, 1024, u64::MAX / 2048] {
-        let mut cfg = standard_config(preset);
-        cfg.policy.large_file_cutoff = cutoff_kb.saturating_mul(1024);
-        let label = if cutoff_kb > 1 << 20 {
-            "none".to_string()
-        } else {
-            format!("{cutoff_kb}KB")
-        };
-        let m = run_logged(&format!("cutoff={label}"), &cfg);
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "cutoff", "req/s", "fwd", "disk util"
+    );
+    let cutoffs = [64u64, 128, 256, 512, 1024, u64::MAX / 2048];
+    let labels: Vec<String> = cutoffs
+        .iter()
+        .map(|&kb| {
+            if kb > 1 << 20 {
+                "none".to_string()
+            } else {
+                format!("{kb}KB")
+            }
+        })
+        .collect();
+    let jobs = cutoffs
+        .iter()
+        .zip(&labels)
+        .map(|(&kb, label)| {
+            let mut cfg = standard_config(preset);
+            cfg.policy.large_file_cutoff = kb.saturating_mul(1024);
+            Job::new(format!("cutoff={label}"), cfg)
+        })
+        .collect();
+    for (label, m) in labels.iter().zip(run_all(jobs)) {
         println!(
             "{:>10} {:>10.0} {:>10.3} {:>10.3}",
             label, m.throughput_rps, m.forward_fraction, m.disk_utilization

@@ -3,9 +3,16 @@
 //! L1 significantly, improve L4 slightly, do not affect L16 — and that
 //! piggy-backing still wins.
 
-use press_bench::{run_logged, standard_config};
-use press_core::Dissemination;
+use press_bench::{run_all, standard_config};
+use press_core::{Dissemination, Job};
 use press_trace::TracePreset;
+
+const STRATEGIES: [Dissemination; 4] = [
+    Dissemination::Broadcast(1),
+    Dissemination::Broadcast(4),
+    Dissemination::Broadcast(16),
+    Dissemination::Piggyback,
+];
 
 fn main() {
     let preset = TracePreset::Clarknet;
@@ -14,18 +21,21 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>8}",
         "Strategy", "regular", "RMW", "delta"
     );
-    for strategy in [
-        Dissemination::Broadcast(1),
-        Dissemination::Broadcast(4),
-        Dissemination::Broadcast(16),
-        Dissemination::Piggyback,
-    ] {
-        let mut cfg = standard_config(preset);
-        cfg.dissemination = strategy;
-        cfg.rmw_load_broadcast = false;
-        let regular = run_logged(&format!("{}/regular", strategy.name()), &cfg);
-        cfg.rmw_load_broadcast = true;
-        let rmw = run_logged(&format!("{}/rmw", strategy.name()), &cfg);
+    // Two runs per strategy: regular broadcasts, then RMW broadcasts.
+    let mut jobs = Vec::new();
+    for strategy in STRATEGIES {
+        for rmw in [false, true] {
+            let mut cfg = standard_config(preset);
+            cfg.dissemination = strategy;
+            cfg.rmw_load_broadcast = rmw;
+            let tag = if rmw { "rmw" } else { "regular" };
+            jobs.push(Job::new(format!("{}/{tag}", strategy.name()), cfg));
+        }
+    }
+    let mut results = run_all(jobs).into_iter();
+    for strategy in STRATEGIES {
+        let regular = results.next().expect("one result per job");
+        let rmw = results.next().expect("one result per job");
         println!(
             "{:<10} {:>12.0} {:>12.0} {:>+7.1}%",
             strategy.name(),

@@ -2,7 +2,8 @@
 //! T = 80). Low thresholds replicate aggressively (more disk reads,
 //! more caching broadcasts); high thresholds barely replicate at all.
 
-use press_bench::{run_logged, standard_config};
+use press_bench::{run_all, standard_config};
+use press_core::Job;
 use press_net::MessageType;
 use press_trace::TracePreset;
 
@@ -13,15 +14,27 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>10} {:>14}",
         "T", "req/s", "hit rate", "fwd", "caching msgs"
     );
-    for t in [40u32, 60, 80, 120, 200, u32::MAX] {
-        let mut cfg = standard_config(preset);
-        cfg.policy.overload_threshold = t;
-        let label = if t == u32::MAX {
-            "inf".to_string()
-        } else {
-            t.to_string()
-        };
-        let m = run_logged(&format!("T={label}"), &cfg);
+    let thresholds = [40u32, 60, 80, 120, 200, u32::MAX];
+    let labels: Vec<String> = thresholds
+        .iter()
+        .map(|&t| {
+            if t == u32::MAX {
+                "inf".to_string()
+            } else {
+                t.to_string()
+            }
+        })
+        .collect();
+    let jobs = thresholds
+        .iter()
+        .zip(&labels)
+        .map(|(&t, label)| {
+            let mut cfg = standard_config(preset);
+            cfg.policy.overload_threshold = t;
+            Job::new(format!("T={label}"), cfg)
+        })
+        .collect();
+    for (label, m) in labels.iter().zip(run_all(jobs)) {
         println!(
             "{:>6} {:>10.0} {:>10.3} {:>10.3} {:>14}",
             label,

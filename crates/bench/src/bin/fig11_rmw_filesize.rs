@@ -8,5 +8,8 @@ fn main() {
     println!("Figure 11: Gains achievable by using RMW and 0-copy (file size x nodes)");
     println!("(throughput ratio over regular 1-copy VIA; 90% single-node hit rate)");
     print!("{}", grid.format_table());
-    println!("max gain: {:.3}   (paper: grows with file size toward ~1.09)", grid.max_gain());
+    println!(
+        "max gain: {:.3}   (paper: grows with file size toward ~1.09)",
+        grid.max_gain()
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
     println!("Figure 13: Gains by user-level communication, next-gen OS (file size x nodes)");
     println!("(throughput ratio; 90% single-node hit rate)");
     print!("{}", grid.format_table());
-    println!("max gain: {:.3}   (paper: larger toward small files, up to ~1.55)", grid.max_gain());
+    println!(
+        "max gain: {:.3}   (paper: larger toward small files, up to ~1.55)",
+        grid.max_gain()
+    );
 }

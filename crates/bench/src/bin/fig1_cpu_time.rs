@@ -5,7 +5,8 @@
 //! the internal NIC/wire occupancy — the paper's >50% reading corresponds
 //! to the latter (the slow Fast Ethernet transfers dominate).
 
-use press_bench::{run_logged, standard_config};
+use press_bench::{run_all, standard_config};
+use press_core::Job;
 use press_net::ProtocolCombo;
 use press_trace::TracePreset;
 
@@ -15,10 +16,15 @@ fn main() {
         "{:<10} {:>14} {:>20}",
         "Trace", "Int.comm (CPU)", "Int.comm (CPU+wire)"
     );
-    for preset in TracePreset::ALL {
-        let mut cfg = standard_config(preset);
-        cfg.combo = ProtocolCombo::TcpFe;
-        let m = run_logged(preset.name(), &cfg);
+    let jobs = TracePreset::ALL
+        .into_iter()
+        .map(|preset| {
+            let mut cfg = standard_config(preset);
+            cfg.combo = ProtocolCombo::TcpFe;
+            Job::new(preset.name(), cfg)
+        })
+        .collect();
+    for (preset, m) in TracePreset::ALL.into_iter().zip(run_all(jobs)) {
         println!(
             "{:<10} {:>13.1}% {:>19.1}%",
             preset.name(),

@@ -1,21 +1,28 @@
 //! Regenerates Figure 3: throughput for the three protocol/network
 //! combinations (TCP/FE, TCP/cLAN, VIA/cLAN) on all four traces.
 
-use press_bench::{bar, run_logged, standard_config};
+use press_bench::{bar, run_all, standard_config};
+use press_core::Job;
 use press_net::ProtocolCombo;
 use press_trace::TracePreset;
 
 fn main() {
     println!("Figure 3: Throughput for protocol/network combinations (8 nodes)");
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for preset in TracePreset::ALL {
         for combo in ProtocolCombo::ALL {
             let mut cfg = standard_config(preset);
             cfg.combo = combo;
-            let m = run_logged(&format!("{preset}/{combo}"), &cfg);
-            rows.push((preset, combo, m.throughput_rps));
+            jobs.push(Job::new(format!("{preset}/{combo}"), cfg));
+            cells.push((preset, combo));
         }
     }
+    let rows: Vec<(TracePreset, ProtocolCombo, f64)> = cells
+        .into_iter()
+        .zip(run_all(jobs))
+        .map(|((preset, combo), m)| (preset, combo, m.throughput_rps))
+        .collect();
     let max = rows.iter().map(|r| r.2).fold(0.0, f64::max);
     for preset in TracePreset::ALL {
         println!("\n{preset}:");

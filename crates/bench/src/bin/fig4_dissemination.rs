@@ -1,21 +1,27 @@
 //! Regenerates Figure 4: throughput for the load-information
 //! dissemination strategies (PB, L16, L4, L1, NLB) under VIA/cLAN.
 
-use press_bench::{bar, run_logged, standard_config};
-use press_core::Dissemination;
+use press_bench::{bar, run_all, standard_config};
+use press_core::{Dissemination, Job};
 use press_trace::TracePreset;
 
 fn main() {
     println!("Figure 4: Throughput for different dissemination strategies (VIA/cLAN, 8 nodes)");
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for preset in TracePreset::ALL {
         for strategy in Dissemination::FIGURE4 {
             let mut cfg = standard_config(preset);
             cfg.dissemination = strategy;
-            let m = run_logged(&format!("{preset}/{strategy}"), &cfg);
-            rows.push((preset, strategy, m.throughput_rps));
+            jobs.push(Job::new(format!("{preset}/{strategy}"), cfg));
+            cells.push((preset, strategy));
         }
     }
+    let rows: Vec<(TracePreset, Dissemination, f64)> = cells
+        .into_iter()
+        .zip(run_all(jobs))
+        .map(|((preset, strategy), m)| (preset, strategy, m.throughput_rps))
+        .collect();
     let max = rows.iter().map(|r| r.2).fold(0.0, f64::max);
     for preset in TracePreset::ALL {
         println!("\n{preset}:");

@@ -1,8 +1,8 @@
 //! Regenerates Figure 5 (and prints Table 3): throughput increase of the
 //! RMW/zero-copy versions V1–V5 over V0, per trace.
 
-use press_bench::{run_logged, standard_config};
-use press_core::ServerVersion;
+use press_bench::{run_all, standard_config};
+use press_core::{Job, ServerVersion};
 use press_net::MessageType;
 use press_trace::TracePreset;
 
@@ -35,13 +35,20 @@ fn main() {
         "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "Trace", "V1", "V2", "V3", "V4", "V5"
     );
+    let mut jobs = Vec::new();
+    for preset in TracePreset::ALL {
+        for v in ServerVersion::ALL {
+            let mut cfg = standard_config(preset);
+            cfg.version = v;
+            jobs.push(Job::new(format!("{preset}/{v}"), cfg));
+        }
+    }
+    let mut results = run_all(jobs).into_iter();
     for preset in TracePreset::ALL {
         let mut v0 = 0.0;
         let mut incs = Vec::new();
         for v in ServerVersion::ALL {
-            let mut cfg = standard_config(preset);
-            cfg.version = v;
-            let m = run_logged(&format!("{preset}/{v}"), &cfg);
+            let m = results.next().expect("one result per job");
             if v == ServerVersion::V0 {
                 v0 = m.throughput_rps;
             } else {

@@ -1,8 +1,8 @@
 //! Regenerates Figure 6: the stacked contributions of low overhead,
 //! remote memory writes, and zero-copy over the TCP/cLAN baseline.
 
-use press_bench::{run_logged, standard_config};
-use press_core::ServerVersion;
+use press_bench::{run_all, standard_config};
+use press_core::{Job, ServerVersion};
 use press_net::ProtocolCombo;
 use press_trace::TracePreset;
 
@@ -12,19 +12,25 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>8} {:>8} {:>12}",
         "Trace", "TCP/cLAN", "LowOverhead", "RMW", "0-Copy", "Total gain"
     );
+    // Four runs per trace: the TCP/cLAN baseline plus V0, V4, V5.
+    let mut jobs = Vec::new();
     for preset in TracePreset::ALL {
         let mut tcp_cfg = standard_config(preset);
         tcp_cfg.combo = ProtocolCombo::TcpClan;
-        let tcp = run_logged(&format!("{preset}/TCP/cLAN"), &tcp_cfg).throughput_rps;
-
-        let run_version = |v: ServerVersion| {
+        jobs.push(Job::new(format!("{preset}/TCP/cLAN"), tcp_cfg));
+        for v in [ServerVersion::V0, ServerVersion::V4, ServerVersion::V5] {
             let mut cfg = standard_config(preset);
             cfg.version = v;
-            run_logged(&format!("{preset}/{v}"), &cfg).throughput_rps
-        };
-        let v0 = run_version(ServerVersion::V0);
-        let v4 = run_version(ServerVersion::V4);
-        let v5 = run_version(ServerVersion::V5);
+            jobs.push(Job::new(format!("{preset}/{v}"), cfg));
+        }
+    }
+    let mut results = run_all(jobs).into_iter();
+    for preset in TracePreset::ALL {
+        let mut next = || results.next().expect("one result per job").throughput_rps;
+        let tcp = next();
+        let v0 = next();
+        let v4 = next();
+        let v5 = next();
 
         // Paper attribution: V0-TCP gap = low overhead; V4-V0 = RMW
         // (reply sent straight from the RMW buffer); V5-V4 = zero-copy.

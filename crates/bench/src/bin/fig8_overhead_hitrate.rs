@@ -8,5 +8,8 @@ fn main() {
     println!("Figure 8: Gains achievable by lowering overheads (hit rate x nodes)");
     println!("(throughput ratio VIA/TCP; 16 KB files)");
     print!("{}", grid.format_table());
-    println!("max gain: {:.3}   (paper: ~1.37 at 128 nodes, 36% hit rate)", grid.max_gain());
+    println!(
+        "max gain: {:.3}   (paper: ~1.37 at 128 nodes, 36% hit rate)",
+        grid.max_gain()
+    );
 }

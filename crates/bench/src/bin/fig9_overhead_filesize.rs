@@ -8,5 +8,8 @@ fn main() {
     println!("Figure 9: Gains achievable by lowering overheads (file size x nodes)");
     println!("(throughput ratio VIA/TCP; 90% single-node hit rate)");
     print!("{}", grid.format_table());
-    println!("max gain: {:.3}   (paper: ~1.48 at 4 KB files, falling to ~1.04 at 128 KB)", grid.max_gain());
+    println!(
+        "max gain: {:.3}   (paper: ~1.48 at 4 KB files, falling to ~1.04 at 128 KB)",
+        grid.max_gain()
+    );
 }

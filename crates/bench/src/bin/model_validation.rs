@@ -6,8 +6,8 @@
 //! the measurements, looser for traces with small average file sizes —
 //! the model is an upper bound (cost-free distribution, perfect balance).
 
-use press_bench::{run_logged, standard_config};
-use press_core::ServerVersion;
+use press_bench::{run_all, standard_config};
+use press_core::{Job, ServerVersion, SimConfig};
 use press_model::{throughput, CommVariant, ModelParams};
 use press_net::ProtocolCombo;
 use press_trace::TracePreset;
@@ -18,25 +18,30 @@ fn main() {
         "{:<10} {:<10} {:>10} {:>10} {:>8}",
         "Trace", "System", "Model", "Simulated", "Gap"
     );
+    // Two runs per trace: V5 and the TCP/cLAN baseline.
+    let mut jobs = Vec::new();
     for preset in TracePreset::ALL {
-        let spec = preset.spec();
-        let s_kb = spec.target_avg_request_bytes as f64 / 1024.0;
-
-        // The simulation's cache behaviour feeds the model's hit-rate
-        // input: use the single-node hit rate implied by the workload.
         let mut v5_cfg = standard_config(preset);
         v5_cfg.version = ServerVersion::V5;
-        let sim_v5 = run_logged(&format!("{preset}/V5"), &v5_cfg);
+        jobs.push(Job::new(format!("{preset}/V5"), v5_cfg));
 
         let mut tcp_cfg = standard_config(preset);
         tcp_cfg.combo = ProtocolCombo::TcpClan;
-        let sim_tcp = run_logged(&format!("{preset}/TCP"), &tcp_cfg);
+        jobs.push(Job::new(format!("{preset}/TCP"), tcp_cfg));
+    }
+    let mut results = run_all(jobs).into_iter();
+    for preset in TracePreset::ALL {
+        let spec = preset.spec();
+        let s_kb = spec.target_avg_request_bytes as f64 / 1024.0;
+        let sim_v5 = results.next().expect("one result per job");
+        let sim_tcp = results.next().expect("one result per job");
 
         // Model with the simulation's observed hit rate as Hlc proxy: we
         // invert by picking hsn so the model's cluster hit rate is close.
+        let cache_bytes = SimConfig::paper_default(preset).cache_bytes_per_node;
         let mut params = ModelParams::default_at(0.9, 8);
         params.avg_file_kb = s_kb;
-        params.cache_mb = (v5_cfg.cache_bytes_per_node >> 20) as f64;
+        params.cache_mb = (cache_bytes >> 20) as f64;
         params.variant = CommVariant::ViaRmwZeroCopy;
         let model_v5 = throughput(&params);
         params.variant = CommVariant::Tcp;

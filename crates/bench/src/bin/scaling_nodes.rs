@@ -2,11 +2,13 @@
 //! compare the user-level communication gain against the model's Figure 8
 //! trend (gains grow with the number of nodes, then level off).
 
-use press_bench::run_logged;
-use press_core::SimConfig;
+use press_bench::run_all;
+use press_core::{Job, SimConfig};
 use press_model::{throughput, CommVariant, ModelParams};
 use press_net::ProtocolCombo;
 use press_trace::TracePreset;
+
+const NODE_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
 
 fn main() {
     println!("Scaling: VIA gain over TCP/cLAN vs cluster size (Clarknet)");
@@ -14,15 +16,27 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>10} {:>12}",
         "nodes", "TCP (req/s)", "VIA (req/s)", "sim gain", "model gain"
     );
-    for nodes in [2usize, 4, 8, 16, 32] {
-        let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
-        cfg.nodes = nodes;
-        cfg.warmup_requests = 10_000;
-        cfg.measure_requests = 40_000;
-        cfg.combo = ProtocolCombo::TcpClan;
-        let tcp = run_logged(&format!("N={nodes}/TCP"), &cfg);
-        cfg.combo = ProtocolCombo::ViaClan;
-        let via = run_logged(&format!("N={nodes}/VIA"), &cfg);
+    // Two runs per cluster size: TCP/cLAN then VIA/cLAN.
+    let mut jobs = Vec::new();
+    for nodes in NODE_COUNTS {
+        for combo in [ProtocolCombo::TcpClan, ProtocolCombo::ViaClan] {
+            let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
+            cfg.nodes = nodes;
+            cfg.warmup_requests = 10_000;
+            cfg.measure_requests = 40_000;
+            cfg.combo = combo;
+            let tag = if combo == ProtocolCombo::TcpClan {
+                "TCP"
+            } else {
+                "VIA"
+            };
+            jobs.push(Job::new(format!("N={nodes}/{tag}"), cfg));
+        }
+    }
+    let mut results = run_all(jobs).into_iter();
+    for nodes in NODE_COUNTS {
+        let tcp = results.next().expect("one result per job");
+        let via = results.next().expect("one result per job");
         let sim_gain = via.throughput_rps / tcp.throughput_rps;
 
         let mut p = ModelParams::default_at(0.95, nodes);

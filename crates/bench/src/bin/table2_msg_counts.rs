@@ -2,14 +2,17 @@
 //! strategy (message counts, bytes, and mean sizes), on the Clarknet
 //! workload, extrapolated to the full trace length.
 
-use press_bench::{run_logged, standard_config, trace_scale};
-use press_core::Dissemination;
+use press_bench::{run_all, standard_config, trace_scale};
+use press_core::{Dissemination, Job};
 use press_trace::TracePreset;
 
 fn main() {
     let preset = TracePreset::Clarknet;
     println!("Table 2: Intra-cluster communication and dissemination strategies");
-    println!("(Clarknet workload, counts extrapolated to the full {} requests)", preset.spec().num_requests);
+    println!(
+        "(Clarknet workload, counts extrapolated to the full {} requests)",
+        preset.spec().num_requests
+    );
     // Paper row order: NLB, L1, L4, L16, PB.
     let order = [
         Dissemination::None,
@@ -18,11 +21,16 @@ fn main() {
         Dissemination::Broadcast(16),
         Dissemination::Piggyback,
     ];
-    for strategy in order {
-        let mut cfg = standard_config(preset);
-        cfg.dissemination = strategy;
-        let m = run_logged(&strategy.name(), &cfg);
-        let scale = trace_scale(&cfg, preset);
+    let scale = trace_scale(&standard_config(preset), preset);
+    let jobs = order
+        .into_iter()
+        .map(|strategy| {
+            let mut cfg = standard_config(preset);
+            cfg.dissemination = strategy;
+            Job::new(strategy.name(), cfg)
+        })
+        .collect();
+    for (strategy, m) in order.into_iter().zip(run_all(jobs)) {
         println!("\nVersion {}:", strategy.name());
         print!("{}", m.counters.format_table(scale));
     }

@@ -2,25 +2,33 @@
 //! zero-copy versions V1–V5 (message counts, bytes, mean sizes) on the
 //! Clarknet workload, extrapolated to the full trace.
 
-use press_bench::{run_logged, standard_config, trace_scale};
-use press_core::ServerVersion;
+use press_bench::{run_all, standard_config, trace_scale};
+use press_core::{Job, ServerVersion};
 use press_trace::TracePreset;
 
 fn main() {
     let preset = TracePreset::Clarknet;
     println!("Table 4: Intra-cluster communication, RMW, and zero-copy");
-    println!("(Clarknet workload, counts extrapolated to the full trace; V0 appears in Table 2 as PB)");
-    for v in [
+    println!(
+        "(Clarknet workload, counts extrapolated to the full trace; V0 appears in Table 2 as PB)"
+    );
+    let versions = [
         ServerVersion::V1,
         ServerVersion::V2,
         ServerVersion::V3,
         ServerVersion::V4,
         ServerVersion::V5,
-    ] {
-        let mut cfg = standard_config(preset);
-        cfg.version = v;
-        let m = run_logged(v.name(), &cfg);
-        let scale = trace_scale(&cfg, preset);
+    ];
+    let scale = trace_scale(&standard_config(preset), preset);
+    let jobs = versions
+        .into_iter()
+        .map(|v| {
+            let mut cfg = standard_config(preset);
+            cfg.version = v;
+            Job::new(v.name(), cfg)
+        })
+        .collect();
+    for (v, m) in versions.into_iter().zip(run_all(jobs)) {
         println!("\nVersion {}:", v.name());
         print!("{}", m.counters.format_table(scale));
     }

@@ -21,8 +21,12 @@
 //! override the defaults, and message counts are extrapolated to the full
 //! trace length for table comparisons.
 
-use press_core::{run_simulation, Metrics, SimConfig};
+use std::io::Write;
+
+use press_core::{run_simulation, ExperimentRunner, Job, Metrics, RunResult, SimConfig};
 use press_trace::TracePreset;
+
+pub use press_core::batch::threads_from_env;
 
 /// Default measured requests per run (the full traces have 0.4–3.1 M).
 pub const DEFAULT_MEASURE: u64 = 60_000;
@@ -56,11 +60,102 @@ pub fn trace_scale(cfg: &SimConfig, preset: TracePreset) -> f64 {
 pub fn run_logged(label: &str, cfg: &SimConfig) -> Metrics {
     eprintln!("running {label} ...");
     let m = run_simulation(cfg);
+    log_result(label, &m);
+    m
+}
+
+fn log_result(label: &str, m: &Metrics) {
     eprintln!(
         "  {label}: {:.0} req/s (hit {:.3}, Q {:.3})",
         m.throughput_rps, m.hit_rate, m.forward_fraction
     );
-    m
+}
+
+/// Runs a whole experiment batch on the [`ExperimentRunner`] thread pool
+/// and returns the metrics **in submission order**.
+///
+/// The thread count comes from `PRESS_THREADS` (default: all cores);
+/// `PRESS_THREADS=1` recovers sequential execution. Results come back in
+/// submission order either way, so anything printed from the returned
+/// vector is byte-identical to a sequential run. Progress goes to stderr;
+/// per-job wall time and throughput are appended to `results/bench.json`
+/// (override the path with `PRESS_BENCH_LOG`).
+pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
+    let runner = ExperimentRunner::from_env();
+    let results = if runner.threads() == 1 {
+        // Stream progress per job, legacy-style.
+        jobs.into_iter()
+            .map(|job| {
+                eprintln!("running {} ...", job.label);
+                let r = runner
+                    .run(vec![job])
+                    .pop()
+                    .expect("one job in, one result out");
+                log_result(&r.label, &r.metrics);
+                r
+            })
+            .collect::<Vec<_>>()
+    } else {
+        eprintln!(
+            "running {} jobs on {} threads ...",
+            jobs.len(),
+            runner.threads()
+        );
+        let results = runner.run(jobs);
+        for r in &results {
+            log_result(&r.label, &r.metrics);
+        }
+        results
+    };
+    record_timings(&results);
+    results.into_iter().map(|r| r.metrics).collect()
+}
+
+/// Appends one JSON line per result to the machine-readable timing log.
+///
+/// Each row is `{"bin": ..., "label": ..., "wall_ms": ...,
+/// "throughput_rps": ...}`. The default path is `results/bench.json`
+/// under the current directory; `PRESS_BENCH_LOG` overrides it. Logging
+/// is best-effort: IO problems never fail an experiment run.
+fn record_timings(results: &[RunResult]) {
+    let path = std::env::var("PRESS_BENCH_LOG").unwrap_or_else(|_| "results/bench.json".into());
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".into());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    for r in results {
+        let _ = writeln!(
+            file,
+            r#"{{"bin": "{}", "label": "{}", "wall_ms": {:.3}, "throughput_rps": {:.3}}}"#,
+            json_escape(&bin),
+            json_escape(&r.label),
+            r.wall.as_secs_f64() * 1e3,
+            r.metrics.throughput_rps
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Renders a labeled bar of relative height, paper-figure style.
@@ -97,5 +192,40 @@ mod tests {
     #[test]
     fn env_override_parses() {
         assert_eq!(env_u64("PRESS_TEST_NO_SUCH_VAR", 7), 7);
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn run_all_returns_submission_order_and_logs_rows() {
+        let log =
+            std::env::temp_dir().join(format!("press-bench-test-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&log);
+        std::env::set_var("PRESS_BENCH_LOG", &log);
+
+        let mut slow = SimConfig::quick_demo();
+        slow.warmup_requests = 100;
+        slow.measure_requests = 600;
+        let mut fast = slow.clone();
+        fast.measure_requests = 300;
+        let jobs = vec![Job::new("first", slow), Job::new("second", fast)];
+        let metrics = run_all(jobs);
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].measured_requests, 600);
+        assert_eq!(metrics[1].measured_requests, 300);
+
+        let rows = std::fs::read_to_string(&log).expect("bench log written");
+        let lines: Vec<&str> = rows.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""label": "first""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""label": "second""#), "{}", lines[1]);
+        assert!(lines[0].contains(r#""wall_ms": "#));
+        let _ = std::fs::remove_file(&log);
+        std::env::remove_var("PRESS_BENCH_LOG");
     }
 }

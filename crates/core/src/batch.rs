@@ -1,0 +1,217 @@
+//! Running batches of independent simulations across threads.
+//!
+//! Every experiment binary in this repo is a batch of independent
+//! `(label, SimConfig)` jobs whose results are printed in submission
+//! order. [`ExperimentRunner`] fans those jobs out over a scoped thread
+//! pool and hands the results back **in submission order**, so a caller
+//! that prints from the returned vector produces byte-identical stdout
+//! whatever the thread count. Each simulation is single-threaded and
+//! deterministic in its config, so parallel results are element-wise
+//! identical to a sequential run.
+//!
+//! The thread count comes from the `PRESS_THREADS` environment variable
+//! (default: all available cores); `PRESS_THREADS=1` recovers the exact
+//! legacy sequential behavior, running every job inline on the calling
+//! thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::driver::{run_simulation, SimConfig};
+use crate::metrics::Metrics;
+
+/// One experiment: a display label plus the configuration to run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Label shown in progress output and recorded with timings.
+    pub label: String,
+    /// Full simulation configuration.
+    pub cfg: SimConfig,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(label: impl Into<String>, cfg: SimConfig) -> Self {
+        Job {
+            label: label.into(),
+            cfg,
+        }
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The job's label, unchanged.
+    pub label: String,
+    /// Simulation metrics.
+    pub metrics: Metrics,
+    /// Wall-clock time this job took (setup + simulation).
+    pub wall: Duration,
+}
+
+/// Runs batches of simulations on a fixed-size scoped thread pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentRunner {
+    threads: usize,
+}
+
+impl ExperimentRunner {
+    /// A runner with an explicit thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ExperimentRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner configured from the environment: `PRESS_THREADS` if set
+    /// to a positive integer, otherwise all available cores.
+    pub fn from_env() -> Self {
+        ExperimentRunner::new(threads_from_env())
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs all jobs, returning results in submission order.
+    ///
+    /// With one thread the jobs run inline on the calling thread, in
+    /// order — the exact legacy sequential behavior. With more threads
+    /// the jobs are claimed work-stealing-style off a shared index; the
+    /// results vector is still indexed by submission position.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<RunResult> {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(run_one).collect();
+        }
+
+        let workers = self.threads.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<RunResult>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let jobs_ref = &jobs;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs_ref.len() {
+                        break;
+                    }
+                    let result = run_one(jobs_ref[i].clone());
+                    slots.lock().expect("no panics while holding result lock")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|r| r.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::from_env()
+    }
+}
+
+fn run_one(job: Job) -> RunResult {
+    let start = Instant::now();
+    let metrics = run_simulation(&job.cfg);
+    RunResult {
+        label: job.label,
+        metrics,
+        wall: start.elapsed(),
+    }
+}
+
+/// Thread count from `PRESS_THREADS`, falling back to available cores.
+pub fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var("PRESS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("PRESS_THREADS={v:?} is not a positive integer; using available cores");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::ServerVersion;
+    use press_net::ProtocolCombo;
+
+    /// A fast mixed-configuration batch: different versions, combos and
+    /// node counts, so element order actually matters.
+    fn mixed_jobs() -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (i, version) in [ServerVersion::V0, ServerVersion::V3, ServerVersion::V5]
+            .into_iter()
+            .enumerate()
+        {
+            let mut cfg = SimConfig::quick_demo();
+            cfg.version = version;
+            cfg.warmup_requests = 200;
+            cfg.measure_requests = 800;
+            jobs.push(Job::new(format!("via-{i}"), cfg));
+        }
+        for (i, nodes) in [2usize, 4, 8].into_iter().enumerate() {
+            let mut cfg = SimConfig::quick_demo();
+            cfg.combo = ProtocolCombo::TcpFe;
+            cfg.nodes = nodes;
+            cfg.warmup_requests = 200;
+            cfg.measure_requests = 800;
+            jobs.push(Job::new(format!("tcp-{i}"), cfg));
+        }
+        jobs
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_elementwise() {
+        let sequential = ExperimentRunner::new(1).run(mixed_jobs());
+        let parallel = ExperimentRunner::new(3).run(mixed_jobs());
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.metrics, p.metrics, "job {} diverged", s.label);
+        }
+    }
+
+    #[test]
+    fn one_and_four_threads_agree() {
+        let one = ExperimentRunner::new(1).run(mixed_jobs());
+        let four = ExperimentRunner::new(4).run(mixed_jobs());
+        for (a, b) in one.iter().zip(four.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.metrics, b.metrics, "job {} diverged", a.label);
+        }
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let jobs = mixed_jobs();
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let results = ExperimentRunner::new(2).run(jobs);
+        let got: Vec<String> = results.into_iter().map(|r| r.label).collect();
+        assert_eq!(got, labels);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(ExperimentRunner::new(4).run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn runner_clamps_zero_threads() {
+        assert_eq!(ExperimentRunner::new(0).threads(), 1);
+    }
+}

@@ -1,5 +1,8 @@
 //! Configuring and running complete simulations.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use press_cluster::ServiceRates;
 use press_net::ProtocolCombo;
 use press_sim::{SimTime, Simulator};
@@ -59,8 +62,42 @@ pub enum WorkloadSource {
     /// An explicit spec.
     Spec(WorkloadSpec),
     /// Replay a recorded request log (e.g. a converted real server log),
-    /// cycling when the log is shorter than warmup + measurement.
-    Replay(RequestLog),
+    /// cycling when the log is shorter than warmup + measurement. Held
+    /// behind an [`Arc`] so batches of runs share one log.
+    Replay(Arc<RequestLog>),
+}
+
+/// Cache key for memoized synthetic workloads: the full generating spec
+/// plus the seed (`f64` fields keyed by their bit patterns, which is exact
+/// for the round-trip values a spec carries).
+#[derive(PartialEq, Eq, Hash)]
+enum WorkloadKey {
+    Preset(TracePreset, u64),
+    Spec {
+        num_files: usize,
+        avg_file_bytes: u64,
+        num_requests: u64,
+        target_avg_request_bytes: u64,
+        zipf_alpha_bits: u64,
+        size_bias_bits: u64,
+        seed: u64,
+    },
+}
+
+/// Builds a workload once per distinct `(spec, seed)` and shares it.
+///
+/// Workload construction calibrates the size–popularity bias by bisection
+/// over freshly generated catalogs, which dominates setup time; an
+/// experiment batch that sweeps versions or strategies over one trace pays
+/// that cost once instead of per run. The cache only ever holds workloads
+/// for configurations actually run, and they are small (catalog + CDF).
+fn cached_workload(key: WorkloadKey, build: impl FnOnce() -> Workload) -> Arc<Workload> {
+    static CACHE: OnceLock<Mutex<HashMap<WorkloadKey, Arc<Workload>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    // Building under the lock means concurrent runs of the same trace
+    // wait for one build instead of duplicating it.
+    Arc::clone(map.entry(key).or_insert_with(|| Arc::new(build())))
 }
 
 impl SimConfig {
@@ -109,13 +146,30 @@ impl SimConfig {
     }
 
     /// Builds the request source described by this configuration.
+    ///
+    /// Synthetic workloads are memoized per `(spec, seed)`: repeated runs
+    /// over the same trace share one immutable `Workload` behind an `Arc`.
     pub(crate) fn build_source(&self) -> SimWorkload {
         match &self.workload {
             WorkloadSource::Preset(p) => {
-                SimWorkload::Synthetic(Workload::from_preset(*p, self.seed))
+                let key = WorkloadKey::Preset(*p, self.seed);
+                let (p, seed) = (*p, self.seed);
+                SimWorkload::Synthetic(cached_workload(key, || Workload::from_preset(p, seed)))
             }
-            WorkloadSource::Spec(s) => SimWorkload::Synthetic(Workload::from_spec(*s, self.seed)),
-            WorkloadSource::Replay(log) => SimWorkload::Replay(log.clone()),
+            WorkloadSource::Spec(s) => {
+                let key = WorkloadKey::Spec {
+                    num_files: s.num_files,
+                    avg_file_bytes: s.avg_file_bytes,
+                    num_requests: s.num_requests,
+                    target_avg_request_bytes: s.target_avg_request_bytes,
+                    zipf_alpha_bits: s.zipf_alpha.to_bits(),
+                    size_bias_bits: s.size_bias.to_bits(),
+                    seed: self.seed,
+                };
+                let (s, seed) = (*s, self.seed);
+                SimWorkload::Synthetic(cached_workload(key, || Workload::from_spec(s, seed)))
+            }
+            WorkloadSource::Replay(log) => SimWorkload::Replay(Arc::clone(log)),
         }
     }
 }
@@ -236,14 +290,22 @@ mod tests {
     #[test]
     fn infinite_threshold_disables_replication() {
         // With T = infinity the overload escape hatch never fires, so no
-        // file is ever replicated after warmup: caching broadcasts stop.
+        // file is ever replicated after warmup: caching broadcasts drop to
+        // the warmup-only baseline, far below an aggressive threshold.
         use press_net::MessageType;
-        let mut cfg = SimConfig::quick_demo();
-        cfg.policy.overload_threshold = u32::MAX;
-        let m = run_simulation(&cfg);
-        let per_request =
-            m.counters.count(MessageType::Caching) as f64 / m.measured_requests as f64;
-        assert!(per_request < 0.02, "caching msgs/request {per_request}");
+        let caching_rate = |threshold: u32| {
+            let mut cfg = SimConfig::quick_demo();
+            cfg.policy.overload_threshold = threshold;
+            let m = run_simulation(&cfg);
+            m.counters.count(MessageType::Caching) as f64 / m.measured_requests as f64
+        };
+        let aggressive = caching_rate(16);
+        let infinite = caching_rate(u32::MAX);
+        assert!(
+            infinite < aggressive / 4.0,
+            "caching msgs/request: infinite T {infinite} vs aggressive T {aggressive}"
+        );
+        assert!(infinite < 0.05, "caching msgs/request {infinite}");
     }
 
     #[test]
@@ -289,7 +351,7 @@ mod tests {
         };
         let log = RequestLog::sample(&wl, 8_000, 99);
         let mut cfg = base;
-        cfg.workload = WorkloadSource::Replay(log);
+        cfg.workload = WorkloadSource::Replay(Arc::new(log));
         cfg.warmup_requests = 500;
         cfg.measure_requests = 2_000;
         let a = run_simulation(&cfg);
@@ -301,14 +363,14 @@ mod tests {
 
     #[test]
     fn short_logs_cycle() {
-        use press_trace::{FileCatalog, RequestLog};
         use press_trace::FileId;
+        use press_trace::{FileCatalog, RequestLog};
         // A 50-request log replayed for 1500 completions must wrap.
         let catalog = FileCatalog::from_sizes(vec![4096; 20]);
         let requests: Vec<FileId> = (0..50).map(|i| FileId(i % 20)).collect();
         let log = RequestLog::from_parts(catalog, requests);
         let mut cfg = SimConfig::quick_demo();
-        cfg.workload = WorkloadSource::Replay(log);
+        cfg.workload = WorkloadSource::Replay(Arc::new(log));
         cfg.cache_bytes_per_node = 1 << 20;
         cfg.warmup_requests = 300;
         cfg.measure_requests = 1_200;

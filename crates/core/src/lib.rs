@@ -26,6 +26,7 @@
 //! assert!(metrics.throughput_rps > 0.0);
 //! ```
 
+pub mod batch;
 mod driver;
 mod load;
 mod metrics;
@@ -33,6 +34,7 @@ mod policy;
 mod server;
 mod version;
 
+pub use batch::{ExperimentRunner, Job, RunResult};
 pub use driver::{run_simulation, SimConfig, WorkloadSource};
 pub use load::Dissemination;
 pub use metrics::Metrics;

@@ -6,7 +6,7 @@ use press_sim::SimTime;
 use crate::server::ClusterSim;
 
 /// Results of one simulated run, covering the measurement window only.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Completed requests per simulated second — the paper's throughput
     /// metric (Figures 3–6).
@@ -88,7 +88,11 @@ impl Metrics {
         };
         let horizon_all = secs * nodes.len() as f64;
         Metrics {
-            throughput_rps: if secs > 0.0 { measured as f64 / secs } else { 0.0 },
+            throughput_rps: if secs > 0.0 {
+                measured as f64 / secs
+            } else {
+                0.0
+            },
             measured_requests: measured,
             measure_seconds: secs,
             mean_response_ms: sim.response_stats().mean(),

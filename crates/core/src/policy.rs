@@ -104,11 +104,7 @@ pub fn decide(cfg: &PolicyConfig, view: &RequestView<'_>) -> Decision {
     // Candidates are remote cachers; if only the initial node caches it we
     // would have hit `cached_locally`, and if nobody does, `first_request`
     // handling (or a lost broadcast) leaves us serving locally.
-    let remote_cachers = view
-        .cachers
-        .iter()
-        .copied()
-        .filter(|&n| n != view.initial);
+    let remote_cachers = view.cachers.iter().copied().filter(|&n| n != view.initial);
     if !view.load_balancing {
         return match remote_cachers.min_by_key(|n| n.0) {
             Some(n) => Decision::Forward(n),

@@ -9,6 +9,7 @@
 //! a single CPU resource per node, plus disk and NIC resources.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use press_cluster::{CpuCategory, Node, NodeId, ServiceRates};
 use press_net::{
@@ -111,30 +112,23 @@ struct Channel {
 }
 
 /// Where the simulated requests come from.
-#[derive(Debug)]
+///
+/// Both variants hold their (immutable) workload behind an [`Arc`], so a
+/// batch of runs over one trace shares a single catalog/sampler instead of
+/// deep-copying it per run.
+#[derive(Debug, Clone)]
 pub enum SimWorkload {
     /// Sample files from a Zipf-distributed synthetic workload.
-    Synthetic(Workload),
+    Synthetic(Arc<Workload>),
     /// Replay a recorded request log in order, cycling at the end.
-    Replay(RequestLog),
+    Replay(Arc<RequestLog>),
 }
 
 impl SimWorkload {
-    fn into_parts(self) -> (FileCatalog, Option<Workload>, Vec<FileId>) {
+    fn catalog(&self) -> &FileCatalog {
         match self {
-            SimWorkload::Synthetic(wl) => {
-                let catalog = wl.catalog().clone();
-                (catalog, Some(wl), Vec::new())
-            }
-            SimWorkload::Replay(log) => {
-                assert!(
-                    !log.requests().is_empty(),
-                    "replay log must contain requests"
-                );
-                let catalog = log.catalog().clone();
-                let requests = log.requests().to_vec();
-                (catalog, None, requests)
-            }
+            SimWorkload::Synthetic(wl) => wl.catalog(),
+            SimWorkload::Replay(log) => log.catalog(),
         }
     }
 }
@@ -143,9 +137,7 @@ impl SimWorkload {
 #[derive(Debug)]
 pub struct ClusterSim {
     params: RunParams,
-    catalog: FileCatalog,
-    sampler: Option<Workload>,
-    replay: Vec<FileId>,
+    source: SimWorkload,
     replay_next: usize,
     nodes: Vec<Node>,
     rng: StdRng,
@@ -178,7 +170,13 @@ impl ClusterSim {
     pub(crate) fn new(params: RunParams, source: SimWorkload, cache_bytes: u64, seed: u64) -> Self {
         assert!(params.nodes >= 1 && params.nodes <= 128, "1..=128 nodes");
         let n = params.nodes;
-        let (catalog, sampler, replay) = source.into_parts();
+        if let SimWorkload::Replay(log) = &source {
+            assert!(
+                !log.requests().is_empty(),
+                "replay log must contain requests"
+            );
+        }
+        let catalog = source.catalog();
         let num_files = catalog.len();
         let mut nodes: Vec<Node> = (0..n)
             .map(|i| Node::new(NodeId(i as u16), cache_bytes))
@@ -220,9 +218,7 @@ impl ClusterSim {
 
         ClusterSim {
             nodes,
-            catalog,
-            sampler,
-            replay,
+            source,
             replay_next: 0,
             rng: StdRng::seed_from_u64(seed),
             cachers,
@@ -250,15 +246,14 @@ impl ClusterSim {
 
     /// The next requested file: replayed from the log, or Zipf-sampled.
     fn next_file(&mut self) -> FileId {
-        if self.replay.is_empty() {
-            self.sampler
-                .as_ref()
-                .expect("synthetic workload present")
-                .sample(&mut self.rng)
-        } else {
-            let file = self.replay[self.replay_next % self.replay.len()];
-            self.replay_next += 1;
-            file
+        match &self.source {
+            SimWorkload::Synthetic(wl) => wl.sample(&mut self.rng),
+            SimWorkload::Replay(log) => {
+                let requests = log.requests();
+                let file = requests[self.replay_next % requests.len()];
+                self.replay_next += 1;
+                file
+            }
         }
     }
 
@@ -317,8 +312,7 @@ impl ClusterSim {
     /// Charges CPU demand (inflated by the background polling overhead)
     /// and returns the completion time.
     fn cpu(&mut self, node: u16, now: SimTime, demand: SimTime, cat: CpuCategory) -> SimTime {
-        let inflated =
-            SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation);
+        let inflated = SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation);
         self.nodes[node as usize]
             .cpu
             .submit(now, inflated, cat as usize)
@@ -441,8 +435,14 @@ impl ClusterSim {
     /// Inserts a freshly read file into `node`'s cache and broadcasts the
     /// caching information (insertions and the evictions they caused share
     /// one broadcast, as replacement notices).
-    fn cache_insert(&mut self, now: SimTime, node: u16, file: FileId, sched: &mut Scheduler<Event>) {
-        let bytes = self.catalog.size(file);
+    fn cache_insert(
+        &mut self,
+        now: SimTime,
+        node: u16,
+        file: FileId,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let bytes = self.source.catalog().size(file);
         let evicted = self.nodes[node as usize].cache.insert(file, bytes);
         let bit = 1u128 << node;
         self.cachers[file.0 as usize] |= bit;
@@ -474,7 +474,16 @@ impl ClusterSim {
         for _ in 0..segments {
             let seg = remaining.min(FILE_SEGMENT_BYTES);
             remaining -= seg;
-            self.send_msg(now, MessageType::File, from, to, seg, Some(req_id), 0, sched);
+            self.send_msg(
+                now,
+                MessageType::File,
+                from,
+                to,
+                seg,
+                Some(req_id),
+                0,
+                sched,
+            );
         }
         if metadata {
             // The metadata message: file id + offset + length, no payload.
@@ -494,7 +503,13 @@ impl ClusterSim {
     }
 
     /// Serves `req` at `node` from cache or disk, then replies/transfers.
-    fn service_request(&mut self, now: SimTime, req_id: u64, node: u16, sched: &mut Scheduler<Event>) {
+    fn service_request(
+        &mut self,
+        now: SimTime,
+        req_id: u64,
+        node: u16,
+        sched: &mut Scheduler<Event>,
+    ) {
         let file = self.requests[&req_id].file;
         if self.nodes[node as usize].cache.touch(file) {
             self.after_content_ready(now, req_id, node, sched);
@@ -507,7 +522,13 @@ impl ClusterSim {
     }
 
     /// The content is in `node`'s memory: reply (if initial) or transfer.
-    fn after_content_ready(&mut self, now: SimTime, req_id: u64, node: u16, sched: &mut Scheduler<Event>) {
+    fn after_content_ready(
+        &mut self,
+        now: SimTime,
+        req_id: u64,
+        node: u16,
+        sched: &mut Scheduler<Event>,
+    ) {
         if self.requests[&req_id].initial.0 == node {
             self.start_reply(now, req_id, sched);
         } else {
@@ -650,7 +671,7 @@ impl Model for ClusterSim {
                     return;
                 }
                 let file = self.next_file();
-                let bytes = self.catalog.size(file);
+                let bytes = self.source.catalog().size(file);
                 let req_id = self.next_req;
                 self.next_req += 1;
                 self.requests.insert(
@@ -745,9 +766,7 @@ impl Model for ClusterSim {
                 };
                 let done = self.nodes[node as usize].nic_ext_tx.submit(
                     now,
-                    self.params
-                        .rates
-                        .ext_nic_time(bytes + REPLY_HEADER_BYTES),
+                    self.params.rates.ext_nic_time(bytes + REPLY_HEADER_BYTES),
                     0,
                 );
                 sched.schedule(done, Event::ReplyDelivered { req: req_id });

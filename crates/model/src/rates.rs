@@ -56,10 +56,7 @@ impl Rates {
         // client sends halve µm's fixed cost for BOTH systems being
         // compared, and the TCP intra-cluster paths lose their copy-
         // related fixed costs (µf/µs/µg fixed terms halved).
-        let next_gen = matches!(
-            variant,
-            CommVariant::TcpNextGen | CommVariant::ViaNextGen
-        );
+        let next_gen = matches!(variant, CommVariant::TcpNextGen | CommVariant::ViaNextGen);
 
         let copy = s_kb / 125_000.0;
         let tcp_fixed = if variant == CommVariant::TcpNextGen {

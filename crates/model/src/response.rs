@@ -54,7 +54,11 @@ pub fn response_time(params: &ModelParams, lambda_per_node: f64) -> Option<Respo
             return None;
         }
         // M/M/1 residence time per request's total demand at the station.
-        let r = if demand > 0.0 { demand / (1.0 - u) } else { 0.0 };
+        let r = if demand > 0.0 {
+            demand / (1.0 - u)
+        } else {
+            0.0
+        };
         utilization[i] = (station, u);
         residence[i] = (station, r);
         total += r;

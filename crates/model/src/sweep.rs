@@ -20,11 +20,7 @@ pub struct GainGrid {
 impl GainGrid {
     /// The maximum gain over the whole grid.
     pub fn max_gain(&self) -> f64 {
-        self.gains
-            .iter()
-            .flatten()
-            .copied()
-            .fold(1.0_f64, f64::max)
+        self.gains.iter().flatten().copied().fold(1.0_f64, f64::max)
     }
 
     /// Formats the grid as rows of `x: gain@n1 gain@n2 ...`.

@@ -141,7 +141,9 @@ mod tests {
     fn streaming_bandwidths_match_observed() {
         // Section 3.2 observed bandwidths at 32 KB messages:
         // 11.5, 32, 102 MB/s (within calibration slack).
-        let fe = ProtocolCombo::TcpFe.cost_model().streaming_bandwidth(32_768);
+        let fe = ProtocolCombo::TcpFe
+            .cost_model()
+            .streaming_bandwidth(32_768);
         assert!(
             (11.0e6..13.0e6).contains(&fe),
             "TCP/FE {:.1} MB/s",
@@ -191,12 +193,10 @@ mod tests {
         // NIC shares differently).
         let bytes = 10 * 1024;
         let tcp = ProtocolCombo::TcpClan.cost_model();
-        let tcp_side =
-            (tcp.send_cpu_fixed + tcp.protocol_byte_time(bytes)).as_micros() as f64;
+        let tcp_side = (tcp.send_cpu_fixed + tcp.protocol_byte_time(bytes)).as_micros() as f64;
         assert!((200.0..400.0).contains(&tcp_side), "tcp {tcp_side}");
         let via = ProtocolCombo::ViaClan.cost_model();
-        let via_side =
-            (via.send_cpu_fixed + via.copy_time(bytes)).as_micros() as f64;
+        let via_side = (via.send_cpu_fixed + via.copy_time(bytes)).as_micros() as f64;
         assert!((90.0..210.0).contains(&via_side), "via {via_side}");
         assert!(tcp_side / via_side > 1.5);
     }

@@ -1,7 +1,6 @@
 //! Per-message-type accounting: the rows of Tables 2 and 4.
 
 use press_sim::Counter;
-use serde::{Deserialize, Serialize};
 
 use crate::msg::MessageType;
 
@@ -111,7 +110,7 @@ impl MsgCounters {
 }
 
 /// One row of a Table 2/4-style report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterRow {
     /// Message type name.
     pub msg_type: String,

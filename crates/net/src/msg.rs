@@ -167,7 +167,10 @@ mod tests {
     fn rmw_small_messages_are_bare_words() {
         // Table 4, V1/V2: flow mean size 4.0.
         assert_eq!(wire_bytes(MessageType::Load, 0, DeliveryMode::Rmw, true), 4);
-        assert_eq!(wire_bytes(MessageType::Flow, 0, DeliveryMode::Rmw, false), 4);
+        assert_eq!(
+            wire_bytes(MessageType::Flow, 0, DeliveryMode::Rmw, false),
+            4
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use press_core::PolicyConfig;
 use press_trace::{FileCatalog, FileId};
-use press_via::{CompletionQueue, Fabric, Descriptor, MemHandle, Reliability};
+use press_via::{CompletionQueue, Descriptor, Fabric, MemHandle, Reliability};
 
 use crate::node::{
     disk_loop, main_loop, recv_loop, send_loop, slot_bytes_for, FileTransferMode, MainConfig,
@@ -121,15 +121,13 @@ pub struct LiveCluster {
 
 /// The ring at `dst` that `src` writes into (None for self or Regular
 /// mode). Must be looked up before `dst`'s own row is consumed.
-fn rings_peer_view(
-    rings: &[Vec<Option<MemHandle>>],
-    src: usize,
-    dst: usize,
-) -> Option<MemHandle> {
+fn rings_peer_view(rings: &[Vec<Option<MemHandle>>], src: usize, dst: usize) -> Option<MemHandle> {
     if src == dst {
         return None;
     }
-    rings.get(dst).and_then(|row| row.get(src).copied().flatten())
+    rings
+        .get(dst)
+        .and_then(|row| row.get(src).copied().flatten())
 }
 
 impl LiveCluster {
@@ -387,7 +385,9 @@ impl LiveCluster {
                 reply: reply_tx,
             })
             .map_err(|_| LiveError::Disconnected)?;
-        reply_rx.recv_timeout(timeout).map_err(|_| LiveError::Timeout)
+        reply_rx
+            .recv_timeout(timeout)
+            .map_err(|_| LiveError::Timeout)
     }
 
     /// The cluster's catalog.

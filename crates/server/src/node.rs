@@ -165,131 +165,131 @@ pub(crate) fn main_loop(
         };
         let got_event = event.is_some();
         if let Some(event) = event {
-        match event {
-            NodeEvent::Shutdown => break,
-            NodeEvent::Client { file, reply } => {
-                load += 1;
-                let bytes = cfg.catalog.size(file);
-                read_loads(load, &mut loads);
-                let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
-                    .filter(|&i| cachers[file.0 as usize] & (1 << i) != 0)
-                    .map(NodeId)
-                    .collect();
-                let decision = decide(
-                    &cfg.policy,
-                    &RequestView {
-                        initial: NodeId(ctx.id as u16),
-                        file_bytes: bytes,
-                        cached_locally: cache.contains(file),
-                        first_request: cachers[file.0 as usize] == 0,
-                        cachers: &cacher_list,
-                        loads: &loads,
-                        load_balancing: true,
-                    },
-                );
-                match decision {
-                    Decision::ServeLocal => {
-                        if cache.touch(file) {
-                            send_reply(&ctx.stats, &reply, file, bytes);
-                            load -= 1;
-                        } else {
-                            enqueue_disk(
-                                &cfg,
-                                &ctx.stats,
-                                &mut waiting_disk,
-                                file,
-                                bytes,
-                                DiskWaiter::ReplyLocal(reply),
-                            );
+            match event {
+                NodeEvent::Shutdown => break,
+                NodeEvent::Client { file, reply } => {
+                    load += 1;
+                    let bytes = cfg.catalog.size(file);
+                    read_loads(load, &mut loads);
+                    let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
+                        .filter(|&i| cachers[file.0 as usize] & (1 << i) != 0)
+                        .map(NodeId)
+                        .collect();
+                    let decision = decide(
+                        &cfg.policy,
+                        &RequestView {
+                            initial: NodeId(ctx.id as u16),
+                            file_bytes: bytes,
+                            cached_locally: cache.contains(file),
+                            first_request: cachers[file.0 as usize] == 0,
+                            cachers: &cacher_list,
+                            loads: &loads,
+                            load_balancing: true,
+                        },
+                    );
+                    match decision {
+                        Decision::ServeLocal => {
+                            if cache.touch(file) {
+                                send_reply(&ctx.stats, &reply, file, bytes);
+                                load -= 1;
+                            } else {
+                                enqueue_disk(
+                                    &cfg,
+                                    &ctx.stats,
+                                    &mut waiting_disk,
+                                    file,
+                                    bytes,
+                                    DiskWaiter::ReplyLocal(reply),
+                                );
+                            }
                         }
-                    }
-                    Decision::Forward(target) => {
-                        let token = next_token;
-                        next_token += 1;
-                        pending.insert(token, reply);
-                        ServerStats::bump(&ctx.stats.forward_msgs);
-                        ServerStats::bump(&ctx.stats.forwarded);
-                        let _ = send_tx.send(SendJob::Msg {
-                            to: target.0 as usize,
-                            msg: WireMsg {
-                                kind: WireKind::Forward,
-                                file,
-                                token,
-                                sender_load: load,
-                                payload: Vec::new(),
-                            },
-                            needs_credit: true,
-                        });
-                    }
-                }
-            }
-            NodeEvent::Remote { from, msg } => {
-                // Piggy-backed load keeps our view of the sender fresh
-                // even between RDMA load writes.
-                loads[from] = msg.sender_load;
-                match msg.kind {
-                    WireKind::Forward => {
-                        let file = msg.file;
-                        let bytes = cfg.catalog.size(file);
-                        if cache.touch(file) {
-                            send_file_back(&ctx, &send_tx, from, msg.token, file, bytes, load);
-                        } else {
-                            enqueue_disk(
-                                &cfg,
-                                &ctx.stats,
-                                &mut waiting_disk,
-                                file,
-                                bytes,
-                                DiskWaiter::SendBack {
-                                    to: from,
-                                    token: msg.token,
+                        Decision::Forward(target) => {
+                            let token = next_token;
+                            next_token += 1;
+                            pending.insert(token, reply);
+                            ServerStats::bump(&ctx.stats.forward_msgs);
+                            ServerStats::bump(&ctx.stats.forwarded);
+                            let _ = send_tx.send(SendJob::Msg {
+                                to: target.0 as usize,
+                                msg: WireMsg {
+                                    kind: WireKind::Forward,
+                                    file,
+                                    token,
+                                    sender_load: load,
+                                    payload: Vec::new(),
                                 },
-                            );
+                                needs_credit: true,
+                            });
                         }
                     }
-                    WireKind::FileData => {
-                        if let Some(reply) = pending.remove(&msg.token) {
-                            let _ = reply.send(msg.payload);
+                }
+                NodeEvent::Remote { from, msg } => {
+                    // Piggy-backed load keeps our view of the sender fresh
+                    // even between RDMA load writes.
+                    loads[from] = msg.sender_load;
+                    match msg.kind {
+                        WireKind::Forward => {
+                            let file = msg.file;
+                            let bytes = cfg.catalog.size(file);
+                            if cache.touch(file) {
+                                send_file_back(&ctx, &send_tx, from, msg.token, file, bytes, load);
+                            } else {
+                                enqueue_disk(
+                                    &cfg,
+                                    &ctx.stats,
+                                    &mut waiting_disk,
+                                    file,
+                                    bytes,
+                                    DiskWaiter::SendBack {
+                                        to: from,
+                                        token: msg.token,
+                                    },
+                                );
+                            }
+                        }
+                        WireKind::FileData => {
+                            if let Some(reply) = pending.remove(&msg.token) {
+                                let _ = reply.send(msg.payload);
+                            }
+                        }
+                        WireKind::Caching => {
+                            // token 0 = now caches, 1 = evicted.
+                            let bit = 1u128 << from;
+                            if msg.token == 0 {
+                                cachers[msg.file.0 as usize] |= bit;
+                            } else {
+                                cachers[msg.file.0 as usize] &= !bit;
+                            }
+                        }
+                        // Flow is consumed by the receive thread.
+                        WireKind::Flow => {}
+                    }
+                }
+                NodeEvent::DiskDone { file } => {
+                    let bytes = cfg.catalog.size(file);
+                    // Cache the file and broadcast the caching information
+                    // (insertion plus any evictions), as in Section 2.2.
+                    let evicted = cache.insert(file, bytes);
+                    let bit = 1u128 << ctx.id;
+                    cachers[file.0 as usize] |= bit;
+                    broadcast_caching(&ctx, &send_tx, file, 0, load);
+                    for ev in evicted {
+                        cachers[ev.0 as usize] &= !bit;
+                        broadcast_caching(&ctx, &send_tx, ev, 1, load);
+                    }
+                    for waiter in waiting_disk.remove(&file).unwrap_or_default() {
+                        match waiter {
+                            DiskWaiter::ReplyLocal(reply) => {
+                                send_reply(&ctx.stats, &reply, file, bytes);
+                                load -= 1;
+                            }
+                            DiskWaiter::SendBack { to, token } => {
+                                send_file_back(&ctx, &send_tx, to, token, file, bytes, load);
+                            }
                         }
                     }
-                    WireKind::Caching => {
-                        // token 0 = now caches, 1 = evicted.
-                        let bit = 1u128 << from;
-                        if msg.token == 0 {
-                            cachers[msg.file.0 as usize] |= bit;
-                        } else {
-                            cachers[msg.file.0 as usize] &= !bit;
-                        }
-                    }
-                    // Flow is consumed by the receive thread.
-                    WireKind::Flow => {}
                 }
             }
-            NodeEvent::DiskDone { file } => {
-                let bytes = cfg.catalog.size(file);
-                // Cache the file and broadcast the caching information
-                // (insertion plus any evictions), as in Section 2.2.
-                let evicted = cache.insert(file, bytes);
-                let bit = 1u128 << ctx.id;
-                cachers[file.0 as usize] |= bit;
-                broadcast_caching(&ctx, &send_tx, file, 0, load);
-                for ev in evicted {
-                    cachers[ev.0 as usize] &= !bit;
-                    broadcast_caching(&ctx, &send_tx, ev, 1, load);
-                }
-                for waiter in waiting_disk.remove(&file).unwrap_or_default() {
-                    match waiter {
-                        DiskWaiter::ReplyLocal(reply) => {
-                            send_reply(&ctx.stats, &reply, file, bytes);
-                            load -= 1;
-                        }
-                        DiskWaiter::SendBack { to, token } => {
-                            send_file_back(&ctx, &send_tx, to, token, file, bytes, load);
-                        }
-                    }
-                }
-            }
-        }
         }
         // Poll the RMW file rings at the end of the main server loop, as
         // in the paper: consume every entry whose sequence number landed.
@@ -332,8 +332,7 @@ fn poll_file_rings(
         };
         loop {
             let slot = ((expected[src] - 1) % ctx.window as u64) as usize;
-            let trailer_off =
-                slot * ctx.ring_slot_bytes + ctx.ring_slot_bytes - RING_TRAILER_BYTES;
+            let trailer_off = slot * ctx.ring_slot_bytes + ctx.ring_slot_bytes - RING_TRAILER_BYTES;
             let Ok(trailer) = ctx.nic.read_region(ring, trailer_off, RING_TRAILER_BYTES) else {
                 break;
             };
@@ -416,7 +415,13 @@ fn send_file_back(
     });
 }
 
-fn broadcast_caching(ctx: &NodeCtx, send_tx: &Sender<SendJob>, file: FileId, action: u64, load: u32) {
+fn broadcast_caching(
+    ctx: &NodeCtx,
+    send_tx: &Sender<SendJob>,
+    file: FileId,
+    action: u64,
+    load: u32,
+) {
     for peer in 0..ctx.nodes {
         if peer == ctx.id {
             continue;
@@ -453,10 +458,10 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
     // slots); flow messages self-limit to window/batch outstanding and
     // rotate through their own region.
     let post = |peer: usize,
-                    msg: &WireMsg,
-                    next_slot: &mut Vec<usize>,
-                    next_flow_slot: &mut Vec<usize>,
-                    buf: &mut Vec<u8>| {
+                msg: &WireMsg,
+                next_slot: &mut Vec<usize>,
+                next_flow_slot: &mut Vec<usize>,
+                buf: &mut Vec<u8>| {
         let len = msg.encode(buf);
         let (region, slot, slot_size) = if msg.kind == WireKind::Flow {
             let region = ctx.flow_regions[peer].expect("flow region for peer");
@@ -495,8 +500,7 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                     }
                     credits[to] -= 1;
                 }
-                if ctx.file_mode == FileTransferMode::RemoteWrite
-                    && msg.kind == WireKind::FileData
+                if ctx.file_mode == FileTransferMode::RemoteWrite && msg.kind == WireKind::FileData
                 {
                     rmw_file(&ctx, to, &msg, &mut next_slot, &mut next_ring_seq, &mut buf);
                 } else {
@@ -512,7 +516,14 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                             if ctx.file_mode == FileTransferMode::RemoteWrite
                                 && msg.kind == WireKind::FileData
                             {
-                                rmw_file(&ctx, from, &msg, &mut next_slot, &mut next_ring_seq, &mut buf);
+                                rmw_file(
+                                    &ctx,
+                                    from,
+                                    &msg,
+                                    &mut next_slot,
+                                    &mut next_ring_seq,
+                                    &mut buf,
+                                );
                             } else {
                                 post(from, &msg, &mut next_slot, &mut next_flow_slot, &mut buf);
                             }

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use press_server::{file_contents, FileTransferMode, LiveCluster, LiveConfig, LiveError, ServerStats};
+use press_server::{
+    file_contents, FileTransferMode, LiveCluster, LiveConfig, LiveError, ServerStats,
+};
 use press_trace::{FileCatalog, FileId};
 
 const T: Duration = Duration::from_secs(20);
@@ -19,13 +21,20 @@ fn serves_correct_content_from_all_nodes() {
     for node in 0..cluster.nodes() {
         for f in [0u32, 7, 31, 63] {
             let data = cluster.request(node, FileId(f), T).expect("request");
-            assert_eq!(data, file_contents(FileId(f), 1024), "file {f} via node {node}");
+            assert_eq!(
+                data,
+                file_contents(FileId(f), 1024),
+                "file {f} via node {node}"
+            );
         }
     }
     // With files hash-placed across 4 nodes, most of those requests were
     // forwarded and answered with intra-cluster file transfers.
     let stats = cluster.stats();
-    assert!(ServerStats::get(&stats.forwarded) > 0, "no forwarding happened");
+    assert!(
+        ServerStats::get(&stats.forwarded) > 0,
+        "no forwarding happened"
+    );
     assert_eq!(
         ServerStats::get(&stats.forward_msgs),
         ServerStats::get(&stats.forwarded)

@@ -1,8 +1,5 @@
 //! The event loop: a time-ordered queue of model events.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::time::SimTime;
 
 /// A simulation model: application state plus an event handler.
@@ -19,48 +16,50 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-/// Entry in the pending-event heap.
+/// Fan-out of the pending-event heap.
 ///
-/// `seq` breaks ties between events scheduled for the same instant: events
-/// fire in the order they were scheduled, which makes runs reproducible.
-struct Pending<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Pending<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Pending<E> {}
-impl<E> PartialOrd for Pending<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Pending<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// A 4-ary heap is shallower than a binary one (fewer sift levels per
+/// pop) and its four child keys share a cache line, which is where a
+/// discrete-event simulator spends its queue time.
+const ARITY: usize = 4;
 
 /// The event queue handed to [`Model::handle`] for scheduling future events.
 ///
-/// A `Scheduler` can only insert events; popping is the engine's job. This
-/// split lets the engine borrow the model mutably while the model schedules.
+/// Models only insert events; popping is normally the engine's job (the
+/// engine borrows the model mutably while the model schedules), but
+/// [`Scheduler::pop`] is public for standalone use and benchmarking.
+///
+/// Internally this is an implicit 4-ary min-heap in structure-of-arrays
+/// form: `keys[i]` packs `(time, seq)` of `events[i]` into one `u128`
+/// (`time` in the high 64 bits, a monotonic sequence number in the low 64),
+/// so heap ordering is a single integer comparison and sift loops scan
+/// contiguous keys without touching event payloads. `seq` breaks ties
+/// between events scheduled for the same instant: events fire in the order
+/// they were scheduled, which makes runs reproducible.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Reverse<Pending<E>>>,
+    /// Heap-ordered packed `(time << 64) | seq` keys, parallel to `events`.
+    keys: Vec<u128>,
+    /// Event payloads; `events[i]` belongs to `keys[i]`.
+    events: Vec<E>,
+    /// Sequence number for the next schedule, and the all-time total.
     next_seq: u64,
-    scheduled: u64,
+}
+
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 impl<E> std::fmt::Debug for Scheduler<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("pending", &self.heap.len())
-            .field("total_scheduled", &self.scheduled)
+            .field("pending", &self.keys.len())
+            .field("total_scheduled", &self.next_seq)
             .finish()
     }
 }
@@ -75,9 +74,9 @@ impl<E> Scheduler<E> {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            events: Vec::new(),
             next_seq: 0,
-            scheduled: 0,
         }
     }
 
@@ -87,26 +86,90 @@ impl<E> Scheduler<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled += 1;
-        self.heap.push(Reverse(Pending { at, seq, event }));
+        self.keys.push(pack(at, seq));
+        self.events.push(event);
+        self.sift_up(self.keys.len() - 1);
     }
 
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.keys.len()
     }
 
     /// Total number of events ever scheduled.
     pub fn total_scheduled(&self) -> u64 {
-        self.scheduled
+        // Sequence numbers are dense from zero, so the next one to hand
+        // out doubles as the all-time count.
+        self.next_seq
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(p)| (p.at, p.event))
+    /// Removes and returns the earliest pending event, if any.
+    ///
+    /// Ties on time come out in scheduling order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let last = self.keys.len() - 1;
+        self.keys.swap(0, last);
+        self.events.swap(0, last);
+        let key = self.keys.pop().expect("checked non-empty");
+        let event = self.events.pop().expect("keys and events stay parallel");
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        Some((unpack_time(key), event))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(p)| p.at)
+        self.keys.first().map(|&k| unpack_time(k))
+    }
+
+    // Both sift loops treat the starting slot as a hole: the sifted key is
+    // held in a register and written exactly once at its final position,
+    // halving key traffic versus swapping at every level.
+
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.keys[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            let parent_key = self.keys[parent];
+            if parent_key <= key {
+                break;
+            }
+            self.keys[i] = parent_key;
+            self.events.swap(parent, i);
+            i = parent;
+        }
+        self.keys[i] = key;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.keys.len();
+        let key = self.keys[i];
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            let mut min = first_child;
+            let mut min_key = self.keys[first_child];
+            for c in first_child + 1..last_child {
+                let k = self.keys[c];
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.keys[i] = min_key;
+            self.events.swap(i, min);
+            i = min;
+        }
+        self.keys[i] = key;
     }
 }
 
@@ -263,7 +326,8 @@ mod tests {
     fn run_until_stops_at_deadline() {
         let mut sim = Simulator::new(Recorder::default());
         for i in 1..=10 {
-            sim.scheduler_mut().schedule(SimTime::from_nanos(i * 10), i as u32);
+            sim.scheduler_mut()
+                .schedule(SimTime::from_nanos(i * 10), i as u32);
         }
         sim.run_until(SimTime::from_nanos(50));
         assert_eq!(sim.model().seen.len(), 5);

@@ -1,0 +1,114 @@
+//! Property tests pinning the scheduler's ordering contract: events drain
+//! in (time, scheduling-order) order, exactly matching a stable sort by
+//! time — no matter how adversarial the insertion pattern.
+
+use press_sim::{Model, Scheduler, SimTime, Simulator};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Records `(fire_time, payload)` for every event it sees, optionally
+/// chaining one follow-up per event to exercise interleaved push/pop.
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<(u64, u64)>,
+}
+
+impl Model for Recorder {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, _sched: &mut Scheduler<u64>) {
+        self.seen.push((now.as_nanos(), ev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Draining the queue yields exactly the input stable-sorted by time:
+    /// ties at one instant keep their scheduling order.
+    #[test]
+    fn drain_order_is_stable_sort_by_time(times in vec(0u64..500, 1..200)) {
+        let mut sim = Simulator::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().schedule(SimTime::from_nanos(t), i as u64);
+        }
+        sim.run();
+
+        let mut expected: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves insertion order per time
+        prop_assert_eq!(&sim.model().seen, &expected);
+        prop_assert_eq!(sim.processed(), times.len() as u64);
+    }
+
+    /// Interleaving pops with pushes (the real engine pattern) preserves
+    /// the same contract: each pop returns the earliest pending event,
+    /// scheduling order breaking ties.
+    #[test]
+    fn interleaved_push_pop_keeps_ordering(
+        batches in vec(vec(0u64..100, 1..10), 1..30),
+    ) {
+        struct Chain {
+            // Future events each handled event schedules, keyed by batch.
+            pending_batches: Vec<Vec<u64>>,
+            seen: Vec<(u64, u64)>,
+            next_payload: u64,
+        }
+        impl Model for Chain {
+            type Event = u64;
+            fn handle(&mut self, now: SimTime, ev: u64, sched: &mut Scheduler<u64>) {
+                self.seen.push((now.as_nanos(), ev));
+                if let Some(offsets) = self.pending_batches.pop() {
+                    for off in offsets {
+                        let payload = self.next_payload;
+                        self.next_payload += 1;
+                        sched.schedule(now + SimTime::from_nanos(off), payload);
+                    }
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(Chain {
+            pending_batches: batches.clone(),
+            seen: Vec::new(),
+            next_payload: 1,
+        });
+        sim.scheduler_mut().schedule(SimTime::ZERO, 0);
+        sim.run();
+
+        // The times must be non-decreasing, and within one instant the
+        // payloads must appear in scheduling (payload) order.
+        let seen = &sim.model().seen;
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie fired out of order: {:?}", w);
+            }
+        }
+        // Every scheduled event fired exactly once.
+        let total: usize = 1 + batches.iter().map(Vec::len).sum::<usize>();
+        prop_assert_eq!(seen.len(), total);
+        prop_assert_eq!(sim.processed(), total as u64);
+        let mut payloads: Vec<u64> = seen.iter().map(|&(_, p)| p).collect();
+        payloads.sort_unstable();
+        prop_assert_eq!(payloads, (0..total as u64).collect::<Vec<_>>());
+    }
+
+    /// total_scheduled counts every schedule call, popped or pending.
+    #[test]
+    fn total_scheduled_counts_all(times in vec(0u64..50, 0..40), drain in prop::bool::ANY) {
+        let mut sim = Simulator::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().schedule(SimTime::from_nanos(t), i as u64);
+        }
+        if drain {
+            sim.run();
+            prop_assert_eq!(sim.scheduler_mut().pending(), 0);
+        } else {
+            prop_assert_eq!(sim.scheduler_mut().pending(), times.len());
+        }
+        prop_assert_eq!(sim.scheduler_mut().total_scheduled(), times.len() as u64);
+    }
+}

@@ -213,8 +213,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let cat = FileCatalog::generate(10_000, 20_000, 64, 4 << 20, 0.7, &mut rng);
         let head: f64 = (0..1000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 1000.0;
-        let tail: f64 = (9000..10_000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 1000.0;
-        assert!(head < tail, "head {head} should be smaller than tail {tail}");
+        let tail: f64 = (9000..10_000)
+            .map(|i| cat.size(FileId(i)) as f64)
+            .sum::<f64>()
+            / 1000.0;
+        assert!(
+            head < tail,
+            "head {head} should be smaller than tail {tail}"
+        );
     }
 
     #[test]
@@ -222,7 +228,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let cat = FileCatalog::generate(10_000, 20_000, 64, 4 << 20, 0.0, &mut rng);
         let head: f64 = (0..5000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 5000.0;
-        let tail: f64 = (5000..10_000).map(|i| cat.size(FileId(i)) as f64).sum::<f64>() / 5000.0;
+        let tail: f64 = (5000..10_000)
+            .map(|i| cat.size(FileId(i)) as f64)
+            .sum::<f64>()
+            / 5000.0;
         let ratio = head / tail;
         assert!(ratio > 0.7 && ratio < 1.3, "ratio {ratio}");
     }

@@ -82,11 +82,7 @@ impl RequestLog {
 
     /// Summary statistics of the log (exact, from the recorded requests).
     pub fn stats(&self) -> TraceStats {
-        let total: u64 = self
-            .requests
-            .iter()
-            .map(|&f| self.catalog.size(f))
-            .sum();
+        let total: u64 = self.requests.iter().map(|&f| self.catalog.size(f)).sum();
         TraceStats {
             name: String::new(),
             num_files: self.catalog.len(),
@@ -126,10 +122,7 @@ impl RequestLog {
     /// appearing with two different sizes.
     pub fn read<R: Read>(r: R) -> io::Result<Self> {
         let mut lines = BufReader::new(r).lines();
-        let first = lines
-            .next()
-            .transpose()?
-            .ok_or_else(|| bad("empty log"))?;
+        let first = lines.next().transpose()?.ok_or_else(|| bad("empty log"))?;
         if first.trim() != HEADER {
             return Err(bad("missing log header"));
         }
@@ -164,9 +157,7 @@ impl RequestLog {
             }
             requests.push(FileId(id));
         }
-        let catalog = FileCatalog::from_sizes(
-            sizes.into_iter().map(|s| s.unwrap_or(0)).collect(),
-        );
+        let catalog = FileCatalog::from_sizes(sizes.into_iter().map(|s| s.unwrap_or(0)).collect());
         Ok(RequestLog { catalog, requests })
     }
 }

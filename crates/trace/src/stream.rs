@@ -48,7 +48,14 @@ impl Workload {
         let max_bytes = (spec.avg_file_bytes * 64).max(1 << 20);
         let generate = |bias: f64, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            FileCatalog::generate(spec.num_files, spec.avg_file_bytes, 64, max_bytes, bias, &mut rng)
+            FileCatalog::generate(
+                spec.num_files,
+                spec.avg_file_bytes,
+                64,
+                max_bytes,
+                bias,
+                &mut rng,
+            )
         };
         // Bisection on the bias: expected requested size is monotonically
         // decreasing in bias (more bias -> popular files smaller).

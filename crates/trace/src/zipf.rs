@@ -67,9 +67,9 @@ fn cached_head(alpha: f64, limit: usize) -> f64 {
         static HEADS: RefCell<HashMap<u64, f64>> = RefCell::new(HashMap::new());
     }
     HEADS.with(|h| {
-        *h.borrow_mut().entry(alpha.to_bits()).or_insert_with(|| {
-            (1..=limit).map(|i| (i as f64).powf(-alpha)).sum()
-        })
+        *h.borrow_mut()
+            .entry(alpha.to_bits())
+            .or_insert_with(|| (1..=limit).map(|i| (i as f64).powf(-alpha)).sum())
     })
 }
 

@@ -59,8 +59,15 @@ pub struct RemoteBuffer {
 }
 
 enum EngineOp {
-    Send { vi: u64, desc: Descriptor },
-    Rdma { vi: u64, desc: Descriptor, remote: RemoteBuffer },
+    Send {
+        vi: u64,
+        desc: Descriptor,
+    },
+    Rdma {
+        vi: u64,
+        desc: Descriptor,
+        remote: RemoteBuffer,
+    },
     Stop,
 }
 
@@ -298,7 +305,12 @@ impl Nic {
 
     /// Copies `len` bytes out of a registered region (a test/debug aid;
     /// a real application reads its own memory directly).
-    pub fn read_region(&self, h: MemHandle, offset: usize, len: usize) -> Result<Vec<u8>, ViaError> {
+    pub fn read_region(
+        &self,
+        h: MemHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ViaError> {
         let r = self.shared.region(h)?;
         let bytes = r.bytes.read();
         if offset + len > bytes.len() {
@@ -563,10 +575,7 @@ fn engine_loop(nic: Arc<NicShared>, ops: Receiver<EngineOp>) {
 /// A resolved peer endpoint: the owning NIC plus the VI state.
 type PeerRef = (Arc<NicShared>, Arc<ViShared>);
 
-fn lookup(
-    nic: &Arc<NicShared>,
-    vi: u64,
-) -> Option<(Arc<ViShared>, Reliability, Option<PeerRef>)> {
+fn lookup(nic: &Arc<NicShared>, vi: u64) -> Option<(Arc<ViShared>, Reliability, Option<PeerRef>)> {
     let local = nic.vis.lock().get(&vi).cloned()?;
     let (reliability, peer) = {
         let st = local.state.lock();
@@ -972,7 +981,9 @@ mod tests {
         let fabric = Fabric::new();
         let a = fabric.create_nic("a");
         let b = fabric.create_nic("b");
-        let (va, _vb) = fabric.connect(&a, &b, Reliability::ReliableDelivery).unwrap();
+        let (va, _vb) = fabric
+            .connect(&a, &b, Reliability::ReliableDelivery)
+            .unwrap();
         let ma = a.register(vec![0; 8], false).unwrap();
         drop(a);
         // The engine is gone: posting reports shutdown.
@@ -987,7 +998,9 @@ mod tests {
         let fabric = Fabric::new();
         let a = fabric.create_nic("a");
         let b = fabric.create_nic("b");
-        let (va, vb) = fabric.connect(&a, &b, Reliability::ReliableDelivery).unwrap();
+        let (va, vb) = fabric
+            .connect(&a, &b, Reliability::ReliableDelivery)
+            .unwrap();
         let ma = a.register(vec![0xAB; 1 << 16], false).unwrap();
         let mb = b.register(vec![0; 1 << 16], false).unwrap();
         for i in 0..256 {

@@ -299,10 +299,7 @@ mod tests {
     #[test]
     fn oversized_message_rejected() {
         let (_a, _b, mut tx, _rx) = setup(2, 1, 16);
-        assert_eq!(
-            tx.send(&[0; 17], T),
-            Err(ViaError::RecvBufferTooSmall)
-        );
+        assert_eq!(tx.send(&[0; 17], T), Err(ViaError::RecvBufferTooSmall));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
+use press_via::{CreditChannel, Descriptor, Fabric, Reliability, RemoteBuffer};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use press_via::{CreditChannel, Descriptor, Fabric, Reliability, RemoteBuffer};
 
 const T: Duration = Duration::from_secs(10);
 

@@ -53,14 +53,18 @@ fn main() {
         .map(|_| (0..NODES).map(|_| None).collect())
         .collect();
     // Forward-request and file-reply channels, per ordered pair.
-    let mut fwd_tx: Vec<Vec<Option<CreditChannel>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
-    let mut fwd_rx: Vec<Vec<Option<CreditChannel>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
-    let mut rep_tx: Vec<Vec<Option<CreditChannel>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
-    let mut rep_rx: Vec<Vec<Option<CreditChannel>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+    let mut fwd_tx: Vec<Vec<Option<CreditChannel>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    let mut fwd_rx: Vec<Vec<Option<CreditChannel>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    let mut rep_tx: Vec<Vec<Option<CreditChannel>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    let mut rep_rx: Vec<Vec<Option<CreditChannel>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
 
     for i in 0..NODES {
         for j in 0..NODES {
@@ -71,9 +75,8 @@ fn main() {
                 .expect("forward channel");
             fwd_tx[i][j] = Some(tx);
             fwd_rx[j][i] = Some(rx);
-            let (tx, rx) =
-                CreditChannel::pair(&fabric, &nics[j], &nics[i], 8, 4, FILE_BYTES)
-                    .expect("reply channel");
+            let (tx, rx) = CreditChannel::pair(&fabric, &nics[j], &nics[i], 8, 4, FILE_BYTES)
+                .expect("reply channel");
             rep_tx[j][i] = Some(tx);
             rep_rx[i][j] = Some(rx);
             let (vi, _peer) = fabric
@@ -146,13 +149,17 @@ fn main() {
                     let (_, rx) = rxs.iter_mut().find(|(t, _)| *t == j).expect("rep rx");
                     let data = rx.recv(T).expect("file reply");
                     assert_eq!(data.len(), FILE_BYTES);
-                    assert!(data.iter().all(|&b| b == file_byte(file)), "corrupt transfer");
+                    assert!(
+                        data.iter().all(|&b| b == file_byte(file)),
+                        "corrupt transfer"
+                    );
                     remote += 1;
                 }
                 // Every 64 requests, RDMA-write our progress into every
                 // peer's load table — no receiver involvement at all.
                 if n % 64 == 0 {
-                    nic.write_region(scratch, 0, &n.to_le_bytes()).expect("scratch write");
+                    nic.write_region(scratch, 0, &n.to_le_bytes())
+                        .expect("scratch write");
                     for (j, vi) in &vis {
                         vi.rdma_write(
                             Descriptor::new(scratch, 0, 4),
@@ -162,7 +169,10 @@ fn main() {
                             },
                         )
                         .expect("rdma load write");
-                        vi.wait_send_completion(T).expect("rdma completion").status.expect("rdma ok");
+                        vi.wait_send_completion(T)
+                            .expect("rdma completion")
+                            .status
+                            .expect("rdma ok");
                     }
                 }
             }
@@ -188,9 +198,18 @@ fn main() {
     // Read back the RDMA-written load tables.
     println!("\nload tables (requests observed via remote memory writes):");
     for j in 0..NODES {
-        let table = nics[j].read_region(load_regions[j], 0, 4 * NODES).expect("read table");
+        let table = nics[j]
+            .read_region(load_regions[j], 0, 4 * NODES)
+            .expect("read table");
         let view: Vec<u32> = (0..NODES)
-            .map(|i| u32::from_le_bytes([table[4 * i], table[4 * i + 1], table[4 * i + 2], table[4 * i + 3]]))
+            .map(|i| {
+                u32::from_le_bytes([
+                    table[4 * i],
+                    table[4 * i + 1],
+                    table[4 * i + 2],
+                    table[4 * i + 3],
+                ])
+            })
             .collect();
         println!("  node{j} sees {view:?}");
     }

@@ -7,7 +7,10 @@ use press::model::{response_time, throughput, CommVariant, ModelParams, Station}
 
 fn main() {
     println!("Bottleneck map (VIA regular, 16 KB files): which station saturates?\n");
-    println!("{:>10} | {:>8} {:>8} {:>8} {:>8}", "hit rate", "N=2", "N=8", "N=32", "N=128");
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "hit rate", "N=2", "N=8", "N=32", "N=128"
+    );
     for hsn in [0.2, 0.4, 0.6, 0.8, 0.9, 0.95] {
         print!("{hsn:>10.2} |");
         for nodes in [2usize, 8, 32, 128] {
@@ -34,7 +37,10 @@ fn main() {
         let tcp = throughput(&p).total_rps;
         p.variant = CommVariant::ViaRegular;
         let via = throughput(&p).total_rps;
-        println!("{hsn:>10.2} {tcp:>12.0} {via:>12.0} {:>7.1}%", 100.0 * (via / tcp - 1.0));
+        println!(
+            "{hsn:>10.2} {tcp:>12.0} {via:>12.0} {:>7.1}%",
+            100.0 * (via / tcp - 1.0)
+        );
     }
 
     // Where does the disk stop masking the protocol difference?

@@ -33,7 +33,9 @@ fn main() {
 fn run_mode(mode: FileTransferMode) {
     // A small catalog with varied sizes, served by a 4-node cluster whose
     // caches cannot hold everything (so some requests hit the "disk").
-    let sizes: Vec<u64> = (0..FILES as u64).map(|i| 512 + (i * 977) % 12_000).collect();
+    let sizes: Vec<u64> = (0..FILES as u64)
+        .map(|i| 512 + (i * 977) % 12_000)
+        .collect();
     let catalog = FileCatalog::from_sizes(sizes.clone());
     let cfg = LiveConfig {
         cache_bytes: 512 * 1024,
@@ -75,15 +77,24 @@ fn run_mode(mode: FileTransferMode) {
 
     let s = cluster.stats();
     let total = (CLIENTS as u32 * REQUESTS_PER_CLIENT) as u64;
-    println!("\n{total} requests in {elapsed:.2?} ({:.0} req/s)", total as f64 / elapsed.as_secs_f64());
+    println!(
+        "\n{total} requests in {elapsed:.2?} ({:.0} req/s)",
+        total as f64 / elapsed.as_secs_f64()
+    );
     println!("served locally:   {:>8}", ServerStats::get(&s.served_local));
     println!("forwarded:        {:>8}", ServerStats::get(&s.forwarded));
     println!("disk reads:       {:>8}", ServerStats::get(&s.disk_reads));
     println!("file messages:    {:>8}", ServerStats::get(&s.file_msgs));
     println!("caching msgs:     {:>8}", ServerStats::get(&s.caching_msgs));
     println!("flow msgs:        {:>8}", ServerStats::get(&s.flow_msgs));
-    println!("RDMA load writes: {:>8}", ServerStats::get(&s.rdma_load_writes));
-    println!("RDMA file writes: {:>8}", ServerStats::get(&s.rdma_file_writes));
+    println!(
+        "RDMA load writes: {:>8}",
+        ServerStats::get(&s.rdma_load_writes)
+    );
+    println!(
+        "RDMA file writes: {:>8}",
+        ServerStats::get(&s.rdma_file_writes)
+    );
     println!("\nload tables (deposited by remote memory writes, no receiver involvement):");
     for node in 0..cluster.nodes() {
         println!("  node{node} sees {:?}", cluster.load_table(node));

@@ -10,7 +10,10 @@ fn main() {
     // `SimConfig::quick_demo` for the knobs).
     let mut cfg = SimConfig::quick_demo();
 
-    println!("PRESS quickstart: {} nodes, {} measured requests\n", cfg.nodes, cfg.measure_requests);
+    println!(
+        "PRESS quickstart: {} nodes, {} measured requests\n",
+        cfg.nodes, cfg.measure_requests
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>8} {:>10} {:>12}",
         "combo", "req/s", "hit rate", "fwd", "resp (ms)", "int-comm CPU"

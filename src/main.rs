@@ -9,7 +9,9 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use press::core::{run_simulation, Dissemination, ServerVersion, SimConfig, WorkloadSource};
+use press::core::{
+    run_simulation, Dissemination, ExperimentRunner, Job, ServerVersion, SimConfig, WorkloadSource,
+};
 use press::model::{throughput, CommVariant, ModelParams};
 use press::net::ProtocolCombo;
 use press::trace::{RequestLog, TracePreset, TraceStats, Workload};
@@ -40,6 +42,19 @@ USAGE:
         --out      output path                   (required)
         --seed     u64                           (default 42)
 
+    press sweep [OPTIONS]
+        Run the cross product of the listed configurations in one batch
+        (parallelised across PRESS_THREADS worker threads) and print one
+        result row per combination, in submission order.
+        --traces     comma list of clarknet|forth|nasa|rutgers (default clarknet)
+        --combos     comma list of tcp-fe|tcp-clan|via         (default via)
+        --versions   comma list of v0..v5                      (default v0)
+        --strategies comma list of pb|l1|l4|l16|nlb            (default pb)
+        --nodes      N                                         (default 8)
+        --measure    requests                                  (default 60000)
+        --warmup     requests                                  (default 20000)
+        --seed       u64                                       (default 12648430)
+
     press model [OPTIONS]
         Evaluate the analytical model (Section 4).
         --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen (default via)
@@ -53,6 +68,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("traces") => cmd_traces(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("model") => cmd_model(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -77,9 +93,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
         if !allowed.contains(&key) {
             return Err(format!("unknown flag --{key}"));
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
@@ -119,34 +133,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         let preset = parse_preset(flags.get("trace").map(String::as_str))?;
         let mut cfg = SimConfig::paper_default(preset);
         if let Some(path) = flags.get("replay") {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
             let log = RequestLog::read(file).map_err(|e| format!("bad log {path}: {e}"))?;
-            cfg.workload = WorkloadSource::Replay(log);
+            cfg.workload = WorkloadSource::Replay(std::sync::Arc::new(log));
         }
-        cfg.combo = match flags.get("combo").map(String::as_str).unwrap_or("via") {
-            "tcp-fe" => ProtocolCombo::TcpFe,
-            "tcp-clan" => ProtocolCombo::TcpClan,
-            "via" => ProtocolCombo::ViaClan,
-            other => return Err(format!("unknown combo {other}")),
-        };
-        cfg.version = match flags.get("version").map(String::as_str).unwrap_or("v0") {
-            "v0" => ServerVersion::V0,
-            "v1" => ServerVersion::V1,
-            "v2" => ServerVersion::V2,
-            "v3" => ServerVersion::V3,
-            "v4" => ServerVersion::V4,
-            "v5" => ServerVersion::V5,
-            other => return Err(format!("unknown version {other}")),
-        };
-        cfg.dissemination = match flags.get("strategy").map(String::as_str).unwrap_or("pb") {
-            "pb" => Dissemination::Piggyback,
-            "l1" => Dissemination::Broadcast(1),
-            "l4" => Dissemination::Broadcast(4),
-            "l16" => Dissemination::Broadcast(16),
-            "nlb" => Dissemination::None,
-            other => return Err(format!("unknown strategy {other}")),
-        };
+        cfg.combo = parse_combo(flags.get("combo").map(String::as_str).unwrap_or("via"))?;
+        cfg.version = parse_version(flags.get("version").map(String::as_str).unwrap_or("v0"))?;
+        cfg.dissemination =
+            parse_strategy(flags.get("strategy").map(String::as_str).unwrap_or("pb"))?;
         cfg.nodes = parse(&flags, "nodes", 8usize)?;
         cfg.measure_requests = parse(&flags, "measure", 60_000u64)?;
         cfg.warmup_requests = parse(&flags, "warmup", 20_000u64)?;
@@ -169,8 +163,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         );
         println!("cache hit rate:    {:>10.4}", m.hit_rate);
         println!("forwarded:         {:>10.3}", m.forward_fraction);
-        println!("int-comm CPU:      {:>9.1}%", 100.0 * m.intcomm_cpu_fraction);
-        println!("int-comm CPU+wire: {:>9.1}%", 100.0 * m.intcomm_wall_fraction);
+        println!(
+            "int-comm CPU:      {:>9.1}%",
+            100.0 * m.intcomm_cpu_fraction
+        );
+        println!(
+            "int-comm CPU+wire: {:>9.1}%",
+            100.0 * m.intcomm_wall_fraction
+        );
         println!("cpu utilization:   {:>10.3}", m.cpu_utilization);
         println!("disk utilization:  {:>10.3}", m.disk_utilization);
         println!("\nintra-cluster messages:");
@@ -193,6 +193,132 @@ fn parse_preset(name: Option<&str>) -> Result<TracePreset, String> {
         "nasa" => Ok(TracePreset::Nasa),
         "rutgers" => Ok(TracePreset::Rutgers),
         other => Err(format!("unknown trace {other}")),
+    }
+}
+
+fn parse_combo(name: &str) -> Result<ProtocolCombo, String> {
+    match name {
+        "tcp-fe" => Ok(ProtocolCombo::TcpFe),
+        "tcp-clan" => Ok(ProtocolCombo::TcpClan),
+        "via" => Ok(ProtocolCombo::ViaClan),
+        other => Err(format!("unknown combo {other}")),
+    }
+}
+
+fn parse_version(name: &str) -> Result<ServerVersion, String> {
+    match name {
+        "v0" => Ok(ServerVersion::V0),
+        "v1" => Ok(ServerVersion::V1),
+        "v2" => Ok(ServerVersion::V2),
+        "v3" => Ok(ServerVersion::V3),
+        "v4" => Ok(ServerVersion::V4),
+        "v5" => Ok(ServerVersion::V5),
+        other => Err(format!("unknown version {other}")),
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<Dissemination, String> {
+    match name {
+        "pb" => Ok(Dissemination::Piggyback),
+        "l1" => Ok(Dissemination::Broadcast(1)),
+        "l4" => Ok(Dissemination::Broadcast(4)),
+        "l16" => Ok(Dissemination::Broadcast(16)),
+        "nlb" => Ok(Dissemination::None),
+        other => Err(format!("unknown strategy {other}")),
+    }
+}
+
+/// Splits a comma-separated flag value and parses each item.
+fn parse_list<T>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: &str,
+    parse_one: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .unwrap_or(default)
+        .split(',')
+        .map(|item| parse_one(item.trim()))
+        .collect()
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(
+            args,
+            &[
+                "traces",
+                "combos",
+                "versions",
+                "strategies",
+                "nodes",
+                "measure",
+                "warmup",
+                "seed",
+            ],
+        )?;
+        let traces = parse_list(&flags, "traces", "clarknet", |s| parse_preset(Some(s)))?;
+        let combos = parse_list(&flags, "combos", "via", parse_combo)?;
+        let versions = parse_list(&flags, "versions", "v0", parse_version)?;
+        let strategies = parse_list(&flags, "strategies", "pb", parse_strategy)?;
+        let nodes = parse(&flags, "nodes", 8usize)?;
+        let measure = parse(&flags, "measure", 60_000u64)?;
+        let warmup = parse(&flags, "warmup", 20_000u64)?;
+
+        let mut jobs = Vec::new();
+        for &preset in &traces {
+            for &combo in &combos {
+                for &version in &versions {
+                    for &strategy in &strategies {
+                        let mut cfg = SimConfig::paper_default(preset);
+                        cfg.combo = combo;
+                        cfg.version = version;
+                        cfg.dissemination = strategy;
+                        cfg.nodes = nodes;
+                        cfg.measure_requests = measure;
+                        cfg.warmup_requests = warmup;
+                        cfg.seed = parse(&flags, "seed", cfg.seed)?;
+                        let label = format!(
+                            "{}/{}/{}/{}",
+                            preset.name(),
+                            combo.name(),
+                            version.name(),
+                            strategy.name()
+                        );
+                        jobs.push(Job::new(label, cfg));
+                    }
+                }
+            }
+        }
+        let runner = ExperimentRunner::from_env();
+        eprintln!(
+            "sweep: {} runs on {} thread(s)",
+            jobs.len(),
+            runner.threads()
+        );
+        let results = runner.run(jobs);
+        println!(
+            "{:<36} {:>10} {:>10} {:>9}",
+            "configuration", "req/s", "resp ms", "hit rate"
+        );
+        // Wall time is deliberately not printed: stdout must be identical
+        // for any PRESS_THREADS so sweeps diff cleanly across machines.
+        for r in results {
+            println!(
+                "{:<36} {:>10.0} {:>10.2} {:>9.4}",
+                r.label, r.metrics.throughput_rps, r.metrics.mean_response_ms, r.metrics.hit_rate
+            );
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -251,7 +377,10 @@ fn cmd_model(args: &[String]) -> ExitCode {
             hsn,
             file_kb
         );
-        println!("throughput: {:.0} req/s ({:.0}/node)", t.total_rps, t.per_node_rps);
+        println!(
+            "throughput: {:.0} req/s ({:.0}/node)",
+            t.total_rps, t.per_node_rps
+        );
         println!("bottleneck: {:?}", t.bottleneck);
         println!(
             "cache: Hlc {:.4}, h {:.4}, Q {:.3}, F {}",

@@ -30,7 +30,15 @@ fn traces_prints_table1() {
 #[test]
 fn model_evaluates() {
     let out = press()
-        .args(["model", "--variant", "via-rmw", "--nodes", "16", "--hsn", "0.85"])
+        .args([
+            "model",
+            "--variant",
+            "via-rmw",
+            "--nodes",
+            "16",
+            "--hsn",
+            "0.85",
+        ])
         .output()
         .expect("run press");
     assert!(out.status.success());
@@ -53,10 +61,100 @@ fn simulate_small_run() {
         ])
         .output()
         .expect("run press");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("throughput:"), "{text}");
     assert!(text.contains("TOTAL"), "{text}");
+}
+
+#[test]
+fn sweep_prints_one_row_per_combination() {
+    let out = press()
+        .args([
+            "sweep",
+            "--traces",
+            "clarknet,forth",
+            "--versions",
+            "v0,v5",
+            "--measure",
+            "1000",
+            "--warmup",
+            "300",
+        ])
+        .output()
+        .expect("run press");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in [
+        "Clarknet/VIA/cLAN/V0/PB",
+        "Clarknet/VIA/cLAN/V5/PB",
+        "Forth/VIA/cLAN/V0/PB",
+        "Forth/VIA/cLAN/V5/PB",
+    ] {
+        assert!(text.contains(label), "missing {label}: {text}");
+    }
+    // Submission order: traces vary slowest, versions fastest.
+    let rows: Vec<usize> = [
+        "Clarknet/VIA/cLAN/V0",
+        "Clarknet/VIA/cLAN/V5",
+        "Forth/VIA/cLAN/V0",
+        "Forth/VIA/cLAN/V5",
+    ]
+    .iter()
+    .map(|l| text.find(l).expect("row present"))
+    .collect();
+    assert!(
+        rows.windows(2).all(|w| w[0] < w[1]),
+        "rows out of order: {text}"
+    );
+}
+
+#[test]
+fn sweep_stdout_is_thread_count_invariant() {
+    let run = |threads: &str| {
+        let out = press()
+            .env("PRESS_THREADS", threads)
+            .args([
+                "sweep",
+                "--versions",
+                "v0,v4",
+                "--measure",
+                "800",
+                "--warmup",
+                "200",
+            ])
+            .output()
+            .expect("run press");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("3"),
+        "sweep stdout must not depend on PRESS_THREADS"
+    );
+}
+
+#[test]
+fn sweep_rejects_bad_version() {
+    let out = press()
+        .args(["sweep", "--versions", "v9"])
+        .output()
+        .expect("run press");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown version"));
 }
 
 #[test]
@@ -76,7 +174,11 @@ fn export_then_replay_round_trip() {
         ])
         .output()
         .expect("run export");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = press()
         .args([
             "simulate",
@@ -89,7 +191,11 @@ fn export_then_replay_round_trip() {
         ])
         .output()
         .expect("run replay");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("throughput:"));
     let _ = std::fs::remove_file(&log_path);
 }

@@ -29,17 +29,24 @@ fn forwarded_file_transfers_and_rdma_loads() {
         .map(|i| Arc::new(fabric.create_nic(&format!("n{i}"))))
         .collect();
     let load_regions: Vec<_> = (0..NODES)
-        .map(|i| nics[i].register(vec![0u8; 4 * NODES], true).expect("register"))
+        .map(|i| {
+            nics[i]
+                .register(vec![0u8; 4 * NODES], true)
+                .expect("register")
+        })
         .collect();
 
     // client_chans[i][j]: i's request-tx to j and reply-rx from j.
     // server_chans[j][i]: j's request-rx from i and reply-tx to i.
-    let mut client_chans: Vec<Vec<Option<(CreditChannel, CreditChannel)>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
-    let mut server_chans: Vec<Vec<Option<(CreditChannel, CreditChannel)>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
-    let mut load_vis: Vec<Vec<Option<Vi>>> =
-        (0..NODES).map(|_| (0..NODES).map(|_| None).collect()).collect();
+    let mut client_chans: Vec<Vec<Option<(CreditChannel, CreditChannel)>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    let mut server_chans: Vec<Vec<Option<(CreditChannel, CreditChannel)>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
+    let mut load_vis: Vec<Vec<Option<Vi>>> = (0..NODES)
+        .map(|_| (0..NODES).map(|_| None).collect())
+        .collect();
 
     for i in 0..NODES {
         for j in 0..NODES {
@@ -48,8 +55,9 @@ fn forwarded_file_transfers_and_rdma_loads() {
             }
             let (req_tx, req_rx) =
                 CreditChannel::pair(&fabric, &nics[i], &nics[j], 8, 4, 16).expect("req channel");
-            let (rep_tx, rep_rx) = CreditChannel::pair(&fabric, &nics[j], &nics[i], 8, 4, FILE_BYTES)
-                .expect("rep channel");
+            let (rep_tx, rep_rx) =
+                CreditChannel::pair(&fabric, &nics[j], &nics[i], 8, 4, FILE_BYTES)
+                    .expect("rep channel");
             client_chans[i][j] = Some((req_tx, rep_rx));
             server_chans[j][i] = Some((req_rx, rep_tx));
             let (vi, _peer) = fabric
@@ -101,7 +109,8 @@ fn forwarded_file_transfers_and_rdma_loads() {
             let scratch = nic.register(vec![0u8; 4], false).expect("scratch");
             for n in 0..REQUESTS {
                 if n % 50 == 0 {
-                    nic.write_region(scratch, 0, &n.to_le_bytes()).expect("scratch");
+                    nic.write_region(scratch, 0, &n.to_le_bytes())
+                        .expect("scratch");
                     for (j, vi) in &vis {
                         vi.rdma_write(
                             Descriptor::new(scratch, 0, 4),
@@ -126,7 +135,10 @@ fn forwarded_file_transfers_and_rdma_loads() {
                 tx.send(&file.to_le_bytes(), T).expect("forward");
                 let data = rx.recv(T).expect("file");
                 assert_eq!(data.len(), FILE_BYTES);
-                assert!(data.iter().all(|&b| b == content(file)), "corrupt file {file}");
+                assert!(
+                    data.iter().all(|&b| b == content(file)),
+                    "corrupt file {file}"
+                );
             }
             finished.fetch_add(1, Ordering::Release);
         }));
@@ -139,7 +151,9 @@ fn forwarded_file_transfers_and_rdma_loads() {
     // Every node's load table carries the final RDMA-written counts.
     let last_update = (REQUESTS - 1) / 50 * 50;
     for j in 0..NODES {
-        let table = nics[j].read_region(load_regions[j], 0, 4 * NODES).expect("table");
+        let table = nics[j]
+            .read_region(load_regions[j], 0, 4 * NODES)
+            .expect("table");
         for i in 0..NODES {
             if i == j {
                 continue;

@@ -67,7 +67,11 @@ fn figure1_intcluster_time_dominates_under_tcp_fe() {
     let fe = run_with(|c| c.combo = ProtocolCombo::TcpFe);
     let via = run_with(|c| c.combo = ProtocolCombo::ViaClan);
     // TCP/FE burns far more of its time on intra-cluster communication.
-    assert!(fe.intcomm_wall_fraction > 0.3, "{}", fe.intcomm_wall_fraction);
+    assert!(
+        fe.intcomm_wall_fraction > 0.3,
+        "{}",
+        fe.intcomm_wall_fraction
+    );
     assert!(
         fe.intcomm_cpu_fraction > via.intcomm_cpu_fraction,
         "TCP {} vs VIA {}",
@@ -115,8 +119,8 @@ fn figure5_zero_copy_versions_win() {
 fn table4_rmw_doubles_file_messages() {
     let v2 = run_with(|c| c.version = ServerVersion::V2);
     let v3 = run_with(|c| c.version = ServerVersion::V3);
-    let ratio = v3.counters.count(MessageType::File) as f64
-        / v2.counters.count(MessageType::File) as f64;
+    let ratio =
+        v3.counters.count(MessageType::File) as f64 / v2.counters.count(MessageType::File) as f64;
     // One metadata message per file: segmentation keeps it below 2.0.
     assert!(
         (1.5..=2.1).contains(&ratio),

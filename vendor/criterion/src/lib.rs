@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` macro surface and the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` API this workspace's benches
+//! use, but measures with a simple adaptive wall-clock loop instead of
+//! criterion's statistical machinery. Output is one line per benchmark:
+//! name, mean time per iteration, and iteration count.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark (`group/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations the measurement loop will run.
+    iters: u64,
+    /// Total time the measurement loop took.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], timing only what `routine` itself measures.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    /// Target wall-clock spent per benchmark when calibrating.
+    measurement_time: Duration,
+    /// Lower bound used to pick the iteration count.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time (chainable, criterion-style).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time (chainable, criterion-style).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is not statistical here.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Criterion's post-run hook; nothing to summarize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is not statistical here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (criterion requires this; here it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    // Calibrate: grow the iteration count until one timed batch exceeds
+    // the warm-up budget, so cheap routines get enough iterations for a
+    // stable mean and expensive ones do not run for minutes.
+    let mut iters: u64 = 1;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= c.warm_up_time || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = b.elapsed.as_nanos().max(1) / b.iters.max(1) as u128;
+    let target = c.measurement_time.as_nanos().max(1);
+    let measured_iters = (target / per_iter.max(1)).clamp(1, 1 << 26) as u64;
+
+    let mut b = Bencher {
+        iters: measured_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    println!(
+        "{:<48} {:>14} {:>10} iters",
+        name,
+        format_ns(mean_ns),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style. Tolerates the
+/// `--test`/`--bench` arguments `cargo test`/`cargo bench` pass.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` benches are run with `--test` for a smoke
+            // check; run the full loop only under `cargo bench`.
+            let smoke = ::std::env::args().any(|a| a == "--test");
+            if smoke {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_mean() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| black_box(n) * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` — multi-producer/multi-consumer channels
+//! with the same surface the workspace uses (`bounded`, `unbounded`,
+//! cloneable `Sender`/`Receiver`, `recv_timeout`, `try_recv`). Built on a
+//! `Mutex<VecDeque>` plus condition variables: slower than the real
+//! lock-free crossbeam under contention, but semantically equivalent for
+//! the message rates exercised here.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message is enqueued or all senders leave.
+        can_recv: Condvar,
+        /// Signalled when space frees up or all receivers leave.
+        can_send: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel; `send` blocks when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // A zero-capacity crossbeam channel is a rendezvous; this stand-in
+        // approximates it with a one-slot buffer (unused in this repo).
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            can_recv: Condvar::new(),
+            can_send: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.shared.state);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = wait(&self.shared.can_send, st);
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.can_recv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives.
+        ///
+        /// # Errors
+        ///
+        /// Fails once the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.shared.state);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.can_send.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = wait(&self.shared.can_recv, st);
+            }
+        }
+
+        /// Receives with a deadline.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` when the deadline passes, `Disconnected` when the
+        /// channel is empty and every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.shared.state);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.can_send.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .can_recv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// `Empty` when nothing is queued, `Disconnected` when additionally
+        /// every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.shared.state);
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.can_send.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.shared.state).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn lock<T>(m: &Mutex<State<T>>) -> std::sync::MutexGuard<'_, State<T>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a, T>(
+        cv: &Condvar,
+        guard: std::sync::MutexGuard<'a, State<T>>,
+    ) -> std::sync::MutexGuard<'a, State<T>> {
+        cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared.state).senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared.state).receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared.state);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.can_recv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared.state);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.can_send.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// `send` failed because all receivers are gone; returns the message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// `recv` failed because the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Outcome of [`Receiver::recv_timeout`] failures.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Outcome of [`Receiver::try_recv`] failures.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("channel empty"),
+                TryRecvError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded();
+            let producer = std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            for i in 0..1000u32 {
+                assert_eq!(rx.recv().expect("sender alive"), i);
+            }
+            producer.join().expect("producer");
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).expect("space");
+            tx.send(2).expect("space");
+            let t = std::thread::spawn(move || {
+                tx.send(3).expect("blocks then succeeds");
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().expect("msg"), 1);
+            assert_eq!(rx.recv().expect("msg"), 2);
+            assert_eq!(rx.recv().expect("msg"), 3);
+            t.join().expect("sender");
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+
+        #[test]
+        fn disconnect_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).expect("alive");
+            drop(tx);
+            assert_eq!(rx.recv().expect("drains"), 9);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

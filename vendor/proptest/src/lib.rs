@@ -1,0 +1,432 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! range and tuple [`Strategy`] values, [`collection::vec`], and
+//! `prop::bool::ANY`.
+//!
+//! Cases are generated from a seed derived from the test name, so runs
+//! are deterministic. There is no shrinking: a failing case panics with
+//! the generated values' `Debug` rendering instead of a minimized
+//! counterexample.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains it.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, deterministically.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// A source of arbitrary values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.below(self.start as u64, self.end as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                if hi == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                rng.below(lo, hi + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy generating uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max {
+                self.size.min
+            } else {
+                rng.below(self.size.min as u64, self.size.max as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (skips it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Each function runs `cases` times with fresh
+/// generated inputs; see the crate docs for the supported surface.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(50).max(1000),
+                        "proptest {}: too many rejected cases",
+                        stringify!($name)
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                    let case_desc = || {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!(
+                                "  {} = {:?}\n", stringify!($arg), &$arg
+                            ));
+                        )*
+                        s
+                    };
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = {
+                        let desc = case_desc();
+                        let run = (|| { { $body } ::std::result::Result::Ok(()) })();
+                        match run {
+                            ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                                panic!(
+                                    "proptest {} failed at case {}:\n{}\ninputs:\n{}",
+                                    stringify!($name), accepted, msg, desc
+                                );
+                            }
+                            other => other,
+                        }
+                    };
+                    match result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(_)) => {}
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0f64..1.5, b in prop::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.5).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn vecs_respect_sizes(
+            v in vec((0u64..5, 1u64..3), 2..7),
+            exact in vec(0u32..9, 4usize),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 4);
+            for &(a, b) in &v {
+                prop_assert!(a < 5 && (1..3).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
