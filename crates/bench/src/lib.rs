@@ -15,6 +15,7 @@
 //! | `fig6_summary`       | Figure 6 — stacked contribution summary |
 //! | `model_validation`   | Section 4.2 — model vs. simulation |
 //! | `fig8_overhead_hitrate` … `fig13_nextgen_filesize` | Figures 8–13 |
+//! | `fig_availability`   | beyond the paper — throughput retention under node crashes |
 //!
 //! Runs are scaled down from the full traces (the paper replays millions
 //! of requests); `PRESS_MEASURE_REQUESTS` / `PRESS_WARMUP_REQUESTS`

@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use press_cluster::ServiceRates;
 use press_net::ProtocolCombo;
-use press_sim::{SimTime, Simulator};
+use press_sim::{FaultPlan, SimTime, Simulator};
 use press_trace::{RequestLog, TracePreset, Workload, WorkloadSpec};
 
 use crate::load::Dissemination;
@@ -52,6 +52,9 @@ pub struct SimConfig {
     pub measure_requests: u64,
     /// RNG seed (workload generation and request sampling).
     pub seed: u64,
+    /// Injected faults and recovery parameters. [`FaultPlan::none`] (the
+    /// default) leaves every code path identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 /// Where the workload comes from.
@@ -116,6 +119,7 @@ impl SimConfig {
             warmup_requests: 30_000,
             measure_requests: 120_000,
             seed: 0xC0FFEE,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -142,6 +146,7 @@ impl SimConfig {
             warmup_requests: 1_000,
             measure_requests: 4_000,
             seed: 7,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -198,6 +203,7 @@ pub fn run_simulation(cfg: &SimConfig) -> Metrics {
     assert!(cfg.nodes >= 2, "the cluster needs at least two nodes");
     assert!(cfg.clients_per_node >= 1, "at least one client per node");
     assert!(cfg.measure_requests >= 1, "nothing to measure");
+    cfg.faults.assert_valid(cfg.nodes);
     let source = cfg.build_source();
     let params = RunParams {
         nodes: cfg.nodes,
@@ -209,6 +215,7 @@ pub fn run_simulation(cfg: &SimConfig) -> Metrics {
         rmw_load_broadcast: cfg.rmw_load_broadcast,
         warmup_requests: cfg.warmup_requests,
         measure_requests: cfg.measure_requests,
+        faults: cfg.faults.clone(),
     };
     let sim_model = ClusterSim::new(params, source, cfg.cache_bytes_per_node, cfg.seed ^ 0x5EED);
     let mut sim = Simulator::new(sim_model);

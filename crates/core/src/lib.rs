@@ -39,5 +39,6 @@ pub use driver::{run_simulation, SimConfig, WorkloadSource};
 pub use load::Dissemination;
 pub use metrics::Metrics;
 pub use policy::{decide, Decision, PolicyConfig, RequestView};
+pub use press_sim::{CrashWindow, FaultInjector, FaultPlan};
 pub use server::{ClusterSim, Event, Msg, SimWorkload};
 pub use version::ServerVersion;

@@ -41,8 +41,29 @@ pub struct Metrics {
     /// Intra-cluster message counters (Tables 2 and 4).
     pub counters: MsgCounters,
     /// Messages still queued on flow-control channels at the end of the
-    /// run; always zero unless credits leaked (a bug).
+    /// run; always zero unless credits leaked (a bug). Fault runs may
+    /// strand messages addressed to nodes that died.
     pub stuck_messages: usize,
+    /// Throughput over the last quarter of the measured requests — the
+    /// post-recovery comparison metric for availability experiments.
+    pub tail_throughput_rps: f64,
+    /// Forwarded requests re-routed after a per-peer timeout.
+    pub retries: u64,
+    /// Requests that fell back to local disk service after retries ran out.
+    pub failovers: u64,
+    /// Requests lost because the node holding their client crashed.
+    pub requests_lost: u64,
+    /// Intra-cluster messages lost to injected drops or dead endpoints.
+    pub dropped_messages: u64,
+    /// Messages delivered but discarded as corrupted.
+    pub corrupted_messages: u64,
+    /// Disk accesses that failed and were retried.
+    pub disk_retries: u64,
+    /// Membership transitions observed (crashes + recoveries).
+    pub membership_epochs: u64,
+    /// Simulated seconds with at least one node down, up to the end of
+    /// the measurement window.
+    pub time_degraded_secs: f64,
 }
 
 impl Metrics {
@@ -119,6 +140,15 @@ impl Metrics {
             },
             counters: *sim.counters(),
             stuck_messages: sim.stuck_messages(),
+            tail_throughput_rps: sim.tail_throughput(),
+            retries: sim.fault_stats().retries,
+            failovers: sim.fault_stats().failovers,
+            requests_lost: sim.fault_stats().requests_lost,
+            dropped_messages: sim.fault_stats().dropped_messages,
+            corrupted_messages: sim.fault_stats().corrupted_messages,
+            disk_retries: sim.fault_stats().disk_retries,
+            membership_epochs: sim.fault_stats().membership_epochs,
+            time_degraded_secs: sim.degraded_seconds(),
         }
     }
 }

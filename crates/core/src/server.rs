@@ -11,12 +11,12 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use press_cluster::{CpuCategory, Node, NodeId, ServiceRates};
+use press_cluster::{CpuCategory, FileCache, Node, NodeId, ServiceRates};
 use press_net::{
     recv_cost, send_cost, wire_bytes, CostModel, DeliveryMode, MessageType, MsgCounters,
     FILE_SEGMENT_BYTES,
 };
-use press_sim::{Histogram, MeanVar, Model, Scheduler, SimTime};
+use press_sim::{FaultInjector, FaultPlan, Histogram, MeanVar, Model, Scheduler, SimTime};
 use press_trace::{FileCatalog, FileId, RequestLog, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +41,8 @@ const POLL_DELAY: SimTime = SimTime::from_micros(30);
 const POLL_INTERVAL_NS: f64 = 100_000.0;
 /// CPU cost of checking one RMW circular buffer for a new sequence number.
 const POLL_COST_NS: f64 = 150.0;
+/// Delay before a client whose node crashed reconnects elsewhere.
+const RECONNECT_DELAY: SimTime = SimTime::from_micros(1_000);
 
 /// Immutable parameters of one simulation run.
 #[derive(Debug, Clone)]
@@ -54,6 +56,7 @@ pub(crate) struct RunParams {
     pub rmw_load_broadcast: bool,
     pub warmup_requests: u64,
     pub measure_requests: u64,
+    pub faults: FaultPlan,
 }
 
 /// One in-flight client request.
@@ -66,6 +69,13 @@ struct Request {
     forwarded: bool,
     /// Intra-cluster file messages still to be consumed before the reply.
     pending_file_msgs: u32,
+    /// Delivery attempt, bumped on every retry; stale messages and timers
+    /// carry an older attempt and are discarded.
+    attempt: u32,
+    /// The node currently responsible for producing the content.
+    server: Option<u16>,
+    /// The reply has started streaming to the client; retries are moot.
+    replying: bool,
 }
 
 /// One intra-cluster message.
@@ -81,6 +91,8 @@ pub struct Msg {
     credits: u32,
     /// Sender's load at transmit time (piggy-backing / load broadcast).
     sender_load: u32,
+    /// The request's delivery attempt when this message was sent.
+    attempt: u32,
 }
 
 /// Simulation events.
@@ -100,6 +112,29 @@ pub enum Event {
     ReplyCpuDone { req: u64 },
     /// The external NIC finished transmitting the reply.
     ReplyDelivered { req: u64 },
+    /// The failure detector announces a membership change to all survivors.
+    Membership { node: u16, alive: bool },
+    /// A forwarded request's per-peer timeout expired.
+    RetryTimeout { req: u64, attempt: u32 },
+}
+
+/// Degraded-mode event counters, accumulated over the whole run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FaultCounters {
+    /// Forwarded requests re-routed after a per-peer timeout.
+    pub retries: u64,
+    /// Requests that fell back to local disk service.
+    pub failovers: u64,
+    /// Requests lost outright because their client's node crashed.
+    pub requests_lost: u64,
+    /// Intra-cluster messages lost (injected drops + dead endpoints).
+    pub dropped_messages: u64,
+    /// Messages delivered but discarded as corrupted.
+    pub corrupted_messages: u64,
+    /// Disk accesses that failed and were retried.
+    pub disk_retries: u64,
+    /// Membership transitions (crashes + recoveries).
+    pub membership_epochs: u64,
 }
 
 /// Per-channel (sender→receiver) flow-control state.
@@ -151,6 +186,21 @@ pub struct ClusterSim {
     requests: HashMap<u64, Request>,
     next_req: u64,
     cpu_inflation: f64,
+    // --- fault-injection state ---
+    faults: FaultPlan,
+    injector: FaultInjector,
+    /// Crash/recovery transitions sorted by completed-request trigger.
+    fault_schedule: Vec<(u64, u16, bool)>,
+    fault_next: usize,
+    /// Physical truth: which nodes are up right now.
+    alive: Vec<bool>,
+    /// What the (delayed) failure detector has announced to survivors.
+    alive_view: Vec<bool>,
+    cache_bytes: u64,
+    fault_stats: FaultCounters,
+    crashed_now: usize,
+    degraded_since: Option<SimTime>,
+    time_degraded: SimTime,
     // --- measurement state ---
     counters: MsgCounters,
     forwarded: u64,
@@ -163,6 +213,9 @@ pub struct ClusterSim {
     measure_start: SimTime,
     measure_end: SimTime,
     stop_arrivals: bool,
+    /// Time and completion count at 75% of the measured window, for the
+    /// post-recovery tail-throughput metric.
+    tail_start: Option<(SimTime, u64)>,
 }
 
 impl ClusterSim {
@@ -216,6 +269,8 @@ impl ClusterSim {
         let poll_frac = (POLL_COST_NS * rmw_queues as f64 / POLL_INTERVAL_NS).min(0.5);
         let cpu_inflation = 1.0 / (1.0 - poll_frac);
 
+        let faults = params.faults.clone();
+        faults.assert_valid(n);
         ClusterSim {
             nodes,
             source,
@@ -229,6 +284,17 @@ impl ClusterSim {
             requests: HashMap::new(),
             next_req: 1,
             cpu_inflation,
+            injector: faults.injector(),
+            fault_schedule: faults.schedule(),
+            fault_next: 0,
+            alive: vec![true; n],
+            alive_view: vec![true; n],
+            cache_bytes,
+            fault_stats: FaultCounters::default(),
+            crashed_now: 0,
+            degraded_since: None,
+            time_degraded: SimTime::ZERO,
+            faults,
             counters: MsgCounters::default(),
             forwarded: 0,
             served: 0,
@@ -240,6 +306,7 @@ impl ClusterSim {
             measure_start: SimTime::ZERO,
             measure_end: SimTime::ZERO,
             stop_arrivals: false,
+            tail_start: None,
             params,
         }
     }
@@ -291,6 +358,33 @@ impl ClusterSim {
     /// completed run would indicate a credit leak (deadlock).
     pub(crate) fn stuck_messages(&self) -> usize {
         self.channels.iter().map(|c| c.queued.len()).sum()
+    }
+
+    pub(crate) fn fault_stats(&self) -> FaultCounters {
+        self.fault_stats
+    }
+
+    /// Simulated seconds (within the run) spent with at least one node
+    /// down, closed at the end of the measurement window.
+    pub(crate) fn degraded_seconds(&self) -> f64 {
+        let mut t = self.time_degraded;
+        if let Some(s) = self.degraded_since {
+            if self.measure_end > s {
+                t += self.measure_end - s;
+            }
+        }
+        t.as_secs_f64()
+    }
+
+    /// Throughput over the last quarter of the measured requests — the
+    /// post-recovery comparison metric for availability experiments.
+    pub(crate) fn tail_throughput(&self) -> f64 {
+        match self.tail_start {
+            Some((t0, c0)) if self.measure_end > t0 => {
+                (self.measured_completed - c0) as f64 / (self.measure_end - t0).as_secs_f64()
+            }
+            _ => 0.0,
+        }
     }
 
     pub(crate) fn forward_fraction(&self) -> f64 {
@@ -354,6 +448,61 @@ impl ClusterSim {
             && self.params.version.file_rx_copy()
     }
 
+    /// The first alive node at or after `node` (wrapping). The fault plan
+    /// guarantees at least one node survives.
+    fn route_alive(&self, node: u16) -> u16 {
+        let n = self.params.nodes as u16;
+        (0..n)
+            .map(|off| (node + off) % n)
+            .find(|&i| self.alive[i as usize])
+            .expect("at least one node alive")
+    }
+
+    /// Grants `credits` to the `from → to` channel and transmits any
+    /// messages they unblock (the Flow-consumption path, also used as the
+    /// modeled NACK repair when a Flow message itself is lost).
+    fn grant_credits(
+        &mut self,
+        now: SimTime,
+        from: u16,
+        to: u16,
+        credits: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let mut release = Vec::new();
+        {
+            let ch = self.channel_mut(from, to);
+            ch.credits += credits;
+            while ch.credits > 0 && !ch.queued.is_empty() {
+                ch.credits -= 1;
+                release.push(ch.queued.pop_front().expect("non-empty queue"));
+            }
+        }
+        for m in release {
+            self.transmit(now, m, sched);
+        }
+    }
+
+    /// Returns one credit to the `from → to` channel after a message it
+    /// paid for was lost; the credit immediately funds the next queued
+    /// message if one is waiting.
+    fn credit_back(&mut self, now: SimTime, from: u16, to: u16, sched: &mut Scheduler<Event>) {
+        let queued = {
+            let ch = self.channel_mut(from, to);
+            if ch.credits >= CREDIT_WINDOW {
+                return;
+            }
+            match ch.queued.pop_front() {
+                Some(m) => m,
+                None => {
+                    ch.credits += 1;
+                    return;
+                }
+            }
+        };
+        self.transmit(now, queued, sched);
+    }
+
     /// Builds and sends one intra-cluster message, respecting flow control.
     #[allow(clippy::too_many_arguments)] // mirrors the wire-message fields
     fn send_msg(
@@ -370,6 +519,9 @@ impl ClusterSim {
         debug_assert_ne!(from, to, "no self-messages");
         let mode = self.mode_of(ty);
         let wire = wire_bytes(ty, data_len, mode, self.piggyback());
+        let attempt = req
+            .and_then(|id| self.requests.get(&id))
+            .map_or(0, |r| r.attempt);
         let msg = Msg {
             ty,
             from,
@@ -378,6 +530,7 @@ impl ClusterSim {
             req,
             credits,
             sender_load: self.nodes[from as usize].open_connections,
+            attempt,
         };
         if self.needs_credit(ty) {
             let ch = self.channel_mut(from, to);
@@ -400,7 +553,24 @@ impl ClusterSim {
         let nic_done = self.nodes[msg.from as usize]
             .nic_int_tx
             .submit(cpu_done, sc.nic, 0);
-        let arrive = nic_done + self.params.cost.wire_latency;
+        // Injected loss: the sender has paid its costs, the wire delivers
+        // nothing. Credits the message consumed are repaired out-of-band
+        // (the modeled NACK/retransmit of the tiny control path) so flow
+        // control degrades instead of deadlocking.
+        if self.injector.drop_message() {
+            self.fault_stats.dropped_messages += 1;
+            if self.needs_credit(msg.ty) {
+                self.credit_back(now, msg.from, msg.to, sched);
+            }
+            if msg.ty == MessageType::Flow && msg.credits > 0 {
+                self.grant_credits(now, msg.to, msg.from, msg.credits, sched);
+            }
+            return;
+        }
+        let mut arrive = nic_done + self.params.cost.wire_latency;
+        if let Some(extra) = self.injector.delay_message() {
+            arrive += SimTime::from_micros(extra);
+        }
         let rc = recv_cost(
             &self.params.cost,
             msg.wire,
@@ -460,7 +630,9 @@ impl ClusterSim {
     /// data segments plus, for RMW transfers, one metadata message.
     fn send_file(&mut self, now: SimTime, req_id: u64, from: u16, sched: &mut Scheduler<Event>) {
         let (to, bytes) = {
-            let req = &self.requests[&req_id];
+            let Some(req) = self.requests.get(&req_id) else {
+                return;
+            };
             (req.initial.0, req.bytes)
         };
         let segments = bytes.div_ceil(FILE_SEGMENT_BYTES).max(1);
@@ -494,7 +666,10 @@ impl ClusterSim {
     /// The initial node starts sending the reply to the client.
     fn start_reply(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
         let (node, bytes) = {
-            let req = &self.requests[&req_id];
+            let Some(req) = self.requests.get_mut(&req_id) else {
+                return;
+            };
+            req.replying = true;
             (req.initial.0, req.bytes)
         };
         let demand = self.params.rates.reply_time(bytes + REPLY_HEADER_BYTES);
@@ -510,11 +685,13 @@ impl ClusterSim {
         node: u16,
         sched: &mut Scheduler<Event>,
     ) {
-        let file = self.requests[&req_id].file;
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        let (file, bytes) = (req.file, req.bytes);
         if self.nodes[node as usize].cache.touch(file) {
             self.after_content_ready(now, req_id, node, sched);
         } else {
-            let bytes = self.requests[&req_id].bytes;
             let demand = self.nodes[node as usize].disk_model.access_time(bytes);
             let done = self.nodes[node as usize].disk.submit(now, demand, 0);
             sched.schedule(done, Event::DiskDone { req: req_id, node });
@@ -529,7 +706,10 @@ impl ClusterSim {
         node: u16,
         sched: &mut Scheduler<Event>,
     ) {
-        if self.requests[&req_id].initial.0 == node {
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        if req.initial.0 == node {
             self.start_reply(now, req_id, sched);
         } else {
             self.send_file(now, req_id, node, sched);
@@ -537,12 +717,12 @@ impl ClusterSim {
     }
 
     fn complete_request(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
-        let req = self
-            .requests
-            .remove(&req_id)
-            .expect("completed request must exist");
+        let Some(req) = self.requests.remove(&req_id) else {
+            return;
+        };
         let node = req.initial.0;
-        self.nodes[node as usize].open_connections -= 1;
+        let oc = &mut self.nodes[node as usize].open_connections;
+        *oc = oc.saturating_sub(1);
         self.load_changed(now, node, sched);
         self.total_completed += 1;
         if self.measuring && !self.stop_arrivals {
@@ -555,6 +735,11 @@ impl ClusterSim {
             } else {
                 self.served += 1;
             }
+            if self.tail_start.is_none()
+                && self.measured_completed >= self.params.measure_requests * 3 / 4
+            {
+                self.tail_start = Some((now, self.measured_completed));
+            }
             if self.measured_completed >= self.params.measure_requests && !self.stop_arrivals {
                 self.measure_end = now;
                 self.stop_arrivals = true;
@@ -562,6 +747,7 @@ impl ClusterSim {
         } else if !self.measuring && self.total_completed >= self.params.warmup_requests {
             self.begin_measurement(now);
         }
+        self.process_fault_schedule(now, sched);
         // Closed loop: the client immediately issues its next request to a
         // uniformly random node.
         if !self.stop_arrivals {
@@ -583,12 +769,196 @@ impl ClusterSim {
         }
     }
 
+    /// Arms the per-peer timeout for a forwarded request. Only runs when
+    /// the fault plan is active, so fault-free runs schedule no extra
+    /// events and stay byte-identical to the pre-fault code paths.
+    fn schedule_retry(
+        &mut self,
+        now: SimTime,
+        req_id: u64,
+        attempt: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if self.faults.is_active() {
+            let at = now + SimTime::from_micros(self.faults.backoff_micros(attempt));
+            sched.schedule(
+                at,
+                Event::RetryTimeout {
+                    req: req_id,
+                    attempt,
+                },
+            );
+        }
+    }
+
+    /// A forwarded request timed out: re-route it to the next-best caching
+    /// node the initial node believes is alive, or fall back to local disk
+    /// service once candidates or retries run out.
+    fn retry_request(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
+        let (initial, file, attempt, prev_server) = {
+            let r = &self.requests[&req_id];
+            (r.initial.0, r.file, r.attempt, r.server)
+        };
+        let next_attempt = attempt + 1;
+        let mask = self.cachers[file.0 as usize];
+        // Next-best: alive (as far as the initial node knows), caching the
+        // file, and not the peer that just failed us.
+        let candidates: Vec<u16> = (0..self.params.nodes as u16)
+            .filter(|&i| {
+                self.alive_view[i as usize]
+                    && mask & (1 << i) != 0
+                    && Some(i) != prev_server
+                    && i != initial
+            })
+            .collect();
+        if next_attempt > self.faults.max_retries || candidates.is_empty() {
+            self.fault_stats.failovers += 1;
+            if let Some(r) = self.requests.get_mut(&req_id) {
+                r.attempt = next_attempt;
+                r.server = Some(initial);
+                r.pending_file_msgs = 0;
+            }
+            self.service_request(now, req_id, initial, sched);
+            return;
+        }
+        self.fault_stats.retries += 1;
+        let target = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&c| (self.load_views[initial as usize][c as usize], c))
+            .expect("non-empty candidates");
+        if let Some(r) = self.requests.get_mut(&req_id) {
+            r.attempt = next_attempt;
+            r.server = Some(target);
+            r.pending_file_msgs = 0;
+        }
+        self.send_msg(
+            now,
+            MessageType::Forward,
+            initial,
+            target,
+            0,
+            Some(req_id),
+            0,
+            sched,
+        );
+        self.schedule_retry(now, req_id, next_attempt, sched);
+    }
+
+    /// Applies every crash/recovery transition whose completed-request
+    /// trigger has been reached.
+    fn process_fault_schedule(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        while let Some(&(at, node, alive)) = self.fault_schedule.get(self.fault_next) {
+            if self.total_completed < at {
+                break;
+            }
+            self.fault_next += 1;
+            if alive {
+                self.recover_node(now, node, sched);
+            } else {
+                self.crash_node(now, node, sched);
+            }
+        }
+    }
+
+    /// Resets both flow-control directions between `node` and every peer
+    /// (fresh VI connections after a crash or a rejoin). Queued messages
+    /// never consumed credits, so clearing them is loss, not leak.
+    fn reset_channels(&mut self, node: u16) {
+        for peer in 0..self.params.nodes as u16 {
+            if peer == node {
+                continue;
+            }
+            for (a, b) in [(node, peer), (peer, node)] {
+                let lost = {
+                    let ch = self.channel_mut(a, b);
+                    let lost = ch.queued.len() as u64;
+                    ch.queued.clear();
+                    ch.credits = CREDIT_WINDOW;
+                    ch.freed = 0;
+                    lost
+                };
+                self.fault_stats.dropped_messages += lost;
+            }
+        }
+    }
+
+    fn crash_node(&mut self, now: SimTime, node: u16, sched: &mut Scheduler<Event>) {
+        if !self.alive[node as usize] {
+            return;
+        }
+        self.alive[node as usize] = false;
+        self.crashed_now += 1;
+        self.fault_stats.membership_epochs += 1;
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+        }
+        self.nodes[node as usize].open_connections = 0;
+        self.reset_channels(node);
+        // Requests whose client connection terminated at the dead node are
+        // lost; their closed-loop clients reconnect elsewhere. Requests
+        // merely *serviced* by the dead node stay alive — their retry
+        // timers re-route them. Sorted iteration keeps same-seed runs
+        // byte-identical (HashMap order is process-random).
+        let mut doomed: Vec<u64> = self
+            .requests
+            .iter()
+            .filter(|(_, r)| r.initial.0 == node)
+            .map(|(&id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            self.requests.remove(&id);
+            self.fault_stats.requests_lost += 1;
+            if !self.stop_arrivals {
+                let next = self.rng.gen_range(0..self.params.nodes) as u16;
+                sched.schedule(now + RECONNECT_DELAY, Event::NewRequest { node: next });
+            }
+        }
+        let detect = now + SimTime::from_micros(self.faults.detection_micros);
+        sched.schedule(detect, Event::Membership { node, alive: false });
+    }
+
+    fn recover_node(&mut self, now: SimTime, node: u16, sched: &mut Scheduler<Event>) {
+        if self.alive[node as usize] {
+            return;
+        }
+        self.alive[node as usize] = true;
+        self.crashed_now -= 1;
+        self.fault_stats.membership_epochs += 1;
+        // Cold restart: empty cache, no stale caching knowledge, fresh
+        // flow-control windows, zeroed load beliefs in both directions.
+        self.nodes[node as usize].cache = FileCache::new(self.cache_bytes);
+        let bit = 1u128 << node;
+        for m in self.cachers.iter_mut() {
+            *m &= !bit;
+        }
+        self.reset_channels(node);
+        let n = self.params.nodes;
+        for view in self.load_views.iter_mut() {
+            view[node as usize] = 0;
+        }
+        self.load_views[node as usize] = vec![0; n];
+        self.last_broadcast[node as usize] = 0;
+        if self.crashed_now == 0 {
+            if let Some(s) = self.degraded_since.take() {
+                self.time_degraded += now - s;
+            }
+        }
+        let detect = now + SimTime::from_micros(self.faults.detection_micros);
+        sched.schedule(detect, Event::Membership { node, alive: true });
+    }
+
     fn handle_consumed(&mut self, now: SimTime, msg: Msg, sched: &mut Scheduler<Event>) {
-        // Piggy-backed load refreshes the receiver's view of the sender.
-        if self.piggyback() || msg.ty == MessageType::Load {
-            self.load_views[msg.to as usize][msg.from as usize] = msg.sender_load;
+        // The consumer crashed between delivery and consumption: the
+        // message dies with it (its channels were already reset).
+        if !self.alive[msg.to as usize] {
+            self.fault_stats.dropped_messages += 1;
+            return;
         }
         // Credit-consuming messages eventually trigger a credit return.
+        // The buffer is freed whatever the payload looks like, so this
+        // happens before the corruption check.
         if self.needs_credit(msg.ty) {
             let batch_ready = {
                 let ch = self.channel_mut(msg.from, msg.to);
@@ -613,37 +983,45 @@ impl ClusterSim {
                 );
             }
         }
+        // Injected corruption: the content is discarded after the buffer
+        // is freed. Flow messages are exempt — their one-word credit
+        // update is covered by the modeled NACK path, and discarding it
+        // would deadlock the window rather than degrade it.
+        if msg.ty != MessageType::Flow && self.injector.corrupt_message() {
+            self.fault_stats.corrupted_messages += 1;
+            return;
+        }
+        // Piggy-backed load refreshes the receiver's view of the sender.
+        if self.piggyback() || msg.ty == MessageType::Load {
+            self.load_views[msg.to as usize][msg.from as usize] = msg.sender_load;
+        }
         match msg.ty {
             MessageType::Load | MessageType::Caching => {}
             MessageType::Flow => {
-                let mut release = Vec::new();
-                {
-                    let ch = self.channel_mut(msg.to, msg.from);
-                    ch.credits += msg.credits;
-                    while ch.credits > 0 && !ch.queued.is_empty() {
-                        ch.credits -= 1;
-                        release.push(ch.queued.pop_front().expect("non-empty queue"));
-                    }
-                }
-                for m in release {
-                    self.transmit(now, m, sched);
-                }
+                self.grant_credits(now, msg.to, msg.from, msg.credits, sched);
             }
             MessageType::Forward => {
                 let req_id = msg.req.expect("forward carries a request");
+                // The request may have been lost with its client's node,
+                // or already re-routed to a different attempt.
+                let Some(r) = self.requests.get(&req_id) else {
+                    return;
+                };
+                if r.attempt != msg.attempt {
+                    return;
+                }
                 self.service_request(now, req_id, msg.to, sched);
             }
             MessageType::File => {
                 let req_id = msg.req.expect("file message carries a request");
-                let ready = {
-                    let req = self
-                        .requests
-                        .get_mut(&req_id)
-                        .expect("file message for live request");
-                    req.pending_file_msgs -= 1;
-                    req.pending_file_msgs == 0
+                let Some(req) = self.requests.get_mut(&req_id) else {
+                    return;
                 };
-                if ready {
+                if req.attempt != msg.attempt {
+                    return;
+                }
+                req.pending_file_msgs -= 1;
+                if req.pending_file_msgs == 0 {
                     self.start_reply(now, req_id, sched);
                 }
             }
@@ -670,6 +1048,9 @@ impl Model for ClusterSim {
                 if self.stop_arrivals {
                     return;
                 }
+                // A client aimed at a dead node connects to the next one
+                // up instead (alive == all nodes in fault-free runs).
+                let node = self.route_alive(node);
                 let file = self.next_file();
                 let bytes = self.source.catalog().size(file);
                 let req_id = self.next_req;
@@ -683,6 +1064,9 @@ impl Model for ClusterSim {
                         started: now,
                         forwarded: false,
                         pending_file_msgs: 0,
+                        attempt: 0,
+                        server: None,
+                        replying: false,
                     },
                 );
                 self.nodes[node as usize].open_connections += 1;
@@ -699,14 +1083,18 @@ impl Model for ClusterSim {
             }
             Event::Parsed { req: req_id } => {
                 let (node, file, bytes) = {
-                    let req = &self.requests[&req_id];
+                    let Some(req) = self.requests.get(&req_id) else {
+                        return;
+                    };
                     (req.initial.0, req.file, req.bytes)
                 };
                 let first = !self.ever_requested[file.0 as usize];
                 self.ever_requested[file.0 as usize] = true;
                 let cachers_mask = self.cachers[file.0 as usize];
+                // Peers the failure detector has evicted are not
+                // forwarding candidates, whatever the caching info says.
                 let cachers: Vec<NodeId> = (0..self.params.nodes as u16)
-                    .filter(|&i| cachers_mask & (1 << i) != 0)
+                    .filter(|&i| cachers_mask & (1 << i) != 0 && self.alive_view[i as usize])
                     .map(NodeId)
                     .collect();
                 let decision = decide(
@@ -723,11 +1111,15 @@ impl Model for ClusterSim {
                 );
                 match decision {
                     Decision::ServeLocal => {
+                        if let Some(r) = self.requests.get_mut(&req_id) {
+                            r.server = Some(node);
+                        }
                         self.service_request(now, req_id, node, sched);
                     }
                     Decision::Forward(target) => {
                         if let Some(r) = self.requests.get_mut(&req_id) {
                             r.forwarded = true;
+                            r.server = Some(target.0);
                         }
                         self.send_msg(
                             now,
@@ -739,15 +1131,44 @@ impl Model for ClusterSim {
                             0,
                             sched,
                         );
+                        self.schedule_retry(now, req_id, 0, sched);
                     }
                 }
             }
             Event::DiskDone { req: req_id, node } => {
-                let file = self.requests[&req_id].file;
+                // The disk of a crashed node completes into the void, and
+                // a request re-routed elsewhere ignores the stale read.
+                if !self.alive[node as usize] {
+                    return;
+                }
+                let Some(req) = self.requests.get(&req_id) else {
+                    return;
+                };
+                if req.server != Some(node) {
+                    return;
+                }
+                let (file, bytes) = (req.file, req.bytes);
+                if self.injector.disk_error() {
+                    self.fault_stats.disk_retries += 1;
+                    let demand = self.nodes[node as usize].disk_model.access_time(bytes);
+                    let done = self.nodes[node as usize].disk.submit(now, demand, 0);
+                    sched.schedule(done, Event::DiskDone { req: req_id, node });
+                    return;
+                }
                 self.cache_insert(now, node, file, sched);
                 self.after_content_ready(now, req_id, node, sched);
             }
             Event::MsgDelivered(msg) => {
+                // Either endpoint died while the message was on the wire:
+                // nothing arrives. The credit the sender paid is repaired
+                // (dead-sender channels were reset wholesale at the crash).
+                if !self.alive[msg.to as usize] || !self.alive[msg.from as usize] {
+                    self.fault_stats.dropped_messages += 1;
+                    if self.alive[msg.from as usize] && self.needs_credit(msg.ty) {
+                        self.credit_back(now, msg.from, msg.to, sched);
+                    }
+                    return;
+                }
                 let mode = self.mode_of(msg.ty);
                 let rc = recv_cost(&self.params.cost, msg.wire, mode, self.rx_copy(msg.ty));
                 let start = if mode == DeliveryMode::Rmw {
@@ -761,7 +1182,9 @@ impl Model for ClusterSim {
             Event::MsgConsumed(msg) => self.handle_consumed(now, msg, sched),
             Event::ReplyCpuDone { req: req_id } => {
                 let (node, bytes) = {
-                    let req = &self.requests[&req_id];
+                    let Some(req) = self.requests.get(&req_id) else {
+                        return;
+                    };
                     (req.initial.0, req.bytes)
                 };
                 let done = self.nodes[node as usize].nic_ext_tx.submit(
@@ -773,6 +1196,38 @@ impl Model for ClusterSim {
             }
             Event::ReplyDelivered { req: req_id } => {
                 self.complete_request(now, req_id, sched);
+            }
+            Event::Membership { node, alive } => {
+                self.alive_view[node as usize] = alive;
+                if !alive {
+                    // Anything still queued toward the evicted peer will
+                    // never be sendable; count it as lost.
+                    for peer in 0..self.params.nodes as u16 {
+                        if peer != node {
+                            let lost = {
+                                let ch = self.channel_mut(peer, node);
+                                let lost = ch.queued.len() as u64;
+                                ch.queued.clear();
+                                lost
+                            };
+                            self.fault_stats.dropped_messages += lost;
+                        }
+                    }
+                }
+            }
+            Event::RetryTimeout {
+                req: req_id,
+                attempt,
+            } => {
+                let Some(r) = self.requests.get(&req_id) else {
+                    return;
+                };
+                // Stale timer (the request moved on) or the reply is
+                // already streaming: nothing to do.
+                if r.attempt != attempt || r.replying {
+                    return;
+                }
+                self.retry_request(now, req_id, sched);
             }
         }
     }

@@ -7,10 +7,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
-use press_core::PolicyConfig;
+use press_core::{FaultPlan, PolicyConfig};
 use press_trace::{FileCatalog, FileId};
-use press_via::{CompletionQueue, Descriptor, Fabric, MemHandle, Reliability};
+use press_via::{CompletionQueue, Descriptor, Fabric, FaultConfig, MemHandle, Reliability};
 
+use crate::membership::Membership;
 use crate::node::{
     disk_loop, main_loop, recv_loop, send_loop, slot_bytes_for, FileTransferMode, MainConfig,
     NodeCtx, NodeEvent, SendJob,
@@ -41,6 +42,16 @@ pub struct LiveConfig {
     /// How file data travels back to the initial node: regular messages
     /// (V0–V2) or remote writes into polled circular buffers (V3–V5).
     pub file_transfer: FileTransferMode,
+    /// Base deadline for a forwarded request's reply before it is retried
+    /// against another live cacher (doubles per attempt, capped at 8×).
+    pub retry_timeout: Duration,
+    /// Retries before a forwarded request is served locally instead.
+    pub max_retries: u32,
+    /// Optional deterministic fault plan: crash/recovery windows are
+    /// applied by a monitor thread keyed on total completed requests, and
+    /// the plan's message-loss probabilities become VIA-level injected
+    /// faults. `None` leaves every path identical to a fault-free run.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for LiveConfig {
@@ -55,6 +66,9 @@ impl Default for LiveConfig {
             policy: PolicyConfig::default(),
             load_write_period: 8,
             file_transfer: FileTransferMode::Regular,
+            retry_timeout: Duration::from_millis(150),
+            max_retries: 3,
+            faults: None,
         }
     }
 }
@@ -108,15 +122,53 @@ impl std::error::Error for LiveError {}
 /// cluster.shutdown();
 /// ```
 pub struct LiveCluster {
-    mains: Vec<Sender<NodeEvent>>,
+    ctl: Arc<ClusterCtl>,
     stats: Arc<ServerStats>,
     catalog: Arc<FileCatalog>,
     shutdown: Arc<AtomicBool>,
-    send_txs: Vec<Sender<SendJob>>,
     threads: Vec<JoinHandle<()>>,
     load_handles: Vec<MemHandle>,
     /// NICs must outlive the node threads (dropping a NIC kills its engine).
     nics: Vec<Arc<press_via::Nic>>,
+}
+
+/// The handles needed to crash and recover nodes — shared between the
+/// public API and the fault-plan monitor thread.
+struct ClusterCtl {
+    mains: Vec<Sender<NodeEvent>>,
+    send_txs: Vec<Sender<SendJob>>,
+    dead: Vec<Arc<AtomicBool>>,
+    membership: Arc<Membership>,
+}
+
+impl ClusterCtl {
+    /// Kills `node`: unreachable on the wire, in-flight state lost,
+    /// evicted from every peer's candidate set.
+    fn crash(&self, node: usize) {
+        self.dead[node].store(true, Ordering::Release);
+        self.membership.set_live(node, false);
+        let _ = self.mains[node].send(NodeEvent::Crash);
+    }
+
+    /// Rejoins `node` with a cold cache: peers' credit windows toward it
+    /// (and its own, drained while dead) are restored to full, stale
+    /// queued traffic is discarded, and membership re-admits it.
+    fn recover(&self, node: usize) {
+        for (peer, tx) in self.send_txs.iter().enumerate() {
+            if peer == node {
+                for other in 0..self.send_txs.len() {
+                    if other != node {
+                        let _ = tx.send(SendJob::ResetPeer { peer: other });
+                    }
+                }
+            } else {
+                let _ = tx.send(SendJob::ResetPeer { peer: node });
+            }
+        }
+        let _ = self.mains[node].send(NodeEvent::Recover);
+        self.dead[node].store(false, Ordering::Release);
+        self.membership.set_live(node, true);
+    }
 }
 
 /// The ring at `dst` that `src` writes into (None for self or Regular
@@ -148,16 +200,39 @@ impl LiveCluster {
             "window must be a multiple of the credit batch"
         );
         let n = cfg.nodes;
+        if let Some(plan) = &cfg.faults {
+            plan.assert_valid(n);
+        }
         let catalog = Arc::new(catalog);
         let max_file = catalog.iter().map(|(_, s)| s).max().unwrap_or(0);
         let slot_bytes = slot_bytes_for(max_file);
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let membership = Arc::new(Membership::new(n));
+        let dead: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
 
         let fabric = Fabric::new();
         let nics: Vec<Arc<press_via::Nic>> = (0..n)
             .map(|i| Arc::new(fabric.create_nic(&format!("press-node{i}"))))
             .collect();
+
+        // Probabilistic message faults become VIA-level injections. The
+        // mesh uses reliable delivery, where a real interconnect turns
+        // loss into error-status completions — so both the plan's drop
+        // and corruption rates surface as failed descriptors that the
+        // retry machinery must absorb.
+        if let Some(plan) = &cfg.faults {
+            let fail = (plan.drop_probability + plan.corrupt_probability).min(1.0);
+            if fail > 0.0 {
+                for (i, nic) in nics.iter().enumerate() {
+                    nic.set_fault(FaultConfig {
+                        drop_probability: 0.0,
+                        fail_probability: fail,
+                        seed: plan.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    });
+                }
+            }
+        }
 
         // Load tables: RDMA-writable, one u32 slot per node.
         let load_regions: Vec<MemHandle> = (0..n)
@@ -293,6 +368,8 @@ impl LiveCluster {
                 slot_bytes,
                 stats: Arc::clone(&stats),
                 shutdown: Arc::clone(&shutdown),
+                membership: Arc::clone(&membership),
+                dead: Arc::clone(&dead[i]),
             });
             let main_cfg = MainConfig {
                 catalog: Arc::clone(&catalog),
@@ -300,6 +377,8 @@ impl LiveCluster {
                 policy: cfg.policy,
                 load_write_period: cfg.load_write_period,
                 disk_tx,
+                retry_timeout: cfg.retry_timeout,
+                max_retries: cfg.max_retries,
             };
             let cq = cq_iter.next().expect("one cq per node");
 
@@ -350,16 +429,89 @@ impl LiveCluster {
             send_txs.push(send_tx);
         }
 
-        LiveCluster {
+        let ctl = Arc::new(ClusterCtl {
             mains,
+            send_txs,
+            dead,
+            membership,
+        });
+
+        // The fault monitor applies the plan's crash/recovery windows.
+        // Triggers are in total completed requests — the same engine-
+        // agnostic unit the simulator uses — polled off the shared stats.
+        if let Some(plan) = &cfg.faults {
+            let schedule = plan.schedule();
+            if !schedule.is_empty() {
+                let ctl_mon = Arc::clone(&ctl);
+                let stats_mon = Arc::clone(&stats);
+                let stop = Arc::clone(&shutdown);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("press-fault-monitor".into())
+                        .spawn(move || {
+                            let mut next = 0;
+                            while next < schedule.len() && !stop.load(Ordering::Acquire) {
+                                let completed = stats_mon.completed();
+                                while next < schedule.len() && completed >= schedule[next].0 {
+                                    let (_, node, alive) = schedule[next];
+                                    next += 1;
+                                    if alive {
+                                        ctl_mon.recover(node as usize);
+                                    } else {
+                                        ctl_mon.crash(node as usize);
+                                    }
+                                }
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        })
+                        .expect("spawn fault monitor"),
+                );
+            }
+        }
+
+        LiveCluster {
+            ctl,
             stats,
             catalog,
             shutdown,
-            send_txs,
             threads,
             load_handles: load_regions,
             nics,
         }
+    }
+
+    /// Crashes `node`: it stops executing and drops off the wire, peers
+    /// evict it from their candidate sets, in-flight requests it held are
+    /// lost, and forwards toward it are re-routed after their timeouts.
+    pub fn crash_node(&self, node: usize) {
+        assert!(node < self.nodes());
+        self.ctl.crash(node);
+    }
+
+    /// Recovers a crashed (or hung) node: it rejoins the membership with
+    /// a cold cache and full credit windows in both directions.
+    pub fn recover_node(&self, node: usize) {
+        assert!(node < self.nodes());
+        self.ctl.recover(node);
+    }
+
+    /// Hangs `node`: it silently drops all traffic but is *not* evicted
+    /// from the membership — peers keep forwarding to it and must detect
+    /// the failure through timeouts. This is the fail-silent case the
+    /// per-request retry machinery exists for.
+    pub fn hang_node(&self, node: usize) {
+        assert!(node < self.nodes());
+        self.ctl.dead[node].store(true, Ordering::Release);
+    }
+
+    /// Whether `node` is currently believed alive by the cluster.
+    pub fn is_live(&self, node: usize) -> bool {
+        self.ctl.membership.is_live(node)
+    }
+
+    /// Membership transitions so far (crashes + recoveries).
+    pub fn membership_epoch(&self) -> u64 {
+        self.ctl.membership.epoch()
     }
 
     /// Issues one request to `node` and waits for the reply bytes.
@@ -378,8 +530,18 @@ impl LiveCluster {
         if (file.0 as usize) >= self.catalog.len() {
             return Err(LiveError::UnknownFile);
         }
+        // Like a front-end load balancer, clients are steered away from
+        // nodes the cluster believes dead.
+        let n = self.nodes();
+        let mut target = node % n;
+        if !self.ctl.membership.is_live(target) {
+            target = (0..n)
+                .map(|d| (target + d) % n)
+                .find(|&i| self.ctl.membership.is_live(i))
+                .unwrap_or(target);
+        }
         let (reply_tx, reply_rx) = bounded(1);
-        self.mains[node % self.mains.len()]
+        self.ctl.mains[target]
             .send(NodeEvent::Client {
                 file,
                 reply: reply_tx,
@@ -402,7 +564,7 @@ impl LiveCluster {
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.mains.len()
+        self.ctl.mains.len()
     }
 
     /// Reads node `i`'s view of every node's load, as deposited by the
@@ -421,10 +583,10 @@ impl LiveCluster {
     /// [`LiveError::Disconnected`] through their dropped reply channels.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
-        for tx in &self.mains {
+        for tx in &self.ctl.mains {
             let _ = tx.send(NodeEvent::Shutdown);
         }
-        for tx in &self.send_txs {
+        for tx in &self.ctl.send_txs {
             let _ = tx.send(SendJob::Shutdown);
         }
         for t in self.threads.drain(..) {

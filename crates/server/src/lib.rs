@@ -25,11 +25,14 @@
 //! See [`LiveCluster`] for a complete example.
 
 mod cluster;
+mod membership;
 mod node;
 mod stats;
 mod wire;
 
 pub use cluster::{LiveCluster, LiveConfig, LiveError};
+pub use membership::Membership;
 pub use node::FileTransferMode;
+pub use press_core::FaultPlan;
 pub use stats::ServerStats;
 pub use wire::{file_contents, WireKind, WireMsg};

@@ -1,0 +1,93 @@
+//! Shared cluster-membership view for the live server.
+//!
+//! A single bitmask of live nodes plus an epoch counter, shared by every
+//! node thread and by the fault monitor. PRESS's policy threads consult
+//! it before choosing forwarding targets so crashed peers drop out of
+//! every dissemination strategy immediately, and rejoin on recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which nodes the cluster currently believes are alive.
+///
+/// Lock-free: readers are on the per-request hot path. The bitmask bounds
+/// the cluster at 64 nodes, matching [`crate::LiveCluster`]'s limit.
+#[derive(Debug)]
+pub struct Membership {
+    /// Bit `i` set ⇔ node `i` is believed alive.
+    live: AtomicU64,
+    /// Bumped on every transition (crash or recovery).
+    epoch: AtomicU64,
+}
+
+impl Membership {
+    /// A membership view with all `n` nodes alive.
+    pub fn new(n: usize) -> Membership {
+        assert!(n <= 64, "membership bitmask holds at most 64 nodes");
+        let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Membership {
+            live: AtomicU64::new(all),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether node `i` is currently believed alive.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.live.load(Ordering::Acquire) & (1 << i) != 0
+    }
+
+    /// Marks node `i` alive or dead; bumps the epoch if the belief
+    /// changed and returns whether it did.
+    pub fn set_live(&self, i: usize, alive: bool) -> bool {
+        let bit = 1u64 << i;
+        let prev = if alive {
+            self.live.fetch_or(bit, Ordering::AcqRel)
+        } else {
+            self.live.fetch_and(!bit, Ordering::AcqRel)
+        };
+        let changed = (prev & bit != 0) != alive;
+        if changed {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        changed
+    }
+
+    /// Number of nodes currently believed alive.
+    pub fn live_count(&self) -> u32 {
+        self.live.load(Ordering::Acquire).count_ones()
+    }
+
+    /// Membership transitions seen so far (crashes + recoveries).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_bump_epoch_once() {
+        let m = Membership::new(4);
+        assert_eq!(m.live_count(), 4);
+        assert!(m.is_live(3));
+        assert!(m.set_live(2, false));
+        assert!(!m.is_live(2));
+        assert_eq!(m.epoch(), 1);
+        // Re-marking dead is a no-op.
+        assert!(!m.set_live(2, false));
+        assert_eq!(m.epoch(), 1);
+        assert!(m.set_live(2, true));
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.live_count(), 4);
+    }
+
+    #[test]
+    fn full_width_mask() {
+        let m = Membership::new(64);
+        assert_eq!(m.live_count(), 64);
+        m.set_live(63, false);
+        assert!(!m.is_live(63));
+        assert_eq!(m.live_count(), 63);
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use press_cluster::{FileCache, NodeId};
@@ -13,6 +13,7 @@ use press_trace::{FileCatalog, FileId};
 use press_via::{CompletionKind, CompletionQueue, Descriptor, MemHandle, Nic, RemoteBuffer, Vi};
 use std::collections::HashMap;
 
+use crate::membership::Membership;
 use crate::stats::ServerStats;
 use crate::wire::{
     decode_ring_trailer, encode_ring_slot, file_contents, WireKind, WireMsg, HEADER_BYTES,
@@ -42,6 +43,11 @@ pub(crate) enum NodeEvent {
     Remote { from: usize, msg: WireMsg },
     /// The disk thread finished reading `file`.
     DiskDone { file: FileId },
+    /// Fault injection: this node crashes. In-flight state is lost and
+    /// events are discarded until [`NodeEvent::Recover`].
+    Crash,
+    /// Fault injection: a crashed node rejoins with a cold cache.
+    Recover,
     /// Stop the main loop.
     Shutdown,
 }
@@ -59,6 +65,9 @@ pub(crate) enum SendJob {
     Credits { from: usize, n: u32 },
     /// RDMA-write our current load into every peer's load table.
     RdmaLoad { load: u32 },
+    /// A peer crashed or rejoined: restore its credit window to full and
+    /// discard messages queued toward it (they would be stale on arrival).
+    ResetPeer { peer: usize },
     /// Stop the send loop.
     Shutdown,
 }
@@ -98,6 +107,11 @@ pub(crate) struct NodeCtx {
     pub slot_bytes: usize,
     pub stats: Arc<ServerStats>,
     pub shutdown: Arc<AtomicBool>,
+    /// Cluster-wide view of which nodes are alive.
+    pub membership: Arc<Membership>,
+    /// This node's crash switch: while set, the receive thread drops all
+    /// traffic on the floor (the node is unreachable, like a dead host).
+    pub dead: Arc<AtomicBool>,
 }
 
 /// Per-node policy/runtime configuration shared by the main loop.
@@ -108,12 +122,36 @@ pub(crate) struct MainConfig {
     /// Write the load table after this many main-loop events.
     pub load_write_period: u32,
     pub disk_tx: Sender<(FileId, u64)>,
+    /// Base deadline for a forwarded request's reply; doubles per retry
+    /// (capped at 8×) before the request is re-routed or failed over.
+    pub retry_timeout: Duration,
+    /// Retries before a forwarded request falls back to local service.
+    pub max_retries: u32,
 }
 
 /// What to do when a disk read completes.
 enum DiskWaiter {
     ReplyLocal(Sender<Vec<u8>>),
     SendBack { to: usize, token: u64 },
+}
+
+/// A forwarded request awaiting its file data, with the recovery state
+/// needed to re-route it if the service node stops answering.
+struct Pending {
+    reply: Sender<Vec<u8>>,
+    file: FileId,
+    /// The peer currently expected to answer.
+    target: usize,
+    /// How many times this request has been re-forwarded.
+    attempt: u32,
+    /// When to give up on `target` and retry elsewhere.
+    deadline: Instant,
+}
+
+/// Capped exponential backoff: base, 2×, 4×, then 8× for every further
+/// attempt (mirrors the simulator's `FaultPlan::backoff_micros`).
+fn retry_deadline(now: Instant, base: Duration, attempt: u32) -> Instant {
+    now + base * (1u32 << attempt.min(3))
 }
 
 /// The main thread: parses requests, decides locally-vs-forward, tracks
@@ -131,11 +169,14 @@ pub(crate) fn main_loop(
         cache.insert(file, size);
     }
     let mut cachers = initial_cachers;
-    let mut pending: HashMap<u64, Sender<Vec<u8>>> = HashMap::new();
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut waiting_disk: HashMap<FileId, Vec<DiskWaiter>> = HashMap::new();
     let mut load: u32 = 0;
     let mut next_token: u64 = (ctx.id as u64) << 48 | 1;
     let mut events_since_load_write = 0u32;
+    // Set while fault injection has this node down: every event except
+    // Recover/Shutdown is discarded, like a host that stopped executing.
+    let mut crashed = false;
     // Peer loads as last observed; refreshed from the RDMA region.
     let mut loads = vec![0u32; ctx.nodes];
 
@@ -150,29 +191,66 @@ pub(crate) fn main_loop(
 
     let mut ring_expected = vec![1u64; ctx.nodes];
     let mut ring_consumed = vec![0u32; ctx.nodes];
+    // Regular mode used to block forever on the event channel; retry
+    // deadlines need a periodic wake-up, so both modes tick (RemoteWrite
+    // keeps its tight ring-polling cadence).
+    let tick = if ctx.file_mode == FileTransferMode::RemoteWrite {
+        Duration::from_micros(100)
+    } else {
+        Duration::from_millis(1)
+    };
     loop {
-        let event = if ctx.file_mode == FileTransferMode::RemoteWrite {
-            match events.recv_timeout(Duration::from_micros(100)) {
-                Ok(ev) => Some(ev),
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                Err(_) => break,
-            }
-        } else {
-            match events.recv() {
-                Ok(ev) => Some(ev),
-                Err(_) => break,
-            }
+        let event = match events.recv_timeout(tick) {
+            Ok(ev) => Some(ev),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(_) => break,
         };
         let got_event = event.is_some();
         if let Some(event) = event {
             match event {
                 NodeEvent::Shutdown => break,
+                NodeEvent::Crash => {
+                    if !crashed {
+                        crashed = true;
+                        // Everything in flight on this host is gone.
+                        let lost =
+                            pending.len() + waiting_disk.values().map(Vec::len).sum::<usize>();
+                        ServerStats::add(&ctx.stats.requests_lost, lost as u64);
+                        pending.clear();
+                        waiting_disk.clear();
+                        // A restarted host comes back with a cold cache,
+                        // and no longer serves the files it used to hold.
+                        cache = FileCache::new(cfg.cache_bytes);
+                        let bit = 1u128 << ctx.id;
+                        for c in cachers.iter_mut() {
+                            *c &= !bit;
+                        }
+                        load = 0;
+                    }
+                }
+                NodeEvent::Recover => {
+                    crashed = false;
+                }
+                _ if crashed => {
+                    // A dead host executes nothing. Client requests routed
+                    // here before the membership change are lost (their
+                    // reply channel drops).
+                    if matches!(event, NodeEvent::Client { .. }) {
+                        ServerStats::bump(&ctx.stats.requests_lost);
+                    }
+                }
                 NodeEvent::Client { file, reply } => {
                     load += 1;
                     let bytes = cfg.catalog.size(file);
                     read_loads(load, &mut loads);
+                    // Crashed peers drop out of the candidate set the
+                    // moment the membership view changes, whatever the
+                    // dissemination strategy populated `cachers` with.
                     let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
-                        .filter(|&i| cachers[file.0 as usize] & (1 << i) != 0)
+                        .filter(|&i| {
+                            cachers[file.0 as usize] & (1 << i) != 0
+                                && ctx.membership.is_live(i as usize)
+                        })
                         .map(NodeId)
                         .collect();
                     let decision = decide(
@@ -191,7 +269,7 @@ pub(crate) fn main_loop(
                         Decision::ServeLocal => {
                             if cache.touch(file) {
                                 send_reply(&ctx.stats, &reply, file, bytes);
-                                load -= 1;
+                                load = load.saturating_sub(1);
                             } else {
                                 enqueue_disk(
                                     &cfg,
@@ -206,7 +284,16 @@ pub(crate) fn main_loop(
                         Decision::Forward(target) => {
                             let token = next_token;
                             next_token += 1;
-                            pending.insert(token, reply);
+                            pending.insert(
+                                token,
+                                Pending {
+                                    reply,
+                                    file,
+                                    target: target.0 as usize,
+                                    attempt: 0,
+                                    deadline: retry_deadline(Instant::now(), cfg.retry_timeout, 0),
+                                },
+                            );
                             ServerStats::bump(&ctx.stats.forward_msgs);
                             ServerStats::bump(&ctx.stats.forwarded);
                             let _ = send_tx.send(SendJob::Msg {
@@ -248,8 +335,11 @@ pub(crate) fn main_loop(
                             }
                         }
                         WireKind::FileData => {
-                            if let Some(reply) = pending.remove(&msg.token) {
-                                let _ = reply.send(msg.payload);
+                            // Replies to retried tokens already removed
+                            // from `pending` (first answer won) fall
+                            // through harmlessly.
+                            if let Some(p) = pending.remove(&msg.token) {
+                                let _ = p.reply.send(msg.payload);
                             }
                         }
                         WireKind::Caching => {
@@ -281,7 +371,7 @@ pub(crate) fn main_loop(
                         match waiter {
                             DiskWaiter::ReplyLocal(reply) => {
                                 send_reply(&ctx.stats, &reply, file, bytes);
-                                load -= 1;
+                                load = load.saturating_sub(1);
                             }
                             DiskWaiter::SendBack { to, token } => {
                                 send_file_back(&ctx, &send_tx, to, token, file, bytes, load);
@@ -293,6 +383,9 @@ pub(crate) fn main_loop(
         }
         // Poll the RMW file rings at the end of the main server loop, as
         // in the paper: consume every entry whose sequence number landed.
+        // A crashed node still advances sequence numbers (entries vanish
+        // into the dead host) so the rings stay aligned for recovery, but
+        // it returns no credits and completes nothing.
         if ctx.file_mode == FileTransferMode::RemoteWrite {
             poll_file_rings(
                 &ctx,
@@ -300,11 +393,92 @@ pub(crate) fn main_loop(
                 &mut ring_expected,
                 &mut ring_consumed,
                 &mut pending,
+                crashed,
             );
+        }
+        // Forwarded requests whose service node stopped answering: retry
+        // against the next-best live cacher with exponential backoff, then
+        // fall back to local service.
+        if !pending.is_empty() && !crashed {
+            let now = Instant::now();
+            let expired: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in expired {
+                let p = pending.remove(&token).expect("expired token present");
+                let mut candidates: Vec<usize> = (0..ctx.nodes)
+                    .filter(|&i| {
+                        i != ctx.id
+                            && i != p.target
+                            && cachers[p.file.0 as usize] & (1 << i) != 0
+                            && ctx.membership.is_live(i)
+                    })
+                    .collect();
+                // No alternative cacher, but the target still looks
+                // alive: the *message* may have been lost rather than the
+                // node — retransmit to the same peer (backoff rising)
+                // until retries run out or the membership evicts it.
+                if candidates.is_empty() && p.target != ctx.id && ctx.membership.is_live(p.target) {
+                    candidates.push(p.target);
+                }
+                let bytes = cfg.catalog.size(p.file);
+                if p.attempt >= cfg.max_retries || candidates.is_empty() {
+                    // Out of options elsewhere: serve from our own cache
+                    // or disk so the client still gets an answer.
+                    ServerStats::bump(&ctx.stats.failovers);
+                    if cache.touch(p.file) {
+                        send_reply(&ctx.stats, &p.reply, p.file, bytes);
+                        load = load.saturating_sub(1);
+                    } else {
+                        enqueue_disk(
+                            &cfg,
+                            &ctx.stats,
+                            &mut waiting_disk,
+                            p.file,
+                            bytes,
+                            DiskWaiter::ReplyLocal(p.reply),
+                        );
+                    }
+                } else {
+                    ServerStats::bump(&ctx.stats.retries);
+                    read_loads(load, &mut loads);
+                    let target = candidates
+                        .into_iter()
+                        .min_by_key(|&i| (loads[i], i))
+                        .expect("nonempty candidates");
+                    let attempt = p.attempt + 1;
+                    let token = next_token;
+                    next_token += 1;
+                    pending.insert(
+                        token,
+                        Pending {
+                            reply: p.reply,
+                            file: p.file,
+                            target,
+                            attempt,
+                            deadline: retry_deadline(now, cfg.retry_timeout, attempt),
+                        },
+                    );
+                    ServerStats::bump(&ctx.stats.forward_msgs);
+                    let _ = send_tx.send(SendJob::Msg {
+                        to: target,
+                        msg: WireMsg {
+                            kind: WireKind::Forward,
+                            file: p.file,
+                            token,
+                            sender_load: load,
+                            payload: Vec::new(),
+                        },
+                        needs_credit: true,
+                    });
+                }
+            }
         }
         // Periodic load dissemination through remote memory writes: no
         // receiver involvement, overwritable — the paper's ideal use.
-        if got_event {
+        if got_event && !crashed {
             events_since_load_write += 1;
             if events_since_load_write >= cfg.load_write_period {
                 events_since_load_write = 0;
@@ -324,7 +498,8 @@ fn poll_file_rings(
     send_tx: &Sender<SendJob>,
     expected: &mut [u64],
     consumed: &mut [u32],
-    pending: &mut HashMap<u64, Sender<Vec<u8>>>,
+    pending: &mut HashMap<u64, Pending>,
+    crashed: bool,
 ) {
     for src in 0..ctx.nodes {
         let Some(ring) = ctx.own_rings[src] else {
@@ -342,13 +517,19 @@ fn poll_file_rings(
             if seq != expected[src] {
                 break;
             }
-            let payload = ctx
-                .nic
-                .read_region(ring, slot * ctx.ring_slot_bytes, len)
-                .expect("ring payload");
             expected[src] += 1;
-            if let Some(reply) = pending.remove(&token) {
-                let _ = reply.send(payload);
+            if crashed {
+                // Sequence advances, data is lost, no credits flow back:
+                // the sender sees a peer that stopped consuming.
+                consumed[src] = 0;
+                continue;
+            }
+            let Ok(payload) = ctx.nic.read_region(ring, slot * ctx.ring_slot_bytes, len) else {
+                ServerStats::bump(&ctx.stats.via_errors);
+                continue;
+            };
+            if let Some(p) = pending.remove(&token) {
+                let _ = p.reply.send(payload);
             }
             consumed[src] += 1;
             if consumed[src] >= ctx.credit_batch {
@@ -423,7 +604,7 @@ fn broadcast_caching(
     load: u32,
 ) {
     for peer in 0..ctx.nodes {
-        if peer == ctx.id {
+        if peer == ctx.id || !ctx.membership.is_live(peer) {
             continue;
         }
         ServerStats::bump(&ctx.stats.caching_msgs);
@@ -457,6 +638,9 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
     // (at most `window` unconsumed per peer, matching the `window` send
     // slots); flow messages self-limit to window/batch outstanding and
     // rotate through their own region.
+    // Post failures (unregistered regions, torn-down VIs) lose the
+    // message rather than killing the thread — the retry machinery in the
+    // main loop recovers, just like it does for lost wire messages.
     let post = |peer: usize,
                 msg: &WireMsg,
                 next_slot: &mut Vec<usize>,
@@ -464,25 +648,33 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                 buf: &mut Vec<u8>| {
         let len = msg.encode(buf);
         let (region, slot, slot_size) = if msg.kind == WireKind::Flow {
-            let region = ctx.flow_regions[peer].expect("flow region for peer");
+            let Some(region) = ctx.flow_regions[peer] else {
+                ServerStats::bump(&ctx.stats.via_errors);
+                return;
+            };
             let slot = next_flow_slot[peer];
             next_flow_slot[peer] = (slot + 1) % ctx.window as usize;
             (region, slot, HEADER_BYTES)
         } else {
-            let region = ctx.send_regions[peer].expect("send region for peer");
+            let Some(region) = ctx.send_regions[peer] else {
+                ServerStats::bump(&ctx.stats.via_errors);
+                return;
+            };
             let slot = next_slot[peer];
             next_slot[peer] = (slot + 1) % ctx.window as usize;
             (region, slot, ctx.slot_bytes)
         };
         let offset = slot * slot_size;
-        ctx.nic
-            .write_region(region, offset, &buf[..len])
-            .expect("stage message");
-        ctx.vis[peer]
+        if ctx.nic.write_region(region, offset, &buf[..len]).is_err() {
+            ServerStats::bump(&ctx.stats.via_errors);
+            return;
+        }
+        let posted = ctx.vis[peer]
             .as_ref()
-            .expect("vi for peer")
-            .post_send(Descriptor::new(region, offset, len))
-            .expect("post send");
+            .map(|vi| vi.post_send(Descriptor::new(region, offset, len)));
+        if !matches!(posted, Some(Ok(()))) {
+            ServerStats::bump(&ctx.stats.via_errors);
+        }
     };
 
     while let Ok(job) = jobs.recv() {
@@ -533,26 +725,39 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                 }
             }
             SendJob::RdmaLoad { load } => {
-                ctx.nic
+                if ctx
+                    .nic
                     .write_region(ctx.scratch_region, 0, &load.to_le_bytes())
-                    .expect("stage load");
+                    .is_err()
+                {
+                    ServerStats::bump(&ctx.stats.via_errors);
+                    continue;
+                }
                 for peer in 0..n {
-                    if peer == ctx.id {
+                    if peer == ctx.id || !ctx.membership.is_live(peer) {
                         continue;
                     }
                     ServerStats::bump(&ctx.stats.rdma_load_writes);
-                    ctx.vis[peer]
-                        .as_ref()
-                        .expect("vi for peer")
-                        .rdma_write(
+                    let posted = ctx.vis[peer].as_ref().map(|vi| {
+                        vi.rdma_write(
                             Descriptor::new(ctx.scratch_region, 0, 4),
                             RemoteBuffer {
                                 region: ctx.peer_load_regions[peer],
                                 offset: 4 * ctx.id,
                             },
                         )
-                        .expect("rdma load write");
+                    });
+                    if !matches!(posted, Some(Ok(()))) {
+                        ServerStats::bump(&ctx.stats.via_errors);
+                    }
                 }
+            }
+            SendJob::ResetPeer { peer } => {
+                // The peer lost (or never saw) everything in flight: a
+                // fresh credit window against its freshly reposted
+                // descriptors, and nothing stale queued toward it.
+                credits[peer] = ctx.window;
+                queued[peer].clear();
             }
         }
     }
@@ -577,25 +782,34 @@ fn rmw_file(
     encode_ring_slot(buf, ctx.ring_slot_bytes, &msg.payload, msg.token, seq);
     // Stage in our send region (the credit window keeps the slot live
     // until the reader consumed the previous occupant of the ring slot).
-    let region = ctx.send_regions[to].expect("send region for peer");
+    let (Some(region), Some(peer_ring)) = (ctx.send_regions[to], ctx.peer_rings[to]) else {
+        ServerStats::bump(&ctx.stats.via_errors);
+        return;
+    };
     let slot = next_slot[to];
     next_slot[to] = (slot + 1) % ctx.window as usize;
     let offset = slot * ctx.slot_bytes;
-    ctx.nic
+    if ctx
+        .nic
         .write_region(region, offset, &buf[..ctx.ring_slot_bytes])
-        .expect("stage ring entry");
+        .is_err()
+    {
+        ServerStats::bump(&ctx.stats.via_errors);
+        return;
+    }
     ServerStats::bump(&ctx.stats.rdma_file_writes);
-    ctx.vis[to]
-        .as_ref()
-        .expect("vi for peer")
-        .rdma_write(
+    let posted = ctx.vis[to].as_ref().map(|vi| {
+        vi.rdma_write(
             Descriptor::new(region, offset, ctx.ring_slot_bytes),
             RemoteBuffer {
-                region: ctx.peer_rings[to].expect("peer ring"),
+                region: peer_ring,
                 offset: ring_slot * ctx.ring_slot_bytes,
             },
         )
-        .expect("rdma file write");
+    });
+    if !matches!(posted, Some(Ok(()))) {
+        ServerStats::bump(&ctx.stats.via_errors);
+    }
 }
 
 /// The receive thread (Figure 2): waits on the completion queue, decodes
@@ -616,31 +830,44 @@ pub(crate) fn recv_loop(
                 }
             }
             Ok(c) => {
-                // Send-side and RDMA completions need no action here.
-                if c.kind != CompletionKind::Recv {
-                    continue;
-                }
                 let Some(&peer) = ctx.vi_peers.get(&c.vi_id) else {
                     continue;
                 };
                 if c.status.is_err() {
+                    // Injected transport failures and genuine VIA errors
+                    // surface here; the message is gone, recovery is the
+                    // sender's retry problem. Failed receive descriptors
+                    // are consumed, so repost to keep the window intact.
+                    ServerStats::bump(&ctx.stats.via_errors);
+                    if c.kind == CompletionKind::Recv {
+                        repost_recv(&ctx, peer, &c);
+                    }
                     continue;
                 }
+                // Send-side and RDMA completions need no further action.
+                if c.kind != CompletionKind::Recv {
+                    continue;
+                }
+                let dead = ctx.dead.load(Ordering::Acquire);
                 let data = ctx
                     .nic
                     .read_region(c.descriptor.region, c.descriptor.offset, c.transferred)
-                    .expect("read arrived message");
+                    .unwrap_or_default();
                 // Repost the consumed descriptor immediately so the slot
-                // can take another message.
-                ctx.vis[peer]
-                    .as_ref()
-                    .expect("vi for peer")
-                    .post_recv(Descriptor::new(
-                        c.descriptor.region,
-                        c.descriptor.offset,
-                        ctx.slot_bytes,
-                    ))
-                    .expect("repost recv");
+                // can take another message (even while dead — a crashed
+                // node must not exhaust its peers' descriptors when it
+                // comes back).
+                repost_recv(&ctx, peer, &c);
+                if dead {
+                    // Dead hosts receive nothing: no credits returned, no
+                    // events forwarded. Senders time out and re-route.
+                    consumed[peer] = 0;
+                    continue;
+                }
+                if data.is_empty() && c.transferred > 0 {
+                    ServerStats::bump(&ctx.stats.via_errors);
+                    continue;
+                }
                 let Some(msg) = WireMsg::decode(&data) else {
                     continue; // malformed: drop, like a real server
                 };
@@ -672,6 +899,21 @@ pub(crate) fn recv_loop(
                 let _ = main_tx.send(NodeEvent::Remote { from: peer, msg });
             }
         }
+    }
+}
+
+/// Reposts a consumed receive descriptor at full slot size; a failure
+/// costs one descriptor from the (slack-provisioned) pool, not the thread.
+fn repost_recv(ctx: &NodeCtx, peer: usize, c: &press_via::Completion) {
+    let posted = ctx.vis[peer].as_ref().map(|vi| {
+        vi.post_recv(Descriptor::new(
+            c.descriptor.region,
+            c.descriptor.offset,
+            ctx.slot_bytes,
+        ))
+    });
+    if !matches!(posted, Some(Ok(()))) {
+        ServerStats::bump(&ctx.stats.via_errors);
     }
 }
 

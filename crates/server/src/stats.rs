@@ -26,12 +26,26 @@ pub struct ServerStats {
     pub rdma_load_writes: AtomicU64,
     /// Remote memory writes of file data (RemoteWrite transfer mode).
     pub rdma_file_writes: AtomicU64,
+    /// Forwarded requests re-sent to another peer after a timeout.
+    pub retries: AtomicU64,
+    /// Forwarded requests served locally after retries ran out.
+    pub failovers: AtomicU64,
+    /// In-flight requests dropped because their node crashed.
+    pub requests_lost: AtomicU64,
+    /// VIA operations that completed with error status (or could not be
+    /// posted); recovered by the retry machinery rather than panicking.
+    pub via_errors: AtomicU64,
 }
 
 impl ServerStats {
     /// Bumps a counter by one.
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Reads a counter.

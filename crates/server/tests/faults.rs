@@ -1,0 +1,168 @@
+//! Fault injection against the live threaded cluster: node crashes,
+//! fail-silent hangs, recovery, and injected VIA transport failures.
+
+use std::time::{Duration, Instant};
+
+use press_server::{file_contents, FaultPlan, LiveCluster, LiveConfig, ServerStats};
+use press_trace::{FileCatalog, FileId};
+
+const T: Duration = Duration::from_secs(20);
+
+fn catalog(files: usize, bytes: u64) -> FileCatalog {
+    FileCatalog::from_sizes(vec![bytes; files])
+}
+
+/// The node a file is hash-placed on at startup (must match
+/// `LiveCluster::start`'s prefill).
+fn placement(file: u32, nodes: usize) -> usize {
+    ((file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % nodes
+}
+
+fn fast_recovery() -> LiveConfig {
+    LiveConfig {
+        retry_timeout: Duration::from_millis(20),
+        max_retries: 2,
+        ..LiveConfig::default()
+    }
+}
+
+#[test]
+fn peer_crash_mid_run_completes_and_shuts_down_cleanly() {
+    let cluster = LiveCluster::start(fast_recovery(), catalog(64, 1024));
+    for f in 0..32u32 {
+        let data = cluster
+            .request(f as usize % 4, FileId(f), T)
+            .expect("pre-crash");
+        assert_eq!(data, file_contents(FileId(f), 1024));
+    }
+    cluster.crash_node(1);
+    assert!(!cluster.is_live(1));
+    assert_eq!(cluster.membership_epoch(), 1);
+    // The survivors keep serving every file — including requests
+    // addressed to the dead node (redirected) and files only the dead
+    // node cached (failed over to local disk).
+    for f in 0..64u32 {
+        let data = cluster
+            .request(f as usize % 4, FileId(f), T)
+            .expect("post-crash");
+        assert_eq!(data, file_contents(FileId(f), 1024), "file {f} after crash");
+    }
+    // A dead peer must not wedge shutdown.
+    let start = Instant::now();
+    cluster.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with a dead peer",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn hung_peer_is_detected_through_timeouts() {
+    let cluster = LiveCluster::start(fast_recovery(), catalog(64, 1024));
+    // A file served only by node 1; requesting it at node 0 forwards.
+    let file = (0..64u32)
+        .find(|&f| placement(f, 4) == 1)
+        .expect("some file on node 1");
+    // Fail-silent: node 1 drops traffic but stays in the membership, so
+    // the forward goes to it and only the per-request timeout saves us.
+    cluster.hang_node(1);
+    let data = cluster
+        .request(0, FileId(file), T)
+        .expect("hung-target request");
+    assert_eq!(data, file_contents(FileId(file), 1024));
+    let stats = cluster.stats();
+    // The request was retransmitted (backoff) and finally failed over to
+    // the initial node's disk.
+    assert!(
+        ServerStats::get(&stats.retries) >= 1,
+        "no retries against the hung peer"
+    );
+    assert!(
+        ServerStats::get(&stats.failovers) >= 1,
+        "request never failed over locally"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn crashed_node_recovers_and_serves_again() {
+    let cluster = LiveCluster::start(fast_recovery(), catalog(64, 1024));
+    for f in 0..32u32 {
+        cluster.request(f as usize % 4, FileId(f), T).expect("warm");
+    }
+    cluster.crash_node(2);
+    for f in 0..32u32 {
+        let data = cluster
+            .request(f as usize % 4, FileId(f), T)
+            .expect("degraded");
+        assert_eq!(data, file_contents(FileId(f), 1024));
+    }
+    cluster.recover_node(2);
+    assert!(cluster.is_live(2));
+    assert_eq!(cluster.membership_epoch(), 2);
+    // The recovered node answers client requests directly again (cold
+    // cache: it may go to disk, but it must answer).
+    for f in 0..64u32 {
+        let data = cluster.request(2, FileId(f), T).expect("post-recovery");
+        assert_eq!(
+            data,
+            file_contents(FileId(f), 1024),
+            "file {f} via recovered node"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn fault_plan_drives_crash_and_recovery() {
+    // The plan's triggers are in total completed requests, applied by the
+    // monitor thread — the same schedule shape the simulator consumes.
+    let cfg = LiveConfig {
+        faults: Some(FaultPlan::crashes_only(9, Vec::new()).with_crash(1, 100, Some(200))),
+        ..fast_recovery()
+    };
+    let cluster = LiveCluster::start(cfg, catalog(64, 1024));
+    for i in 0..400u32 {
+        let f = FileId(i % 64);
+        let data = cluster
+            .request(i as usize % 4, f, T)
+            .expect("request under fault plan");
+        assert_eq!(data, file_contents(f, 1024), "request {i}");
+    }
+    // Crash and recovery both happened, and the node ended alive.
+    assert_eq!(cluster.membership_epoch(), 2);
+    assert!(cluster.is_live(1));
+    cluster.shutdown();
+}
+
+#[test]
+fn injected_transport_failures_are_absorbed() {
+    // Probabilistic send/RDMA failures on every NIC: messages vanish with
+    // error-status completions, and the retry machinery keeps every
+    // client request whole.
+    let cfg = LiveConfig {
+        retry_timeout: Duration::from_millis(15),
+        max_retries: 2,
+        faults: Some(FaultPlan {
+            seed: 31,
+            corrupt_probability: 0.10,
+            ..FaultPlan::none()
+        }),
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, catalog(64, 1024));
+    for i in 0..100u32 {
+        let f = FileId(i % 64);
+        let data = cluster
+            .request(i as usize % 4, f, T)
+            .expect("request under loss");
+        assert_eq!(data, file_contents(f, 1024), "request {i}");
+    }
+    let stats = cluster.stats();
+    assert!(
+        ServerStats::get(&stats.via_errors) > 0,
+        "injection produced no error completions"
+    );
+    cluster.shutdown();
+}

@@ -30,12 +30,14 @@
 //! ```
 
 mod engine;
+mod fault;
 mod histogram;
 mod resource;
 mod stats;
 mod time;
 
 pub use engine::{Model, Scheduler, Simulator};
+pub use fault::{CrashWindow, FaultInjector, FaultPlan};
 pub use histogram::Histogram;
 pub use resource::{Resource, ResourceStats};
 pub use stats::{Counter, MeanVar, TimeWeighted};

@@ -1,0 +1,122 @@
+//! Property tests for the fault-injection plan: any seeded [`FaultPlan`]
+//! must yield byte-identical injected-fault sequences across runs — the
+//! determinism guarantee the availability experiments rely on.
+
+use press_sim::{CrashWindow, FaultPlan};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds a plan from raw draws (the vendored proptest has no combinators,
+/// so the mapping from tuples to a `FaultPlan` happens in the test body).
+fn make_plan(seed: u64, probs: (f64, f64, f64, f64), delay_us: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_probability: probs.0,
+        delay_probability: probs.1,
+        delay_micros: delay_us,
+        corrupt_probability: probs.2,
+        disk_error_probability: probs.3,
+        ..FaultPlan::none()
+    }
+}
+
+/// One decision trace: for each step, every fault category's verdict.
+fn trace(plan: &FaultPlan, steps: usize) -> Vec<(bool, Option<u64>, bool, bool)> {
+    let mut inj = plan.injector();
+    (0..steps)
+        .map(|_| {
+            (
+                inj.drop_message(),
+                inj.delay_message(),
+                inj.corrupt_message(),
+                inj.disk_error(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two injectors built from the same plan produce identical decision
+    /// streams, step for step.
+    #[test]
+    fn same_plan_yields_identical_fault_sequences(
+        seed in 0u64..=u64::MAX,
+        probs in (0f64..1.0, 0f64..1.0, 0f64..1.0, 0f64..1.0),
+        delay_us in 1u64..5_000,
+        steps in 1usize..500,
+    ) {
+        let p = make_plan(seed, probs, delay_us);
+        prop_assert_eq!(trace(&p, steps), trace(&p, steps));
+    }
+
+    /// Cloning an injector mid-stream forks identical futures.
+    #[test]
+    fn cloned_injector_continues_identically(
+        seed in 0u64..=u64::MAX,
+        probs in (0f64..1.0, 0f64..1.0, 0f64..1.0, 0f64..1.0),
+        split in 1usize..100,
+    ) {
+        let p = make_plan(seed, probs, 100);
+        let mut a = p.injector();
+        for _ in 0..split {
+            a.drop_message();
+            a.delay_message();
+        }
+        let mut b = a.clone();
+        let tail_a: Vec<_> = (0..50).map(|_| (a.drop_message(), a.corrupt_message())).collect();
+        let tail_b: Vec<_> = (0..50).map(|_| (b.drop_message(), b.corrupt_message())).collect();
+        prop_assert_eq!(tail_a, tail_b);
+    }
+
+    /// Zero-probability categories never fire and never consume RNG
+    /// state: a plan with only drops enabled gives the same drop stream
+    /// regardless of interleaved calls to the other (inert) categories.
+    #[test]
+    fn inert_categories_do_not_perturb_the_stream(
+        seed in 0u64..=u64::MAX,
+        steps in 1usize..200,
+    ) {
+        let p = FaultPlan { seed, drop_probability: 0.5, ..FaultPlan::none() };
+        let plain: Vec<bool> = {
+            let mut inj = p.injector();
+            (0..steps).map(|_| inj.drop_message()).collect()
+        };
+        let interleaved: Vec<bool> = {
+            let mut inj = p.injector();
+            (0..steps)
+                .map(|_| {
+                    assert_eq!(inj.delay_message(), None);
+                    assert!(!inj.corrupt_message());
+                    assert!(!inj.disk_error());
+                    inj.drop_message()
+                })
+                .collect()
+        };
+        prop_assert_eq!(plain, interleaved);
+    }
+
+    /// The crash schedule is a pure function of the plan: same windows in,
+    /// same ordered trigger list out, independent of insertion order.
+    #[test]
+    fn crash_schedule_is_deterministic(
+        seed in 0u64..=u64::MAX,
+        windows in vec((0u16..8, 1u64..10_000, 0u64..2, 1u64..10_000), 0..8),
+    ) {
+        let crashes: Vec<CrashWindow> = windows
+            .iter()
+            .map(|&(node, at, has_rec, rec_delta)| CrashWindow {
+                node,
+                crash_after: at,
+                recover_after: (has_rec == 1).then(|| at + rec_delta),
+            })
+            .collect();
+        let mut reversed = crashes.clone();
+        reversed.reverse();
+        let a = FaultPlan::crashes_only(seed, crashes).schedule();
+        let b = FaultPlan::crashes_only(seed, reversed).schedule();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "schedule not time-sorted");
+    }
+}

@@ -28,13 +28,22 @@ pub enum Reliability {
     ReliableDelivery,
 }
 
-/// Fault injection for a NIC's outgoing traffic. Only unreliable
-/// connections drop; reliable connections ignore the probability.
+/// Fault injection for a NIC's outgoing traffic.
+///
+/// Drops apply only to unreliable connections (reliable connections
+/// ignore the probability, as real VIA hardware retransmits under the
+/// covers). Failures apply to *any* connection: the posted descriptor
+/// completes with [`ViaError::NotConnected`] status, modeling a peer
+/// whose VI was torn down by a crash — the error path PRESS's recovery
+/// machinery must handle.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that an outgoing message is dropped.
     pub drop_probability: f64,
-    /// RNG seed for reproducible drop patterns.
+    /// Probability in `[0, 1]` that an outgoing send or RDMA write
+    /// completes with error status instead of being delivered.
+    pub fail_probability: f64,
+    /// RNG seed for reproducible drop/failure patterns.
     pub seed: u64,
 }
 
@@ -42,6 +51,7 @@ impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
             drop_probability: 0.0,
+            fail_probability: 0.0,
             seed: 0,
         }
     }
@@ -140,6 +150,12 @@ impl NicShared {
     fn should_drop(&self) -> bool {
         let mut g = self.fault.lock();
         let p = g.0.drop_probability;
+        p > 0.0 && g.1.gen::<f64>() < p
+    }
+
+    fn should_fail(&self) -> bool {
+        let mut g = self.fault.lock();
+        let p = g.0.fail_probability;
         p > 0.0 && g.1.gen::<f64>() < p
     }
 }
@@ -606,6 +622,12 @@ fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
         fail(ViaError::NotConnected);
         return;
     };
+    // Injected transport failure: the descriptor completes with error
+    // status and nothing reaches the peer.
+    if nic.should_fail() {
+        fail(ViaError::NotConnected);
+        return;
+    }
     let data = match nic.region(desc.region) {
         Ok(r) => r.bytes.read()[desc.offset..desc.offset + desc.len].to_vec(),
         Err(e) => {
@@ -699,6 +721,10 @@ fn process_rdma(nic: &Arc<NicShared>, vi: u64, desc: Descriptor, remote: RemoteB
         complete(Err(ViaError::NotConnected), 0);
         return;
     };
+    if nic.should_fail() {
+        complete(Err(ViaError::NotConnected), 0);
+        return;
+    }
     let data = match nic.region(desc.region) {
         Ok(r) => r.bytes.read()[desc.offset..desc.offset + desc.len].to_vec(),
         Err(e) => {
@@ -817,6 +843,7 @@ mod tests {
         let (a, b, va, vb) = pair(Reliability::UnreliableDelivery);
         a.set_fault(FaultConfig {
             drop_probability: 1.0,
+            fail_probability: 0.0,
             seed: 1,
         });
         let ma = a.register(vec![5; 8], false).unwrap();
@@ -838,6 +865,7 @@ mod tests {
         let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
         a.set_fault(FaultConfig {
             drop_probability: 1.0,
+            fail_probability: 0.0,
             seed: 1,
         });
         let ma = a.register(vec![5; 8], false).unwrap();

@@ -90,6 +90,7 @@ proptest! {
         let b = fabric.create_nic("b");
         a.set_fault(press_via::FaultConfig {
             drop_probability: drop_prob,
+            fail_probability: 0.0,
             seed,
         });
         let (va, vb) = fabric
