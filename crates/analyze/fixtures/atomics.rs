@@ -1,0 +1,20 @@
+// Fixture: atomic accesses with and without ordering justifications.
+// Never compiled.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unannotated(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+pub fn annotated(a: &AtomicU64) {
+    a.store(1, Ordering::Release); // ordering: publishes the flag to acquiring readers
+}
+
+pub fn annotated_above(a: &AtomicU64) -> u64 {
+    // ordering: monotone counter, no synchronization carried
+    a.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn manifest_covered(counter: &AtomicU64) -> u64 {
+    counter.fetch_sub(1, Ordering::AcqRel)
+}

@@ -1,0 +1,21 @@
+// Fixture: hash-order iteration leaking into results. Never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub fn leaky(m: HashMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    let set: HashSet<u32> = HashSet::new();
+    for v in &set {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn wrapped_chain(m: HashMap<u32, u32>) -> usize {
+    m
+        .iter()
+        .count()
+}
+
+pub fn fine_vec(v: Vec<u32>) -> u32 {
+    v.iter().sum()
+}

@@ -1,0 +1,20 @@
+// Fixture: panics in the node hot loop (fed to the lint as
+// crates/server/src/node.rs). Never compiled.
+
+pub fn hot(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("hot path");
+    a + b
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: OS entropy in a deterministic crate. Never compiled.
+
+pub fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn bad_entropy() -> u64 {
+    let rng = StdRng::from_entropy();
+    rng.seed()
+}

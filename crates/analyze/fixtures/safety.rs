@@ -1,0 +1,11 @@
+// Fixture: unsafe blocks with and without SAFETY comments. Never
+// compiled.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+// Fixture: waived violations — counted, not reported as errors. Never
+// compiled.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn waived_inline() -> Instant {
+    Instant::now() // press::allow(wall-clock): harness timing, outside simulated state
+}
+
+pub fn waived_above(m: HashMap<u32, u32>) -> usize {
+    // press::allow(hash-iter): counted, order cannot leak
+    m.keys().count()
+}
+
+pub fn still_bad() -> Instant {
+    Instant::now()
+}

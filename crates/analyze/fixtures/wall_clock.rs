@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads in a simulation path (fed to the lint as a
+// press-sim source file). Never compiled.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn fine_in_a_string() -> &'static str {
+    "Instant::now() is only text here"
+}

@@ -1,0 +1,229 @@
+//! `press-analyze`: static analysis for the PRESS reproduction.
+//!
+//! Two engines keep the workspace's correctness story machine-checked:
+//!
+//! 1. **Project-invariant lints** ([`lint_files`]): named, suppressible
+//!    rules over the workspace source — no wall-clock or OS entropy in
+//!    the deterministic engines, no hash-order iteration that can leak
+//!    into results, no `unwrap`/`expect` in the live server's hot loops,
+//!    `// SAFETY:` on every `unsafe`, and a `// ordering:` justification
+//!    (or an atomics-manifest entry) on every atomic access. Waive a
+//!    site with `// press::allow(rule-name): reason`; waivers are
+//!    counted, never silent.
+//! 2. **Mini-loom interleaving models** ([`models`]): the lock-free
+//!    membership bitmask, the ResetPeer credit repair, and the
+//!    batch-pool claim protocol re-expressed over the vendored
+//!    [`minloom`] shadow atomics and checked across *every* thread
+//!    interleaving and stale-read choice.
+//!
+//! Run the lints with `cargo run -p press-analyze` (add
+//! `--deny-warnings` in CI); the models run under
+//! `cargo test -p press-analyze`.
+
+pub mod manifest;
+pub mod models;
+pub mod rules;
+pub mod scanner;
+
+pub use manifest::Manifest;
+pub use rules::Finding;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A source file handed to the lint engine.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (rule scoping keys
+    /// off this, so synthetic paths steer fixtures into rules).
+    pub path: String,
+    /// Full file contents.
+    pub content: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that were not waived, sorted by (path, line, rule).
+    pub violations: Vec<Finding>,
+    /// Violations suppressed by `press::allow` comments, same order.
+    pub waived: Vec<Finding>,
+    /// Non-fatal problems (stale manifest entries); fatal under
+    /// `--deny-warnings`.
+    pub warnings: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints a set of files against `manifest`.
+///
+/// Output is sorted, so the report is identical whatever order the files
+/// arrive in.
+pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
+    let mut violations = Vec::new();
+    let mut waived = Vec::new();
+    let mut scanned = Vec::new();
+    for file in files {
+        let lines = scanner::scan(&file.content);
+        for finding in rules::check_file(&file.path, &lines, manifest) {
+            if waiver_for(&lines, &finding) {
+                waived.push(finding);
+            } else {
+                violations.push(finding);
+            }
+        }
+        scanned.push((file.path.clone(), lines));
+    }
+    violations.sort();
+    violations.dedup();
+    waived.sort();
+    waived.dedup();
+
+    // Stale-entry check: every manifest site must still match a line.
+    let mut warnings = Vec::new();
+    for site in &manifest.sites {
+        let alive = scanned.iter().any(|(path, lines)| {
+            path.ends_with(&site.path)
+                && lines
+                    .iter()
+                    .any(|l| l.code.contains(&site.symbol) && l.code.contains(&site.ordering))
+        });
+        if !alive {
+            warnings.push(format!(
+                "stale atomics-manifest entry: {} `{}` with `{}` matches no source line",
+                site.path, site.symbol, site.ordering
+            ));
+        }
+    }
+
+    Report {
+        violations,
+        waived,
+        warnings,
+        files_scanned: files.len(),
+    }
+}
+
+/// Whether the finding's line (or a comment line directly above it)
+/// carries a `press::allow(rule)` waiver.
+fn waiver_for(lines: &[scanner::Line], finding: &Finding) -> bool {
+    let needle = format!("press::allow({})", finding.rule);
+    let idx = finding.line - 1;
+    if lines[idx].comment.contains(&needle) {
+        return true;
+    }
+    // Walk up over pure-comment lines.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if !l.code.trim().is_empty() {
+            break;
+        }
+        if l.comment.contains(&needle) {
+            return true;
+        }
+        if l.comment.trim().is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+/// Directory names never scanned: generated or reference code, test and
+/// fixture trees (the lint's test exemption), and the offline vendor
+/// stand-ins.
+const SKIP_DIRS: [&str; 8] = [
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git", "results",
+];
+
+/// Collects the workspace's lintable sources under `root`, sorted by
+/// path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than racing deletions.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in paths {
+        let content = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile {
+            path: rel.to_string_lossy().replace('\\', "/"),
+            content,
+        });
+    }
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads the atomics manifest from its conventional location under the
+/// workspace root, or an empty manifest if absent.
+///
+/// # Errors
+///
+/// Returns the parse error message for a malformed manifest.
+pub fn load_manifest(root: &Path) -> Result<Manifest, String> {
+    let path = root.join("crates/analyze/atomics.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Manifest::parse(&text),
+        Err(_) => Ok(Manifest::empty()),
+    }
+}
+
+/// Renders the report in `file:line: severity: press::rule: message`
+/// form, one diagnostic per line, plus a summary.
+pub fn render(report: &Report, deny_warnings: bool) -> (String, i32) {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: error: press::{}: {}\n",
+            v.path, v.line, v.rule, v.message
+        ));
+    }
+    for w in &report.waived {
+        out.push_str(&format!(
+            "{}:{}: waived: press::{}: {}\n",
+            w.path, w.line, w.rule, w.message
+        ));
+    }
+    for w in &report.warnings {
+        out.push_str(&format!(
+            "warning: {}{}\n",
+            w,
+            if deny_warnings { " (denied)" } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "press-analyze: {} files, {} violations, {} waived, {} warnings\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len(),
+        report.warnings.len()
+    ));
+    let failed = !report.violations.is_empty() || (deny_warnings && !report.warnings.is_empty());
+    (out, if failed { 1 } else { 0 })
+}

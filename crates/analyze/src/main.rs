@@ -1,0 +1,82 @@
+//! `press-analyze` CLI: lints the workspace source against the project
+//! invariants.
+//!
+//! ```text
+//! cargo run -p press-analyze                  # lint the workspace
+//! cargo run -p press-analyze -- --deny-warnings
+//! cargo run -p press-analyze -- --list-rules
+//! cargo run -p press-analyze -- --root /path/to/workspace
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations (or warnings under
+//! `--deny-warnings`), 2 usage or I/O errors. The interleaving models
+//! run separately under `cargo test -p press-analyze`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use press_analyze::rules::{describe, RULE_NAMES};
+use press_analyze::{collect_workspace, lint_files, load_manifest, render};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--list-rules" => {
+                for rule in RULE_NAMES {
+                    println!("press::{rule:<16} {}", describe(rule));
+                }
+                println!("\nwaive a site with `// press::allow(<rule>): reason`");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "press-analyze [--root PATH] [--deny-warnings] [--list-rules]\n\
+                     lints the workspace against the project invariants"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let manifest = match load_manifest(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint_files(&files, &manifest);
+    let (text, code) = render(&report, deny_warnings);
+    print!("{text}");
+    ExitCode::from(code as u8)
+}

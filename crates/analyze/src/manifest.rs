@@ -1,0 +1,163 @@
+//! The atomics manifest: the registry of audited atomic-access sites and
+//! the reasoning behind each ordering choice.
+//!
+//! The manifest is a minimal TOML subset (`[[site]]` tables with string
+//! keys), parsed by hand because the workspace builds offline with no
+//! registry access. A site entry covers every atomic access in `path`
+//! whose line contains both `symbol` and `ordering` — those sites then
+//! need no inline `// ordering:` comment. Entries that no longer match
+//! any source line are reported as stale (a warning, fatal under
+//! `--deny-warnings`), so the manifest cannot rot silently.
+
+/// One audited atomic site (or family of sites on the same symbol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Workspace-relative path suffix the entry applies to.
+    pub path: String,
+    /// Receiver text that identifies the access, e.g. `self.live`.
+    pub symbol: String,
+    /// The ordering the audit settled on, e.g. `Ordering::AcqRel`.
+    pub ordering: String,
+    /// Why that ordering is sufficient (and necessary).
+    pub why: String,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Audited sites, in file order.
+    pub sites: Vec<Site>,
+}
+
+impl Manifest {
+    /// An empty manifest (no sites registered).
+    pub fn empty() -> Manifest {
+        Manifest::default()
+    }
+
+    /// Parses the manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input or
+    /// entries missing required keys.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut sites = Vec::new();
+        let mut current: Option<[Option<String>; 4]> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[site]]" {
+                if let Some(fields) = current.take() {
+                    sites.push(Self::finish(fields, i)?);
+                }
+                current = Some([None, None, None, None]);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "atomics manifest line {}: expected `key = \"value\"`",
+                    i + 1
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!(
+                        "atomics manifest line {}: value must be double-quoted",
+                        i + 1
+                    )
+                })?;
+            let Some(fields) = current.as_mut() else {
+                return Err(format!(
+                    "atomics manifest line {}: key outside a [[site]] table",
+                    i + 1
+                ));
+            };
+            let slot = match key {
+                "path" => 0,
+                "symbol" => 1,
+                "ordering" => 2,
+                "why" => 3,
+                other => {
+                    return Err(format!(
+                        "atomics manifest line {}: unknown key `{other}`",
+                        i + 1
+                    ))
+                }
+            };
+            fields[slot] = Some(value.to_string());
+        }
+        if let Some(fields) = current.take() {
+            sites.push(Self::finish(fields, text.lines().count())?);
+        }
+        Ok(Manifest { sites })
+    }
+
+    fn finish(fields: [Option<String>; 4], line: usize) -> Result<Site, String> {
+        let [path, symbol, ordering, why] = fields;
+        let missing = |k: &str| {
+            format!("atomics manifest: [[site]] ending near line {line} is missing `{k}`")
+        };
+        Ok(Site {
+            path: path.ok_or_else(|| missing("path"))?,
+            symbol: symbol.ok_or_else(|| missing("symbol"))?,
+            ordering: ordering.ok_or_else(|| missing("ordering"))?,
+            why: why.ok_or_else(|| missing("why"))?,
+        })
+    }
+
+    /// Whether some entry covers an atomic access with this code text in
+    /// this file.
+    pub fn covers(&self, path: &str, code: &str) -> bool {
+        self.sites.iter().any(|s| {
+            path.ends_with(&s.path) && code.contains(&s.symbol) && code.contains(&s.ordering)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# audited sites
+[[site]]
+path = "crates/server/src/membership.rs"
+symbol = "self.live"
+ordering = "Ordering::AcqRel"
+why = "publishes the bitmask before the epoch bump"
+"#;
+
+    #[test]
+    fn parses_and_covers() {
+        let m = Manifest::parse(SAMPLE).expect("parse");
+        assert_eq!(m.sites.len(), 1);
+        assert!(m.covers(
+            "crates/server/src/membership.rs",
+            "self.live.fetch_or(bit, Ordering::AcqRel)"
+        ));
+        assert!(!m.covers(
+            "crates/server/src/membership.rs",
+            "self.live.fetch_or(bit, Ordering::Relaxed)"
+        ));
+        assert!(!m.covers("crates/via/src/fabric.rs", "self.live Ordering::AcqRel"));
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let text = "[[site]]\npath = \"x.rs\"\nsymbol = \"y\"\nordering = \"Ordering::Relaxed\"\n";
+        assert!(Manifest::parse(text).unwrap_err().contains("why"));
+    }
+
+    #[test]
+    fn unquoted_value_is_an_error() {
+        let text = "[[site]]\npath = x.rs\n";
+        assert!(Manifest::parse(text).unwrap_err().contains("double-quoted"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Mini-loom models of the workspace's lock-free protocols.
+//!
+//! Each model re-expresses one hand-rolled concurrent algorithm as
+//! per-thread step machines over [`minloom`] shadow atomics, then
+//! [`minloom::explore`] checks its invariant across every thread
+//! interleaving and every stale read the declared orderings permit.
+//! Each model is parameterized over its orderings so the suite proves
+//! both directions: the shipped orderings pass, and the weakened
+//! (`Relaxed`) variants are *caught* — evidence the checker can see the
+//! bug class it guards against.
+//!
+//! Modeled protocols:
+//!
+//! * [`MembershipModel`] — `press_server::Membership`: concurrent crash
+//!   transitions against a reader demanding a coherent (epoch, bitmask)
+//!   view, mirroring `crates/server/src/membership.rs`;
+//! * [`CrashRecoverModel`] — crash/recover races on one node: the epoch
+//!   must count exactly the transitions that changed the bitmask;
+//! * [`CreditRepairModel`] — the send-loop's credit accounting under
+//!   `ResetPeer` repair racing a stale credit return, mirroring
+//!   `SendJob::Credits`/`SendJob::ResetPeer` in
+//!   `crates/server/src/node.rs`;
+//! * [`BatchPoolModel`] — `ExperimentRunner`'s shared-index job claiming
+//!   in `crates/core/src/batch.rs`: every slot filled exactly once.
+
+use minloom::{explore, Ctx, Loc, Memory, Model, Order, Outcome};
+
+/// Execution cap for every model here; hitting it fails the run.
+pub const MAX_EXECUTIONS: u64 = 5_000_000;
+
+/// Ordering parameters for [`MembershipModel`] / [`CrashRecoverModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipOrders {
+    /// Ordering of the `fetch_and`/`fetch_or` bitmask updates and the
+    /// `fetch_add` epoch bump.
+    pub rmw: Order,
+    /// Ordering of the reader's `load`s.
+    pub load: Order,
+}
+
+impl MembershipOrders {
+    /// The orderings shipped in `membership.rs` (audited; see the
+    /// atomics manifest).
+    pub fn shipped() -> Self {
+        MembershipOrders {
+            rmw: Order::AcqRel,
+            load: Order::Acquire,
+        }
+    }
+
+    /// Fully relaxed variant — must be caught by the checker.
+    pub fn relaxed() -> Self {
+        MembershipOrders {
+            rmw: Order::Relaxed,
+            load: Order::Relaxed,
+        }
+    }
+}
+
+/// Two nodes crash concurrently while a reader snapshots the view.
+///
+/// Mirrors `Membership::set_live` (bitmask update, then epoch bump if
+/// the belief changed) and a reader running `epoch()` then `is_live()`
+/// then `epoch()`. Invariants:
+///
+/// * **publication** — having read epoch `e`, the reader must see at
+///   least `e` of the bitmask clears (each bump release-publishes its
+///   transition, and epoch bumps chain through the RMWs);
+/// * **monotonicity** — the second epoch read is never below the first;
+/// * **no lost updates** — finally, both bits are cleared and the epoch
+///   is exactly 2.
+pub struct MembershipModel {
+    orders: MembershipOrders,
+    live: Loc,
+    epoch: Loc,
+    pc: [usize; 3],
+    first_epoch: u64,
+}
+
+/// All-nodes-alive mask for the 4-node models here.
+const ALL: u64 = 0b1111;
+const CRASH_BITS: [u64; 2] = [1 << 1, 1 << 2];
+
+impl MembershipModel {
+    /// Builds the model with the given orderings.
+    pub fn new(mem: &mut Memory, orders: MembershipOrders) -> Self {
+        MembershipModel {
+            orders,
+            live: mem.alloc(ALL),
+            epoch: mem.alloc(0),
+            pc: [0; 3],
+            first_epoch: 0,
+        }
+    }
+}
+
+impl Model for MembershipModel {
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+        let pc = self.pc[tid];
+        self.pc[tid] += 1;
+        match tid {
+            // Crashers: clear the bit, then bump the epoch (the bit was
+            // set initially, so the belief always changes).
+            0 | 1 => {
+                let bit = CRASH_BITS[tid];
+                match pc {
+                    0 => {
+                        let prev = ctx.fetch_and(self.live, !bit, self.orders.rmw);
+                        if prev & bit == 0 {
+                            return Err(format!("crasher {tid}: bit already clear"));
+                        }
+                        Ok(true)
+                    }
+                    _ => {
+                        ctx.fetch_add(self.epoch, 1, self.orders.rmw);
+                        Ok(false)
+                    }
+                }
+            }
+            // Reader: epoch, mask, epoch.
+            _ => match pc {
+                0 => {
+                    self.first_epoch = ctx.load(self.epoch, self.orders.load);
+                    Ok(true)
+                }
+                1 => {
+                    let mask = ctx.load(self.live, self.orders.load);
+                    let cleared = CRASH_BITS.iter().filter(|&&b| mask & b == 0).count() as u64;
+                    if cleared < self.first_epoch {
+                        return Err(format!(
+                            "stale-epoch read: epoch {} observed but only {} of its \
+                             transitions visible in the bitmask",
+                            self.first_epoch, cleared
+                        ));
+                    }
+                    Ok(true)
+                }
+                _ => {
+                    let second = ctx.load(self.epoch, self.orders.load);
+                    if second < self.first_epoch {
+                        return Err(format!(
+                            "epoch went backwards: {} then {second}",
+                            self.first_epoch
+                        ));
+                    }
+                    Ok(false)
+                }
+            },
+        }
+    }
+
+    fn check(&self, mem: &Memory) -> Result<(), String> {
+        let mask = mem.latest(self.live);
+        let epoch = mem.latest(self.epoch);
+        if mask != ALL & !CRASH_BITS[0] & !CRASH_BITS[1] {
+            return Err(format!("lost bitmask update: final mask {mask:#06b}"));
+        }
+        if epoch != 2 {
+            return Err(format!("lost epoch bump: final epoch {epoch}"));
+        }
+        Ok(())
+    }
+}
+
+/// Crash and recovery race on the *same* node.
+///
+/// `set_live` bumps the epoch only when the belief changed; with a crash
+/// and a recover racing, the epoch must end up equal to the number of
+/// RMWs that actually flipped the bit (1 if the recover ran first as a
+/// no-op, 2 if it undid the crash).
+pub struct CrashRecoverModel {
+    orders: MembershipOrders,
+    live: Loc,
+    epoch: Loc,
+    pc: [usize; 2],
+    changed: [bool; 2],
+}
+
+const NODE_BIT: u64 = 1 << 1;
+
+impl CrashRecoverModel {
+    /// Builds the model with the given orderings.
+    pub fn new(mem: &mut Memory, orders: MembershipOrders) -> Self {
+        CrashRecoverModel {
+            orders,
+            live: mem.alloc(ALL),
+            epoch: mem.alloc(0),
+            pc: [0; 2],
+            changed: [false; 2],
+        }
+    }
+}
+
+impl Model for CrashRecoverModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+        let pc = self.pc[tid];
+        self.pc[tid] += 1;
+        match pc {
+            0 => {
+                let prev = if tid == 0 {
+                    ctx.fetch_and(self.live, !NODE_BIT, self.orders.rmw)
+                } else {
+                    ctx.fetch_or(self.live, NODE_BIT, self.orders.rmw)
+                };
+                let had = prev & NODE_BIT != 0;
+                self.changed[tid] = had == (tid == 0);
+                Ok(self.changed[tid])
+            }
+            _ => {
+                ctx.fetch_add(self.epoch, 1, self.orders.rmw);
+                Ok(false)
+            }
+        }
+    }
+
+    fn check(&self, mem: &Memory) -> Result<(), String> {
+        let expected = self.changed.iter().filter(|&&c| c).count() as u64;
+        let epoch = mem.latest(self.epoch);
+        if epoch != expected {
+            return Err(format!(
+                "epoch {epoch} but {expected} transitions changed the belief"
+            ));
+        }
+        if !(1..=2).contains(&expected) {
+            return Err(format!("impossible transition count {expected}"));
+        }
+        Ok(())
+    }
+}
+
+/// The send-loop's per-peer credit counter under repair.
+///
+/// Mirrors the arrival-order race in `crates/server/src/node.rs`: the
+/// send loop applies `SendJob` messages one at a time, so every
+/// interleaving of a stale `Credits` return (from traffic consumed
+/// before the peer crashed) with the `ResetPeer` repair and further
+/// consumption is a possible arrival order. The window invariant — at
+/// most `window` in-flight, credits never exceed `window` — is exactly
+/// the bound that keeps send slots from being overwritten before the
+/// peer consumed them.
+///
+/// With `clamped = false` (the pre-audit code: `credits += n`) the
+/// checker finds the overflow: reset restores a full window, then the
+/// stale return pushes credits past it. With `clamped = true` (the
+/// shipped fix) every arrival order keeps the invariant.
+pub struct CreditRepairModel {
+    clamped: bool,
+    credits: Loc,
+    pc: [usize; 3],
+}
+
+/// Credit window used by the model (the live default is 16; 2 keeps the
+/// state space tiny with the same algebra).
+pub const WINDOW: u64 = 2;
+
+impl CreditRepairModel {
+    /// Builds the model; `clamped` selects the repaired accounting.
+    pub fn new(mem: &mut Memory, clamped: bool) -> Self {
+        CreditRepairModel {
+            clamped,
+            // The peer crashed with the whole window consumed.
+            credits: mem.alloc(0),
+            pc: [0; 3],
+        }
+    }
+}
+
+impl Model for CreditRepairModel {
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+        let pc = self.pc[tid];
+        self.pc[tid] += 1;
+        let clamped = self.clamped;
+        let new = match tid {
+            // Stale credit return from the pre-crash era.
+            0 => {
+                let old = ctx.rmw(self.credits, Order::AcqRel, |c| {
+                    if clamped {
+                        (c + 1).min(WINDOW)
+                    } else {
+                        c + 1
+                    }
+                });
+                if clamped {
+                    (old + 1).min(WINDOW)
+                } else {
+                    old + 1
+                }
+            }
+            // ResetPeer repair: full window against reposted descriptors.
+            1 => {
+                ctx.rmw(self.credits, Order::AcqRel, |_| WINDOW);
+                WINDOW
+            }
+            // Sender consuming a credit (skips when none available).
+            _ => {
+                let old = ctx.rmw(self.credits, Order::AcqRel, |c| c.saturating_sub(1));
+                old.saturating_sub(1)
+            }
+        };
+        if new > WINDOW {
+            return Err(format!(
+                "credit overflow: {new} credits against a window of {WINDOW} — \
+                 send slots can now be overwritten before the peer consumes them"
+            ));
+        }
+        Ok(tid == 2 && pc == 0)
+    }
+
+    fn check(&self, mem: &Memory) -> Result<(), String> {
+        let c = mem.latest(self.credits);
+        if c > WINDOW {
+            return Err(format!("final credits {c} exceed the window {WINDOW}"));
+        }
+        Ok(())
+    }
+}
+
+/// The batch pool's shared-index job claiming.
+///
+/// Mirrors `ExperimentRunner::run` in `crates/core/src/batch.rs`:
+/// workers claim job indices off one shared counter and write their
+/// result into the slot for that index; results are read after the scope
+/// join. The claim uses `fetch_add(Relaxed)` — RMW atomicity alone must
+/// guarantee every slot is claimed exactly once (ordering is irrelevant,
+/// which is exactly why `Relaxed` is safe there).
+///
+/// With `atomic_claim = false` the claim is a separate load and store —
+/// the bug the atomic RMW prevents — and the checker reports the
+/// double-claimed slot.
+pub struct BatchPoolModel {
+    atomic_claim: bool,
+    next: Loc,
+    slots: Vec<Loc>,
+    /// Split-claim intermediate: index loaded, store still pending.
+    loaded: [Option<u64>; 2],
+    /// Claimed job index awaiting its slot write.
+    claim: [Option<u64>; 2],
+}
+
+/// Jobs in the modeled batch.
+pub const JOBS: usize = 3;
+
+impl BatchPoolModel {
+    /// Builds the model; `atomic_claim` selects `fetch_add` vs. the
+    /// broken split load/store.
+    pub fn new(mem: &mut Memory, atomic_claim: bool) -> Self {
+        BatchPoolModel {
+            atomic_claim,
+            next: mem.alloc(0),
+            slots: (0..JOBS).map(|_| mem.alloc(0)).collect(),
+            loaded: [None; 2],
+            claim: [None; 2],
+        }
+    }
+}
+
+impl Model for BatchPoolModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+        // Write phase: fill the claimed slot.
+        if let Some(i) = self.claim[tid] {
+            ctx.fetch_add(self.slots[i as usize], 1, Order::Relaxed);
+            self.claim[tid] = None;
+            return Ok(true);
+        }
+        // Second half of the broken split claim: publish the increment.
+        if let Some(i) = self.loaded[tid] {
+            ctx.store(self.next, i + 1, Order::Relaxed);
+            self.loaded[tid] = None;
+            if i as usize >= JOBS {
+                return Ok(false);
+            }
+            self.claim[tid] = Some(i);
+            return Ok(true);
+        }
+        // Claim phase.
+        if self.atomic_claim {
+            let i = ctx.fetch_add(self.next, 1, Order::Relaxed);
+            if i as usize >= JOBS {
+                return Ok(false);
+            }
+            self.claim[tid] = Some(i);
+        } else {
+            self.loaded[tid] = Some(ctx.load(self.next, Order::Relaxed));
+        }
+        Ok(true)
+    }
+
+    fn check(&self, mem: &Memory) -> Result<(), String> {
+        for (i, &slot) in self.slots.iter().enumerate() {
+            let writes = mem.latest(slot);
+            if writes != 1 {
+                return Err(format!(
+                    "slot {i} written {writes} times — submission-order results \
+                     require exactly one claim per job"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the shipped-orderings membership model; passes exhaustively.
+pub fn check_membership_shipped() -> Outcome {
+    explore(
+        |mem| MembershipModel::new(mem, MembershipOrders::shipped()),
+        MAX_EXECUTIONS,
+    )
+}
+
+/// Runs the relaxed membership model; the stale-epoch read must be found.
+pub fn check_membership_relaxed() -> Outcome {
+    explore(
+        |mem| MembershipModel::new(mem, MembershipOrders::relaxed()),
+        MAX_EXECUTIONS,
+    )
+}
+
+/// Runs the crash/recover epoch-count model with shipped orderings.
+pub fn check_crash_recover() -> Outcome {
+    explore(
+        |mem| CrashRecoverModel::new(mem, MembershipOrders::shipped()),
+        MAX_EXECUTIONS,
+    )
+}
+
+/// Runs the repaired (clamped) credit model; passes exhaustively.
+pub fn check_credit_repair_clamped() -> Outcome {
+    explore(|mem| CreditRepairModel::new(mem, true), MAX_EXECUTIONS)
+}
+
+/// Runs the unclamped credit model; the overflow must be found.
+pub fn check_credit_repair_unclamped() -> Outcome {
+    explore(|mem| CreditRepairModel::new(mem, false), MAX_EXECUTIONS)
+}
+
+/// Runs the batch-pool model with the real atomic claim; passes.
+pub fn check_batch_pool_atomic() -> Outcome {
+    explore(|mem| BatchPoolModel::new(mem, true), MAX_EXECUTIONS)
+}
+
+/// Runs the batch-pool model with a split claim; the double claim must
+/// be found.
+pub fn check_batch_pool_split() -> Outcome {
+    explore(|mem| BatchPoolModel::new(mem, false), MAX_EXECUTIONS)
+}

@@ -1,0 +1,387 @@
+//! The project-invariant lint rules.
+//!
+//! Each rule is named, scoped to the paths where its invariant applies,
+//! and suppressible with an inline waiver comment:
+//!
+//! ```text
+//! // press::allow(rule-name): why this site is exempt
+//! ```
+//!
+//! on the offending line or a comment line directly above it. Waivers
+//! are counted and reported, never silent.
+
+use crate::manifest::Manifest;
+use crate::scanner::{find_token, is_ident_char, Line};
+use std::collections::BTreeSet;
+
+/// Names of every rule, in reporting order.
+pub const RULE_NAMES: [&str; 6] = [
+    "wall-clock",
+    "os-random",
+    "hash-iter",
+    "hot-unwrap",
+    "safety-comment",
+    "atomic-ordering",
+];
+
+/// One-line description per rule, for `--list-rules`.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        "wall-clock" => "no Instant::now/SystemTime in simulation paths (press-sim, press-core)",
+        "os-random" => "no OS entropy (thread_rng/OsRng/from_entropy) in deterministic crates",
+        "hash-iter" => "no iteration over HashMap/HashSet where order can leak into results",
+        "hot-unwrap" => "no unwrap/expect in the server node hot loops (test code exempt)",
+        "safety-comment" => "every unsafe block needs a `// SAFETY:` comment",
+        "atomic-ordering" => {
+            "every atomic access needs a `// ordering:` justification or an atomics-manifest entry"
+        }
+        _ => "unknown rule",
+    }
+}
+
+/// A single rule violation (or waived violation).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// Paths where the wall-clock rule applies: the deterministic simulation
+/// engines, where wall-clock reads would desynchronize replay.
+fn wall_clock_scope(path: &str) -> bool {
+    path.starts_with("crates/sim/src/") || path.starts_with("crates/core/src/")
+}
+
+/// Paths where OS entropy is banned: everything that feeds results.
+fn os_random_scope(path: &str) -> bool {
+    path.starts_with("crates/sim/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/trace/src/")
+        || path.starts_with("crates/model/src/")
+}
+
+/// The live server's per-request hot loops.
+fn hot_loop_scope(path: &str) -> bool {
+    path == "crates/server/src/node.rs"
+}
+
+/// Runs every rule over one scanned file, returning raw findings
+/// (waivers not yet applied).
+pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let hash_names = collect_hash_names(lines);
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        if wall_clock_scope(path) {
+            for pat in ["Instant::now", "SystemTime::now", "UNIX_EPOCH"] {
+                if find_token(code, pat).is_some() {
+                    out.push(Finding {
+                        path: path.into(),
+                        line: line.number,
+                        rule: "wall-clock",
+                        message: format!(
+                            "`{pat}` in a simulation path — wall-clock time breaks \
+                             deterministic replay; use simulated time"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if os_random_scope(path) {
+            for pat in ["thread_rng", "OsRng", "from_entropy", "rand::random"] {
+                if find_token(code, pat).is_some() {
+                    out.push(Finding {
+                        path: path.into(),
+                        line: line.number,
+                        rule: "os-random",
+                        message: format!(
+                            "`{pat}` draws OS entropy — results must come from seeded \
+                             generators only"
+                        ),
+                    });
+                }
+            }
+        }
+
+        check_hash_iter(path, lines, idx, &hash_names, &mut out);
+
+        if hot_loop_scope(path) {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) {
+                    out.push(Finding {
+                        path: path.into(),
+                        line: line.number,
+                        rule: "hot-unwrap",
+                        message: format!(
+                            "`{}` in a node hot loop — a poisoned thread takes the whole \
+                             node down; handle the None/Err arm",
+                            pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+
+        if let Some(pos) = find_token(code, "unsafe") {
+            // `unsafe` the keyword (block/fn/impl/trait), not part of an
+            // identifier; find_token already enforces boundaries.
+            let _ = pos;
+            let documented = comment_window(lines, idx, 3)
+                .iter()
+                .any(|c| c.contains("SAFETY:"));
+            if !documented {
+                out.push(Finding {
+                    path: path.into(),
+                    line: line.number,
+                    rule: "safety-comment",
+                    message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
+                });
+            }
+        }
+
+        if is_atomic_site(lines, idx) {
+            let annotated = comment_window(lines, idx, 3)
+                .iter()
+                .any(|c| c.contains("ordering:"));
+            let in_manifest = manifest.covers(path, code);
+            if !annotated && !in_manifest {
+                out.push(Finding {
+                    path: path.into(),
+                    line: line.number,
+                    rule: "atomic-ordering",
+                    message: "atomic access without a `// ordering:` justification or an \
+                              atomics-manifest entry"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Comments attached to line `idx`: its own plus up to `above` comment
+/// lines (lines whose code part is blank) directly above it.
+fn comment_window(lines: &[Line], idx: usize, above: usize) -> Vec<&str> {
+    let mut window = vec![lines[idx].comment.as_str()];
+    let mut i = idx;
+    for _ in 0..above {
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+        let l = &lines[i];
+        if l.code.trim().is_empty() {
+            window.push(l.comment.as_str());
+        } else {
+            // One non-comment line above is still allowed to carry the
+            // annotation (multi-line call chains), but stop after it.
+            window.push(l.comment.as_str());
+            break;
+        }
+    }
+    window
+}
+
+const ATOMIC_METHODS: [&str; 13] = [
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_nand(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    ".compare_exchange",
+];
+
+/// Whether line `idx` is an atomic access: mentions `Ordering::` with an
+/// atomic method on the same line or the two lines above (multi-line
+/// calls).
+fn is_atomic_site(lines: &[Line], idx: usize) -> bool {
+    if !lines[idx].code.contains("Ordering::") {
+        return false;
+    }
+    for back in 0..3 {
+        if back > idx {
+            break;
+        }
+        let code = &lines[idx - back].code;
+        if ATOMIC_METHODS.iter().any(|m| code.contains(m)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Names declared as `HashMap`/`HashSet` in this file (let bindings,
+/// struct fields, parameters).
+fn collect_hash_names(lines: &[Line]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in lines {
+        let code = line.code.as_str();
+        for ty in ["HashMap", "HashSet"] {
+            // `name: HashMap<...>` — fields, params, typed lets.
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(ty) {
+                let pos = from + rel;
+                from = pos + ty.len();
+                let before = code[..pos].trim_end();
+                if let Some(stripped) = before.strip_suffix(':') {
+                    if let Some(name) = trailing_ident(stripped) {
+                        names.insert(name.to_string());
+                    }
+                }
+            }
+            // `let [mut] name = HashMap::new()` and friends.
+            for ctor in ["::new", "::with_capacity", "::from"] {
+                if code.contains(&format!("{ty}{ctor}")) {
+                    if let Some(pos) = find_token(code, "let") {
+                        let rest = code[pos + 3..].trim_start();
+                        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                        if let Some(name) = leading_ident(rest) {
+                            names.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+const ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Flags iteration over names known to be HashMap/HashSet.
+fn check_hash_iter(
+    path: &str,
+    lines: &[Line],
+    idx: usize,
+    names: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if names.is_empty() {
+        return;
+    }
+    let line = &lines[idx];
+    let code = line.code.as_str();
+    for m in ITER_METHODS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(m) {
+            let pos = from + rel;
+            from = pos + m.len();
+            // The receiver ends this line, or — in a wrapped method
+            // chain starting with `.iter()` — the nearest non-comment
+            // line above.
+            let receiver = match trailing_ident(&code[..pos]) {
+                Some(name) => Some(name),
+                None if code[..pos].trim().is_empty() => lines[..idx]
+                    .iter()
+                    .rev()
+                    .find(|l| !l.code.trim().is_empty())
+                    .and_then(|l| trailing_ident(&l.code)),
+                None => None,
+            };
+            if let Some(name) = receiver {
+                if names.contains(name) {
+                    out.push(Finding {
+                        path: path.into(),
+                        line: line.number,
+                        rule: "hash-iter",
+                        message: format!(
+                            "iteration over HashMap/HashSet `{name}` — hash order is \
+                             process-random and can leak into results or schedules; \
+                             sort the items or use an ordered container"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // `for x in [&[mut ]]name {` loops.
+    if let Some(for_pos) = find_token(code, "for") {
+        if let Some(in_rel) = find_token(&code[for_pos..], "in") {
+            let expr = code[for_pos + in_rel + 2..].trim();
+            let expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
+            let expr = expr
+                .strip_prefix("&mut ")
+                .or_else(|| expr.strip_prefix('&'))
+                .unwrap_or(expr);
+            // Only a bare (possibly dotted) name: `m`, `self.m`, `ctx.m`.
+            let tail = expr.rsplit('.').next().unwrap_or(expr);
+            if !tail.is_empty()
+                && tail.bytes().all(is_ident_char)
+                && expr.bytes().all(|b| is_ident_char(b) || b == b'.')
+                && names.contains(tail)
+            {
+                out.push(Finding {
+                    path: path.into(),
+                    line: line.number,
+                    rule: "hash-iter",
+                    message: format!(
+                        "`for` loop over HashMap/HashSet `{tail}` — hash order is \
+                         process-random and can leak into results or schedules; \
+                         sort the items or use an ordered container"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The identifier ending at the end of `s` (after trimming), if any.
+fn trailing_ident(s: &str) -> Option<&str> {
+    let s = s.trim_end();
+    let bytes = s.as_bytes();
+    let mut start = s.len();
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == s.len() {
+        return None;
+    }
+    let ident = &s[start..];
+    if ident.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    Some(ident)
+}
+
+/// The identifier starting at the beginning of `s`, if any.
+fn leading_ident(s: &str) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    while end < bytes.len() && is_ident_char(bytes[end]) {
+        end += 1;
+    }
+    if end == 0 || bytes[0].is_ascii_digit() {
+        None
+    } else {
+        Some(&s[..end])
+    }
+}

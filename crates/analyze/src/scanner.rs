@@ -1,0 +1,275 @@
+//! Line-level source scanning: splits each line into code and comment
+//! text (string and char literal contents blanked out) and marks lines
+//! inside `#[cfg(test)]` modules, so rules never fire on literals,
+//! comments, or test code.
+//!
+//! This is a lexer-grade approximation, not a parser: it tracks block
+//! comments (nested), regular and raw string literals, char literals vs.
+//! lifetimes, and brace depth for test-module extents. That is enough
+//! for the token-oriented project lints in [`crate::rules`].
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code text, with comments removed and the contents of
+    /// string/char literals replaced by spaces.
+    pub code: String,
+    /// The line's comment text (line comments plus any block-comment
+    /// text crossing the line), concatenated.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` module body.
+    pub in_test: bool,
+}
+
+/// Lexer state carried across lines.
+#[derive(Default)]
+struct State {
+    /// Nesting depth of `/* */` block comments.
+    block_comment: usize,
+    /// `Some(hashes)` while inside a (raw) string literal.
+    in_string: Option<usize>,
+    /// Brace depth at end of the previous line.
+    depth: usize,
+    /// A `#[cfg(test)]` attribute is waiting for its `mod`.
+    pending_cfg_test: bool,
+    /// Depth at which the current test module's body closes.
+    test_until_depth: Option<usize>,
+}
+
+/// Scans `content` into classified lines.
+pub fn scan(content: &str) -> Vec<Line> {
+    let mut state = State::default();
+    let mut out = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let in_test_at_start = state.test_until_depth.is_some();
+        let (code, comment) = split_line(raw, &mut state);
+
+        if state.test_until_depth.is_none() && code.contains("#[cfg(test)]") {
+            state.pending_cfg_test = true;
+        }
+        if state.pending_cfg_test {
+            // The attribute binds to the next `mod` item: an inline body
+            // starts a test region; `mod name;` points at a file that
+            // path-based filtering must handle.
+            if let Some(pos) = find_token(&code, "mod") {
+                let rest = &code[pos + 3..];
+                if let Some(brace) = rest.find('{') {
+                    let before = format!("{}{}", &code[..pos], &rest[..brace]);
+                    let opens_before = before.matches('{').count();
+                    let closes_before = before.matches('}').count();
+                    let depth_at_brace = (state.depth + opens_before).saturating_sub(closes_before);
+                    state.test_until_depth = Some(depth_at_brace);
+                    state.pending_cfg_test = false;
+                } else if rest.contains(';') {
+                    state.pending_cfg_test = false;
+                }
+            }
+        }
+
+        // Update brace depth; the test region closes when depth returns
+        // to the level its module's `{` was opened at.
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        state.depth = (state.depth + opens).saturating_sub(closes);
+        if let Some(limit) = state.test_until_depth {
+            if state.depth <= limit {
+                state.test_until_depth = None;
+            }
+        }
+
+        out.push(Line {
+            number: i + 1,
+            code,
+            comment,
+            in_test: in_test_at_start || state.test_until_depth.is_some(),
+        });
+    }
+    out
+}
+
+/// Finds `token` in `code` at identifier boundaries.
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+        let end = pos + token.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+/// Whether `b` can appear in a Rust identifier.
+pub fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Splits one raw line into (code, comment), blanking literal contents.
+fn split_line(raw: &str, state: &mut State) -> (String, String) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+
+    // Resume a multi-line string: blank until the terminator.
+    while i < bytes.len() {
+        if let Some(hashes) = state.in_string {
+            let closer: String = if hashes == usize::MAX {
+                "\"".into()
+            } else {
+                format!("\"{}", "#".repeat(hashes))
+            };
+            let is_raw = hashes != usize::MAX;
+            let mut closed = false;
+            while i < bytes.len() {
+                if !is_raw && bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i..].starts_with(closer.as_bytes()) {
+                    i += closer.len();
+                    state.in_string = None;
+                    closed = true;
+                    break;
+                }
+                i += 1;
+            }
+            code.push_str("\"\"");
+            if !closed {
+                break;
+            }
+            continue;
+        }
+        if state.block_comment > 0 {
+            // Inside /* */: capture as comment text, watch for nesting.
+            let start = i;
+            while i < bytes.len() && state.block_comment > 0 {
+                if bytes[i..].starts_with(b"/*") {
+                    state.block_comment += 1;
+                    i += 2;
+                } else if bytes[i..].starts_with(b"*/") {
+                    state.block_comment -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comment.push_str(&String::from_utf8_lossy(&bytes[start..i]));
+            comment.push(' ');
+            continue;
+        }
+        if bytes[i..].starts_with(b"//") {
+            comment.push_str(&String::from_utf8_lossy(&bytes[i + 2..]));
+            i = bytes.len();
+            continue;
+        }
+        if bytes[i..].starts_with(b"/*") {
+            state.block_comment = 1;
+            i += 2;
+            continue;
+        }
+        match bytes[i] {
+            b'"' => {
+                state.in_string = Some(usize::MAX);
+                i += 1;
+            }
+            b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
+                // Raw string: count hashes.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'"' {
+                    state.in_string = Some(hashes);
+                    i = j + 1;
+                } else {
+                    code.push('r');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: skip to closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    code.push_str("' '");
+                    i = (j + 1).min(bytes.len());
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    code.push_str("' '");
+                    i += 3;
+                } else {
+                    // Lifetime (or stray quote): keep and move on.
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            b => {
+                code.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let lines = scan("let x = \"Instant::now\"; // ordering: relaxed\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("ordering:"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = scan("/* SAFETY:\n multi */ unsafe {}\n");
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert!(lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test, "code after the test module is live");
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }\n");
+        assert!(lines[0].code.contains("trim"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = scan("let x = r#\"unsafe { .unwrap() }\"#; x.len();\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("len"));
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(find_token("unsafe_op_in_unsafe_fn", "unsafe").is_none());
+        assert_eq!(find_token("x unsafe {", "unsafe"), Some(2));
+    }
+}

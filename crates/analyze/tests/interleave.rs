@@ -1,0 +1,114 @@
+//! The mini-loom suite: exhaustive interleaving checks of the
+//! workspace's lock-free protocols, in both directions — the shipped
+//! orderings pass across the whole state space, and the weakened
+//! variants are caught (evidence the checker sees the bug class).
+//!
+//! Interleaving counts are asserted as minimums and printed, so the
+//! exhaustiveness of each run is visible in test output.
+
+use press_analyze::models;
+
+#[test]
+fn membership_shipped_orderings_hold_exhaustively() {
+    let out = models::check_membership_shipped();
+    println!(
+        "membership (shipped orderings): {} interleavings, exhaustive",
+        out.executions
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(out.complete, "state space must be fully explored");
+    // 3 threads (2+2+3 steps) plus stale-read branching: well beyond the
+    // 210 pure schedules.
+    assert!(
+        out.executions >= 210,
+        "only {} interleavings",
+        out.executions
+    );
+}
+
+#[test]
+fn membership_relaxed_orderings_are_caught() {
+    let out = models::check_membership_relaxed();
+    println!(
+        "membership (relaxed orderings): stale-epoch read found after {} interleavings",
+        out.executions
+    );
+    let msg = out
+        .violation
+        .expect("relaxed orderings must admit a stale-epoch read");
+    assert!(msg.contains("stale-epoch"), "unexpected violation: {msg}");
+}
+
+#[test]
+fn crash_recover_epoch_counts_transitions_exactly() {
+    let out = models::check_crash_recover();
+    println!(
+        "crash/recover race: {} interleavings, exhaustive",
+        out.executions
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(out.complete);
+    // Recover-first is a no-op belief change (1 step), so the tree has
+    // exactly 4 leaves; all RMWs, so no stale-read branching.
+    assert!(out.executions >= 4, "only {} interleavings", out.executions);
+}
+
+#[test]
+fn credit_repair_clamped_keeps_the_window_invariant() {
+    let out = models::check_credit_repair_clamped();
+    println!(
+        "credit repair (clamped): {} interleavings, exhaustive",
+        out.executions
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(out.complete);
+    // 3 threads, 4 one-RMW arrivals: 4!/2! = 12 arrival orders.
+    assert!(
+        out.executions >= 12,
+        "only {} interleavings",
+        out.executions
+    );
+}
+
+#[test]
+fn credit_repair_unclamped_overflow_is_caught() {
+    let out = models::check_credit_repair_unclamped();
+    println!(
+        "credit repair (unclamped): overflow found after {} interleavings",
+        out.executions
+    );
+    let msg = out
+        .violation
+        .expect("pre-audit accounting must overflow the window");
+    assert!(
+        msg.contains("credit overflow"),
+        "unexpected violation: {msg}"
+    );
+}
+
+#[test]
+fn batch_pool_atomic_claim_fills_every_slot_once() {
+    let out = models::check_batch_pool_atomic();
+    println!(
+        "batch pool (fetch_add claim): {} interleavings, exhaustive",
+        out.executions
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(out.complete);
+    assert!(
+        out.executions >= 20,
+        "only {} interleavings",
+        out.executions
+    );
+}
+
+#[test]
+fn batch_pool_split_claim_race_is_caught() {
+    let out = models::check_batch_pool_split();
+    println!(
+        "batch pool (split load/store claim): double claim found after {} interleavings",
+        out.executions
+    );
+    let msg = out.violation.expect("split claim must double-claim a slot");
+    assert!(msg.contains("written"), "unexpected violation: {msg}");
+}

@@ -1,0 +1,29 @@
+//! The repo at HEAD must lint clean: `cargo test -p press-analyze` fails
+//! the moment a change violates a project invariant without a waiver,
+//! mirroring the CI `cargo run -p press-analyze -- --deny-warnings` gate.
+
+use std::path::PathBuf;
+
+use press_analyze::{collect_workspace, lint_files, load_manifest};
+
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let manifest = load_manifest(&root).expect("atomics manifest parses");
+    assert!(
+        !manifest.sites.is_empty(),
+        "the atomics manifest must register the audited sites"
+    );
+    let files = collect_workspace(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks wrong: only {} files",
+        files.len()
+    );
+    let report = lint_files(&files, &manifest);
+    let (rendered, code) = press_analyze::render(&report, true);
+    assert_eq!(code, 0, "press-analyze must pass at HEAD:\n{rendered}");
+}

@@ -9,7 +9,7 @@
 //! fault-free run; the "tail" column is throughput over the last quarter
 //! of measured requests — the post-recovery comparison metric.
 
-use press_bench::{run_all, standard_config};
+use press_bench::{quiet, run_all, standard_config};
 use press_core::{Dissemination, FaultPlan, Job, SimConfig};
 use press_trace::TracePreset;
 
@@ -98,7 +98,9 @@ fn main() {
             m.requests_lost,
         );
     }
-    println!();
-    println!("(1-of-8 crash should retain well over 50%; with recovery, the tail");
-    println!(" column returns to within ~10% of the fault-free run)");
+    if !quiet() {
+        println!();
+        println!("(1-of-8 crash should retain well over 50%; with recovery, the tail");
+        println!(" column returns to within ~10% of the fault-free run)");
+    }
 }

@@ -57,15 +57,35 @@ pub fn trace_scale(cfg: &SimConfig, preset: TracePreset) -> f64 {
     preset.spec().num_requests as f64 / cfg.measure_requests as f64
 }
 
-/// Runs one configuration and prints a one-line progress note to stderr.
+/// Whether quiet mode is on: `--quiet` (or `-q`) on the command line, or
+/// `PRESS_QUIET` set to anything but `0`/empty in the environment.
+///
+/// Quiet mode suppresses stderr progress notes and commentary; the
+/// figure/table output itself (stdout) is unaffected, so scripted runs
+/// capture exactly the reproduction artifact.
+pub fn quiet() -> bool {
+    std::env::args().any(|a| a == "--quiet" || a == "-q") || env_quiet()
+}
+
+fn env_quiet() -> bool {
+    matches!(std::env::var("PRESS_QUIET"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Runs one configuration and prints a one-line progress note to stderr
+/// (suppressed under [`quiet`]).
 pub fn run_logged(label: &str, cfg: &SimConfig) -> Metrics {
-    eprintln!("running {label} ...");
+    if !quiet() {
+        eprintln!("running {label} ...");
+    }
     let m = run_simulation(cfg);
     log_result(label, &m);
     m
 }
 
 fn log_result(label: &str, m: &Metrics) {
+    if quiet() {
+        return;
+    }
     eprintln!(
         "  {label}: {:.0} req/s (hit {:.3}, Q {:.3})",
         m.throughput_rps, m.hit_rate, m.forward_fraction
@@ -87,7 +107,9 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
         // Stream progress per job, legacy-style.
         jobs.into_iter()
             .map(|job| {
-                eprintln!("running {} ...", job.label);
+                if !quiet() {
+                    eprintln!("running {} ...", job.label);
+                }
                 let r = runner
                     .run(vec![job])
                     .pop()
@@ -97,11 +119,13 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
             })
             .collect::<Vec<_>>()
     } else {
-        eprintln!(
-            "running {} jobs on {} threads ...",
-            jobs.len(),
-            runner.threads()
-        );
+        if !quiet() {
+            eprintln!(
+                "running {} jobs on {} threads ...",
+                jobs.len(),
+                runner.threads()
+            );
+        }
         let results = runner.run(jobs);
         for r in &results {
             log_result(&r.label, &r.metrics);
@@ -193,6 +217,19 @@ mod tests {
     #[test]
     fn env_override_parses() {
         assert_eq!(env_u64("PRESS_TEST_NO_SUCH_VAR", 7), 7);
+    }
+
+    #[test]
+    fn quiet_honors_press_quiet() {
+        // Only the env half is testable here: the test harness itself
+        // receives `--quiet` under `cargo test -q`.
+        std::env::remove_var("PRESS_QUIET");
+        assert!(!env_quiet());
+        std::env::set_var("PRESS_QUIET", "1");
+        assert!(env_quiet());
+        std::env::set_var("PRESS_QUIET", "0");
+        assert!(!env_quiet());
+        std::env::remove_var("PRESS_QUIET");
     }
 
     #[test]

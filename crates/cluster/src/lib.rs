@@ -27,6 +27,8 @@
 //! # let _ = NodeId(0);
 //! ```
 
+// Pure modeling code: no unsafe, enforced at the crate boundary.
+#![forbid(unsafe_code)]
 mod cache;
 mod disk;
 mod node;

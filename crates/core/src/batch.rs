@@ -120,6 +120,8 @@ impl Default for ExperimentRunner {
 }
 
 fn run_one(job: Job) -> RunResult {
+    // press::allow(wall-clock): harness wall-time metric only — it
+    // never enters simulation state, which runs on virtual time.
     let start = Instant::now();
     let metrics = run_simulation(&job.cfg);
     RunResult {
@@ -137,7 +139,11 @@ pub fn threads_from_env() -> usize {
                 return n;
             }
         }
-        eprintln!("PRESS_THREADS={v:?} is not a positive integer; using available cores");
+        // Misconfiguration warning; PRESS_QUIET silences it like the
+        // rest of the harness chatter.
+        if !matches!(std::env::var("PRESS_QUIET"), Ok(q) if !q.is_empty() && q != "0") {
+            eprintln!("PRESS_THREADS={v:?} is not a positive integer; using available cores");
+        }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

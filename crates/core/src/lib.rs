@@ -26,6 +26,8 @@
 //! assert!(metrics.throughput_rps > 0.0);
 //! ```
 
+// Any future unsafe fn must scope its unsafe operations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod batch;
 mod driver;
 mod load;

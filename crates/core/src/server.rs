@@ -902,6 +902,7 @@ impl ClusterSim {
         // byte-identical (HashMap order is process-random).
         let mut doomed: Vec<u64> = self
             .requests
+            // press::allow(hash-iter): sorted below before any effect.
             .iter()
             .filter(|(_, r)| r.initial.0 == node)
             .map(|(&id, _)| id)

@@ -29,6 +29,8 @@
 //! assert!(via.total_rps > tcp.total_rps);
 //! ```
 
+// Pure modeling code: no unsafe, enforced at the crate boundary.
+#![forbid(unsafe_code)]
 mod hitrate;
 mod params;
 mod rates;

@@ -31,6 +31,8 @@
 //! # let _ = MessageType::File;
 //! ```
 
+// Pure modeling code: no unsafe, enforced at the crate boundary.
+#![forbid(unsafe_code)]
 mod combos;
 mod cost;
 mod counters;

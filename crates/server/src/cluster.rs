@@ -145,6 +145,8 @@ impl ClusterCtl {
     /// Kills `node`: unreachable on the wire, in-flight state lost,
     /// evicted from every peer's candidate set.
     fn crash(&self, node: usize) {
+        // ordering: Release — pairs with the Acquire loads in the node
+        // loops so the flag flips before the Crash event is observed.
         self.dead[node].store(true, Ordering::Release);
         self.membership.set_live(node, false);
         let _ = self.mains[node].send(NodeEvent::Crash);
@@ -166,6 +168,8 @@ impl ClusterCtl {
             }
         }
         let _ = self.mains[node].send(NodeEvent::Recover);
+        // ordering: Release — the ResetPeer repairs above must be
+        // enqueued before peers can observe the node as reachable again.
         self.dead[node].store(false, Ordering::Release);
         self.membership.set_live(node, true);
     }
@@ -450,6 +454,9 @@ impl LiveCluster {
                         .name("press-fault-monitor".into())
                         .spawn(move || {
                             let mut next = 0;
+                            // ordering: Acquire — pairs with shutdown's
+                            // Release store; everything sequenced before
+                            // the stop request is visible here.
                             while next < schedule.len() && !stop.load(Ordering::Acquire) {
                                 let completed = stats_mon.completed();
                                 while next < schedule.len() && completed >= schedule[next].0 {
@@ -501,12 +508,19 @@ impl LiveCluster {
     /// per-request retry machinery exists for.
     pub fn hang_node(&self, node: usize) {
         assert!(node < self.nodes());
+        // ordering: Release — same contract as `ClusterCtl::crash`.
         self.ctl.dead[node].store(true, Ordering::Release);
     }
 
     /// Whether `node` is currently believed alive by the cluster.
     pub fn is_live(&self, node: usize) -> bool {
         self.ctl.membership.is_live(node)
+    }
+
+    /// A consistent `(epoch, live-mask)` snapshot of the membership
+    /// view — see [`Membership::snapshot`] for the validation protocol.
+    pub fn membership_snapshot(&self) -> (u64, u64) {
+        self.ctl.membership.snapshot()
     }
 
     /// Membership transitions so far (crashes + recoveries).
@@ -582,6 +596,9 @@ impl LiveCluster {
     /// Stops every thread and joins them. Outstanding requests receive
     /// [`LiveError::Disconnected`] through their dropped reply channels.
     pub fn shutdown(mut self) {
+        // ordering: Release — pairs with the Acquire loads in the node
+        // and monitor loops; all control traffic sent before this store
+        // is visible to threads that observe the flag.
         self.shutdown.store(true, Ordering::Release);
         for tx in &self.ctl.mains {
             let _ = tx.send(NodeEvent::Shutdown);

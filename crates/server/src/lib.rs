@@ -24,6 +24,8 @@
 //!
 //! See [`LiveCluster`] for a complete example.
 
+// Any future unsafe fn must scope its unsafe operations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
 mod cluster;
 mod membership;
 mod node;

@@ -11,6 +11,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Lock-free: readers are on the per-request hot path. The bitmask bounds
 /// the cluster at 64 nodes, matching [`crate::LiveCluster`]'s limit.
+///
+/// Ordering contract (audited; recorded in `crates/analyze/atomics.toml`
+/// and model-checked by `press-analyze`'s membership interleaving model):
+/// writers update the bitmask *before* bumping the epoch, both with
+/// `AcqRel` RMWs, and readers load with `Acquire`. Because epoch bumps
+/// chain their views through the RMW sequence, a reader that observes
+/// epoch `e` is guaranteed to see at least `e` bitmask transitions —
+/// which is what makes [`Membership::snapshot`]'s validation loop sound.
 #[derive(Debug)]
 pub struct Membership {
     /// Bit `i` set ⇔ node `i` is believed alive.
@@ -60,6 +68,24 @@ impl Membership {
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
+
+    /// A consistent `(epoch, live-mask)` pair.
+    ///
+    /// Validated double-read: if the epoch is unchanged across the mask
+    /// load, no transition was published in between, so the mask is the
+    /// one current at that epoch. Writers bump the epoch after every
+    /// belief change, so the loop only retries while transitions are
+    /// actually racing and cannot livelock in a quiescent cluster.
+    pub fn snapshot(&self) -> (u64, u64) {
+        loop {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            let mask = self.live.load(Ordering::Acquire);
+            let e2 = self.epoch.load(Ordering::Acquire);
+            if e1 == e2 {
+                return (e2, mask);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +106,18 @@ mod tests {
         assert!(m.set_live(2, true));
         assert_eq!(m.epoch(), 2);
         assert_eq!(m.live_count(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_epoch() {
+        let m = Membership::new(4);
+        assert_eq!(m.snapshot(), (0, 0b1111));
+        m.set_live(1, false);
+        assert_eq!(m.snapshot(), (1, 0b1101));
+        m.set_live(1, true);
+        let (epoch, mask) = m.snapshot();
+        assert_eq!(epoch, 2);
+        assert_eq!(mask.count_ones(), m.live_count());
     }
 
     #[test]

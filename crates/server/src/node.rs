@@ -213,8 +213,10 @@ pub(crate) fn main_loop(
                     if !crashed {
                         crashed = true;
                         // Everything in flight on this host is gone.
-                        let lost =
-                            pending.len() + waiting_disk.values().map(Vec::len).sum::<usize>();
+                        let lost = pending.len()
+                            // press::allow(hash-iter): commutative sum —
+                            // the visit order cannot reach the total.
+                            + waiting_disk.values().map(Vec::len).sum::<usize>();
                         ServerStats::add(&ctx.stats.requests_lost, lost as u64);
                         pending.clear();
                         waiting_disk.clear();
@@ -401,13 +403,19 @@ pub(crate) fn main_loop(
         // fall back to local service.
         if !pending.is_empty() && !crashed {
             let now = Instant::now();
-            let expired: Vec<u64> = pending
+            let mut expired: Vec<u64> = pending
+                // press::allow(hash-iter): sorted below — tokens are
+                // issued monotonically, so retries run in arrival order
+                // regardless of hash order.
                 .iter()
                 .filter(|(_, p)| p.deadline <= now)
                 .map(|(&t, _)| t)
                 .collect();
+            expired.sort_unstable();
             for token in expired {
-                let p = pending.remove(&token).expect("expired token present");
+                let Some(p) = pending.remove(&token) else {
+                    continue;
+                };
                 let mut candidates: Vec<usize> = (0..ctx.nodes)
                     .filter(|&i| {
                         i != ctx.id
@@ -444,10 +452,13 @@ pub(crate) fn main_loop(
                 } else {
                     ServerStats::bump(&ctx.stats.retries);
                     read_loads(load, &mut loads);
+                    // `candidates` was checked nonempty above, but a
+                    // panic here would take the whole node down — fall
+                    // back to the original target instead.
                     let target = candidates
                         .into_iter()
                         .min_by_key(|&i| (loads[i], i))
-                        .expect("nonempty candidates");
+                        .unwrap_or(p.target);
                     let attempt = p.attempt + 1;
                     let token = next_token;
                     next_token += 1;
@@ -700,7 +711,12 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                 }
             }
             SendJob::Credits { from, n } => {
-                credits[from] += n;
+                // Clamp to the window: a stale credit return (consumed
+                // before the peer crashed) arriving after a ResetPeer
+                // repair must not push credits past the slot count, or
+                // sends would overwrite unconsumed ring slots. Found by
+                // press-analyze's credit-repair interleaving model.
+                credits[from] = (credits[from] + n).min(ctx.window);
                 while credits[from] > 0 {
                     match queued[from].pop_front() {
                         Some(msg) => {
@@ -825,6 +841,8 @@ pub(crate) fn recv_loop(
     loop {
         match cq.wait(Duration::from_millis(20)) {
             Err(_) => {
+                // ordering: Acquire — pairs with shutdown's Release
+                // store in `LiveCluster::shutdown`.
                 if ctx.shutdown.load(Ordering::Acquire) {
                     break;
                 }
@@ -848,6 +866,9 @@ pub(crate) fn recv_loop(
                 if c.kind != CompletionKind::Recv {
                     continue;
                 }
+                // ordering: Acquire — pairs with the Release stores in
+                // crash/recover/hang so a flipped flag is seen before
+                // any traffic sent after the transition.
                 let dead = ctx.dead.load(Ordering::Acquire);
                 let data = ctx
                     .nic

@@ -40,16 +40,21 @@ pub struct ServerStats {
 impl ServerStats {
     /// Bumps a counter by one.
     pub(crate) fn bump(counter: &AtomicU64) {
+        // ordering: Relaxed — monotone statistics counter; nothing is
+        // published through it and totals are only read after join.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n` to a counter.
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — same as `bump`: statistics only.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Reads a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
+        // ordering: Relaxed — a point-in-time statistic; exact totals
+        // are only read after the node threads have joined.
         counter.load(Ordering::Relaxed)
     }
 

@@ -24,6 +24,8 @@
 //! assert!((stats.avg_file_bytes - 14.2 * 1024.0).abs() / (14.2 * 1024.0) < 0.05);
 //! ```
 
+// Pure modeling code: no unsafe, enforced at the crate boundary.
+#![forbid(unsafe_code)]
 mod catalog;
 mod log;
 mod presets;

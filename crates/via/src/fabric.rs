@@ -245,7 +245,10 @@ impl Fabric {
         cq_a: Option<&CompletionQueue>,
         cq_b: Option<&CompletionQueue>,
     ) -> Result<(Vi, Vi), ViaError> {
+        // ordering: Relaxed — unique-id allocation; RMW atomicity alone
+        // guarantees distinct ids, nothing else is published through it.
         let id_a = self.inner.next_vi.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — as for `id_a`.
         let id_b = self.inner.next_vi.fetch_add(1, Ordering::Relaxed);
         let vi_a = Arc::new(ViShared {
             id: id_a,
@@ -284,6 +287,7 @@ impl Fabric {
     }
 
     fn next_mr(&self) -> u64 {
+        // ordering: Relaxed — unique-id allocation, as for `next_vi`.
         self.inner.next_mr.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -365,6 +369,9 @@ impl std::fmt::Debug for Nic {
 
 impl Drop for Nic {
     fn drop(&mut self) {
+        // ordering: Release — pairs with the engine thread's Acquire
+        // loads; all descriptor state mutated before the drop is visible
+        // to the engine before it observes the stop flag.
         self.shared.shutdown.store(true, Ordering::Release);
         let _ = self.shared.ops.send(EngineOp::Stop);
         if let Some(h) = self.engine.take() {
@@ -407,6 +414,9 @@ impl Vi {
     /// engine has shut down. Delivery errors are reported through the
     /// completion.
     pub fn post_send(&self, desc: Descriptor) -> Result<(), ViaError> {
+        // ordering: Acquire — pairs with the Release store in
+        // `Drop for Nic`; a post racing teardown either sees the flag
+        // or its op lands before the engine drains.
         if self.nic.shutdown.load(Ordering::Acquire) {
             return Err(ViaError::Shutdown);
         }
@@ -429,6 +439,7 @@ impl Vi {
     /// problems (unknown region, bounds, permission) are reported through
     /// the completion.
     pub fn rdma_write(&self, desc: Descriptor, remote: RemoteBuffer) -> Result<(), ViaError> {
+        // ordering: Acquire — same teardown contract as `post_send`.
         if self.nic.shutdown.load(Ordering::Acquire) {
             return Err(ViaError::Shutdown);
         }

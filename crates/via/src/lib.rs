@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+// Any future unsafe fn must scope its unsafe operations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
 mod descriptor;
 mod error;
 mod fabric;

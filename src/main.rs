@@ -244,10 +244,25 @@ fn parse_list<T>(
         .collect()
 }
 
+/// Whether progress chatter is suppressed: `--quiet`/`-q` anywhere on
+/// the command line, or `PRESS_QUIET` set to anything but `0`/empty
+/// (same contract as `press_bench::quiet`).
+fn quiet() -> bool {
+    std::env::args().any(|a| a == "--quiet" || a == "-q")
+        || matches!(std::env::var("PRESS_QUIET"), Ok(v) if !v.is_empty() && v != "0")
+}
+
 fn cmd_sweep(args: &[String]) -> ExitCode {
+    // `--quiet`/`-q` is a bare switch (handled by `quiet()`), not a
+    // `--flag value` pair; strip it before pair parsing.
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--quiet" && a.as_str() != "-q")
+        .cloned()
+        .collect();
     let run = || -> Result<(), String> {
         let flags = parse_flags(
-            args,
+            &args,
             &[
                 "traces",
                 "combos",
@@ -293,11 +308,13 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             }
         }
         let runner = ExperimentRunner::from_env();
-        eprintln!(
-            "sweep: {} runs on {} thread(s)",
-            jobs.len(),
-            runner.threads()
-        );
+        if !quiet() {
+            eprintln!(
+                "sweep: {} runs on {} thread(s)",
+                jobs.len(),
+                runner.threads()
+            );
+        }
         let results = runner.run(jobs);
         println!(
             "{:<36} {:>10} {:>10} {:>9}",

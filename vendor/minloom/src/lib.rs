@@ -1,0 +1,604 @@
+//! A vendored mini-loom: exhaustive exploration of thread interleavings
+//! over *shadow atomics* that model the release/acquire fragment of the
+//! C11 memory model.
+//!
+//! The workspace's lock-free code (membership bitmask, credit repair,
+//! batch-pool claiming) is small enough that its concurrency arguments
+//! can be machine-checked: a model re-expresses the algorithm as a set of
+//! per-thread step machines over [`Memory`] locations, and [`explore`]
+//! runs every schedule (and every allowed stale-read choice) via
+//! depth-first search over a decision trail, re-executing the model from
+//! scratch for each complete decision string.
+//!
+//! # Memory model
+//!
+//! Each location keeps its full *modification order* (the list of stores
+//! so far). Each thread keeps a *view*: for every location, the oldest
+//! store index it may still legally read. A load picks — via a branching
+//! decision — any store at or after the view floor (read-read coherence
+//! keeps per-thread reads monotone). Release stores snapshot the writer's
+//! view; acquire loads that read them join that snapshot into the
+//! reader's view. Read-modify-writes are atomic: they always read the
+//! latest store in modification order.
+//!
+//! Two deliberate simplifications, both *stricter* or equal to real
+//! hardware for the properties checked here:
+//!
+//! * `SeqCst` is treated as `AcqRel` — a model needing a total store
+//!   order beyond coherence (IRIW, store buffering) cannot be verified,
+//!   but release/acquire violations are still found.
+//! * Release sequences are not modeled: a `Relaxed` RMW does not extend
+//!   an earlier release store's synchronization. Models relying on
+//!   release sequences will report spurious violations rather than miss
+//!   real ones.
+//!
+//! # Example
+//!
+//! ```
+//! use minloom::{explore, Ctx, Memory, Model, Loc, Order};
+//!
+//! /// Message passing: data published before a release flag must be
+//! /// visible after an acquire read of the flag.
+//! struct Mp { data: Loc, flag: Loc, pc: [usize; 2] }
+//!
+//! impl Model for Mp {
+//!     fn threads(&self) -> usize { 2 }
+//!     fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+//!         let pc = self.pc[tid];
+//!         self.pc[tid] += 1;
+//!         match (tid, pc) {
+//!             (0, 0) => { ctx.store(self.data, 1, Order::Relaxed); Ok(true) }
+//!             (0, 1) => { ctx.store(self.flag, 1, Order::Release); Ok(false) }
+//!             (1, 0) => {
+//!                 if ctx.load(self.flag, Order::Acquire) == 1
+//!                     && ctx.load(self.data, Order::Acquire) != 1
+//!                 {
+//!                     return Err("flag seen but data stale".into());
+//!                 }
+//!                 Ok(false)
+//!             }
+//!             _ => Ok(false),
+//!         }
+//!     }
+//! }
+//!
+//! let outcome = explore(
+//!     |mem| Mp { data: mem.alloc(0), flag: mem.alloc(0), pc: [0; 2] },
+//!     100_000,
+//! );
+//! assert!(outcome.violation.is_none());
+//! assert!(outcome.complete);
+//! ```
+
+/// Memory orderings understood by the shadow atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// No synchronization; only coherence.
+    Relaxed,
+    /// Load half joins the release view of the store it reads.
+    Acquire,
+    /// Store half publishes the writer's current view.
+    Release,
+    /// Both halves (for RMWs, or as a stronger store/load).
+    AcqRel,
+    /// Modeled as [`Order::AcqRel`]; see the crate docs.
+    SeqCst,
+}
+
+impl Order {
+    fn acquires(self) -> bool {
+        matches!(self, Order::Acquire | Order::AcqRel | Order::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, Order::Release | Order::AcqRel | Order::SeqCst)
+    }
+}
+
+/// Handle to a shadow atomic location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc(usize);
+
+/// One store in a location's modification order.
+#[derive(Debug, Clone)]
+struct Store {
+    val: u64,
+    /// The writer's view at the release store (per-location store
+    /// indices an acquiring reader inherits); `None` for relaxed stores.
+    release_view: Option<Vec<usize>>,
+}
+
+/// Shadow memory: locations, their modification orders, and thread views.
+#[derive(Debug)]
+pub struct Memory {
+    locs: Vec<Vec<Store>>,
+    /// `views[tid][loc]` = oldest store index `tid` may still read.
+    views: Vec<Vec<usize>>,
+}
+
+impl Memory {
+    fn new(threads: usize) -> Memory {
+        Memory {
+            locs: Vec::new(),
+            views: vec![Vec::new(); threads],
+        }
+    }
+
+    /// Allocates a location holding `init` (visible to every thread).
+    pub fn alloc(&mut self, init: u64) -> Loc {
+        let id = self.locs.len();
+        self.locs.push(vec![Store {
+            val: init,
+            release_view: None,
+        }]);
+        for v in &mut self.views {
+            v.push(0);
+        }
+        Loc(id)
+    }
+
+    /// The latest value in `loc`'s modification order — what a join of
+    /// all threads (e.g. after every thread finished) observes.
+    pub fn latest(&self, loc: Loc) -> u64 {
+        self.locs[loc.0]
+            .last()
+            .expect("location has initial store")
+            .val
+    }
+
+    /// Number of stores to `loc` beyond the initial value.
+    pub fn store_count(&self, loc: Loc) -> usize {
+        self.locs[loc.0].len() - 1
+    }
+
+    fn join_view(view: &mut [usize], other: &[usize]) {
+        for (v, o) in view.iter_mut().zip(other) {
+            *v = (*v).max(*o);
+        }
+    }
+}
+
+/// The per-step execution context handed to [`Model::step`]: shadow
+/// atomic operations for the running thread, with scheduling and
+/// stale-read branching handled by the explorer.
+pub struct Ctx<'a> {
+    mem: &'a mut Memory,
+    trail: &'a mut Trail,
+    tid: usize,
+}
+
+impl Ctx<'_> {
+    /// The id of the thread executing this step.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Atomic load. A `Relaxed`/`Acquire` load may return *any* store the
+    /// thread has not already read past — each possibility is explored as
+    /// a separate execution.
+    pub fn load(&mut self, loc: Loc, order: Order) -> u64 {
+        let floor = self.mem.views[self.tid][loc.0];
+        let len = self.mem.locs[loc.0].len();
+        let idx = floor + self.trail.choose(len - floor);
+        self.mem.views[self.tid][loc.0] = idx;
+        let store = self.mem.locs[loc.0][idx].clone();
+        if order.acquires() {
+            if let Some(rv) = &store.release_view {
+                Memory::join_view(&mut self.mem.views[self.tid], rv);
+            }
+        }
+        store.val
+    }
+
+    /// Atomic store.
+    pub fn store(&mut self, loc: Loc, val: u64, order: Order) {
+        let idx = self.mem.locs[loc.0].len();
+        self.mem.views[self.tid][loc.0] = idx;
+        let release_view = order.releases().then(|| self.mem.views[self.tid].clone());
+        self.mem.locs[loc.0].push(Store { val, release_view });
+    }
+
+    /// Atomic read-modify-write: reads the *latest* store (RMW
+    /// atomicity), applies `f`, appends the result; returns the old value.
+    pub fn rmw(&mut self, loc: Loc, order: Order, f: impl FnOnce(u64) -> u64) -> u64 {
+        let latest = self.mem.locs[loc.0].len() - 1;
+        let store = self.mem.locs[loc.0][latest].clone();
+        self.mem.views[self.tid][loc.0] = latest;
+        if order.acquires() {
+            if let Some(rv) = &store.release_view {
+                Memory::join_view(&mut self.mem.views[self.tid], rv);
+            }
+        }
+        let old = store.val;
+        self.store(loc, f(old), order);
+        old
+    }
+
+    /// `fetch_add` on the shadow atomic.
+    pub fn fetch_add(&mut self, loc: Loc, n: u64, order: Order) -> u64 {
+        self.rmw(loc, order, |v| v.wrapping_add(n))
+    }
+
+    /// `fetch_or` on the shadow atomic.
+    pub fn fetch_or(&mut self, loc: Loc, bits: u64, order: Order) -> u64 {
+        self.rmw(loc, order, |v| v | bits)
+    }
+
+    /// `fetch_and` on the shadow atomic.
+    pub fn fetch_and(&mut self, loc: Loc, bits: u64, order: Order) -> u64 {
+        self.rmw(loc, order, |v| v & bits)
+    }
+}
+
+/// A concurrent algorithm expressed as per-thread step machines.
+///
+/// A fresh instance is built for every explored execution (the factory
+/// closure passed to [`explore`] allocates the model's locations), so all
+/// mutable state lives in the model itself.
+pub trait Model {
+    /// Number of threads (fixed per model).
+    fn threads(&self) -> usize;
+
+    /// Executes one step of thread `tid`: at most a handful of shadow
+    /// operations that the real code performs "atomically enough" to be a
+    /// single interleaving point. Returns `Ok(true)` if the thread has
+    /// more steps, `Ok(false)` when it is finished, `Err` on an invariant
+    /// violation observed mid-run.
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String>;
+
+    /// Final-state invariant, checked once all threads finished.
+    fn check(&self, _mem: &Memory) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// The DFS decision trail: each entry is one branching point (scheduler
+/// pick or stale-read pick) with the option chosen on the current path.
+#[derive(Debug, Default)]
+struct Trail {
+    entries: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+impl Trail {
+    /// Returns a choice in `0..count`, replaying the trail prefix and
+    /// extending it (first option) past the end. Unary choices are not
+    /// recorded — they cannot branch.
+    fn choose(&mut self, count: usize) -> usize {
+        assert!(count > 0, "choose() needs at least one option");
+        if count == 1 {
+            return 0;
+        }
+        if self.cursor == self.entries.len() {
+            self.entries.push((0, count));
+        }
+        let (picked, recorded) = self.entries[self.cursor];
+        assert_eq!(
+            recorded, count,
+            "model is not deterministic under its decision trail"
+        );
+        self.cursor += 1;
+        picked
+    }
+
+    /// Advances to the next unexplored decision string; false when the
+    /// whole tree has been visited.
+    fn advance(&mut self) -> bool {
+        self.entries.truncate(self.cursor);
+        while let Some((picked, count)) = self.entries.pop() {
+            if picked + 1 < count {
+                self.entries.push((picked + 1, count));
+                self.cursor = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Executions (complete interleaving + read-choice strings) run.
+    pub executions: u64,
+    /// First invariant violation found, if any.
+    pub violation: Option<String>,
+    /// True when the state space was fully explored (no violation and no
+    /// execution cap hit).
+    pub complete: bool,
+}
+
+/// Explores every interleaving (and stale-read choice) of the model the
+/// factory builds, up to `max_executions`.
+///
+/// Stops at the first violation. `complete` is false if the cap was hit,
+/// which models should treat as a failure — raise the cap or shrink the
+/// model.
+pub fn explore<M: Model>(
+    mut factory: impl FnMut(&mut Memory) -> M,
+    max_executions: u64,
+) -> Outcome {
+    let mut trail = Trail::default();
+    let mut executions = 0u64;
+    loop {
+        if executions >= max_executions {
+            return Outcome {
+                executions,
+                violation: None,
+                complete: false,
+            };
+        }
+        executions += 1;
+
+        // One execution, replaying the trail prefix.
+        let probe_threads = {
+            // Thread count must not depend on memory contents.
+            let mut probe_mem = Memory::new(0);
+            factory(&mut probe_mem).threads()
+        };
+        let mut mem = Memory::new(probe_threads);
+        let mut model = factory(&mut mem);
+        let threads = model.threads();
+        let mut live: Vec<usize> = (0..threads).collect();
+        let result = (|| -> Result<(), String> {
+            while !live.is_empty() {
+                let pick = trail.choose(live.len());
+                let tid = live[pick];
+                let mut ctx = Ctx {
+                    mem: &mut mem,
+                    trail: &mut trail,
+                    tid,
+                };
+                if !model.step(tid, &mut ctx)? {
+                    live.remove(pick);
+                }
+            }
+            model.check(&mem)
+        })();
+
+        if let Err(msg) = result {
+            return Outcome {
+                executions,
+                violation: Some(msg),
+                complete: false,
+            };
+        }
+        if !trail.advance() {
+            return Outcome {
+                executions,
+                violation: None,
+                complete: true,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Message passing with configurable orderings; the classic litmus
+    /// for release/acquire synchronization.
+    struct Mp {
+        data: Loc,
+        flag: Loc,
+        store_order: Order,
+        load_order: Order,
+        pc: [usize; 2],
+    }
+
+    impl Model for Mp {
+        fn threads(&self) -> usize {
+            2
+        }
+
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+            let pc = self.pc[tid];
+            self.pc[tid] += 1;
+            match (tid, pc) {
+                (0, 0) => {
+                    ctx.store(self.data, 42, Order::Relaxed);
+                    Ok(true)
+                }
+                (0, 1) => {
+                    ctx.store(self.flag, 1, self.store_order);
+                    Ok(false)
+                }
+                (1, 0) => {
+                    let f = ctx.load(self.flag, self.load_order);
+                    let d = ctx.load(self.data, Order::Relaxed);
+                    if f == 1 && d != 42 {
+                        return Err(format!("flag=1 but data={d}"));
+                    }
+                    Ok(false)
+                }
+                _ => Ok(false),
+            }
+        }
+    }
+
+    fn mp(store_order: Order, load_order: Order) -> Outcome {
+        explore(
+            move |mem| Mp {
+                data: mem.alloc(0),
+                flag: mem.alloc(0),
+                store_order,
+                load_order,
+                pc: [0; 2],
+            },
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn message_passing_release_acquire_holds() {
+        let out = mp(Order::Release, Order::Acquire);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.complete);
+        assert!(out.executions >= 4, "explored {}", out.executions);
+    }
+
+    #[test]
+    fn message_passing_relaxed_is_caught() {
+        let out = mp(Order::Relaxed, Order::Acquire);
+        assert!(
+            out.violation.is_some(),
+            "relaxed publish must allow a stale read ({} execs)",
+            out.executions
+        );
+    }
+
+    #[test]
+    fn message_passing_relaxed_load_is_caught() {
+        let out = mp(Order::Release, Order::Relaxed);
+        assert!(out.violation.is_some());
+    }
+
+    /// Two relaxed incrementers: RMW atomicity must still sum correctly.
+    struct Incr {
+        counter: Loc,
+        left: [u32; 2],
+    }
+
+    impl Model for Incr {
+        fn threads(&self) -> usize {
+            2
+        }
+
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+            ctx.fetch_add(self.counter, 1, Order::Relaxed);
+            self.left[tid] -= 1;
+            Ok(self.left[tid] > 0)
+        }
+
+        fn check(&self, mem: &Memory) -> Result<(), String> {
+            let v = mem.latest(self.counter);
+            if v == 4 {
+                Ok(())
+            } else {
+                Err(format!("lost update: counter={v}, want 4"))
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_rmws_never_lose_updates() {
+        let out = explore(
+            |mem| Incr {
+                counter: mem.alloc(0),
+                left: [2, 2],
+            },
+            1_000_000,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.complete);
+        // C(4,2) = 6 interleavings of two 2-step threads.
+        assert_eq!(out.executions, 6);
+    }
+
+    /// Unsynchronized load;store on a shared index loses claims — the
+    /// checker must find the duplicate.
+    struct BrokenClaim {
+        next: Loc,
+        claimed: Vec<Loc>,
+        pc: [usize; 2],
+        my_claim: [Option<u64>; 2],
+    }
+
+    impl Model for BrokenClaim {
+        fn threads(&self) -> usize {
+            2
+        }
+
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+            match self.pc[tid] {
+                0 => {
+                    self.my_claim[tid] = Some(ctx.load(self.next, Order::Relaxed));
+                    self.pc[tid] = 1;
+                    Ok(true)
+                }
+                _ => {
+                    let i = self.my_claim[tid].expect("loaded first");
+                    ctx.store(self.next, i + 1, Order::Relaxed);
+                    ctx.fetch_add(self.claimed[i as usize], 1, Order::Relaxed);
+                    Ok(false)
+                }
+            }
+        }
+
+        fn check(&self, mem: &Memory) -> Result<(), String> {
+            for (i, &slot) in self.claimed.iter().enumerate() {
+                if mem.latest(slot) > 1 {
+                    return Err(format!("slot {i} claimed twice"));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn split_load_store_claim_race_is_caught() {
+        let out = explore(
+            |mem| BrokenClaim {
+                next: mem.alloc(0),
+                claimed: (0..2).map(|_| mem.alloc(0)).collect(),
+                pc: [0; 2],
+                my_claim: [None; 2],
+            },
+            1_000_000,
+        );
+        assert!(out.violation.is_some(), "double claim must be found");
+    }
+
+    #[test]
+    fn read_read_coherence_is_monotone() {
+        /// One writer (0 → 1 → 2, relaxed), one reader taking two relaxed
+        /// loads: the second may not go backwards.
+        struct Coherence {
+            x: Loc,
+            pc: [usize; 2],
+            first: Option<u64>,
+        }
+
+        impl Model for Coherence {
+            fn threads(&self) -> usize {
+                2
+            }
+
+            fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+                let pc = self.pc[tid];
+                self.pc[tid] += 1;
+                match (tid, pc) {
+                    (0, n) if n < 2 => {
+                        ctx.store(self.x, n as u64 + 1, Order::Relaxed);
+                        Ok(n == 0)
+                    }
+                    (1, 0) => {
+                        self.first = Some(ctx.load(self.x, Order::Relaxed));
+                        Ok(true)
+                    }
+                    (1, 1) => {
+                        let second = ctx.load(self.x, Order::Relaxed);
+                        let first = self.first.expect("first load recorded");
+                        if second < first {
+                            return Err(format!("reads went backwards: {first} then {second}"));
+                        }
+                        Ok(false)
+                    }
+                    _ => Ok(false),
+                }
+            }
+        }
+
+        let out = explore(
+            |mem| Coherence {
+                x: mem.alloc(0),
+                pc: [0; 2],
+                first: None,
+            },
+            1_000_000,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.complete);
+    }
+}
