@@ -1,0 +1,23 @@
+//! raw-eprintln fixture: direct stderr writes must route through the
+//! quiet-aware logger; waived and test sites are exempt.
+
+pub fn noisy(x: u32) {
+    eprintln!("progress {x}");
+}
+
+pub fn partial() {
+    eprint!("partial line");
+}
+
+pub fn fatal(e: &str) {
+    // press::allow(raw-eprintln): error reporting must reach stderr.
+    eprintln!("error: {e}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        eprintln!("test chatter is exempt");
+    }
+}

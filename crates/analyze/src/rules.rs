@@ -15,13 +15,14 @@ use crate::scanner::{find_token, is_ident_char, Line};
 use std::collections::BTreeSet;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "wall-clock",
     "os-random",
     "hash-iter",
     "hot-unwrap",
     "safety-comment",
     "atomic-ordering",
+    "raw-eprintln",
 ];
 
 /// One-line description per rule, for `--list-rules`.
@@ -34,6 +35,10 @@ pub fn describe(rule: &str) -> &'static str {
         "safety-comment" => "every unsafe block needs a `// SAFETY:` comment",
         "atomic-ordering" => {
             "every atomic access needs a `// ordering:` justification or an atomics-manifest entry"
+        }
+        "raw-eprintln" => {
+            "no direct eprintln!/eprint! in runtime crates — use press_telem::progress so \
+             PRESS_QUIET silences everything uniformly"
         }
         _ => "unknown rule",
     }
@@ -69,6 +74,26 @@ fn os_random_scope(path: &str) -> bool {
 /// The live server's per-request hot loops.
 fn hot_loop_scope(path: &str) -> bool {
     path == "crates/server/src/node.rs"
+}
+
+/// Paths where stderr chatter must route through `press_telem`'s
+/// `PRESS_QUIET`-aware helpers: every runtime crate plus the CLI front
+/// end. The analyze tool itself is exempt — it is a dev-time linter
+/// whose diagnostics must always print.
+fn eprintln_scope(path: &str) -> bool {
+    const RUNTIME: [&str; 10] = [
+        "crates/sim/src/",
+        "crates/trace/src/",
+        "crates/via/src/",
+        "crates/net/src/",
+        "crates/cluster/src/",
+        "crates/core/src/",
+        "crates/model/src/",
+        "crates/server/src/",
+        "crates/bench/src/",
+        "crates/telem/src/",
+    ];
+    RUNTIME.iter().any(|p| path.starts_with(p)) || path.starts_with("src/")
 }
 
 /// Runs every rule over one scanned file, returning raw findings
@@ -148,6 +173,22 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                     rule: "safety-comment",
                     message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
                 });
+            }
+        }
+
+        if eprintln_scope(path) {
+            for pat in ["eprintln!", "eprint!"] {
+                if code.contains(pat) {
+                    out.push(Finding {
+                        path: path.into(),
+                        line: line.number,
+                        rule: "raw-eprintln",
+                        message: format!(
+                            "`{pat}` bypasses the quiet-aware logger — route stderr chatter \
+                             through `press_telem::progress`/`progress_with`"
+                        ),
+                    });
+                }
             }
         }
 

@@ -142,6 +142,33 @@ why = "both halves: takes and republishes the slot"
 }
 
 #[test]
+fn raw_eprintln_fixture_exact_diagnostics() {
+    let f = fixture("raw_eprintln.rs", "crates/bench/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(
+        triples(&report),
+        vec![
+            ("crates/bench/src/fixture.rs".into(), 5, "raw-eprintln"),
+            ("crates/bench/src/fixture.rs".into(), 9, "raw-eprintln"),
+        ],
+        "waived and #[cfg(test)] sites must not fire"
+    );
+    let waived: Vec<(usize, &str)> = report.waived.iter().map(|w| (w.line, w.rule)).collect();
+    assert_eq!(waived, vec![(14, "raw-eprintln")]);
+}
+
+#[test]
+fn raw_eprintln_rule_is_scoped_to_runtime_crates() {
+    let f = fixture("raw_eprintln.rs", "crates/analyze/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert!(
+        report.violations.is_empty(),
+        "the linter may print freely: {:?}",
+        report.violations
+    );
+}
+
+#[test]
 fn stale_manifest_entries_warn() {
     let f = fixture("atomics.rs", "crates/via/src/fixture.rs");
     let manifest = Manifest::parse(
@@ -186,6 +213,7 @@ fn every_violating_fixture_exits_nonzero() {
         ("safety.rs", "crates/via/src/fixture.rs"),
         ("atomics.rs", "crates/via/src/fixture.rs"),
         ("waivers.rs", "crates/sim/src/fixture.rs"),
+        ("raw_eprintln.rs", "crates/bench/src/fixture.rs"),
     ] {
         let report = lint_files(&[fixture(name, as_path)], &Manifest::empty());
         let (rendered, code) = press_analyze::render(&report, false);
@@ -204,6 +232,7 @@ fn all_fixtures() -> Vec<SourceFile> {
         fixture("safety.rs", "crates/via/src/fixture_safety.rs"),
         fixture("atomics.rs", "crates/via/src/fixture_atomics.rs"),
         fixture("waivers.rs", "crates/sim/src/fixture_waivers.rs"),
+        fixture("raw_eprintln.rs", "crates/bench/src/fixture_eprintln.rs"),
     ]
 }
 
@@ -213,7 +242,7 @@ proptest! {
     /// The report is identical whatever order the files are scanned in —
     /// the property that keeps analyze runs byte-stable in CI.
     #[test]
-    fn report_is_stable_under_file_ordering(keys in vec(0u64..1_000_000, 7)) {
+    fn report_is_stable_under_file_ordering(keys in vec(0u64..1_000_000, 8)) {
         let baseline = lint_files(&all_fixtures(), &Manifest::empty());
 
         let mut shuffled: Vec<(u64, SourceFile)> =

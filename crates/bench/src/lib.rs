@@ -57,39 +57,31 @@ pub fn trace_scale(cfg: &SimConfig, preset: TracePreset) -> f64 {
     preset.spec().num_requests as f64 / cfg.measure_requests as f64
 }
 
-/// Whether quiet mode is on: `--quiet` (or `-q`) on the command line, or
-/// `PRESS_QUIET` set to anything but `0`/empty in the environment.
+/// Whether quiet mode is on — re-exported from the telemetry crate so
+/// every binary shares one definition: `--quiet` (or `-q`) on the
+/// command line, or `PRESS_QUIET` set to anything but `0`/empty.
 ///
 /// Quiet mode suppresses stderr progress notes and commentary; the
 /// figure/table output itself (stdout) is unaffected, so scripted runs
 /// capture exactly the reproduction artifact.
-pub fn quiet() -> bool {
-    std::env::args().any(|a| a == "--quiet" || a == "-q") || env_quiet()
-}
-
-fn env_quiet() -> bool {
-    matches!(std::env::var("PRESS_QUIET"), Ok(v) if !v.is_empty() && v != "0")
-}
+pub use press_telem::{env_quiet, quiet};
 
 /// Runs one configuration and prints a one-line progress note to stderr
 /// (suppressed under [`quiet`]).
 pub fn run_logged(label: &str, cfg: &SimConfig) -> Metrics {
-    if !quiet() {
-        eprintln!("running {label} ...");
-    }
+    press_telem::progress_with(|| format!("running {label} ..."));
     let m = run_simulation(cfg);
     log_result(label, &m);
     m
 }
 
 fn log_result(label: &str, m: &Metrics) {
-    if quiet() {
-        return;
-    }
-    eprintln!(
-        "  {label}: {:.0} req/s (hit {:.3}, Q {:.3})",
-        m.throughput_rps, m.hit_rate, m.forward_fraction
-    );
+    press_telem::progress_with(|| {
+        format!(
+            "  {label}: {:.0} req/s (hit {:.3}, Q {:.3})",
+            m.throughput_rps, m.hit_rate, m.forward_fraction
+        )
+    });
 }
 
 /// Runs a whole experiment batch on the [`ExperimentRunner`] thread pool
@@ -107,9 +99,7 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
         // Stream progress per job, legacy-style.
         jobs.into_iter()
             .map(|job| {
-                if !quiet() {
-                    eprintln!("running {} ...", job.label);
-                }
+                press_telem::progress_with(|| format!("running {} ...", job.label));
                 let r = runner
                     .run(vec![job])
                     .pop()
@@ -119,13 +109,13 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
             })
             .collect::<Vec<_>>()
     } else {
-        if !quiet() {
-            eprintln!(
+        press_telem::progress_with(|| {
+            format!(
                 "running {} jobs on {} threads ...",
                 jobs.len(),
                 runner.threads()
-            );
-        }
+            )
+        });
         let results = runner.run(jobs);
         for r in &results {
             log_result(&r.label, &r.metrics);

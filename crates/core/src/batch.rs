@@ -141,9 +141,9 @@ pub fn threads_from_env() -> usize {
         }
         // Misconfiguration warning; PRESS_QUIET silences it like the
         // rest of the harness chatter.
-        if !matches!(std::env::var("PRESS_QUIET"), Ok(q) if !q.is_empty() && q != "0") {
-            eprintln!("PRESS_THREADS={v:?} is not a positive integer; using available cores");
-        }
+        press_telem::progress_with(|| {
+            format!("PRESS_THREADS={v:?} is not a positive integer; using available cores")
+        });
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

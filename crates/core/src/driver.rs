@@ -200,6 +200,23 @@ impl SimConfig {
 /// assert!(metrics.hit_rate > 0.5);
 /// ```
 pub fn run_simulation(cfg: &SimConfig) -> Metrics {
+    run_inner(cfg, false).0
+}
+
+/// Like [`run_simulation`], but records a request-span trace alongside the
+/// metrics.
+///
+/// Tracing is passive: the returned [`Metrics`] are identical to what
+/// [`run_simulation`] produces for the same configuration, and the trace
+/// carries one span/instant per modeled step of every request (arrival,
+/// dispatch decision, cache/disk service, VIA send/receive, credit stalls,
+/// reply transmission) suitable for Chrome `trace_event` export.
+pub fn run_simulation_traced(cfg: &SimConfig) -> (Metrics, press_telem::Trace) {
+    let (metrics, trace) = run_inner(cfg, true);
+    (metrics, trace.expect("tracing was enabled"))
+}
+
+fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Trace>) {
     assert!(cfg.nodes >= 2, "the cluster needs at least two nodes");
     assert!(cfg.clients_per_node >= 1, "at least one client per node");
     assert!(cfg.measure_requests >= 1, "nothing to measure");
@@ -217,7 +234,11 @@ pub fn run_simulation(cfg: &SimConfig) -> Metrics {
         measure_requests: cfg.measure_requests,
         faults: cfg.faults.clone(),
     };
-    let sim_model = ClusterSim::new(params, source, cfg.cache_bytes_per_node, cfg.seed ^ 0x5EED);
+    let mut sim_model =
+        ClusterSim::new(params, source, cfg.cache_bytes_per_node, cfg.seed ^ 0x5EED);
+    if traced {
+        sim_model.enable_trace();
+    }
     let mut sim = Simulator::new(sim_model);
     // Stagger the initial client population to avoid a thundering herd at
     // t = 0 (clients then pick nodes uniformly at random on every request).
@@ -232,7 +253,9 @@ pub fn run_simulation(cfg: &SimConfig) -> Metrics {
         sim.model().finished(),
         "simulation drained before reaching the measurement target"
     );
-    Metrics::from_sim(sim.model())
+    let metrics = Metrics::from_sim(sim.model());
+    let trace = sim.model_mut().take_trace();
+    (metrics, trace)
 }
 
 #[cfg(test)]

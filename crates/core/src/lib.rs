@@ -37,7 +37,7 @@ mod server;
 mod version;
 
 pub use batch::{ExperimentRunner, Job, RunResult};
-pub use driver::{run_simulation, SimConfig, WorkloadSource};
+pub use driver::{run_simulation, run_simulation_traced, SimConfig, WorkloadSource};
 pub use load::Dissemination;
 pub use metrics::Metrics;
 pub use policy::{decide, Decision, PolicyConfig, RequestView};

@@ -2,6 +2,7 @@
 
 use press_net::MsgCounters;
 use press_sim::SimTime;
+use press_telem::Registry;
 
 use crate::server::ClusterSim;
 
@@ -150,5 +151,65 @@ impl Metrics {
             membership_epochs: sim.fault_stats().membership_epochs,
             time_degraded_secs: sim.degraded_seconds(),
         }
+    }
+
+    /// Publishes this run's metrics into a telemetry [`Registry`] as
+    /// labeled series (the caller supplies identifying labels such as
+    /// node count, protocol combo, or server version).
+    pub fn fill_registry(&self, reg: &mut Registry, labels: &[(&str, &str)]) {
+        reg.set_gauge("press_throughput_rps", labels, self.throughput_rps);
+        reg.set_gauge("press_mean_response_ms", labels, self.mean_response_ms);
+        reg.set_gauge("press_p50_response_ms", labels, self.p50_response_ms);
+        reg.set_gauge("press_p95_response_ms", labels, self.p95_response_ms);
+        reg.set_gauge("press_p99_response_ms", labels, self.p99_response_ms);
+        reg.set_gauge("press_hit_rate", labels, self.hit_rate);
+        reg.set_gauge("press_forward_fraction", labels, self.forward_fraction);
+        reg.set_gauge(
+            "press_intcomm_cpu_fraction",
+            labels,
+            self.intcomm_cpu_fraction,
+        );
+        reg.set_gauge(
+            "press_intcomm_wall_fraction",
+            labels,
+            self.intcomm_wall_fraction,
+        );
+        reg.set_gauge("press_cpu_utilization", labels, self.cpu_utilization);
+        reg.set_gauge("press_disk_utilization", labels, self.disk_utilization);
+        reg.inc("press_measured_requests", labels, self.measured_requests);
+        reg.inc("press_retries", labels, self.retries);
+        reg.inc("press_failovers", labels, self.failovers);
+        reg.inc("press_dropped_messages", labels, self.dropped_messages);
+        self.counters.fill_registry(reg, labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_simulation, SimConfig};
+    use press_telem::{MetricValue, Registry};
+
+    #[test]
+    fn metrics_fill_registry_with_labels() {
+        let m = run_simulation(&SimConfig::quick_demo());
+        let mut reg = Registry::default();
+        m.fill_registry(&mut reg, &[("combo", "via_clan"), ("version", "v0")]);
+        let recs = reg.records();
+        assert!(recs.iter().all(|r| r
+            .labels
+            .contains(&("combo".to_string(), "via_clan".to_string()))));
+        let tput = recs
+            .iter()
+            .find(|r| r.name == "press_throughput_rps")
+            .expect("throughput gauge");
+        match tput.value {
+            MetricValue::Gauge(v) => assert!(v > 0.0),
+            _ => panic!("throughput should be a gauge"),
+        }
+        let measured = recs
+            .iter()
+            .find(|r| r.name == "press_measured_requests")
+            .expect("measured counter");
+        assert_eq!(measured.value, MetricValue::Counter(4_000));
     }
 }

@@ -17,6 +17,7 @@ use press_net::{
     FILE_SEGMENT_BYTES,
 };
 use press_sim::{FaultInjector, FaultPlan, Histogram, MeanVar, Model, Scheduler, SimTime};
+use press_telem::{lane, EventKind, Trace, TraceBuffer, TraceEvent};
 use press_trace::{FileCatalog, FileId, RequestLog, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -216,6 +217,10 @@ pub struct ClusterSim {
     /// Time and completion count at 75% of the measured window, for the
     /// post-recovery tail-throughput metric.
     tail_start: Option<(SimTime, u64)>,
+    /// Span recorder, present only when tracing is enabled. Recording is
+    /// passive — it never reads the RNG or mutates simulation state — so
+    /// traced and untraced same-seed runs stay byte-identical.
+    trace: Option<Box<TraceBuffer>>,
 }
 
 impl ClusterSim {
@@ -307,8 +312,21 @@ impl ClusterSim {
             measure_end: SimTime::ZERO,
             stop_arrivals: false,
             tail_start: None,
+            trace: None,
             params,
         }
+    }
+
+    /// Turns on span recording with the default event capacity. Call
+    /// before the run starts; recording is passive and does not perturb
+    /// the simulation.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Box::new(TraceBuffer::new(press_telem::DEFAULT_TRACE_CAP)));
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take().map(|b| b.into_trace())
     }
 
     /// The next requested file: replayed from the log, or Zipf-sampled.
@@ -406,10 +424,71 @@ impl ClusterSim {
     /// Charges CPU demand (inflated by the background polling overhead)
     /// and returns the completion time.
     fn cpu(&mut self, node: u16, now: SimTime, demand: SimTime, cat: CpuCategory) -> SimTime {
-        let inflated = SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation);
+        let inflated = self.inflated(demand);
         self.nodes[node as usize]
             .cpu
             .submit(now, inflated, cat as usize)
+    }
+
+    /// The CPU demand after the background-polling inflation that
+    /// [`Self::cpu`] applies internally; used to reconstruct span starts
+    /// from completion times.
+    fn inflated(&self, demand: SimTime) -> SimTime {
+        SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation)
+    }
+
+    /// Records an instant trace event; a no-op when tracing is disabled.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event fields
+    fn trace_instant(
+        &mut self,
+        at: SimTime,
+        node: u16,
+        lane: u16,
+        kind: EventKind,
+        req: u64,
+        a: u64,
+        b: u64,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                ts_ns: at.as_nanos(),
+                dur_ns: 0,
+                node,
+                lane,
+                kind,
+                req,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Records a complete span covering the service period `start..done`;
+    /// a no-op when tracing is disabled.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event fields
+    fn trace_span(
+        &mut self,
+        start: SimTime,
+        done: SimTime,
+        node: u16,
+        lane: u16,
+        kind: EventKind,
+        req: u64,
+        a: u64,
+        b: u64,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                ts_ns: start.as_nanos(),
+                dur_ns: done.as_nanos().saturating_sub(start.as_nanos()),
+                node,
+                lane,
+                kind,
+                req,
+                a,
+                b,
+            });
+        }
     }
 
     fn mode_of(&self, ty: MessageType) -> DeliveryMode {
@@ -478,6 +557,15 @@ impl ClusterSim {
                 release.push(ch.queued.pop_front().expect("non-empty queue"));
             }
         }
+        self.trace_instant(
+            now,
+            from,
+            lane::MAIN,
+            EventKind::CreditGrant,
+            0,
+            credits as u64,
+            to as u64,
+        );
         for m in release {
             self.transmit(now, m, sched);
         }
@@ -536,6 +624,16 @@ impl ClusterSim {
             let ch = self.channel_mut(from, to);
             if ch.credits == 0 {
                 ch.queued.push_back(msg);
+                let depth = ch.queued.len() as u64;
+                self.trace_instant(
+                    now,
+                    from,
+                    lane::MAIN,
+                    EventKind::CreditStall,
+                    req.unwrap_or(0),
+                    depth,
+                    to as u64,
+                );
                 return;
             }
             ch.credits -= 1;
@@ -553,6 +651,38 @@ impl ClusterSim {
         let nic_done = self.nodes[msg.from as usize]
             .nic_int_tx
             .submit(cpu_done, sc.nic, 0);
+        let req = msg.req.unwrap_or(0);
+        self.trace_span(
+            cpu_done - self.inflated(sc.cpu),
+            cpu_done,
+            msg.from,
+            lane::MAIN,
+            EventKind::ViaSend,
+            req,
+            msg.wire,
+            msg.ty as u64,
+        );
+        self.trace_span(
+            nic_done - sc.nic,
+            nic_done,
+            msg.from,
+            lane::NIC_INT,
+            EventKind::NicTx,
+            req,
+            msg.wire,
+            msg.to as u64,
+        );
+        if self.mode_of(msg.ty) == DeliveryMode::Rmw {
+            self.trace_instant(
+                cpu_done,
+                msg.from,
+                lane::MAIN,
+                EventKind::RdmaWrite,
+                req,
+                msg.wire,
+                msg.to as u64,
+            );
+        }
         // Injected loss: the sender has paid its costs, the wire delivers
         // nothing. Credits the message consumed are repaired out-of-band
         // (the modeled NACK/retransmit of the tiny control path) so flow
@@ -674,6 +804,16 @@ impl ClusterSim {
         };
         let demand = self.params.rates.reply_time(bytes + REPLY_HEADER_BYTES);
         let done = self.cpu(node, now, demand, CpuCategory::ExtCommService);
+        self.trace_span(
+            done - self.inflated(demand),
+            done,
+            node,
+            lane::MAIN,
+            EventKind::ReplyCpu,
+            req_id,
+            bytes,
+            0,
+        );
         sched.schedule(done, Event::ReplyCpuDone { req: req_id });
     }
 
@@ -690,10 +830,21 @@ impl ClusterSim {
         };
         let (file, bytes) = (req.file, req.bytes);
         if self.nodes[node as usize].cache.touch(file) {
+            self.trace_instant(now, node, lane::MAIN, EventKind::CacheHit, req_id, bytes, 0);
             self.after_content_ready(now, req_id, node, sched);
         } else {
             let demand = self.nodes[node as usize].disk_model.access_time(bytes);
             let done = self.nodes[node as usize].disk.submit(now, demand, 0);
+            self.trace_span(
+                done - demand,
+                done,
+                node,
+                lane::DISK,
+                EventKind::DiskRead,
+                req_id,
+                bytes,
+                0,
+            );
             sched.schedule(done, Event::DiskDone { req: req_id, node });
         }
     }
@@ -721,6 +872,15 @@ impl ClusterSim {
             return;
         };
         let node = req.initial.0;
+        self.trace_instant(
+            now,
+            node,
+            lane::MAIN,
+            EventKind::Done,
+            req_id,
+            (now - req.started).as_nanos() / 1_000,
+            req.bytes,
+        );
         let oc = &mut self.nodes[node as usize].open_connections;
         *oc = oc.saturating_sub(1);
         self.load_changed(now, node, sched);
@@ -813,6 +973,15 @@ impl ClusterSim {
             .collect();
         if next_attempt > self.faults.max_retries || candidates.is_empty() {
             self.fault_stats.failovers += 1;
+            self.trace_instant(
+                now,
+                initial,
+                lane::MAIN,
+                EventKind::Failover,
+                req_id,
+                next_attempt as u64,
+                initial as u64,
+            );
             if let Some(r) = self.requests.get_mut(&req_id) {
                 r.attempt = next_attempt;
                 r.server = Some(initial);
@@ -827,6 +996,15 @@ impl ClusterSim {
             .copied()
             .min_by_key(|&c| (self.load_views[initial as usize][c as usize], c))
             .expect("non-empty candidates");
+        self.trace_instant(
+            now,
+            initial,
+            lane::MAIN,
+            EventKind::Retry,
+            req_id,
+            next_attempt as u64,
+            target as u64,
+        );
         if let Some(r) = self.requests.get_mut(&req_id) {
             r.attempt = next_attempt;
             r.server = Some(target);
@@ -889,6 +1067,7 @@ impl ClusterSim {
         }
         self.alive[node as usize] = false;
         self.crashed_now += 1;
+        self.trace_instant(now, node, lane::MAIN, EventKind::Crash, 0, 0, 0);
         self.fault_stats.membership_epochs += 1;
         if self.degraded_since.is_none() {
             self.degraded_since = Some(now);
@@ -926,6 +1105,7 @@ impl ClusterSim {
         }
         self.alive[node as usize] = true;
         self.crashed_now -= 1;
+        self.trace_instant(now, node, lane::MAIN, EventKind::Recover, 0, 0, 0);
         self.fault_stats.membership_epochs += 1;
         // Cold restart: empty cache, no stale caching knowledge, fresh
         // flow-control windows, zeroed load beliefs in both directions.
@@ -1072,14 +1252,40 @@ impl Model for ClusterSim {
                 );
                 self.nodes[node as usize].open_connections += 1;
                 self.load_changed(now, node, sched);
-                // Request bytes arrive on the external NIC, then parse.
-                let rx_done = self.nodes[node as usize].nic_ext_rx.submit(
+                self.trace_instant(
                     now,
-                    self.params.rates.ext_nic_time(CLIENT_REQUEST_BYTES),
+                    node,
+                    lane::MAIN,
+                    EventKind::Arrive,
+                    req_id,
+                    file.0 as u64,
+                    bytes,
+                );
+                // Request bytes arrive on the external NIC, then parse.
+                let rx_time = self.params.rates.ext_nic_time(CLIENT_REQUEST_BYTES);
+                let rx_done = self.nodes[node as usize].nic_ext_rx.submit(now, rx_time, 0);
+                self.trace_span(
+                    rx_done - rx_time,
+                    rx_done,
+                    node,
+                    lane::NIC_EXT,
+                    EventKind::NicRx,
+                    req_id,
+                    CLIENT_REQUEST_BYTES,
                     0,
                 );
                 let parse = self.params.rates.parse;
                 let parsed = self.cpu(node, rx_done, parse, CpuCategory::ExtCommService);
+                self.trace_span(
+                    parsed - self.inflated(parse),
+                    parsed,
+                    node,
+                    lane::MAIN,
+                    EventKind::Parse,
+                    req_id,
+                    0,
+                    0,
+                );
                 sched.schedule(parsed, Event::Parsed { req: req_id });
             }
             Event::Parsed { req: req_id } => {
@@ -1112,12 +1318,30 @@ impl Model for ClusterSim {
                 );
                 match decision {
                     Decision::ServeLocal => {
+                        self.trace_instant(
+                            now,
+                            node,
+                            lane::MAIN,
+                            EventKind::Dispatch,
+                            req_id,
+                            0,
+                            node as u64,
+                        );
                         if let Some(r) = self.requests.get_mut(&req_id) {
                             r.server = Some(node);
                         }
                         self.service_request(now, req_id, node, sched);
                     }
                     Decision::Forward(target) => {
+                        self.trace_instant(
+                            now,
+                            node,
+                            lane::MAIN,
+                            EventKind::Dispatch,
+                            req_id,
+                            1,
+                            target.0 as u64,
+                        );
                         if let Some(r) = self.requests.get_mut(&req_id) {
                             r.forwarded = true;
                             r.server = Some(target.0);
@@ -1151,8 +1375,19 @@ impl Model for ClusterSim {
                 let (file, bytes) = (req.file, req.bytes);
                 if self.injector.disk_error() {
                     self.fault_stats.disk_retries += 1;
+                    self.trace_instant(now, node, lane::DISK, EventKind::DiskError, req_id, 0, 0);
                     let demand = self.nodes[node as usize].disk_model.access_time(bytes);
                     let done = self.nodes[node as usize].disk.submit(now, demand, 0);
+                    self.trace_span(
+                        done - demand,
+                        done,
+                        node,
+                        lane::DISK,
+                        EventKind::DiskRead,
+                        req_id,
+                        bytes,
+                        1,
+                    );
                     sched.schedule(done, Event::DiskDone { req: req_id, node });
                     return;
                 }
@@ -1178,6 +1413,16 @@ impl Model for ClusterSim {
                     now
                 };
                 let done = self.cpu(msg.to, start, rc.cpu, CpuCategory::IntComm);
+                self.trace_span(
+                    done - self.inflated(rc.cpu),
+                    done,
+                    msg.to,
+                    lane::MAIN,
+                    EventKind::ViaRecv,
+                    msg.req.unwrap_or(0),
+                    msg.wire,
+                    msg.ty as u64,
+                );
                 sched.schedule(done, Event::MsgConsumed(msg));
             }
             Event::MsgConsumed(msg) => self.handle_consumed(now, msg, sched),
@@ -1188,9 +1433,16 @@ impl Model for ClusterSim {
                     };
                     (req.initial.0, req.bytes)
                 };
-                let done = self.nodes[node as usize].nic_ext_tx.submit(
-                    now,
-                    self.params.rates.ext_nic_time(bytes + REPLY_HEADER_BYTES),
+                let tx_time = self.params.rates.ext_nic_time(bytes + REPLY_HEADER_BYTES);
+                let done = self.nodes[node as usize].nic_ext_tx.submit(now, tx_time, 0);
+                self.trace_span(
+                    done - tx_time,
+                    done,
+                    node,
+                    lane::NIC_EXT,
+                    EventKind::ReplyTx,
+                    req_id,
+                    bytes + REPLY_HEADER_BYTES,
                     0,
                 );
                 sched.schedule(done, Event::ReplyDelivered { req: req_id });

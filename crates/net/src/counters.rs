@@ -1,6 +1,6 @@
 //! Per-message-type accounting: the rows of Tables 2 and 4.
 
-use press_sim::Counter;
+use press_telem::{Counter, Registry};
 
 use crate::msg::MessageType;
 
@@ -101,6 +101,19 @@ impl MsgCounters {
         out
     }
 
+    /// Publishes the counters into a telemetry [`Registry`] as the
+    /// labeled series `press_msgs` / `press_msg_bytes`, one label set
+    /// per message type plus any caller-supplied labels (node, protocol,
+    /// version, ...).
+    pub fn fill_registry(&self, reg: &mut Registry, extra_labels: &[(&str, &str)]) {
+        for &ty in MessageType::ALL.iter() {
+            let mut labels: Vec<(&str, &str)> = extra_labels.to_vec();
+            labels.push(("type", ty.name()));
+            reg.inc("press_msgs", &labels, self.count(ty));
+            reg.inc("press_msg_bytes", &labels, self.bytes(ty));
+        }
+    }
+
     fn index(ty: MessageType) -> usize {
         MessageType::ALL
             .iter()
@@ -157,6 +170,29 @@ mod tests {
         let rows = c.rows();
         let names: Vec<&str> = rows.iter().map(|r| r.msg_type.as_str()).collect();
         assert_eq!(names, vec!["Load", "Flow", "Forward", "Caching", "File"]);
+    }
+
+    #[test]
+    fn fills_registry_with_labeled_series() {
+        let mut c = MsgCounters::default();
+        c.record(MessageType::Load, 4);
+        c.record(MessageType::File, 1000);
+        let mut reg = Registry::default();
+        c.fill_registry(&mut reg, &[("node", "2")]);
+        let recs = reg.records();
+        // Five types x two series, all carrying the extra label.
+        assert_eq!(recs.len(), 10);
+        assert!(recs
+            .iter()
+            .all(|r| r.labels.contains(&("node".to_string(), "2".to_string()))));
+        let file_bytes = recs
+            .iter()
+            .find(|r| {
+                r.name == "press_msg_bytes"
+                    && r.labels.contains(&("type".to_string(), "File".to_string()))
+            })
+            .expect("File bytes series");
+        assert_eq!(file_bytes.value, press_telem::MetricValue::Counter(1000));
     }
 
     #[test]

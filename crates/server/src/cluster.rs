@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use press_core::{FaultPlan, PolicyConfig};
+use press_telem::{lane, LiveTracer, Trace};
 use press_trace::{FileCatalog, FileId};
 use press_via::{CompletionQueue, Descriptor, Fabric, FaultConfig, MemHandle, Reliability};
 
@@ -130,6 +131,9 @@ pub struct LiveCluster {
     load_handles: Vec<MemHandle>,
     /// NICs must outlive the node threads (dropping a NIC kills its engine).
     nics: Vec<Arc<press_via::Nic>>,
+    /// Wall-clock tracer shared by every node thread and NIC engine;
+    /// None unless tracing was requested at start.
+    tracer: Option<Arc<LiveTracer>>,
 }
 
 /// The handles needed to crash and recover nodes — shared between the
@@ -196,6 +200,21 @@ impl LiveCluster {
     /// Panics if `nodes` is not in `2..=64` or the configuration is
     /// internally inconsistent (e.g. window not a multiple of the batch).
     pub fn start(cfg: LiveConfig, catalog: FileCatalog) -> LiveCluster {
+        // `PRESS_TRACE` turns on wall-clock span recording cluster-wide.
+        let tracer = matches!(std::env::var("PRESS_TRACE"), Ok(v) if !v.is_empty() && v != "0")
+            .then(LiveTracer::new);
+        Self::start_with_tracer(cfg, catalog, tracer)
+    }
+
+    /// Like [`LiveCluster::start`], with an explicit tracer instead of the
+    /// `PRESS_TRACE` environment check. Pass `Some` to record VIA-level
+    /// (descriptor post/completion) and request-lifecycle events; drain
+    /// them with [`LiveCluster::shutdown_traced`].
+    pub fn start_with_tracer(
+        cfg: LiveConfig,
+        catalog: FileCatalog,
+        tracer: Option<Arc<LiveTracer>>,
+    ) -> LiveCluster {
         assert!((2..=64).contains(&cfg.nodes), "2..=64 nodes");
         assert!(cfg.window > 0 && cfg.credit_batch > 0);
         assert_eq!(
@@ -219,6 +238,11 @@ impl LiveCluster {
         let nics: Vec<Arc<press_via::Nic>> = (0..n)
             .map(|i| Arc::new(fabric.create_nic(&format!("press-node{i}"))))
             .collect();
+        if let Some(t) = &tracer {
+            for (i, nic) in nics.iter().enumerate() {
+                nic.set_tracer(t.handle(i as u16, lane::NIC_INT));
+            }
+        }
 
         // Probabilistic message faults become VIA-level injections. The
         // mesh uses reliable delivery, where a real interconnect turns
@@ -374,6 +398,7 @@ impl LiveCluster {
                 shutdown: Arc::clone(&shutdown),
                 membership: Arc::clone(&membership),
                 dead: Arc::clone(&dead[i]),
+                trace: tracer.as_ref().map(|t| t.handle(i as u16, lane::MAIN)),
             });
             let main_cfg = MainConfig {
                 catalog: Arc::clone(&catalog),
@@ -484,6 +509,7 @@ impl LiveCluster {
             threads,
             load_handles: load_regions,
             nics,
+            tracer,
         }
     }
 
@@ -595,7 +621,19 @@ impl LiveCluster {
 
     /// Stops every thread and joins them. Outstanding requests receive
     /// [`LiveError::Disconnected`] through their dropped reply channels.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        let _ = self.shutdown_impl();
+    }
+
+    /// Stops the cluster like [`LiveCluster::shutdown`] and returns the
+    /// recorded trace (None when tracing was off). Draining happens after
+    /// every node and NIC engine thread has quiesced, so the trace is
+    /// complete and stable.
+    pub fn shutdown_traced(self) -> Option<Trace> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(mut self) -> Option<Trace> {
         // ordering: Release — pairs with the Acquire loads in the node
         // and monitor loops; all control traffic sent before this store
         // is visible to threads that observe the flag.
@@ -609,5 +647,9 @@ impl LiveCluster {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Dropping the NICs joins their engine threads, which establishes
+        // the happens-before edge the ring drain relies on.
+        self.nics.clear();
+        self.tracer.take().map(|t| t.drain())
     }
 }

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender};
 use press_cluster::{FileCache, NodeId};
 use press_core::{decide, Decision, PolicyConfig, RequestView};
+use press_telem::{EventKind, TraceHandle};
 use press_trace::{FileCatalog, FileId};
 use press_via::{CompletionKind, CompletionQueue, Descriptor, MemHandle, Nic, RemoteBuffer, Vi};
 use std::collections::HashMap;
@@ -112,6 +113,18 @@ pub(crate) struct NodeCtx {
     /// This node's crash switch: while set, the receive thread drops all
     /// traffic on the floor (the node is unreachable, like a dead host).
     pub dead: Arc<AtomicBool>,
+    /// Main-thread telemetry handle (wall-clock spans); None when tracing
+    /// is off, leaving the hot path a single branch.
+    pub trace: Option<TraceHandle>,
+}
+
+impl NodeCtx {
+    /// Records one instant request-lifecycle event when tracing is on.
+    fn trace_event(&self, kind: EventKind, req: u64, a: u64, b: u64) {
+        if let Some(t) = &self.trace {
+            t.instant(kind, req, a, b);
+        }
+    }
 }
 
 /// Per-node policy/runtime configuration shared by the main loop.
@@ -244,6 +257,7 @@ pub(crate) fn main_loop(
                 NodeEvent::Client { file, reply } => {
                     load += 1;
                     let bytes = cfg.catalog.size(file);
+                    ctx.trace_event(EventKind::Arrive, 0, file.0 as u64, bytes);
                     read_loads(load, &mut loads);
                     // Crashed peers drop out of the candidate set the
                     // moment the membership view changes, whatever the
@@ -269,8 +283,11 @@ pub(crate) fn main_loop(
                     );
                     match decision {
                         Decision::ServeLocal => {
+                            ctx.trace_event(EventKind::Dispatch, 0, 0, ctx.id as u64);
                             if cache.touch(file) {
+                                ctx.trace_event(EventKind::CacheHit, 0, file.0 as u64, bytes);
                                 send_reply(&ctx.stats, &reply, file, bytes);
+                                ctx.trace_event(EventKind::Done, 0, file.0 as u64, bytes);
                                 load = load.saturating_sub(1);
                             } else {
                                 enqueue_disk(
@@ -284,6 +301,7 @@ pub(crate) fn main_loop(
                             }
                         }
                         Decision::Forward(target) => {
+                            ctx.trace_event(EventKind::Dispatch, 0, 1, target.0 as u64);
                             let token = next_token;
                             next_token += 1;
                             pending.insert(
@@ -341,7 +359,9 @@ pub(crate) fn main_loop(
                             // from `pending` (first answer won) fall
                             // through harmlessly.
                             if let Some(p) = pending.remove(&msg.token) {
+                                let bytes = p.file.0 as u64;
                                 let _ = p.reply.send(msg.payload);
+                                ctx.trace_event(EventKind::Done, msg.token, bytes, 0);
                             }
                         }
                         WireKind::Caching => {
@@ -359,6 +379,7 @@ pub(crate) fn main_loop(
                 }
                 NodeEvent::DiskDone { file } => {
                     let bytes = cfg.catalog.size(file);
+                    ctx.trace_event(EventKind::DiskRead, 0, file.0 as u64, bytes);
                     // Cache the file and broadcast the caching information
                     // (insertion plus any evictions), as in Section 2.2.
                     let evicted = cache.insert(file, bytes);

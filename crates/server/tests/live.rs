@@ -16,6 +16,43 @@ fn small_catalog(files: usize, bytes: u64) -> FileCatalog {
 }
 
 #[test]
+fn traced_cluster_records_request_and_via_events() {
+    use press_telem::{EventKind, LiveTracer};
+    let tracer = LiveTracer::new();
+    let cluster = LiveCluster::start_with_tracer(
+        LiveConfig::default(),
+        small_catalog(64, 1024),
+        Some(Arc::clone(&tracer)),
+    );
+    for node in 0..cluster.nodes() {
+        for f in [0u32, 9, 33, 57] {
+            cluster.request(node, FileId(f), T).expect("request");
+        }
+    }
+    let trace = cluster.shutdown_traced().expect("tracer was installed");
+    assert!(!trace.events().is_empty());
+    let kinds: Vec<EventKind> = trace.events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::Arrive), "no arrivals traced");
+    assert!(kinds.contains(&EventKind::Done), "no completions traced");
+    assert!(
+        kinds.contains(&EventKind::ViaPost),
+        "no VIA descriptor posts traced"
+    );
+    // Requests were spread over every node, so spans come from several.
+    assert!(trace.nodes().len() >= 2, "nodes: {:?}", trace.nodes());
+    // Timestamps are monotonic wall-clock offsets from the tracer anchor.
+    assert!(trace.events().windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+}
+
+#[test]
+fn untraced_cluster_returns_no_trace() {
+    let cluster =
+        LiveCluster::start_with_tracer(LiveConfig::default(), small_catalog(8, 256), None);
+    cluster.request(0, FileId(3), T).expect("request");
+    assert!(cluster.shutdown_traced().is_none());
+}
+
+#[test]
 fn serves_correct_content_from_all_nodes() {
     let cluster = LiveCluster::start(LiveConfig::default(), small_catalog(64, 1024));
     for node in 0..cluster.nodes() {

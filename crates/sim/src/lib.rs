@@ -31,14 +31,15 @@
 
 mod engine;
 mod fault;
-mod histogram;
 mod resource;
 mod stats;
 mod time;
 
 pub use engine::{Model, Scheduler, Simulator};
 pub use fault::{CrashWindow, FaultInjector, FaultPlan};
-pub use histogram::Histogram;
+// Scalar statistics moved to press-telem (the unified observability
+// crate); re-exported so `press_sim::Histogram` etc. keep working.
+pub use press_telem::{Counter, Histogram, MeanVar};
 pub use resource::{Resource, ResourceStats};
-pub use stats::{Counter, MeanVar, TimeWeighted};
+pub use stats::TimeWeighted;
 pub use time::SimTime;

@@ -1,0 +1,522 @@
+//! Chrome `trace_event` JSON export (loadable in `chrome://tracing` or
+//! Perfetto) and a self-contained schema validator for CI.
+//!
+//! The exporter is deterministic: the same [`Trace`] always serializes
+//! to the same bytes, which the golden trace-determinism tests rely on.
+
+use std::collections::BTreeMap;
+
+use crate::span::{lane, Trace, TraceEvent};
+
+/// Formats nanoseconds as the microsecond `ts`/`dur` value Chrome
+/// expects, keeping nanosecond precision (three decimals).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_event(out: &mut String, e: &TraceEvent) {
+    let ph = if e.dur_ns == 0 { "i" } else { "X" };
+    out.push_str("{\"name\":\"");
+    out.push_str(e.kind.name());
+    out.push_str("\",\"cat\":\"");
+    out.push_str(e.kind.cat());
+    out.push_str("\",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"ts\":");
+    out.push_str(&us(e.ts_ns));
+    if e.dur_ns > 0 {
+        out.push_str(",\"dur\":");
+        out.push_str(&us(e.dur_ns));
+    } else {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(&format!(
+        ",\"pid\":{},\"tid\":{},\"args\":{{\"req\":{},\"a\":{},\"b\":{}}}}}",
+        e.node, e.lane, e.req, e.a, e.b
+    ));
+}
+
+/// Serializes a trace as Chrome `trace_event` JSON, including
+/// `process_name`/`thread_name` metadata for every node and lane seen.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut lanes: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
+    for e in trace.events() {
+        let l = lanes.entry(e.node).or_default();
+        if !l.contains(&e.lane) {
+            l.push(e.lane);
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for (node, node_lanes) in &lanes {
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":0,\
+             \"args\":{{\"name\":\"node{node}\"}}}}"
+        ));
+        let mut sorted = node_lanes.clone();
+        sorted.sort_unstable();
+        for l in sorted {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":{l},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane::name(l)
+            ));
+        }
+    }
+    for e in trace.events() {
+        sep(&mut out);
+        push_event(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Summary returned by [`validate_chrome_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCheck {
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Complete (`ph == "X"`) spans among them.
+    pub spans: usize,
+    /// Distinct `pid`s (nodes) with non-metadata events.
+    pub nodes: Vec<i64>,
+    /// Events in the `via` category.
+    pub via_events: usize,
+}
+
+/// Validates a Chrome `trace_event` JSON document: parses the JSON,
+/// checks the envelope and the per-event required fields, and returns
+/// counts for higher-level assertions.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn validate_chrome_json(text: &str) -> Result<TraceCheck, String> {
+    let value = Json::parse(text)?;
+    let root = value.as_object().ok_or("root is not an object")?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut check = TraceCheck {
+        events: 0,
+        spans: 0,
+        nodes: Vec::new(),
+        via_events: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or(format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} missing ph"))?;
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} missing name"))?;
+        let pid = obj
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i} missing pid"))?;
+        match ph {
+            "M" => continue,
+            "X" => {
+                for field in ["ts", "dur", "tid"] {
+                    if obj.get(field).and_then(Json::as_f64).is_none() {
+                        return Err(format!("span event {i} ({name}) missing {field}"));
+                    }
+                }
+                check.spans += 1;
+            }
+            "i" => {
+                if obj.get("ts").and_then(Json::as_f64).is_none() {
+                    return Err(format!("instant event {i} ({name}) missing ts"));
+                }
+            }
+            other => return Err(format!("event {i} has unsupported ph {other:?}")),
+        }
+        check.events += 1;
+        let node = pid as i64;
+        if !check.nodes.contains(&node) {
+            check.nodes.push(node);
+        }
+        if obj.get("cat").and_then(Json::as_str) == Some("via") {
+            check.via_events += 1;
+        }
+    }
+    check.nodes.sort_unstable();
+    Ok(check)
+}
+
+/// A minimal JSON value, parsed by the built-in recursive-descent
+/// parser (the workspace has no serde; this keeps validation offline).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (sorted keys).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {s:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the raw UTF-8 byte run starting here.
+                    let start = self.pos - 1;
+                    while let Some(n) = self.peek() {
+                        if n == b'"' || n == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected , or ] at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            out.insert(k, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected , or }} at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{EventKind, TraceEvent};
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(
+            vec![
+                TraceEvent {
+                    ts_ns: 1_500,
+                    dur_ns: 0,
+                    node: 0,
+                    lane: lane::MAIN,
+                    kind: EventKind::Arrive,
+                    req: 1,
+                    a: 7,
+                    b: 0,
+                },
+                TraceEvent {
+                    ts_ns: 2_000,
+                    dur_ns: 3_250,
+                    node: 1,
+                    lane: lane::NIC_INT,
+                    kind: EventKind::ViaSend,
+                    req: 1,
+                    a: 512,
+                    b: 2,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn export_is_valid_and_counted() {
+        let json = chrome_trace_json(&sample_trace());
+        let check = validate_chrome_json(&json).expect("valid");
+        assert_eq!(check.events, 2);
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.nodes, vec![0, 1]);
+        assert_eq!(check.via_events, 1);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_json(&sample_trace());
+        let b = chrome_trace_json(&sample_trace());
+        assert_eq!(a, b);
+        assert!(a.contains("\"ts\":1.500"));
+        assert!(a.contains("\"dur\":3.250"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_json("not json").is_err());
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_numbers() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3e2],"s":"x\nA","t":true,"n":null}"#).unwrap();
+        let o = v.as_object().unwrap();
+        let arr = o["a"].as_array().unwrap();
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(o["s"].as_str(), Some("x\nA"));
+        assert_eq!(o["t"], Json::Bool(true));
+        assert_eq!(o["n"], Json::Null);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let s = "a\"b\\c\nd\te";
+        let doc = format!("{{\"k\":\"{}\"}}", json_escape(s));
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.as_object().unwrap()["k"].as_str(), Some(s));
+    }
+}

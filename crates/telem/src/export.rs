@@ -1,0 +1,208 @@
+//! Flat metrics dumps (CSV and JSON) and per-resource utilization
+//! timelines derived from a trace.
+
+use std::collections::BTreeMap;
+
+use crate::chrome::json_escape;
+use crate::registry::{MetricRecord, MetricValue};
+use crate::span::{lane, Trace};
+
+fn labels_field(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Renders metric records as CSV with one row per series.
+///
+/// Columns: `name,labels,type,value,count,mean,p50,p99,max` (summary
+/// columns empty for counters/gauges).
+pub fn metrics_csv(records: &[MetricRecord]) -> String {
+    let mut out = String::from("name,labels,type,value,count,mean,p50,p99,max\n");
+    for r in records {
+        let labels = labels_field(&r.labels);
+        match &r.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{},{labels},counter,{v},,,,,\n", r.name));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("{},{labels},gauge,{v},,,,,\n", r.name));
+            }
+            MetricValue::Summary {
+                count,
+                mean,
+                p50,
+                p99,
+                max,
+            } => {
+                out.push_str(&format!(
+                    "{},{labels},summary,,{count},{mean},{p50},{p99},{max}\n",
+                    r.name
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders metric records as a JSON document
+/// (`{"metrics":[{"name":...,"labels":{...},...}]}`), deterministically.
+pub fn metrics_json(records: &[MetricRecord]) -> String {
+    let mut out = String::from("{\"metrics\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"labels\":{{",
+            json_escape(&r.name)
+        ));
+        for (j, (k, v)) in r.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},");
+        match &r.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("\"type\":\"counter\",\"value\":{v}}}"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}}}"));
+            }
+            MetricValue::Summary {
+                count,
+                mean,
+                p50,
+                p99,
+                max,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"summary\",\"count\":{count},\"mean\":{mean},\
+                     \"p50\":{p50},\"p99\":{p99},\"max\":{max}}}"
+                ));
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Computes per-resource busy fractions over fixed time buckets from the
+/// span events of a trace, as CSV rows
+/// `bucket_start_us,node,lane,resource,busy_frac`.
+///
+/// Every complete span counts its duration toward the `(node, lane)`
+/// resource it occupied, clipped to each bucket; busy fractions can
+/// exceed 1.0 where spans on one lane overlap (e.g. pipelined NIC
+/// transfers) — the timeline reports offered occupancy, not clamped
+/// utilization.
+pub fn utilization_csv(trace: &Trace, bucket_ns: u64) -> String {
+    assert!(bucket_ns > 0, "bucket size must be positive");
+    let mut busy: BTreeMap<(u64, u16, u16), u64> = BTreeMap::new();
+    for e in trace.events() {
+        if e.dur_ns == 0 {
+            continue;
+        }
+        let mut start = e.ts_ns;
+        let end = e.ts_ns.saturating_add(e.dur_ns);
+        while start < end {
+            let bucket = start / bucket_ns;
+            let bucket_end = (bucket + 1) * bucket_ns;
+            let slice = end.min(bucket_end) - start;
+            *busy.entry((bucket, e.node, e.lane)).or_insert(0) += slice;
+            start = bucket_end;
+        }
+    }
+    let mut out = String::from("bucket_start_us,node,lane,resource,busy_frac\n");
+    for ((bucket, node, l), ns) in &busy {
+        out.push_str(&format!(
+            "{},{node},{l},{},{}\n",
+            bucket * bucket_ns / 1000,
+            lane::name(*l),
+            *ns as f64 / bucket_ns as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::Json;
+    use crate::registry::Registry;
+    use crate::span::{EventKind, TraceEvent};
+
+    fn sample_records() -> Vec<MetricRecord> {
+        let mut reg = Registry::default();
+        reg.inc("msgs", &[("node", "0"), ("type", "load")], 12);
+        reg.set_gauge("cpu_util", &[("node", "0")], 0.5);
+        reg.observe("resp_ms", &[], 2.0);
+        reg.observe("resp_ms", &[], 4.0);
+        reg.records()
+    }
+
+    #[test]
+    fn csv_has_one_row_per_series() {
+        let csv = metrics_csv(&sample_records());
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        // Registry order: counters, then gauges, then summaries.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("msgs,node=0;type=load,counter,12"));
+        assert!(lines[2].starts_with("cpu_util,node=0,gauge,0.5"));
+        assert!(lines[3].starts_with("resp_ms,,summary,,2,3"));
+    }
+
+    #[test]
+    fn json_dump_parses_back() {
+        let json = metrics_json(&sample_records());
+        let v = Json::parse(&json).expect("valid json");
+        let metrics = v.as_object().unwrap()["metrics"].as_array().unwrap();
+        assert_eq!(metrics.len(), 3);
+        let first = metrics[0].as_object().unwrap();
+        assert_eq!(first["name"].as_str(), Some("msgs"));
+        assert_eq!(
+            first["labels"].as_object().unwrap()["node"].as_str(),
+            Some("0")
+        );
+    }
+
+    #[test]
+    fn utilization_buckets_spans() {
+        let trace = Trace::from_events(
+            vec![
+                TraceEvent {
+                    ts_ns: 0,
+                    dur_ns: 1_500,
+                    node: 0,
+                    lane: lane::DISK,
+                    kind: EventKind::DiskRead,
+                    req: 1,
+                    a: 0,
+                    b: 0,
+                },
+                TraceEvent {
+                    ts_ns: 500,
+                    dur_ns: 0,
+                    node: 0,
+                    lane: lane::MAIN,
+                    kind: EventKind::Arrive,
+                    req: 2,
+                    a: 0,
+                    b: 0,
+                },
+            ],
+            0,
+        );
+        let csv = utilization_csv(&trace, 1_000);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        // The 1.5us disk span fills bucket 0 and half of bucket 1; the
+        // instant event contributes nothing.
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "0,0,1,disk,1");
+        assert_eq!(lines[2], "1,0,1,disk,0.5");
+    }
+}

@@ -10,7 +10,7 @@
 /// # Example
 ///
 /// ```
-/// use press_sim::Histogram;
+/// use press_telem::Histogram;
 ///
 /// let mut h = Histogram::new();
 /// for ms in 1..=1000u64 {
@@ -49,6 +49,12 @@ impl Histogram {
             sum: 0.0,
             max: 0.0,
         }
+    }
+
+    /// The multiplicative width of one bucket: percentile estimates are
+    /// exact to within one bucket, i.e. a factor of this value.
+    pub fn bucket_growth() -> f64 {
+        GROWTH
     }
 
     /// Records one sample. Negative and non-finite samples are ignored.

@@ -1,0 +1,53 @@
+//! The one `PRESS_QUIET`-aware progress logger.
+//!
+//! All runtime crates route their stderr chatter through here (enforced
+//! by the `raw-eprintln` press-analyze lint), so `--quiet` or
+//! `PRESS_QUIET=1` silences everything uniformly. Stdout — the actual
+//! reproduction artifact — is never touched.
+
+/// Whether `PRESS_QUIET` is set to anything but empty/`0`.
+pub fn env_quiet() -> bool {
+    matches!(std::env::var("PRESS_QUIET"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Whether quiet mode is on: `--quiet` (or `-q`) on the command line, or
+/// `PRESS_QUIET` in the environment (see [`env_quiet`]).
+pub fn quiet() -> bool {
+    std::env::args().any(|a| a == "--quiet" || a == "-q") || env_quiet()
+}
+
+/// Prints one progress line to stderr unless quiet mode is on.
+pub fn progress(msg: &str) {
+    if !quiet() {
+        // press::allow(raw-eprintln): this is the logging chokepoint the
+        // rule funnels every other site into.
+        eprintln!("{msg}");
+    }
+}
+
+/// Lazily-formatted [`progress`]: the closure only runs (and allocates)
+/// when the message will actually be printed.
+pub fn progress_with(f: impl FnOnce() -> String) {
+    if !quiet() {
+        // press::allow(raw-eprintln): logging chokepoint, as `progress`.
+        eprintln!("{}", f());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_quiet_parses_values() {
+        // Only the env half is testable here: the test harness itself
+        // receives `--quiet` under `cargo test -q`.
+        std::env::remove_var("PRESS_QUIET");
+        assert!(!env_quiet());
+        std::env::set_var("PRESS_QUIET", "1");
+        assert!(env_quiet());
+        std::env::set_var("PRESS_QUIET", "0");
+        assert!(!env_quiet());
+        std::env::remove_var("PRESS_QUIET");
+    }
+}

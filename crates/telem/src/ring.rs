@@ -1,0 +1,278 @@
+//! Live-cluster recording: lock-free ring buffers and the wall-clock
+//! tracer that anchors them.
+//!
+//! Each recording site holds an `Option<TraceHandle>`, so the disabled
+//! path is a single branch. A handle writes fixed-size encoded events
+//! into a [`ThreadRing`] with one atomic `fetch_add` and six relaxed
+//! stores — no locks, no allocation. Rings are drained only after the
+//! producing threads have quiesced (joined), which the thread-join
+//! happens-before edge makes safe without any further synchronization.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::span::{EventKind, Trace, TraceEvent};
+
+/// Words per encoded event in a ring.
+const WORDS: usize = 6;
+
+/// Default per-ring capacity in events.
+pub const DEFAULT_RING_CAP: usize = 1 << 16;
+
+/// A bounded, lock-free ring of encoded trace events.
+///
+/// Producers claim a slot with `fetch_add` and write the event words
+/// with relaxed stores; once capacity is reached further events are
+/// counted as dropped. [`ThreadRing::drain`] must only be called after
+/// all producers have quiesced (e.g. their threads were joined).
+#[derive(Debug)]
+pub struct ThreadRing {
+    slots: Box<[AtomicU64]>,
+    head: AtomicUsize,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+impl ThreadRing {
+    /// Creates a ring holding up to `cap` events.
+    pub fn new(cap: usize) -> Self {
+        let mut slots = Vec::with_capacity(cap * WORDS);
+        slots.resize_with(cap * WORDS, || AtomicU64::new(0));
+        ThreadRing {
+            slots: slots.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            cap,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event (lock-free; drops past capacity).
+    pub fn record(&self, ev: &TraceEvent) {
+        // ordering: Relaxed — slot claim only; the drain side reads
+        // after producer threads are joined, so the join edge publishes
+        // the slot contents.
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        if i >= self.cap {
+            // ordering: Relaxed — statistical drop counter.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let meta = ((ev.node as u64) << 32) | ((ev.lane as u64) << 16) | ev.kind as u64;
+        let base = i * WORDS;
+        let words = [ev.ts_ns, ev.dur_ns, meta, ev.req, ev.a, ev.b];
+        for (off, w) in words.iter().enumerate() {
+            // ordering: Relaxed — published by the producer thread's
+            // join, not by this store.
+            self.slots[base + off].store(*w, Ordering::Relaxed);
+        }
+    }
+
+    /// Decodes all recorded events. Call only after producers quiesce.
+    pub fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        // ordering: Relaxed — see `record`; the join edge orders all
+        // producer writes before this read.
+        let n = self.head.load(Ordering::Relaxed).min(self.cap);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = i * WORDS;
+            // ordering: Relaxed — as above (post-quiesce read).
+            let w = |off: usize| self.slots[base + off].load(Ordering::Relaxed);
+            let meta = w(2);
+            let Some(kind) = EventKind::from_u16((meta & 0xFFFF) as u16) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                ts_ns: w(0),
+                dur_ns: w(1),
+                node: (meta >> 32) as u16,
+                lane: ((meta >> 16) & 0xFFFF) as u16,
+                kind,
+                req: w(3),
+                a: w(4),
+                b: w(5),
+            });
+        }
+        // ordering: Relaxed — statistical counter.
+        (out, self.dropped.load(Ordering::Relaxed))
+    }
+}
+
+/// The live cluster's tracer: anchors monotonic timestamps and owns the
+/// registry of rings handed out to threads.
+#[derive(Debug)]
+pub struct LiveTracer {
+    anchor: Instant,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+impl LiveTracer {
+    /// Creates a tracer anchored at the current instant.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LiveTracer {
+            anchor: Instant::now(),
+            rings: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Monotonic nanoseconds since the tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Creates a recording handle for one `(node, lane)` coordinate,
+    /// backed by a fresh ring registered for later draining.
+    pub fn handle(self: &Arc<Self>, node: u16, lane: u16) -> TraceHandle {
+        self.handle_with_cap(node, lane, DEFAULT_RING_CAP)
+    }
+
+    /// As [`LiveTracer::handle`], with an explicit ring capacity.
+    pub fn handle_with_cap(self: &Arc<Self>, node: u16, lane: u16, cap: usize) -> TraceHandle {
+        let ring = Arc::new(ThreadRing::new(cap));
+        self.rings
+            .lock()
+            .expect("tracer ring registry poisoned")
+            .push(Arc::clone(&ring));
+        TraceHandle {
+            tracer: Arc::clone(self),
+            ring,
+            node,
+            lane,
+        }
+    }
+
+    /// Drains every ring into one canonical [`Trace`]. Call only after
+    /// all recording threads have quiesced.
+    pub fn drain(&self) -> Trace {
+        let rings = self.rings.lock().expect("tracer ring registry poisoned");
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let (mut evs, d) = ring.drain();
+            events.append(&mut evs);
+            dropped += d;
+        }
+        Trace::from_events(events, dropped)
+    }
+}
+
+/// A per-thread recording handle: one ring, one `(node, lane)` identity,
+/// and access to the tracer's clock.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    tracer: Arc<LiveTracer>,
+    ring: Arc<ThreadRing>,
+    node: u16,
+    lane: u16,
+}
+
+impl TraceHandle {
+    /// Monotonic nanoseconds since the owning tracer's anchor; use as
+    /// the start timestamp for [`TraceHandle::span`].
+    pub fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+
+    /// Records an instant event stamped with the current time.
+    pub fn instant(&self, kind: EventKind, req: u64, a: u64, b: u64) {
+        let ts = self.now_ns();
+        self.ring.record(&TraceEvent {
+            ts_ns: ts,
+            dur_ns: 0,
+            node: self.node,
+            lane: self.lane,
+            kind,
+            req,
+            a,
+            b,
+        });
+    }
+
+    /// Records a span from `start_ns` (a prior [`TraceHandle::now_ns`])
+    /// to the current time.
+    pub fn span(&self, start_ns: u64, kind: EventKind, req: u64, a: u64, b: u64) {
+        let now = self.now_ns();
+        self.ring.record(&TraceEvent {
+            ts_ns: start_ns,
+            dur_ns: now.saturating_sub(start_ns),
+            node: self.node,
+            lane: self.lane,
+            kind,
+            req,
+            a,
+            b,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::lane;
+
+    #[test]
+    fn ring_records_and_drains() {
+        let ring = ThreadRing::new(4);
+        for i in 0..6u64 {
+            ring.record(&TraceEvent {
+                ts_ns: i,
+                dur_ns: 1,
+                node: 2,
+                lane: lane::SEND,
+                kind: EventKind::ViaPost,
+                req: i,
+                a: 100 + i,
+                b: 7,
+            });
+        }
+        let (evs, dropped) = ring.drain();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(dropped, 2);
+        assert_eq!(evs[0].node, 2);
+        assert_eq!(evs[0].lane, lane::SEND);
+        assert_eq!(evs[3].a, 103);
+        assert_eq!(evs[3].kind, EventKind::ViaPost);
+    }
+
+    #[test]
+    fn tracer_handles_merge_into_one_trace() {
+        let tracer = LiveTracer::new();
+        let h0 = tracer.handle(0, lane::MAIN);
+        let h1 = tracer.handle(1, lane::RECV);
+        h0.instant(EventKind::Arrive, 1, 0, 0);
+        let s = h1.now_ns();
+        h1.span(s, EventKind::ViaRecv, 1, 512, 0);
+        let trace = tracer.drain();
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(trace.nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_counts() {
+        let ring = Arc::new(ThreadRing::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    r.record(&TraceEvent {
+                        ts_ns: t * 10_000 + i,
+                        dur_ns: 0,
+                        node: t as u16,
+                        lane: 0,
+                        kind: EventKind::Done,
+                        req: i,
+                        a: 0,
+                        b: 0,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (evs, dropped) = ring.drain();
+        assert_eq!(evs.len(), 4000);
+        assert_eq!(dropped, 0);
+    }
+}

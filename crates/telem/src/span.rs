@@ -1,0 +1,386 @@
+//! The span model: typed trace events, the deterministic simulator-side
+//! buffer, and the sorted [`Trace`] artifact the exporters consume.
+//!
+//! One event type serves both engines. In the simulator timestamps are
+//! deterministic virtual nanoseconds ([`press_sim::SimTime`] values); in
+//! the live cluster they are monotonic nanoseconds since the tracer's
+//! anchor instant. Events carry a `(node, lane)` coordinate that maps to
+//! Chrome trace `(pid, tid)`, a request id where one applies, and two
+//! kind-specific arguments.
+
+/// What happened. Kinds group into categories (see [`EventKind::cat`])
+/// that become the `cat` field of exported Chrome trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    /// A client request arrived at a node (instant; `a` = content id).
+    Arrive = 0,
+    /// HTTP parse CPU (span).
+    Parse = 1,
+    /// Distribution decision (instant; `a` = 0 serve-local / 1 forward,
+    /// `b` = target node).
+    Dispatch = 2,
+    /// Cache hit while serving (instant; `a` = bytes).
+    CacheHit = 3,
+    /// Disk read (span; `a` = bytes).
+    DiskRead = 4,
+    /// Disk error, request will be retried (instant).
+    DiskError = 5,
+    /// Reply-side CPU (span; `a` = bytes).
+    ReplyCpu = 6,
+    /// Reply transmission on the external NIC (span; `a` = bytes).
+    ReplyTx = 7,
+    /// Request completed (instant; `a` = response microseconds,
+    /// `b` = bytes).
+    Done = 8,
+    /// Request re-dispatched after a failure (instant; `b` = new node).
+    Retry = 9,
+    /// Send-side CPU + descriptor processing for an intra-cluster
+    /// message (span; `a` = bytes, `b` = message type).
+    ViaSend = 10,
+    /// Receive-side CPU for a delivered message (span; `a` = bytes,
+    /// `b` = message type).
+    ViaRecv = 11,
+    /// A descriptor was posted to a VI send queue (instant; `a` = bytes,
+    /// `b` = VI id).
+    ViaPost = 12,
+    /// A descriptor completed (instant; `a` = bytes transferred,
+    /// `b` = 0 ok / 1 error).
+    ViaComplete = 13,
+    /// Remote memory write (span in the simulator, instant live;
+    /// `a` = bytes).
+    RdmaWrite = 14,
+    /// Sender stalled waiting for flow-control credits (instant;
+    /// `a` = queued messages).
+    CreditStall = 15,
+    /// Credits granted/returned to a sender (instant; `a` = credits).
+    CreditGrant = 16,
+    /// Internal-NIC transmit occupancy (span; `a` = bytes).
+    NicTx = 17,
+    /// Internal-NIC receive occupancy (span; `a` = bytes).
+    NicRx = 18,
+    /// Node crashed (instant).
+    Crash = 19,
+    /// Node recovered and rejoined (instant).
+    Recover = 20,
+    /// A peer was declared dead and its requests failed over (instant;
+    /// `a` = dead node).
+    Failover = 21,
+}
+
+/// All kinds, in discriminant order (for decoding and for exporters).
+pub const EVENT_KINDS: [EventKind; 22] = [
+    EventKind::Arrive,
+    EventKind::Parse,
+    EventKind::Dispatch,
+    EventKind::CacheHit,
+    EventKind::DiskRead,
+    EventKind::DiskError,
+    EventKind::ReplyCpu,
+    EventKind::ReplyTx,
+    EventKind::Done,
+    EventKind::Retry,
+    EventKind::ViaSend,
+    EventKind::ViaRecv,
+    EventKind::ViaPost,
+    EventKind::ViaComplete,
+    EventKind::RdmaWrite,
+    EventKind::CreditStall,
+    EventKind::CreditGrant,
+    EventKind::NicTx,
+    EventKind::NicRx,
+    EventKind::Crash,
+    EventKind::Recover,
+    EventKind::Failover,
+];
+
+impl EventKind {
+    /// Stable lowercase name, used as the Chrome event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Arrive => "arrive",
+            EventKind::Parse => "parse",
+            EventKind::Dispatch => "dispatch",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::DiskRead => "disk_read",
+            EventKind::DiskError => "disk_error",
+            EventKind::ReplyCpu => "reply_cpu",
+            EventKind::ReplyTx => "reply_tx",
+            EventKind::Done => "done",
+            EventKind::Retry => "retry",
+            EventKind::ViaSend => "via_send",
+            EventKind::ViaRecv => "via_recv",
+            EventKind::ViaPost => "via_post",
+            EventKind::ViaComplete => "via_complete",
+            EventKind::RdmaWrite => "rdma_write",
+            EventKind::CreditStall => "credit_stall",
+            EventKind::CreditGrant => "credit_grant",
+            EventKind::NicTx => "nic_tx",
+            EventKind::NicRx => "nic_rx",
+            EventKind::Crash => "crash",
+            EventKind::Recover => "recover",
+            EventKind::Failover => "failover",
+        }
+    }
+
+    /// Category: `req` (request lifecycle), `via` (user-level
+    /// communication), `res` (resource occupancy), `fault`.
+    pub fn cat(self) -> &'static str {
+        match self {
+            EventKind::Arrive
+            | EventKind::Parse
+            | EventKind::Dispatch
+            | EventKind::CacheHit
+            | EventKind::DiskRead
+            | EventKind::ReplyCpu
+            | EventKind::ReplyTx
+            | EventKind::Done => "req",
+            EventKind::ViaSend
+            | EventKind::ViaRecv
+            | EventKind::ViaPost
+            | EventKind::ViaComplete
+            | EventKind::RdmaWrite
+            | EventKind::CreditStall
+            | EventKind::CreditGrant => "via",
+            EventKind::NicTx | EventKind::NicRx => "res",
+            EventKind::DiskError
+            | EventKind::Retry
+            | EventKind::Crash
+            | EventKind::Recover
+            | EventKind::Failover => "fault",
+        }
+    }
+
+    /// Decodes a discriminant produced by `as u16`.
+    pub fn from_u16(v: u16) -> Option<EventKind> {
+        EVENT_KINDS.get(v as usize).copied()
+    }
+}
+
+/// Lane (thread/resource) identifiers within a node; exported as the
+/// Chrome `tid`. Both engines use the same lane map so traces from the
+/// simulator and the live cluster read alike.
+pub mod lane {
+    /// Main request-processing CPU.
+    pub const MAIN: u16 = 0;
+    /// Disk.
+    pub const DISK: u16 = 1;
+    /// External (client-facing) NIC.
+    pub const NIC_EXT: u16 = 2;
+    /// Internal (intra-cluster) NIC.
+    pub const NIC_INT: u16 = 3;
+    /// Send thread (live cluster).
+    pub const SEND: u16 = 4;
+    /// Receive thread (live cluster).
+    pub const RECV: u16 = 5;
+
+    /// Human-readable lane name for trace metadata.
+    pub fn name(lane: u16) -> &'static str {
+        match lane {
+            MAIN => "main",
+            DISK => "disk",
+            NIC_EXT => "nic_ext",
+            NIC_INT => "nic_int",
+            SEND => "send",
+            RECV => "recv",
+            _ => "lane",
+        }
+    }
+}
+
+/// One trace event. `dur_ns == 0` means an instant event; otherwise a
+/// complete span starting at `ts_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start timestamp in nanoseconds (virtual or monotonic).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; zero for instants.
+    pub dur_ns: u64,
+    /// Node index (Chrome `pid`).
+    pub node: u16,
+    /// Lane within the node (Chrome `tid`, see [`lane`]).
+    pub lane: u16,
+    /// What happened.
+    pub kind: EventKind,
+    /// Request id, or zero when the event is not tied to a request.
+    pub req: u64,
+    /// First kind-specific argument (usually bytes).
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Sort key: time, then a stable tiebreak so equal-time events order
+    /// identically across runs.
+    fn key(&self) -> (u64, u16, u16, u16, u64, u64, u64) {
+        (
+            self.ts_ns,
+            self.node,
+            self.lane,
+            self.kind as u16,
+            self.req,
+            self.a,
+            self.b,
+        )
+    }
+}
+
+/// Default capacity of a [`TraceBuffer`] (events); beyond it events are
+/// counted as dropped rather than recorded, bounding memory.
+pub const DEFAULT_TRACE_CAP: usize = 2_000_000;
+
+/// The simulator-side recorder: an append-only, bounded buffer. Purely
+/// passive — recording never affects simulation state, so enabling it
+/// cannot perturb results, and the disabled path in the engine is a
+/// single `Option` branch.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer bounded at `cap` events.
+    pub fn new(cap: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event (dropped silently past capacity, counted).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes recording: sorts events into canonical order.
+    pub fn into_trace(self) -> Trace {
+        Trace::from_events(self.events, self.dropped)
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(DEFAULT_TRACE_CAP)
+    }
+}
+
+/// A finished trace: events in canonical (time, node, lane, ...) order
+/// plus the count of events dropped at capacity.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Builds a trace from unordered events, sorting canonically.
+    pub fn from_events(mut events: Vec<TraceEvent>, dropped: u64) -> Self {
+        events.sort_by_key(|e| e.key());
+        Trace { events, dropped }
+    }
+
+    /// The events, in canonical order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because a recording buffer hit capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Distinct node indices with at least one event.
+    pub fn nodes(&self) -> Vec<u16> {
+        let mut nodes: Vec<u16> = self.events.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Number of events in the given category.
+    pub fn count_cat(&self, cat: &str) -> usize {
+        self.events.iter().filter(|e| e.kind.cat() == cat).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, node: u16, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 0,
+            node,
+            lane: lane::MAIN,
+            kind,
+            req: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_caps_and_counts_drops() {
+        let mut b = TraceBuffer::new(2);
+        for i in 0..5 {
+            b.record(ev(i, 0, EventKind::Arrive));
+        }
+        assert_eq!(b.len(), 2);
+        let t = b.into_trace();
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn trace_sorts_canonically() {
+        let t = Trace::from_events(
+            vec![
+                ev(20, 1, EventKind::Done),
+                ev(10, 0, EventKind::Arrive),
+                ev(10, 0, EventKind::Dispatch),
+                ev(10, 1, EventKind::Arrive),
+            ],
+            0,
+        );
+        let kinds: Vec<EventKind> = t.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Arrive,
+                EventKind::Dispatch,
+                EventKind::Arrive,
+                EventKind::Done
+            ]
+        );
+        assert_eq!(t.nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn kind_roundtrip_and_names() {
+        for k in EVENT_KINDS {
+            assert_eq!(EventKind::from_u16(k as u16), Some(k));
+            assert!(!k.name().is_empty());
+            assert!(["req", "via", "res", "fault"].contains(&k.cat()));
+        }
+        assert_eq!(EventKind::from_u16(999), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Histogram merge invariant: `merge(a, b)` must answer every
+//! percentile exactly like a histogram that recorded the concatenated
+//! samples, and both must sit within one log-bucket of the true sample
+//! quantile.
+
+use press_telem::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// The exact quantile matching `Histogram::percentile`'s definition:
+/// the k-th order statistic with `k = ceil(p/100 * n)`.
+fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    let k = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[k.max(1) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_matches_concatenated_samples(
+        a in vec(1e-3f64..1e8, 1..200),
+        b in vec(1e-3f64..1e8, 1..200),
+    ) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+
+        let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let concat = hist(&all);
+        all.sort_by(f64::total_cmp);
+
+        prop_assert_eq!(merged.count(), concat.count());
+        prop_assert_eq!(merged.max(), concat.max());
+        // Bucket counts are identical either way, so the estimates must
+        // agree exactly; against the raw samples, one multiplicative
+        // bucket of error is the histogram's documented resolution.
+        let tol = Histogram::bucket_growth() * (1.0 + 1e-9);
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let m = merged.percentile(p);
+            let c = concat.percentile(p);
+            prop_assert_eq!(m, c);
+            let truth = exact_quantile(&all, p);
+            prop_assert!(
+                m <= truth * tol && m >= truth / tol,
+                "p{}: estimate {} vs exact {} beyond one bucket", p, m, truth
+            );
+        }
+        let mean_err = (merged.mean() - concat.mean()).abs();
+        prop_assert!(mean_err <= 1e-9 * concat.mean().abs().max(1.0));
+    }
+}

@@ -3,12 +3,13 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use press_telem::{EventKind, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +129,10 @@ struct NicShared {
     ops: Sender<EngineOp>,
     fault: Mutex<(FaultConfig, StdRng)>,
     shutdown: std::sync::atomic::AtomicBool,
+    /// Telemetry hook, installed at most once via [`Nic::set_tracer`].
+    /// Posting threads and the engine thread share the handle; when unset
+    /// the instrumentation reduces to one `OnceLock::get` branch.
+    trace: OnceLock<TraceHandle>,
 }
 
 impl NicShared {
@@ -157,6 +162,13 @@ impl NicShared {
         let mut g = self.fault.lock();
         let p = g.0.fail_probability;
         p > 0.0 && g.1.gen::<f64>() < p
+    }
+
+    /// Records one instant telemetry event if a tracer is installed.
+    fn trace_event(&self, kind: EventKind, req: u64, a: u64, b: u64) {
+        if let Some(t) = self.trace.get() {
+            t.instant(kind, req, a, b);
+        }
     }
 }
 
@@ -200,6 +212,7 @@ impl Fabric {
             ops: tx,
             fault: Mutex::new((FaultConfig::default(), StdRng::seed_from_u64(0))),
             shutdown: std::sync::atomic::AtomicBool::new(false),
+            trace: OnceLock::new(),
         });
         let engine_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -355,6 +368,14 @@ impl Nic {
     pub fn set_fault(&self, cfg: FaultConfig) {
         *self.shared.fault.lock() = (cfg, StdRng::seed_from_u64(cfg.seed));
     }
+
+    /// Installs a telemetry handle: descriptor posts and completions on
+    /// this NIC are recorded as `via`-category instants. At most one
+    /// tracer can be installed; later calls are ignored. With no tracer
+    /// the hot paths pay a single lock-free branch.
+    pub fn set_tracer(&self, handle: TraceHandle) {
+        let _ = self.shared.trace.set(handle);
+    }
 }
 
 impl std::fmt::Debug for Nic {
@@ -422,6 +443,8 @@ impl Vi {
         }
         self.nic.validate(&desc)?;
         self.nic
+            .trace_event(EventKind::ViaPost, self.shared.id, desc.len as u64, 0);
+        self.nic
             .ops
             .send(EngineOp::Send {
                 vi: self.shared.id,
@@ -444,6 +467,8 @@ impl Vi {
             return Err(ViaError::Shutdown);
         }
         self.nic.validate(&desc)?;
+        self.nic
+            .trace_event(EventKind::RdmaWrite, self.shared.id, desc.len as u64, 0);
         self.nic
             .ops
             .send(EngineOp::Rdma {
@@ -621,6 +646,7 @@ fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
         return;
     };
     let fail = |err: ViaError| {
+        nic.trace_event(EventKind::ViaComplete, vi, 0, 1);
         local.complete_send(Completion {
             vi_id: vi,
             descriptor: desc,
@@ -650,6 +676,7 @@ fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
     // still completes successfully and the peer's descriptor stays
     // posted (the "message lost without being detected" of Section 2.1).
     if reliability == Reliability::UnreliableDelivery && nic.should_drop() {
+        nic.trace_event(EventKind::ViaComplete, vi, desc.len as u64, 0);
         local.complete_send(Completion {
             vi_id: vi,
             descriptor: desc,
@@ -664,6 +691,7 @@ fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
         match reliability {
             // Lost: nobody was listening, nobody is told.
             Reliability::UnreliableDelivery => {
+                nic.trace_event(EventKind::ViaComplete, vi, desc.len as u64, 0);
                 local.complete_send(Completion {
                     vi_id: vi,
                     descriptor: desc,
@@ -699,18 +727,31 @@ fn process_send(nic: &Arc<NicShared>, vi: u64, desc: Descriptor) {
         }
         Err(e) => Err(e),
     };
+    let transferred = if status.is_ok() { data.len() } else { 0 };
+    nic.trace_event(
+        EventKind::ViaComplete,
+        vi,
+        transferred as u64,
+        status.is_err() as u64,
+    );
     local.complete_send(Completion {
         vi_id: vi,
         descriptor: desc,
         kind: CompletionKind::Send,
-        transferred: if status.is_ok() { data.len() } else { 0 },
+        transferred,
         status: status.clone(),
     });
+    peer_nic.trace_event(
+        EventKind::ViaRecv,
+        peer_vi.id,
+        transferred as u64,
+        status.is_err() as u64,
+    );
     peer_vi.complete_recv(Completion {
         vi_id: peer_vi.id,
         descriptor: rd,
         kind: CompletionKind::Recv,
-        transferred: if status.is_ok() { data.len() } else { 0 },
+        transferred,
         status,
     });
 }
@@ -720,6 +761,12 @@ fn process_rdma(nic: &Arc<NicShared>, vi: u64, desc: Descriptor, remote: RemoteB
         return;
     };
     let complete = |status: Result<(), ViaError>, transferred: usize| {
+        nic.trace_event(
+            EventKind::ViaComplete,
+            vi,
+            transferred as u64,
+            status.is_err() as u64,
+        );
         local.complete_send(Completion {
             vi_id: vi,
             descriptor: desc,
@@ -794,6 +841,33 @@ mod tests {
         let r = vb.wait_recv_completion(T).unwrap();
         assert_eq!(r.bytes_transferred(), 9);
         assert_eq!(b.read_region(mb, 0, 9).unwrap(), b"hello via");
+    }
+
+    #[test]
+    fn tracer_records_post_and_completion_events() {
+        use press_telem::LiveTracer;
+        let tracer = LiveTracer::new();
+        let (a, b, va, vb) = pair(Reliability::ReliableDelivery);
+        a.set_tracer(tracer.handle(0, press_telem::lane::SEND));
+        b.set_tracer(tracer.handle(1, press_telem::lane::RECV));
+        let ma = a.register(b"traced".to_vec(), false).unwrap();
+        let mb = b.register(vec![0; 64], false).unwrap();
+        vb.post_recv(Descriptor::new(mb, 0, 64)).unwrap();
+        va.post_send(Descriptor::new(ma, 0, 6)).unwrap();
+        assert!(va.wait_send_completion(T).unwrap().is_ok());
+        assert!(vb.wait_recv_completion(T).unwrap().is_ok());
+        drop(va);
+        drop(vb);
+        drop(a);
+        drop(b);
+        let trace = tracer.drain();
+        let kinds: Vec<EventKind> = trace.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::ViaPost), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::ViaComplete), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::ViaRecv), "{kinds:?}");
+        // Both NICs contributed, under their respective node ids.
+        assert_eq!(trace.nodes(), vec![0, 1]);
+        assert!(trace.count_cat("via") >= 3);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * [`core`] — the PRESS server: policy, dissemination strategies, V0–V5.
 //! * [`model`] — the paper's analytical queueing model (Figures 8–13).
 //! * [`server`] — a live, threaded PRESS server over the software VIA.
+//! * [`telem`] — observability: request spans, metrics registry, exporters.
 //!
 //! # Quickstart
 //!
@@ -31,5 +32,6 @@ pub use press_model as model;
 pub use press_net as net;
 pub use press_server as server;
 pub use press_sim as sim;
+pub use press_telem as telem;
 pub use press_trace as trace;
 pub use press_via as via;

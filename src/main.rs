@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use press::core::{
-    run_simulation, Dissemination, ExperimentRunner, Job, ServerVersion, SimConfig, WorkloadSource,
+    run_simulation, run_simulation_traced, Dissemination, ExperimentRunner, Job, Metrics,
+    ServerVersion, SimConfig, WorkloadSource,
 };
 use press::model::{throughput, CommVariant, ModelParams};
 use press::net::ProtocolCombo;
@@ -55,6 +56,17 @@ USAGE:
         --warmup     requests                                  (default 20000)
         --seed       u64                                       (default 12648430)
 
+    press trace <experiment> [OPTIONS]
+        Run one traced simulation and export its observability artifacts:
+        a Chrome trace_event JSON (open in Perfetto / chrome://tracing),
+        the metrics registry as CSV and JSON, and per-resource
+        utilization timelines. Experiments: fig5 | fig5_versions | demo.
+        --measure  requests                      (default 10000)
+        --warmup   requests                      (default 2000)
+        --nodes    N                             (default per experiment)
+        --seed     u64                           (default 12648430)
+        --out      output directory              (default results)
+
     press model [OPTIONS]
         Evaluate the analytical model (Section 4).
         --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen (default via)
@@ -70,12 +82,15 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("model") => cmd_model(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
             eprintln!("unknown command: {other}\n\n{USAGE}");
             ExitCode::FAILURE
         }
@@ -180,6 +195,8 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }
@@ -244,17 +261,9 @@ fn parse_list<T>(
         .collect()
 }
 
-/// Whether progress chatter is suppressed: `--quiet`/`-q` anywhere on
-/// the command line, or `PRESS_QUIET` set to anything but `0`/empty
-/// (same contract as `press_bench::quiet`).
-fn quiet() -> bool {
-    std::env::args().any(|a| a == "--quiet" || a == "-q")
-        || matches!(std::env::var("PRESS_QUIET"), Ok(v) if !v.is_empty() && v != "0")
-}
-
 fn cmd_sweep(args: &[String]) -> ExitCode {
-    // `--quiet`/`-q` is a bare switch (handled by `quiet()`), not a
-    // `--flag value` pair; strip it before pair parsing.
+    // `--quiet`/`-q` is a bare switch (honored by `press::telem::quiet`),
+    // not a `--flag value` pair; strip it before pair parsing.
     let args: Vec<String> = args
         .iter()
         .filter(|a| a.as_str() != "--quiet" && a.as_str() != "-q")
@@ -308,13 +317,13 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             }
         }
         let runner = ExperimentRunner::from_env();
-        if !quiet() {
-            eprintln!(
+        press::telem::progress_with(|| {
+            format!(
                 "sweep: {} runs on {} thread(s)",
                 jobs.len(),
                 runner.threads()
-            );
-        }
+            )
+        });
         let results = runner.run(jobs);
         println!(
             "{:<36} {:>10} {:>10} {:>9}",
@@ -333,6 +342,8 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }
@@ -363,9 +374,126 @@ fn cmd_export(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Utilization timeline bucket width: 1 ms of virtual time.
+const UTIL_BUCKET_NS: u64 = 1_000_000;
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let (experiment, rest) = args
+            .split_first()
+            .ok_or_else(|| "trace needs an experiment: fig5 | fig5_versions | demo".to_string())?;
+        let flags = parse_flags(rest, &["measure", "warmup", "nodes", "seed", "out"])?;
+        let mut cfg = match experiment.as_str() {
+            // The Figure 5 headline configuration: full PRESS (V5) over
+            // VIA on the ClarkNet trace.
+            "fig5" | "fig5_versions" => {
+                let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
+                cfg.version = ServerVersion::V5;
+                cfg
+            }
+            "demo" => SimConfig::quick_demo(),
+            other => {
+                return Err(format!(
+                    "unknown experiment {other}: expected fig5, fig5_versions, or demo"
+                ))
+            }
+        };
+        // Traces of full paper-length runs are enormous; default to a
+        // short slice that still exercises every span type.
+        cfg.measure_requests = parse(&flags, "measure", 10_000u64)?;
+        cfg.warmup_requests = parse(&flags, "warmup", 2_000u64)?;
+        cfg.nodes = parse(&flags, "nodes", cfg.nodes)?;
+        cfg.seed = parse(&flags, "seed", cfg.seed)?;
+        let out_dir = flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "results".into());
+
+        press::telem::progress_with(|| {
+            format!(
+                "tracing {experiment}: {} nodes, {} measured requests ...",
+                cfg.nodes, cfg.measure_requests
+            )
+        });
+        let (metrics, trace) = run_simulation_traced(&cfg);
+
+        let chrome = press::telem::chrome_trace_json(&trace);
+        let check = press::telem::validate_chrome_json(&chrome)
+            .map_err(|e| format!("exported trace failed validation: {e}"))?;
+
+        let mut reg = press::telem::Registry::default();
+        metrics.fill_registry(&mut reg, &[("experiment", experiment), ("engine", "sim")]);
+        let records = reg.records();
+
+        std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+        let write = |name: &str, body: &str| -> Result<String, String> {
+            let path = format!("{out_dir}/{name}");
+            std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(path)
+        };
+        let trace_path = write(&format!("trace_{experiment}.json"), &chrome)?;
+        let csv_path = write(
+            &format!("metrics_{experiment}.csv"),
+            &press::telem::metrics_csv(&records),
+        )?;
+        let json_path = write(
+            &format!("metrics_{experiment}.json"),
+            &press::telem::metrics_json(&records),
+        )?;
+        let util_path = write(
+            &format!("utilization_{experiment}.csv"),
+            &press::telem::utilization_csv(&trace, UTIL_BUCKET_NS),
+        )?;
+
+        print_trace_summary(experiment, &metrics, &trace, &check);
+        println!("\nartifacts:");
+        println!("  {trace_path}   (open in https://ui.perfetto.dev or chrome://tracing)");
+        println!("  {csv_path}");
+        println!("  {json_path}");
+        println!("  {util_path}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_trace_summary(
+    experiment: &str,
+    metrics: &Metrics,
+    trace: &press::telem::Trace,
+    check: &press::telem::TraceCheck,
+) {
+    println!(
+        "{experiment}: {:.0} req/s over {} measured requests",
+        metrics.throughput_rps, metrics.measured_requests
+    );
+    println!(
+        "trace: {} events ({} spans) across {} nodes, {} VIA-level events",
+        check.events,
+        check.spans,
+        check.nodes.len(),
+        check.via_events
+    );
+    if trace.dropped() > 0 {
+        println!(
+            "warning: {} events dropped (raise the buffer or shorten the run)",
+            trace.dropped()
+        );
     }
 }
 
@@ -412,6 +540,8 @@ fn cmd_model(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // press::allow(raw-eprintln): CLI error reporting must reach
+            // stderr even under --quiet.
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }

@@ -1,0 +1,50 @@
+//! Trace determinism: observability must be passive.
+//!
+//! Turning the tracer on cannot perturb the simulation (byte-identical
+//! results either way), and two traced same-seed runs must export
+//! byte-identical Chrome trace files.
+
+use press::core::{run_simulation, run_simulation_traced, SimConfig};
+use press::telem::{chrome_trace_json, validate_chrome_json};
+use press::trace::TracePreset;
+
+/// A short ClarkNet slice: long enough to exercise every span type
+/// (cache hits, forwards, disk, VIA credit traffic), short enough for CI.
+fn small_clarknet() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(TracePreset::Clarknet);
+    cfg.measure_requests = 3_000;
+    cfg.warmup_requests = 500;
+    cfg
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let cfg = small_clarknet();
+    let plain = run_simulation(&cfg);
+    let (traced, trace) = run_simulation_traced(&cfg);
+    assert_eq!(plain, traced, "tracing must be invisible to the results");
+    assert!(!trace.events().is_empty(), "the trace itself must be real");
+}
+
+#[test]
+fn same_seed_traces_export_byte_identically() {
+    let cfg = small_clarknet();
+    let (_, t1) = run_simulation_traced(&cfg);
+    let (_, t2) = run_simulation_traced(&cfg);
+    assert_eq!(chrome_trace_json(&t1), chrome_trace_json(&t2));
+}
+
+#[test]
+fn exported_trace_validates_with_cluster_coverage() {
+    let (_, trace) = run_simulation_traced(&small_clarknet());
+    assert_eq!(trace.dropped(), 0, "short run must fit the buffer");
+    let json = chrome_trace_json(&trace);
+    let check = validate_chrome_json(&json).expect("schema-valid trace");
+    assert!(check.events > 0 && check.spans > 0);
+    assert!(
+        check.nodes.len() >= 2,
+        "spans from at least two nodes: {:?}",
+        check.nodes
+    );
+    assert!(check.via_events > 0, "VIA-level events present");
+}
