@@ -21,7 +21,10 @@
 //!   `SendJob::Credits`/`SendJob::ResetPeer` in
 //!   `crates/server/src/node.rs`;
 //! * [`BatchPoolModel`] — `ExperimentRunner`'s shared-index job claiming
-//!   in `crates/core/src/batch.rs`: every slot filled exactly once.
+//!   in `crates/core/src/batch.rs`: every slot filled exactly once;
+//! * [`SendRingModel`] — the V6 fast path's SPSC send ring with credit
+//!   return, mirroring the publish/consume/retire protocol of
+//!   `crates/via/src/spsc.rs` and the slab-slot ownership handoff.
 
 use minloom::{explore, Ctx, Loc, Memory, Model, Order, Outcome};
 
@@ -415,6 +418,169 @@ impl Model for BatchPoolModel {
     }
 }
 
+/// Ordering parameters for [`SendRingModel`], named after the four
+/// synchronization points of `crates/via/src/spsc.rs`.
+#[derive(Debug, Clone, Copy)]
+pub struct RingOrders {
+    /// Producer's `tail` store after filling the slot.
+    pub publish: Order,
+    /// Consumer's `tail` load before reading the slot.
+    pub consume: Order,
+    /// Consumer's `head` store after clearing the slot — the credit
+    /// return that hands the buffer back to the producer.
+    pub retire: Order,
+    /// Producer's `head` load before reusing a slot.
+    pub credit: Order,
+}
+
+impl RingOrders {
+    /// The orderings shipped in `spsc.rs` (Release-publish /
+    /// Acquire-consume on both counters).
+    pub fn shipped() -> Self {
+        RingOrders {
+            publish: Order::Release,
+            consume: Order::Acquire,
+            retire: Order::Release,
+            credit: Order::Acquire,
+        }
+    }
+
+    /// Weakened publish side — the consumer can see the tail bump
+    /// without the payload; must be caught.
+    pub fn relaxed_publish() -> Self {
+        RingOrders {
+            publish: Order::Relaxed,
+            ..Self::shipped()
+        }
+    }
+
+    /// Weakened credit-return side — the producer can see the credit
+    /// without the consumer's slot release; must be caught.
+    pub fn relaxed_retire() -> Self {
+        RingOrders {
+            retire: Order::Relaxed,
+            ..Self::shipped()
+        }
+    }
+}
+
+/// The V6 send ring: a one-slot SPSC ring with credit return.
+///
+/// The producer fills the slot and Release-publishes `tail`; the
+/// consumer Acquire-loads `tail`, reads the payload, clears the slot
+/// (returning buffer ownership, as the slab pool's
+/// `mark_complete`/`free` does) and Release-stores `head` — the credit
+/// the producer Acquire-loads before reusing the slot. Rather than
+/// spin, a thread that cannot (visibly) proceed stops, so every
+/// blocked-vs-progressing schedule is still a finite execution.
+///
+/// Invariants: the consumer never reads a payload other than the one
+/// `tail` published (publish/consume pairing), and the producer never
+/// reuses a slot that still holds an unconsumed payload
+/// (retire/credit pairing).
+pub struct SendRingModel {
+    orders: RingOrders,
+    slot: Loc,
+    tail: Loc,
+    head: Loc,
+    pushed: u64,
+    popped: u64,
+}
+
+/// Messages the producer attempts; 2 forces one slot reuse through the
+/// credit-return edge.
+pub const RING_MSGS: u64 = 2;
+
+impl SendRingModel {
+    /// Builds the model with the given orderings.
+    pub fn new(mem: &mut Memory, orders: RingOrders) -> Self {
+        SendRingModel {
+            orders,
+            slot: mem.alloc(0),
+            tail: mem.alloc(0),
+            head: mem.alloc(0),
+            pushed: 0,
+            popped: 0,
+        }
+    }
+}
+
+impl Model for SendRingModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) -> Result<bool, String> {
+        if tid == 0 {
+            // Producer.
+            let n = self.pushed;
+            if n >= RING_MSGS {
+                return Ok(false);
+            }
+            if n > 0 {
+                // Reuse needs the credit back for the previous message.
+                let h = ctx.load(self.head, self.orders.credit);
+                if h < n {
+                    return Ok(false); // credit not visible yet; give up
+                }
+                let v = ctx.load(self.slot, Order::Relaxed);
+                if v != 0 {
+                    return Err(format!(
+                        "credit for message {n} returned but the slot still holds {v} — \
+                         the producer would overwrite an unconsumed buffer"
+                    ));
+                }
+            }
+            ctx.store(self.slot, n + 1, Order::Relaxed);
+            ctx.store(self.tail, n + 1, self.orders.publish);
+            self.pushed = n + 1;
+            Ok(self.pushed < RING_MSGS)
+        } else {
+            // Consumer.
+            let m = self.popped;
+            if m >= RING_MSGS {
+                return Ok(false);
+            }
+            let t = ctx.load(self.tail, self.orders.consume);
+            if t <= m {
+                return Ok(false); // nothing visibly published; give up
+            }
+            let v = ctx.load(self.slot, Order::Relaxed);
+            if v != m + 1 {
+                return Err(format!(
+                    "tail {t} publishes message {} but the slot holds {v} — \
+                     stale payload read",
+                    m + 1
+                ));
+            }
+            ctx.store(self.slot, 0, Order::Relaxed);
+            ctx.store(self.head, m + 1, self.orders.retire);
+            self.popped = m + 1;
+            Ok(self.popped < RING_MSGS)
+        }
+    }
+
+    fn check(&self, mem: &Memory) -> Result<(), String> {
+        let tail = mem.latest(self.tail);
+        let head = mem.latest(self.head);
+        if tail != self.pushed {
+            return Err(format!("tail {tail} but {} messages pushed", self.pushed));
+        }
+        if head != self.popped {
+            return Err(format!("head {head} but {} messages popped", self.popped));
+        }
+        if head > tail {
+            return Err(format!(
+                "more credits returned ({head}) than messages published ({tail})"
+            ));
+        }
+        if self.popped == self.pushed && mem.latest(self.slot) != 0 {
+            return Err("ring drained but the slot was not handed back clean".into());
+        }
+        Ok(())
+    }
+}
+
 /// Runs the shipped-orderings membership model; passes exhaustively.
 pub fn check_membership_shipped() -> Outcome {
     explore(
@@ -458,4 +624,31 @@ pub fn check_batch_pool_atomic() -> Outcome {
 /// be found.
 pub fn check_batch_pool_split() -> Outcome {
     explore(|mem| BatchPoolModel::new(mem, false), MAX_EXECUTIONS)
+}
+
+/// Runs the send-ring model with the shipped orderings; passes
+/// exhaustively.
+pub fn check_send_ring_shipped() -> Outcome {
+    explore(
+        |mem| SendRingModel::new(mem, RingOrders::shipped()),
+        MAX_EXECUTIONS,
+    )
+}
+
+/// Runs the send-ring model with a relaxed publish; the stale payload
+/// read must be found.
+pub fn check_send_ring_relaxed_publish() -> Outcome {
+    explore(
+        |mem| SendRingModel::new(mem, RingOrders::relaxed_publish()),
+        MAX_EXECUTIONS,
+    )
+}
+
+/// Runs the send-ring model with a relaxed credit return; the premature
+/// slot reuse must be found.
+pub fn check_send_ring_relaxed_retire() -> Outcome {
+    explore(
+        |mem| SendRingModel::new(mem, RingOrders::relaxed_retire()),
+        MAX_EXECUTIONS,
+    )
 }

@@ -15,11 +15,12 @@ use crate::scanner::{find_token, is_ident_char, Line};
 use std::collections::BTreeSet;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "wall-clock",
     "os-random",
     "hash-iter",
     "hot-unwrap",
+    "hot-path-alloc",
     "safety-comment",
     "atomic-ordering",
     "raw-eprintln",
@@ -32,6 +33,10 @@ pub fn describe(rule: &str) -> &'static str {
         "os-random" => "no OS entropy (thread_rng/OsRng/from_entropy) in deterministic crates",
         "hash-iter" => "no iteration over HashMap/HashSet where order can leak into results",
         "hot-unwrap" => "no unwrap/expect in the server node hot loops (test code exempt)",
+        "hot-path-alloc" => {
+            "no heap allocation (Box::new, vec!, to_vec, clone, Vec growth) inside \
+             `#[press::hot_path]`-tagged functions — the V6 fast path must not allocate"
+        }
         "safety-comment" => "every unsafe block needs a `// SAFETY:` comment",
         "atomic-ordering" => {
             "every atomic access needs a `// ordering:` justification or an atomics-manifest entry"
@@ -101,6 +106,8 @@ fn eprintln_scope(path: &str) -> bool {
 pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Finding> {
     let mut out = Vec::new();
     let hash_names = collect_hash_names(lines);
+    let vec_names = collect_vec_names(lines);
+    let hot = hot_path_mask(lines);
 
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -159,6 +166,10 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
             }
         }
 
+        if hot[idx] {
+            check_hot_alloc(path, line, &vec_names, &mut out);
+        }
+
         if let Some(pos) = find_token(code, "unsafe") {
             // `unsafe` the keyword (block/fn/impl/trait), not part of an
             // identifier; find_token already enforces boundaries.
@@ -210,6 +221,162 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
         }
     }
     out
+}
+
+/// Allocating constructs flagged inside `#[press::hot_path]` bodies.
+const HOT_ALLOC_PATTERNS: [&str; 12] = [
+    "Box::new(",
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "VecDeque::new",
+    ".to_vec(",
+    ".to_owned(",
+    ".to_string(",
+    "String::new",
+    "String::from(",
+    "format!",
+    ".clone(",
+];
+
+/// Flags heap allocation on a line known to sit inside a hot-path
+/// function: direct allocating calls, plus `.push(` on names declared
+/// as growable vectors in this file.
+fn check_hot_alloc(path: &str, line: &Line, vec_names: &BTreeSet<String>, out: &mut Vec<Finding>) {
+    let code = line.code.as_str();
+    for pat in HOT_ALLOC_PATTERNS {
+        if code.contains(pat) {
+            out.push(Finding {
+                path: path.into(),
+                line: line.number,
+                rule: "hot-path-alloc",
+                message: format!(
+                    "`{}` heap-allocates inside a `#[press::hot_path]` function — \
+                     the fast path must draw from the slab pool or fixed-capacity \
+                     structures",
+                    pat.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(".push(") {
+        let pos = from + rel;
+        from = pos + ".push(".len();
+        if let Some(name) = trailing_ident(&code[..pos]) {
+            if vec_names.contains(name) {
+                out.push(Finding {
+                    path: path.into(),
+                    line: line.number,
+                    rule: "hot-path-alloc",
+                    message: format!(
+                        "`{name}.push` can grow a Vec inside a `#[press::hot_path]` \
+                         function — reserve outside the hot path or use a fixed-size \
+                         ring"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Marks lines inside `#[press::hot_path]`- (or `#[hot_path]`-) tagged
+/// function items, signature included. Brace counting is reliable here
+/// because the scanner blanks string and char literal contents.
+fn hot_path_mask(lines: &[Line]) -> Vec<bool> {
+    /// Tracker for the tagged-function extent.
+    enum St {
+        /// Not in a tagged item.
+        Idle,
+        /// Attribute seen; waiting for the `fn` line.
+        Armed,
+        /// Inside a multi-line signature; waiting for the body brace.
+        Sig,
+        /// Inside the body, `usize` braces deep.
+        Body(usize),
+    }
+    let mut mask = vec![false; lines.len()];
+    let mut st = St::Idle;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        st = match st {
+            St::Idle => {
+                if code.contains("#[press::hot_path]") || code.contains("#[hot_path]") {
+                    St::Armed
+                } else {
+                    St::Idle
+                }
+            }
+            St::Armed => {
+                if find_token(code, "fn").is_some() {
+                    mask[i] = true;
+                    match (opens > 0, opens.saturating_sub(closes)) {
+                        (true, 0) => St::Idle, // single-line fn
+                        (true, depth) => St::Body(depth),
+                        (false, _) => St::Sig,
+                    }
+                } else if code.trim().is_empty() || code.trim_start().starts_with("#[") {
+                    St::Armed // other attributes may sit between tag and fn
+                } else {
+                    St::Idle
+                }
+            }
+            St::Sig => {
+                mask[i] = true;
+                match (opens > 0, opens.saturating_sub(closes)) {
+                    (false, _) => St::Sig,
+                    (true, 0) => St::Idle,
+                    (true, depth) => St::Body(depth),
+                }
+            }
+            St::Body(depth) => {
+                mask[i] = true;
+                let depth = depth + opens;
+                if depth <= closes {
+                    St::Idle
+                } else {
+                    St::Body(depth - closes)
+                }
+            }
+        };
+    }
+    mask
+}
+
+/// Names declared as growable vectors in this file (`name: Vec<..>`
+/// fields/params and `let [mut] name = Vec::...` bindings).
+fn collect_vec_names(lines: &[Line]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in lines {
+        let code = line.code.as_str();
+        for ty in ["Vec", "VecDeque"] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(&format!("{ty}<")) {
+                let pos = from + rel;
+                from = pos + ty.len();
+                let before = code[..pos].trim_end();
+                if let Some(stripped) = before.strip_suffix(':') {
+                    if let Some(name) = trailing_ident(stripped) {
+                        names.insert(name.to_string());
+                    }
+                }
+            }
+            for ctor in ["::new", "::with_capacity", "::from"] {
+                if code.contains(&format!("{ty}{ctor}")) {
+                    if let Some(pos) = find_token(code, "let") {
+                        let rest = code[pos + 3..].trim_start();
+                        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                        if let Some(name) = leading_ident(rest) {
+                            names.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
 }
 
 /// Comments attached to line `idx`: its own plus up to `above` comment

@@ -112,3 +112,43 @@ fn batch_pool_split_claim_race_is_caught() {
     let msg = out.violation.expect("split claim must double-claim a slot");
     assert!(msg.contains("written"), "unexpected violation: {msg}");
 }
+
+#[test]
+fn send_ring_shipped_orderings_hold_exhaustively() {
+    let out = models::check_send_ring_shipped();
+    println!(
+        "send ring (shipped orderings): {} interleavings, exhaustive",
+        out.executions
+    );
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(out.complete, "state space must be fully explored");
+    // Two threads of up-to-2 messages each, plus stale-read branching on
+    // tail/head/slot: more than the pure schedules alone.
+    assert!(out.executions >= 6, "only {} interleavings", out.executions);
+}
+
+#[test]
+fn send_ring_relaxed_publish_is_caught() {
+    let out = models::check_send_ring_relaxed_publish();
+    println!(
+        "send ring (relaxed publish): stale payload found after {} interleavings",
+        out.executions
+    );
+    let msg = out
+        .violation
+        .expect("a relaxed tail publish must admit a stale payload read");
+    assert!(msg.contains("stale payload"), "unexpected violation: {msg}");
+}
+
+#[test]
+fn send_ring_relaxed_credit_return_is_caught() {
+    let out = models::check_send_ring_relaxed_retire();
+    println!(
+        "send ring (relaxed credit return): premature reuse found after {} interleavings",
+        out.executions
+    );
+    let msg = out
+        .violation
+        .expect("a relaxed credit return must admit premature slot reuse");
+    assert!(msg.contains("overwrite"), "unexpected violation: {msg}");
+}

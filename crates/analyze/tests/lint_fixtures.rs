@@ -99,6 +99,34 @@ fn hot_unwrap_rule_is_scoped_to_the_node_hot_loop() {
 }
 
 #[test]
+fn hot_path_alloc_fixture_exact_diagnostics() {
+    let f = fixture("hot_path_alloc.rs", "crates/via/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(
+        triples(&report),
+        vec![
+            ("crates/via/src/fixture.rs".into(), 5, "hot-path-alloc"),
+            ("crates/via/src/fixture.rs".into(), 6, "hot-path-alloc"),
+            ("crates/via/src/fixture.rs".into(), 7, "hot-path-alloc"),
+            ("crates/via/src/fixture.rs".into(), 8, "hot-path-alloc"),
+            ("crates/via/src/fixture.rs".into(), 19, "hot-path-alloc"),
+            ("crates/via/src/fixture.rs".into(), 31, "hot-path-alloc"),
+        ],
+        "untagged functions and the waived format! must not fire"
+    );
+    assert_eq!(report.waived.len(), 1, "the waived format! is counted");
+    assert_eq!(report.waived[0].line, 42);
+}
+
+#[test]
+fn hot_path_alloc_fires_in_any_crate_the_tag_appears_in() {
+    // The tag is the opt-in: the rule is not path-scoped.
+    let f = fixture("hot_path_alloc.rs", "crates/server/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(report.violations.len(), 6, "{:?}", report.violations);
+}
+
+#[test]
 fn safety_fixture_exact_diagnostics() {
     let f = fixture("safety.rs", "crates/via/src/fixture.rs");
     let report = lint_files(&[f], &Manifest::empty());
@@ -210,6 +238,7 @@ fn every_violating_fixture_exits_nonzero() {
         ("os_random.rs", "crates/core/src/fixture.rs"),
         ("hash_iter.rs", "crates/net/src/fixture.rs"),
         ("hot_unwrap.rs", "crates/server/src/node.rs"),
+        ("hot_path_alloc.rs", "crates/via/src/fixture.rs"),
         ("safety.rs", "crates/via/src/fixture.rs"),
         ("atomics.rs", "crates/via/src/fixture.rs"),
         ("waivers.rs", "crates/sim/src/fixture.rs"),
@@ -229,6 +258,7 @@ fn all_fixtures() -> Vec<SourceFile> {
         fixture("os_random.rs", "crates/core/src/fixture_rand.rs"),
         fixture("hash_iter.rs", "crates/net/src/fixture_hash.rs"),
         fixture("hot_unwrap.rs", "crates/server/src/node.rs"),
+        fixture("hot_path_alloc.rs", "crates/via/src/fixture_hot_alloc.rs"),
         fixture("safety.rs", "crates/via/src/fixture_safety.rs"),
         fixture("atomics.rs", "crates/via/src/fixture_atomics.rs"),
         fixture("waivers.rs", "crates/sim/src/fixture_waivers.rs"),
@@ -242,7 +272,8 @@ proptest! {
     /// The report is identical whatever order the files are scanned in —
     /// the property that keeps analyze runs byte-stable in CI.
     #[test]
-    fn report_is_stable_under_file_ordering(keys in vec(0u64..1_000_000, 8)) {
+    // More keys than fixtures: zip must truncate keys, never fixtures.
+    fn report_is_stable_under_file_ordering(keys in vec(0u64..1_000_000, 16)) {
         let baseline = lint_files(&all_fixtures(), &Manifest::empty());
 
         let mut shuffled: Vec<(u64, SourceFile)> =

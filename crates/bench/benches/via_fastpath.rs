@@ -1,0 +1,246 @@
+//! Criterion benchmarks for the V6 via fast path.
+//!
+//! Compares the V5 transmit discipline (one doorbell ring per message,
+//! file data followed by a separate metadata message) against V6 (slab
+//! slots gathered with scatter-gather descriptors, doorbells batched)
+//! over the same software fabric, so the measured delta is exactly what
+//! the ladder extension changed.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use press_via::{
+    Descriptor, Doorbell, Fabric, MemHandle, Nic, Reliability, SgList, SlabPool, Vi, MAX_DOORBELL,
+};
+
+/// Payload of one simulated file response and its forwarding metadata.
+const FILE_BYTES: usize = 512;
+const META_BYTES: usize = 32;
+/// Messages per timed burst in the throughput benchmarks.
+const BURST: usize = 64;
+
+const T: Duration = Duration::from_secs(10);
+
+/// A connected VI pair; the NICs ride along because dropping one shuts
+/// its engine down.
+struct Endpoints {
+    tx_nic: Nic,
+    rx_nic: Nic,
+    tx: Vi,
+    rx: Vi,
+}
+
+fn endpoints() -> Endpoints {
+    let fabric = Fabric::new();
+    let tx_nic = fabric.create_nic("bench-tx");
+    let rx_nic = fabric.create_nic("bench-rx");
+    let (tx, rx) = fabric
+        .connect(&tx_nic, &rx_nic, Reliability::ReliableDelivery)
+        .expect("connect bench VIs");
+    Endpoints {
+        tx_nic,
+        rx_nic,
+        tx,
+        rx,
+    }
+}
+
+fn gather(segments: &[Descriptor]) -> SgList {
+    let mut sg = SgList::new();
+    for &seg in segments {
+        sg.push(seg).expect("segment fits");
+    }
+    sg
+}
+
+/// Keeps `count` receive descriptors posted on the receive side.
+fn post_recvs(rx: &Vi, region: MemHandle, count: usize, slot: usize) {
+    for i in 0..count {
+        rx.post_recv(Descriptor::new(region, (i % BURST) * slot, slot))
+            .expect("post recv");
+    }
+}
+
+/// Drains `count` receive completions and reposts each descriptor.
+fn drain_recvs(rx: &Vi, count: usize) {
+    for _ in 0..count {
+        let c = rx.wait_recv_completion(T).expect("recv completion");
+        rx.post_recv(c.descriptor).expect("repost recv");
+    }
+}
+
+/// V5 discipline: every message is written into the next slot of a
+/// registered staging region and rung through individually; a file
+/// response costs two messages (data, then metadata).
+fn v5_send_file(ep: &Endpoints, region: MemHandle, base: usize, payload: &[u8], meta: &[u8]) {
+    ep.tx_nic
+        .write_region(region, base, payload)
+        .and_then(|()| ep.tx.post_send(Descriptor::new(region, base, FILE_BYTES)))
+        .expect("post file data");
+    ep.tx_nic
+        .write_region(region, base + FILE_BYTES, meta)
+        .and_then(|()| {
+            ep.tx
+                .post_send(Descriptor::new(region, base + FILE_BYTES, META_BYTES))
+        })
+        .expect("post metadata");
+}
+
+/// V6 discipline: data comes from a lock-free slab slot and metadata is
+/// gathered with it into a single scatter-gather message.
+fn v6_stage_file(ep: &Endpoints, pool: &SlabPool, meta_seg: Descriptor, payload: &[u8]) -> SgList {
+    let data = pool.alloc().expect("slab slot");
+    ep.tx_nic
+        .write_region(pool.handle(), data.offset, payload)
+        .expect("fill slab slot");
+    let sg = gather(&[
+        pool.descriptor(data, FILE_BYTES).expect("data segment"),
+        meta_seg,
+    ]);
+    pool.mark_in_flight(data).expect("mark in flight");
+    sg
+}
+
+/// Retires the slab slot named by a send completion's descriptor.
+fn v6_retire(pool: &SlabPool, desc: Descriptor) {
+    if desc.region == pool.handle() {
+        let slot = pool.slot_at(desc.offset).expect("slab offset");
+        pool.mark_complete(slot)
+            .and_then(|()| pool.free(slot))
+            .expect("retire slab slot");
+    }
+}
+
+/// Burst throughput: BURST file responses per iteration.
+fn bench_throughput(c: &mut Criterion) {
+    let payload = vec![0xA5u8; FILE_BYTES];
+    let meta = vec![0x5Au8; META_BYTES];
+    let slot = FILE_BYTES + META_BYTES;
+
+    let mut group = c.benchmark_group("via_burst_64_files");
+
+    {
+        let ep = endpoints();
+        let region = ep
+            .tx_nic
+            .register(vec![0; BURST * slot], false)
+            .expect("register staging region");
+        let rx_region = ep
+            .rx_nic
+            .register(vec![0; BURST * slot], false)
+            .expect("register recv region");
+        post_recvs(&ep.rx, rx_region, 2 * BURST, slot);
+        group.bench_function("v5_individual_posts", |b| {
+            b.iter(|| {
+                for i in 0..BURST {
+                    v5_send_file(&ep, region, i * slot, &payload, &meta);
+                }
+                for _ in 0..2 * BURST {
+                    ep.tx.wait_send_completion(T).expect("send completion");
+                }
+                drain_recvs(&ep.rx, 2 * BURST);
+                black_box(())
+            })
+        });
+    }
+
+    {
+        let ep = endpoints();
+        let pool = ep
+            .tx_nic
+            .register_slab(2 * BURST, FILE_BYTES, false)
+            .expect("register slab");
+        let meta_region = ep
+            .tx_nic
+            .register(vec![0x5A; BURST * META_BYTES], false)
+            .expect("register metadata region");
+        let rx_region = ep
+            .rx_nic
+            .register(vec![0; BURST * slot], false)
+            .expect("register recv region");
+        post_recvs(&ep.rx, rx_region, 2 * BURST, slot);
+        let mut bell = Doorbell::new(ep.tx.clone(), MAX_DOORBELL, Duration::from_millis(1));
+        group.bench_function("v6_slab_doorbell", |b| {
+            b.iter(|| {
+                for i in 0..BURST {
+                    let meta_seg =
+                        Descriptor::new(meta_region, (i % BURST) * META_BYTES, META_BYTES);
+                    let sg = v6_stage_file(&ep, &pool, meta_seg, &payload);
+                    bell.post_sg(sg).expect("stage send");
+                }
+                bell.flush().expect("flush tail");
+                for _ in 0..BURST {
+                    let c = ep.tx.wait_send_completion(T).expect("send completion");
+                    v6_retire(&pool, c.descriptor);
+                }
+                drain_recvs(&ep.rx, BURST);
+                black_box(())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+/// Single file-response latency: post until the last byte is received.
+fn bench_latency(c: &mut Criterion) {
+    let payload = vec![0xA5u8; FILE_BYTES];
+    let meta = vec![0x5Au8; META_BYTES];
+    let slot = FILE_BYTES + META_BYTES;
+
+    let mut group = c.benchmark_group("via_file_latency");
+
+    {
+        let ep = endpoints();
+        let region = ep
+            .tx_nic
+            .register(vec![0; slot], false)
+            .expect("register staging region");
+        let rx_region = ep
+            .rx_nic
+            .register(vec![0; 4 * slot], false)
+            .expect("register recv region");
+        post_recvs(&ep.rx, rx_region, 4, slot);
+        group.bench_function("v5_data_plus_metadata", |b| {
+            b.iter(|| {
+                v5_send_file(&ep, region, 0, &payload, &meta);
+                for _ in 0..2 {
+                    ep.tx.wait_send_completion(T).expect("send completion");
+                }
+                drain_recvs(&ep.rx, 2);
+            })
+        });
+    }
+
+    {
+        let ep = endpoints();
+        let pool = ep
+            .tx_nic
+            .register_slab(4, FILE_BYTES, false)
+            .expect("register slab");
+        let meta_region = ep
+            .tx_nic
+            .register(vec![0x5A; META_BYTES], false)
+            .expect("register metadata region");
+        let rx_region = ep
+            .rx_nic
+            .register(vec![0; 4 * slot], false)
+            .expect("register recv region");
+        post_recvs(&ep.rx, rx_region, 4, slot);
+        group.bench_function("v6_single_gather", |b| {
+            b.iter(|| {
+                let meta_seg = Descriptor::new(meta_region, 0, META_BYTES);
+                let sg = v6_stage_file(&ep, &pool, meta_seg, &payload);
+                ep.tx.post_send_sg(sg).expect("post gather");
+                let c = ep.tx.wait_send_completion(T).expect("send completion");
+                v6_retire(&pool, c.descriptor);
+                drain_recvs(&ep.rx, 1);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency, bench_throughput);
+criterion_main!(benches);

@@ -44,8 +44,11 @@ fn main() {
         }
     }
     let mut results = run_all(jobs).into_iter();
+    // (v0, v5) throughputs per trace, kept for the V6 ladder extension.
+    let mut baselines = Vec::new();
     for preset in TracePreset::ALL {
         let mut v0 = 0.0;
+        let mut last = 0.0;
         let mut incs = Vec::new();
         for v in ServerVersion::ALL {
             let m = results.next().expect("one result per job");
@@ -54,7 +57,9 @@ fn main() {
             } else {
                 incs.push(m.throughput_rps / v0 - 1.0);
             }
+            last = m.throughput_rps;
         }
+        baselines.push((v0, last));
         print!("{:<10}", preset.name());
         for inc in incs {
             print!(" {:>6.1}%", 100.0 * inc);
@@ -63,4 +68,32 @@ fn main() {
     }
     println!();
     println!("(paper: V1-V3 minimal or slightly negative; V4 +4..8%; V5 +8..11%)");
+
+    // Beyond the paper: one more rung. Appended after the Figure 5
+    // artifact so everything above stays byte-identical to a V0–V5 build.
+    println!();
+    println!("Ladder extension: V6 (lock-free fast path, doorbell batching)");
+    println!("{:<10} {:>9} {:>9}", "Trace", "vs V0", "vs V5");
+    let v6_jobs = TracePreset::ALL
+        .into_iter()
+        .map(|preset| {
+            let mut cfg = standard_config(preset);
+            cfg.version = ServerVersion::V6;
+            Job::new(format!("{preset}/V6"), cfg)
+        })
+        .collect();
+    for ((preset, m), (v0, v5)) in TracePreset::ALL
+        .into_iter()
+        .zip(run_all(v6_jobs))
+        .zip(baselines)
+    {
+        println!(
+            "{:<10} {:>8.1}% {:>8.1}%",
+            preset.name(),
+            100.0 * (m.throughput_rps / v0 - 1.0),
+            100.0 * (m.throughput_rps / v5 - 1.0)
+        );
+    }
+    println!();
+    println!("(V6 gathers the metadata with the data and amortizes doorbells)");
 }

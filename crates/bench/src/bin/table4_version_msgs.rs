@@ -34,4 +34,16 @@ fn main() {
     }
     println!();
     println!("(paper: file-message count roughly doubles from V2 to V3 - data + metadata)");
+
+    // Beyond the paper: V6 appended after the Table 4 artifact so the
+    // V1–V5 output above stays byte-identical to a pre-V6 build.
+    let mut cfg = standard_config(preset);
+    cfg.version = ServerVersion::V6;
+    let v6 = run_all(vec![Job::new(ServerVersion::V6.name(), cfg)])
+        .pop()
+        .expect("one result for the V6 job");
+    println!("\nVersion {} (beyond the paper):", ServerVersion::V6.name());
+    print!("{}", v6.counters.format_table(scale));
+    println!();
+    println!("(V6 gathers metadata with file data, so the V3-V5 metadata message disappears)");
 }

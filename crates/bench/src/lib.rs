@@ -22,8 +22,6 @@
 //! override the defaults, and message counts are extrapolated to the full
 //! trace length for table comparisons.
 
-use std::io::Write;
-
 use press_core::{run_simulation, ExperimentRunner, Job, Metrics, RunResult, SimConfig};
 use press_trace::TracePreset;
 
@@ -126,40 +124,74 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<Metrics> {
     results.into_iter().map(|r| r.metrics).collect()
 }
 
-/// Appends one JSON line per result to the machine-readable timing log.
+/// Records one JSON line per result in the machine-readable timing log.
 ///
 /// Each row is `{"bin": ..., "label": ..., "wall_ms": ...,
 /// "throughput_rps": ...}`. The default path is `results/bench.json`
-/// under the current directory; `PRESS_BENCH_LOG` overrides it. Logging
-/// is best-effort: IO problems never fail an experiment run.
-fn record_timings(results: &[RunResult]) {
-    let path = std::env::var("PRESS_BENCH_LOG").unwrap_or_else(|_| "results/bench.json".into());
+/// under the current directory (created, directories included, when
+/// absent); `PRESS_BENCH_LOG` overrides it. Appending is idempotent:
+/// re-running a binary *replaces* its previous rows for the same labels
+/// instead of stacking duplicates, so the log converges to one row per
+/// `(bin, label)` however many times experiments are re-run. Logging is
+/// best-effort: IO problems never fail an experiment run.
+pub fn record_timings(results: &[RunResult]) {
     let bin = std::env::current_exe()
         .ok()
         .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
         .unwrap_or_else(|| "unknown".into());
+    record_timings_as(&bin, results);
+}
+
+/// [`record_timings`] with an explicit `bin` name — for callers that are
+/// not experiment binaries (e.g. `press sweep`).
+pub fn record_timings_as(bin: &str, results: &[RunResult]) {
+    let path = std::env::var("PRESS_BENCH_LOG").unwrap_or_else(|_| "results/bench.json".into());
     if let Some(dir) = std::path::Path::new(&path).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);
         }
     }
-    let Ok(mut file) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    else {
-        return;
-    };
+    let bin = json_escape(bin);
+    // Idempotency: drop previously-logged rows this batch supersedes.
+    let fresh: Vec<String> = results.iter().map(|r| json_escape(&r.label)).collect();
+    let mut rows: Vec<String> = std::fs::read_to_string(&path)
+        .map(|s| s.lines().map(str::to_owned).collect())
+        .unwrap_or_default();
+    rows.retain(|row| {
+        row_field(row, "bin") != Some(&bin)
+            || !row_field(row, "label").is_some_and(|l| fresh.iter().any(|f| f == l))
+    });
     for r in results {
-        let _ = writeln!(
-            file,
+        rows.push(format!(
             r#"{{"bin": "{}", "label": "{}", "wall_ms": {:.3}, "throughput_rps": {:.3}}}"#,
-            json_escape(&bin),
+            bin,
             json_escape(&r.label),
             r.wall.as_secs_f64() * 1e3,
             r.metrics.throughput_rps
-        );
+        ));
     }
+    let mut body = rows.join("\n");
+    body.push('\n');
+    let _ = std::fs::write(&path, body);
+}
+
+/// Extracts the string value of `key` from one logged row. The rows are
+/// written (and escaped) by this module, so the simple `"key": "value"`
+/// shape is the only one that needs parsing.
+fn row_field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!(r#""{key}": ""#);
+    let start = row.find(&tag)? + tag.len();
+    let rest = row.get(start..)?;
+    let bytes = rest.as_bytes();
+    let mut end = 0;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return rest.get(..end),
+            _ => end += 1,
+        }
+    }
+    None
 }
 
 fn json_escape(s: &str) -> String {
@@ -253,7 +285,34 @@ mod tests {
         assert!(lines[0].contains(r#""label": "first""#), "{}", lines[0]);
         assert!(lines[1].contains(r#""label": "second""#), "{}", lines[1]);
         assert!(lines[0].contains(r#""wall_ms": "#));
+
+        // Idempotent appending: re-running the same labels replaces the
+        // old rows instead of duplicating them; new labels still append.
+        let mut third = SimConfig::quick_demo();
+        third.warmup_requests = 100;
+        third.measure_requests = 200;
+        let again = vec![Job::new("second", third.clone()), Job::new("third", third)];
+        run_all(again);
+        let rows = std::fs::read_to_string(&log).expect("bench log rewritten");
+        let lines: Vec<&str> = rows.lines().collect();
+        assert_eq!(lines.len(), 3, "{rows}");
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains(r#""label": "second""#))
+                .count(),
+            1
+        );
+        assert!(lines[2].contains(r#""label": "third""#), "{}", lines[2]);
         let _ = std::fs::remove_file(&log);
         std::env::remove_var("PRESS_BENCH_LOG");
+    }
+
+    #[test]
+    fn row_fields_parse_back_out_of_logged_rows() {
+        let row = r#"{"bin": "fig5_versions", "label": "clarknet\"x", "wall_ms": 1.0}"#;
+        assert_eq!(row_field(row, "bin"), Some("fig5_versions"));
+        assert_eq!(row_field(row, "label"), Some(r#"clarknet\"x"#));
+        assert_eq!(row_field(row, "missing"), None);
     }
 }

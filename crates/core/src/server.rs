@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use press_cluster::{CpuCategory, FileCache, Node, NodeId, ServiceRates};
 use press_net::{
-    recv_cost, send_cost, wire_bytes, CostModel, DeliveryMode, MessageType, MsgCounters,
-    FILE_SEGMENT_BYTES,
+    fastpath_recv_cost, fastpath_send_cost, recv_cost, send_cost, wire_bytes, CostModel,
+    DeliveryMode, EndpointCost, MessageType, MsgCounters, FILE_SEGMENT_BYTES,
 };
 use press_sim::{FaultInjector, FaultPlan, Histogram, MeanVar, Model, Scheduler, SimTime};
 use press_telem::{lane, EventKind, Trace, TraceBuffer, TraceEvent};
@@ -44,6 +44,10 @@ const POLL_INTERVAL_NS: f64 = 100_000.0;
 const POLL_COST_NS: f64 = 150.0;
 /// Delay before a client whose node crashed reconnects elsewhere.
 const RECONNECT_DELAY: SimTime = SimTime::from_micros(1_000);
+/// Doorbell batch size modeled for the V6 fast path (matches the live
+/// engine's default): the per-doorbell CPU cost is amortized over this
+/// many coalesced sends.
+const DOORBELL_BATCH: usize = 4;
 
 /// Immutable parameters of one simulation run.
 #[derive(Debug, Clone)]
@@ -527,6 +531,34 @@ impl ClusterSim {
             && self.params.version.file_rx_copy()
     }
 
+    /// Whether intra-cluster messages ride the V6 fast path (lock-free
+    /// rings, slab pool, doorbell batching). Requires both the version
+    /// and a protocol that supports user-level communication.
+    fn fast_path(&self) -> bool {
+        self.params.cost.supports_rmw && self.params.version.fast_path()
+    }
+
+    /// Send-side cost of one intra-cluster message under the active
+    /// version: V6 posts lock-free with the doorbell amortized over
+    /// [`DOORBELL_BATCH`]; everything else pays the classic path.
+    fn send_cost_of(&self, ty: MessageType, wire: u64) -> EndpointCost {
+        if self.fast_path() {
+            fastpath_send_cost(&self.params.cost, wire, DOORBELL_BATCH)
+        } else {
+            send_cost(&self.params.cost, wire, self.tx_copy(ty))
+        }
+    }
+
+    /// Receive-side cost of one intra-cluster message under the active
+    /// version.
+    fn recv_cost_of(&self, ty: MessageType, wire: u64) -> EndpointCost {
+        if self.fast_path() {
+            fastpath_recv_cost(&self.params.cost, wire, self.mode_of(ty))
+        } else {
+            recv_cost(&self.params.cost, wire, self.mode_of(ty), self.rx_copy(ty))
+        }
+    }
+
     /// The first alive node at or after `node` (wrapping). The fault plan
     /// guarantees at least one node survives.
     fn route_alive(&self, node: u16) -> u16 {
@@ -646,8 +678,22 @@ impl ClusterSim {
         // Load is piggy-backed at the instant of transmission.
         msg.sender_load = self.nodes[msg.from as usize].open_connections;
         self.counters.record(msg.ty, msg.wire);
-        let sc = send_cost(&self.params.cost, msg.wire, self.tx_copy(msg.ty));
+        let sc = self.send_cost_of(msg.ty, msg.wire);
         let cpu_done = self.cpu(msg.from, now, sc.cpu, CpuCategory::IntComm);
+        if self.fast_path() {
+            // Fast-path post: one doorbell rung per DOORBELL_BATCH
+            // coalesced sends. The instant makes the coalescing factor
+            // visible in traces next to the ViaSend span.
+            self.trace_instant(
+                cpu_done,
+                msg.from,
+                lane::MAIN,
+                EventKind::ViaPost,
+                msg.req.unwrap_or(0),
+                msg.wire,
+                DOORBELL_BATCH as u64,
+            );
+        }
         let nic_done = self.nodes[msg.from as usize]
             .nic_int_tx
             .submit(cpu_done, sc.nic, 0);
@@ -701,12 +747,7 @@ impl ClusterSim {
         if let Some(extra) = self.injector.delay_message() {
             arrive += SimTime::from_micros(extra);
         }
-        let rc = recv_cost(
-            &self.params.cost,
-            msg.wire,
-            self.mode_of(msg.ty),
-            self.rx_copy(msg.ty),
-        );
+        let rc = self.recv_cost_of(msg.ty, msg.wire);
         let rx_done = self.nodes[msg.to as usize]
             .nic_int_rx
             .submit(arrive, rc.nic, 0);
@@ -1406,7 +1447,7 @@ impl Model for ClusterSim {
                     return;
                 }
                 let mode = self.mode_of(msg.ty);
-                let rc = recv_cost(&self.params.cost, msg.wire, mode, self.rx_copy(msg.ty));
+                let rc = self.recv_cost_of(msg.ty, msg.wire);
                 let start = if mode == DeliveryMode::Rmw {
                     now + POLL_DELAY
                 } else {

@@ -31,10 +31,17 @@ pub enum ServerVersion {
     V4,
     /// V4 plus zero-copy at the file sender (cache registered with VIA).
     V5,
+    /// Beyond the paper: V5 plus the lock-free production fast path —
+    /// slab-pooled send buffers, scatter-gather descriptors (header and
+    /// cached pages in one message), and doorbell batching.
+    V6,
 }
 
 impl ServerVersion {
-    /// All versions in order.
+    /// The paper's version ladder, in order (Table 3). Figures and
+    /// tables that reproduce paper artifacts iterate this list; V6 — a
+    /// beyond-paper rung — is appended separately so those outputs stay
+    /// byte-identical.
     pub const ALL: [ServerVersion; 6] = [
         ServerVersion::V0,
         ServerVersion::V1,
@@ -42,6 +49,17 @@ impl ServerVersion {
         ServerVersion::V3,
         ServerVersion::V4,
         ServerVersion::V5,
+    ];
+
+    /// The full ladder including the beyond-paper V6 fast path.
+    pub const ALL_EXTENDED: [ServerVersion; 7] = [
+        ServerVersion::V0,
+        ServerVersion::V1,
+        ServerVersion::V2,
+        ServerVersion::V3,
+        ServerVersion::V4,
+        ServerVersion::V5,
+        ServerVersion::V6,
     ];
 
     /// The label used in Figure 5 and Table 4.
@@ -53,6 +71,7 @@ impl ServerVersion {
             ServerVersion::V3 => "V3",
             ServerVersion::V4 => "V4",
             ServerVersion::V5 => "V5",
+            ServerVersion::V6 => "V6",
         }
     }
 
@@ -80,22 +99,34 @@ impl ServerVersion {
         }
     }
 
-    /// Whether a file transfer costs an extra metadata message
-    /// (RMW file transfers send data and metadata separately).
+    /// Whether a file transfer costs an extra metadata message. RMW file
+    /// transfers send data and metadata separately — except on the V6
+    /// fast path, whose scatter-gather descriptors carry the metadata
+    /// segment with the data in one message.
     pub fn file_metadata_message(self) -> bool {
-        self.mode(MessageType::File) == DeliveryMode::Rmw
+        self.mode(MessageType::File) == DeliveryMode::Rmw && !self.fast_path()
     }
 
     /// Whether the sender copies file data into a registered send buffer.
-    /// False only for V5, which registers all cached pages with VIA.
+    /// False for V5 and V6, which register all cached pages with VIA.
     pub fn file_tx_copy(self) -> bool {
-        self != ServerVersion::V5
+        !matches!(self, ServerVersion::V5 | ServerVersion::V6)
     }
 
     /// Whether the receiver copies file data out of the communication
-    /// buffer before replying to the client. False for V4 and V5.
+    /// buffer before replying to the client. False for V4 and up.
     pub fn file_rx_copy(self) -> bool {
-        !matches!(self, ServerVersion::V4 | ServerVersion::V5)
+        !matches!(
+            self,
+            ServerVersion::V4 | ServerVersion::V5 | ServerVersion::V6
+        )
+    }
+
+    /// Whether this version runs the lock-free production fast path:
+    /// slab-pooled sends, scatter-gather descriptors, and doorbell
+    /// batching. True only for the beyond-paper V6.
+    pub fn fast_path(self) -> bool {
+        self == ServerVersion::V6
     }
 
     /// Number of RMW circular buffers each node must poll, given the
@@ -183,5 +214,27 @@ mod tests {
     fn names_in_order() {
         let names: Vec<&str> = ServerVersion::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names, vec!["V0", "V1", "V2", "V3", "V4", "V5"]);
+    }
+
+    #[test]
+    fn v6_extends_v5_with_the_fast_path() {
+        use ServerVersion::V6;
+        // V6 inherits every Table 3 behavior from V5...
+        assert_eq!(V6.mode(Flow), DeliveryMode::Rmw);
+        assert_eq!(V6.mode(File), DeliveryMode::Rmw);
+        // Scatter-gather folds the metadata into the data message.
+        assert!(!V6.file_metadata_message());
+        assert!(!V6.file_tx_copy());
+        assert!(!V6.file_rx_copy());
+        assert_eq!(V6.rmw_queues(8), ServerVersion::V5.rmw_queues(8));
+        // ...and alone enables the fast path.
+        assert!(V6.fast_path());
+        for v in ServerVersion::ALL {
+            assert!(!v.fast_path(), "{v} is not a fast-path version");
+        }
+        // The paper ladder is untouched; the extended ladder appends V6.
+        assert_eq!(ServerVersion::ALL_EXTENDED.len(), 7);
+        assert_eq!(ServerVersion::ALL_EXTENDED[6], V6);
+        assert_eq!(&ServerVersion::ALL_EXTENDED[..6], &ServerVersion::ALL);
     }
 }

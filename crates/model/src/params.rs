@@ -19,6 +19,11 @@ pub enum CommVariant {
     /// [`CommVariant::TcpNextGen`] — the "user-level communication" side
     /// of Figures 12 and 13.
     ViaNextGen,
+    /// Beyond the paper: VIA RMW + zero-copy with the V6 production fast
+    /// path — lock-free descriptor rings, slab-pooled send buffers,
+    /// scatter-gather (metadata gathered with the data, removing the
+    /// second message), and doorbell batching.
+    ViaFastPath,
 }
 
 impl CommVariant {
@@ -30,6 +35,7 @@ impl CommVariant {
             CommVariant::ViaRegular => "VIA (regular)",
             CommVariant::ViaRmwZeroCopy => "VIA (RMW + 0-copy)",
             CommVariant::ViaNextGen => "VIA (next-gen OS)",
+            CommVariant::ViaFastPath => "VIA (fast path)",
         }
     }
 }

@@ -57,6 +57,22 @@ pub struct CostModel {
     /// Whether the server must run its own window-based flow control
     /// (true for VIA; TCP provides flow control transparently).
     pub explicit_flow_control: bool,
+    /// Fixed server-context CPU to send one message on the V6 fast path,
+    /// *excluding* the doorbell: lock-free descriptor post and slab-pool
+    /// buffer management replace the mutexed queues and per-send
+    /// allocation folded into `send_cpu_fixed`. Equal to
+    /// `send_cpu_fixed` for protocols without a fast path.
+    pub fastpath_send_cpu_fixed: SimTime,
+    /// CPU cost of ringing one doorbell (an uncached PCI write plus NIC
+    /// wakeup on real VIA hardware), amortized over the batch size by
+    /// [`fastpath_send_cost`]. Zero for protocols without a fast path
+    /// (their doorbell share stays inside `send_cpu_fixed`).
+    pub fastpath_doorbell_cpu: SimTime,
+    /// Fixed CPU to consume an RMW message on the fast path: the
+    /// polling loop reaps a lock-free completion ring instead of locking
+    /// a queue. Equal to `recv_cpu_rmw` for protocols without a fast
+    /// path.
+    pub fastpath_recv_cpu_rmw: SimTime,
 }
 
 impl CostModel {
@@ -163,6 +179,53 @@ pub fn recv_cost(model: &CostModel, bytes: u64, mode: DeliveryMode, rx_copy: boo
     }
 }
 
+/// Costs charged to the *sender* of one message on the V6 fast path.
+///
+/// The fast path never copies (scatter-gather descriptors reference the
+/// slab header and registered cache pages in place), posts through
+/// lock-free rings, and shares one doorbell among `batch` messages, so
+/// the per-message CPU is
+/// `fastpath_send_cpu_fixed + fastpath_doorbell_cpu / batch` plus the
+/// protocol's per-byte time. NIC and wire occupancy are unchanged: the
+/// NIC still processes every descriptor and every byte.
+///
+/// # Example
+///
+/// ```
+/// use press_net::{fastpath_send_cost, send_cost, ProtocolCombo};
+///
+/// let m = ProtocolCombo::ViaClan.cost_model();
+/// let v5 = send_cost(&m, 512, false);
+/// let v6 = fastpath_send_cost(&m, 512, 4);
+/// assert!(v6.cpu < v5.cpu);
+/// assert_eq!(v6.nic, v5.nic);
+/// ```
+pub fn fastpath_send_cost(model: &CostModel, bytes: u64, batch: usize) -> EndpointCost {
+    let doorbell_share =
+        SimTime::from_nanos(model.fastpath_doorbell_cpu.as_nanos() / batch.max(1) as u64);
+    EndpointCost {
+        cpu: model.fastpath_send_cpu_fixed + doorbell_share + model.protocol_byte_time(bytes),
+        nic: model.nic_fixed + model.wire_time(bytes),
+    }
+}
+
+/// Costs charged to the *receiver* of one message on the V6 fast path.
+///
+/// Regular (interrupt-driven) messages cost the same as ever; RMW
+/// messages are reaped from a lock-free completion ring at
+/// `fastpath_recv_cpu_rmw`. The fast path is zero-copy on the receive
+/// side by construction (V4's behavior), so there is no `rx_copy` knob.
+pub fn fastpath_recv_cost(model: &CostModel, bytes: u64, mode: DeliveryMode) -> EndpointCost {
+    let cpu = match mode {
+        DeliveryMode::Regular => model.recv_cpu_regular,
+        DeliveryMode::Rmw => model.fastpath_recv_cpu_rmw,
+    } + model.protocol_byte_time(bytes);
+    EndpointCost {
+        cpu,
+        nic: model.nic_fixed + model.wire_time(bytes),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +253,54 @@ mod tests {
         let a = recv_cost(&m, 70_000, DeliveryMode::Rmw, true);
         let b = recv_cost(&m, 70_000, DeliveryMode::Rmw, false);
         assert_eq!(a.cpu - b.cpu, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn fastpath_beats_regular_via_costs() {
+        let m = ProtocolCombo::ViaClan.cost_model();
+        // Small-message send: even unbatched, the lock-free path wins.
+        let v5 = send_cost(&m, 4, false);
+        let v6 = fastpath_send_cost(&m, 4, 1);
+        assert!(v6.cpu < v5.cpu, "{:?} vs {:?}", v6.cpu, v5.cpu);
+        // Batching amortizes the doorbell further.
+        let batched = fastpath_send_cost(&m, 4, 8);
+        assert!(batched.cpu < v6.cpu);
+        // RMW receive: ring reap beats the polled consume.
+        let r5 = recv_cost(&m, 4, DeliveryMode::Rmw, false);
+        let r6 = fastpath_recv_cost(&m, 4, DeliveryMode::Rmw);
+        assert!(r6.cpu < r5.cpu);
+        // NIC and wire occupancy are identical: the fast path saves
+        // host CPU, not wire time.
+        assert_eq!(v6.nic, v5.nic);
+        assert_eq!(r6.nic, r5.nic);
+    }
+
+    #[test]
+    fn fastpath_is_identity_for_tcp() {
+        // TCP combos have no user-level fast path; V6 degenerates to V5
+        // costs so the ladder stays monotone but flat.
+        for combo in [ProtocolCombo::TcpFe, ProtocolCombo::TcpClan] {
+            let m = combo.cost_model();
+            assert_eq!(fastpath_send_cost(&m, 1024, 8), send_cost(&m, 1024, false));
+            assert_eq!(
+                fastpath_recv_cost(&m, 1024, DeliveryMode::Regular),
+                recv_cost(&m, 1024, DeliveryMode::Regular, false)
+            );
+        }
+    }
+
+    #[test]
+    fn doorbell_amortization_is_monotone() {
+        let m = ProtocolCombo::ViaClan.cost_model();
+        let mut last = fastpath_send_cost(&m, 0, 0).cpu; // batch clamps to 1
+        for batch in 1..=8 {
+            let c = fastpath_send_cost(&m, 0, batch).cpu;
+            assert!(c <= last, "batch {batch}");
+            last = c;
+        }
+        // Fully amortized, the cost approaches the doorbell-free fixed
+        // part from above.
+        assert!(last > m.fastpath_send_cpu_fixed);
     }
 
     #[test]

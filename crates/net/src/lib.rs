@@ -39,6 +39,8 @@ mod counters;
 mod msg;
 
 pub use combos::ProtocolCombo;
-pub use cost::{recv_cost, send_cost, CostModel, EndpointCost};
+pub use cost::{
+    fastpath_recv_cost, fastpath_send_cost, recv_cost, send_cost, CostModel, EndpointCost,
+};
 pub use counters::{CounterRow, MsgCounters};
 pub use msg::{wire_bytes, DeliveryMode, MessageType, FILE_SEGMENT_BYTES};

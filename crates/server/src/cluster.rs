@@ -10,7 +10,9 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use press_core::{FaultPlan, PolicyConfig};
 use press_telem::{lane, LiveTracer, Trace};
 use press_trace::{FileCatalog, FileId};
-use press_via::{CompletionQueue, Descriptor, Fabric, FaultConfig, MemHandle, Reliability};
+use press_via::{
+    CompletionQueue, Descriptor, Fabric, FaultConfig, MemHandle, Reliability, MAX_DOORBELL,
+};
 
 use crate::membership::Membership;
 use crate::node::{
@@ -43,6 +45,11 @@ pub struct LiveConfig {
     /// How file data travels back to the initial node: regular messages
     /// (V0–V2) or remote writes into polled circular buffers (V3–V5).
     pub file_transfer: FileTransferMode,
+    /// Doorbell coalescing for the V6 fast path: sends are staged into a
+    /// lock-free slab pool and posted `doorbell_batch` descriptors per
+    /// doorbell ring. `1` (the default, V0–V5) posts every descriptor
+    /// individually and allocates no pool — the pre-V6 path, unchanged.
+    pub doorbell_batch: u32,
     /// Base deadline for a forwarded request's reply before it is retried
     /// against another live cacher (doubles per attempt, capped at 8×).
     pub retry_timeout: Duration,
@@ -67,6 +74,7 @@ impl Default for LiveConfig {
             policy: PolicyConfig::default(),
             load_write_period: 8,
             file_transfer: FileTransferMode::Regular,
+            doorbell_batch: 1,
             retry_timeout: Duration::from_millis(150),
             max_retries: 3,
             faults: None,
@@ -221,6 +229,10 @@ impl LiveCluster {
             cfg.window % cfg.credit_batch,
             0,
             "window must be a multiple of the credit batch"
+        );
+        assert!(
+            (1..=MAX_DOORBELL as u32).contains(&cfg.doorbell_batch),
+            "doorbell batch must be in 1..={MAX_DOORBELL}"
         );
         let n = cfg.nodes;
         if let Some(plan) = &cfg.faults {
@@ -391,6 +403,17 @@ impl LiveCluster {
                 scratch_region: nics[i]
                     .register(vec![0u8; 4], false)
                     .expect("register scratch"),
+                // The V6 fast path stages every send in a lock-free slab
+                // pool sized to the worst-case in-flight count (the same
+                // bound the receive descriptors are provisioned for).
+                send_pool: (cfg.doorbell_batch > 1).then(|| {
+                    Arc::new(
+                        nics[i]
+                            .register_slab((n - 1) * posted_per_peer, slot_bytes, false)
+                            .expect("register send slab"),
+                    )
+                }),
+                doorbell_batch: cfg.doorbell_batch,
                 window: cfg.window,
                 credit_batch: cfg.credit_batch,
                 slot_bytes,

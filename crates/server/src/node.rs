@@ -11,7 +11,10 @@ use press_cluster::{FileCache, NodeId};
 use press_core::{decide, Decision, PolicyConfig, RequestView};
 use press_telem::{EventKind, TraceHandle};
 use press_trace::{FileCatalog, FileId};
-use press_via::{CompletionKind, CompletionQueue, Descriptor, MemHandle, Nic, RemoteBuffer, Vi};
+use press_via::{
+    CompletionKind, CompletionQueue, Descriptor, Doorbell, MemHandle, Nic, RemoteBuffer, SlabPool,
+    Vi, ViaError,
+};
 use std::collections::HashMap;
 
 use crate::membership::Membership;
@@ -94,6 +97,11 @@ pub(crate) struct NodeCtx {
     pub peer_load_regions: Vec<MemHandle>,
     /// Scratch region for RDMA load writes.
     pub scratch_region: MemHandle,
+    /// V6 fast path: the lock-free slab pool every outgoing message is
+    /// staged in (None for V0–V5, which rotate through per-peer slots).
+    pub send_pool: Option<Arc<SlabPool>>,
+    /// Descriptors coalesced per doorbell ring; 1 disables the fast path.
+    pub doorbell_batch: u32,
     /// How file data is transferred.
     pub file_mode: FileTransferMode,
     /// This node's inbound file rings, one per source peer
@@ -654,6 +662,162 @@ fn broadcast_caching(
     }
 }
 
+/// The classic (V0–V5) post path: marshal into the per-peer rotating
+/// slot region and post one descriptor per message.
+///
+/// In-flight safety: data messages are bounded by the credit window
+/// (at most `window` unconsumed per peer, matching the `window` send
+/// slots); flow messages self-limit to window/batch outstanding and
+/// rotate through their own region.
+/// Post failures (unregistered regions, torn-down VIs) lose the
+/// message rather than killing the thread — the retry machinery in the
+/// main loop recovers, just like it does for lost wire messages.
+fn post_legacy(
+    ctx: &NodeCtx,
+    peer: usize,
+    msg: &WireMsg,
+    next_slot: &mut [usize],
+    next_flow_slot: &mut [usize],
+    buf: &mut [u8],
+) {
+    let len = msg.encode(buf);
+    let (region, slot, slot_size) = if msg.kind == WireKind::Flow {
+        let Some(region) = ctx.flow_regions[peer] else {
+            ServerStats::bump(&ctx.stats.via_errors);
+            return;
+        };
+        let slot = next_flow_slot[peer];
+        next_flow_slot[peer] = (slot + 1) % ctx.window as usize;
+        (region, slot, HEADER_BYTES)
+    } else {
+        let Some(region) = ctx.send_regions[peer] else {
+            ServerStats::bump(&ctx.stats.via_errors);
+            return;
+        };
+        let slot = next_slot[peer];
+        next_slot[peer] = (slot + 1) % ctx.window as usize;
+        (region, slot, ctx.slot_bytes)
+    };
+    let offset = slot * slot_size;
+    if ctx.nic.write_region(region, offset, &buf[..len]).is_err() {
+        ServerStats::bump(&ctx.stats.via_errors);
+        return;
+    }
+    let posted = ctx.vis[peer]
+        .as_ref()
+        .map(|vi| vi.post_send(Descriptor::new(region, offset, len)));
+    if !matches!(posted, Some(Ok(()))) {
+        ServerStats::bump(&ctx.stats.via_errors);
+    }
+}
+
+/// How long a partially-filled doorbell batch may wait before the stale
+/// flush posts it anyway — bounds the tail latency a coalesced message
+/// can pay on a lightly loaded connection.
+const DOORBELL_MAX_DELAY: Duration = Duration::from_micros(200);
+
+/// Flushes one peer's doorbell, surfacing failures as via_errors.
+fn flush_bell(ctx: &NodeCtx, bell: &mut Option<Doorbell>) {
+    if let Some(b) = bell {
+        if b.flush().is_err() {
+            ServerStats::bump(&ctx.stats.via_errors);
+        }
+    }
+}
+
+/// Stages one message on the V6 fast path: claim a slab slot, encode the
+/// wire bytes straight into it, mark it in flight, and stage its
+/// descriptor on the peer's doorbell. Flow messages (credit returns)
+/// flush immediately so they are never delayed behind a partial batch.
+/// The receive thread releases the slot when the send completion is
+/// reaped ([`reap_slab`]).
+fn slab_post(
+    ctx: &NodeCtx,
+    pool: &SlabPool,
+    bell: &mut Doorbell,
+    msg: &WireMsg,
+    buf: &mut [u8],
+) -> Result<(), ViaError> {
+    let len = msg.encode(buf);
+    let slot = pool.alloc()?;
+    let desc = pool.descriptor(slot, len).and_then(|d| {
+        ctx.nic
+            .write_region(pool.handle(), slot.offset, &buf[..len])
+            .map(|_| d)
+    });
+    let desc = match desc {
+        Ok(d) => d,
+        Err(e) => {
+            let _ = pool.free(slot);
+            return Err(e);
+        }
+    };
+    // In flight *before* the doorbell: the batch threshold can flush the
+    // staged list inside `post`, and the completion may race back to the
+    // receive thread's reap before this thread runs again.
+    let _ = pool.mark_in_flight(slot);
+    if let Err(e) = bell.post(desc) {
+        // Never reached the NIC; unwind the state machine and rejoin the
+        // free list.
+        let _ = pool.mark_complete(slot).and_then(|_| pool.free(slot));
+        return Err(e);
+    }
+    if msg.kind == WireKind::Flow {
+        bell.flush()?;
+    }
+    Ok(())
+}
+
+/// Posts one message: the V6 fast path when enabled (falling back to the
+/// classic per-peer slot regions if the pool is momentarily exhausted),
+/// the classic path otherwise.
+#[allow(clippy::too_many_arguments)]
+fn post_msg(
+    ctx: &NodeCtx,
+    bells: &mut [Option<Doorbell>],
+    peer: usize,
+    msg: &WireMsg,
+    next_slot: &mut [usize],
+    next_flow_slot: &mut [usize],
+    buf: &mut [u8],
+) {
+    if let (Some(bell), Some(pool)) = (bells[peer].as_mut(), ctx.send_pool.as_deref()) {
+        match slab_post(ctx, pool, bell, msg, buf) {
+            Ok(()) => return,
+            // Completions lagging behind the posting rate: fall back to
+            // the classic slot regions rather than dropping the message.
+            Err(ViaError::PoolExhausted) => {}
+            Err(_) => {
+                ServerStats::bump(&ctx.stats.via_errors);
+                return;
+            }
+        }
+        // The classic path bypasses the doorbell; flush staged traffic
+        // first so per-VI ordering is preserved.
+        flush_bell(ctx, &mut bells[peer]);
+    }
+    post_legacy(ctx, peer, msg, next_slot, next_flow_slot, buf);
+}
+
+/// Releases the slab slot behind a completed fast-path send. RDMA and
+/// classic-region completions name a different region and fall through
+/// untouched.
+fn reap_slab(ctx: &NodeCtx, c: &press_via::Completion) {
+    let Some(pool) = &ctx.send_pool else {
+        return;
+    };
+    if c.descriptor.region != pool.handle() {
+        return;
+    }
+    let freed = pool
+        .slot_at(c.descriptor.offset)
+        .and_then(|slot| pool.mark_complete(slot).map(|_| slot))
+        .and_then(|slot| pool.free(slot));
+    if freed.is_err() {
+        ServerStats::bump(&ctx.stats.via_errors);
+    }
+}
+
 /// The send thread (Figure 2): marshals messages into registered send
 /// buffers and posts descriptors, respecting the per-peer credit window.
 pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
@@ -666,50 +830,40 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
     let mut next_ring_seq = vec![1u64; n];
     let mut buf = vec![0u8; ctx.slot_bytes.max(ctx.ring_slot_bytes)];
 
-    // In-flight safety: data messages are bounded by the credit window
-    // (at most `window` unconsumed per peer, matching the `window` send
-    // slots); flow messages self-limit to window/batch outstanding and
-    // rotate through their own region.
-    // Post failures (unregistered regions, torn-down VIs) lose the
-    // message rather than killing the thread — the retry machinery in the
-    // main loop recovers, just like it does for lost wire messages.
-    let post = |peer: usize,
-                msg: &WireMsg,
-                next_slot: &mut Vec<usize>,
-                next_flow_slot: &mut Vec<usize>,
-                buf: &mut Vec<u8>| {
-        let len = msg.encode(buf);
-        let (region, slot, slot_size) = if msg.kind == WireKind::Flow {
-            let Some(region) = ctx.flow_regions[peer] else {
-                ServerStats::bump(&ctx.stats.via_errors);
-                return;
-            };
-            let slot = next_flow_slot[peer];
-            next_flow_slot[peer] = (slot + 1) % ctx.window as usize;
-            (region, slot, HEADER_BYTES)
-        } else {
-            let Some(region) = ctx.send_regions[peer] else {
-                ServerStats::bump(&ctx.stats.via_errors);
-                return;
-            };
-            let slot = next_slot[peer];
-            next_slot[peer] = (slot + 1) % ctx.window as usize;
-            (region, slot, ctx.slot_bytes)
-        };
-        let offset = slot * slot_size;
-        if ctx.nic.write_region(region, offset, &buf[..len]).is_err() {
-            ServerStats::bump(&ctx.stats.via_errors);
-            return;
-        }
-        let posted = ctx.vis[peer]
-            .as_ref()
-            .map(|vi| vi.post_send(Descriptor::new(region, offset, len)));
-        if !matches!(posted, Some(Ok(()))) {
-            ServerStats::bump(&ctx.stats.via_errors);
-        }
-    };
+    // V6 fast path: one doorbell per peer coalescing descriptor posts,
+    // fed from the shared slab pool. All None when doorbell_batch is 1,
+    // leaving the V0–V5 path byte-for-byte untouched.
+    let mut bells: Vec<Option<Doorbell>> = (0..n)
+        .map(|peer| {
+            (ctx.doorbell_batch > 1)
+                .then(|| ctx.vis[peer].clone())
+                .flatten()
+                .map(|vi| Doorbell::new(vi, ctx.doorbell_batch as usize, DOORBELL_MAX_DELAY))
+        })
+        .collect();
 
-    while let Ok(job) = jobs.recv() {
+    loop {
+        // The fast path wakes periodically to flush batches that went
+        // stale (no later send arrived to fill them); V0–V5 block.
+        let job = if ctx.doorbell_batch > 1 {
+            match jobs.recv_timeout(DOORBELL_MAX_DELAY) {
+                Ok(j) => j,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    for bell in bells.iter_mut().flatten() {
+                        if bell.flush_stale().is_err() {
+                            ServerStats::bump(&ctx.stats.via_errors);
+                        }
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            }
+        } else {
+            match jobs.recv() {
+                Ok(j) => j,
+                Err(_) => break,
+            }
+        };
         match job {
             SendJob::Shutdown => break,
             SendJob::Msg {
@@ -719,6 +873,10 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
             } => {
                 if needs_credit {
                     if credits[to] == 0 {
+                        // Credit stall: push staged traffic out now, or
+                        // the peer can never consume it and return the
+                        // credits this queue is waiting on.
+                        flush_bell(&ctx, &mut bells[to]);
                         queued[to].push_back(msg);
                         continue;
                     }
@@ -726,9 +884,19 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                 }
                 if ctx.file_mode == FileTransferMode::RemoteWrite && msg.kind == WireKind::FileData
                 {
+                    // RDMA bypasses the doorbell; keep per-VI ordering.
+                    flush_bell(&ctx, &mut bells[to]);
                     rmw_file(&ctx, to, &msg, &mut next_slot, &mut next_ring_seq, &mut buf);
                 } else {
-                    post(to, &msg, &mut next_slot, &mut next_flow_slot, &mut buf);
+                    post_msg(
+                        &ctx,
+                        &mut bells,
+                        to,
+                        &msg,
+                        &mut next_slot,
+                        &mut next_flow_slot,
+                        &mut buf,
+                    );
                 }
             }
             SendJob::Credits { from, n } => {
@@ -745,6 +913,7 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                             if ctx.file_mode == FileTransferMode::RemoteWrite
                                 && msg.kind == WireKind::FileData
                             {
+                                flush_bell(&ctx, &mut bells[from]);
                                 rmw_file(
                                     &ctx,
                                     from,
@@ -754,7 +923,15 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                                     &mut buf,
                                 );
                             } else {
-                                post(from, &msg, &mut next_slot, &mut next_flow_slot, &mut buf);
+                                post_msg(
+                                    &ctx,
+                                    &mut bells,
+                                    from,
+                                    &msg,
+                                    &mut next_slot,
+                                    &mut next_flow_slot,
+                                    &mut buf,
+                                );
                             }
                         }
                         None => break,
@@ -770,10 +947,12 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                     ServerStats::bump(&ctx.stats.via_errors);
                     continue;
                 }
-                for peer in 0..n {
+                for (peer, bell) in bells.iter_mut().enumerate() {
                     if peer == ctx.id || !ctx.membership.is_live(peer) {
                         continue;
                     }
+                    // RDMA bypasses the doorbell; keep per-VI ordering.
+                    flush_bell(&ctx, bell);
                     ServerStats::bump(&ctx.stats.rdma_load_writes);
                     let posted = ctx.vis[peer].as_ref().map(|vi| {
                         vi.rdma_write(
@@ -792,11 +971,19 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
             SendJob::ResetPeer { peer } => {
                 // The peer lost (or never saw) everything in flight: a
                 // fresh credit window against its freshly reposted
-                // descriptors, and nothing stale queued toward it.
+                // descriptors, and nothing stale queued toward it. Staged
+                // batches are flushed (not dropped) so their slab slots
+                // still complete and return to the pool.
+                flush_bell(&ctx, &mut bells[peer]);
                 credits[peer] = ctx.window;
                 queued[peer].clear();
             }
         }
+    }
+    // Drain whatever is still staged so no slab slot leaks its in-flight
+    // mark across shutdown.
+    for bell in bells.iter_mut() {
+        flush_bell(&ctx, bell);
     }
 }
 
@@ -876,15 +1063,21 @@ pub(crate) fn recv_loop(
                     // Injected transport failures and genuine VIA errors
                     // surface here; the message is gone, recovery is the
                     // sender's retry problem. Failed receive descriptors
-                    // are consumed, so repost to keep the window intact.
+                    // are consumed, so repost to keep the window intact;
+                    // failed fast-path sends still release their slot.
                     ServerStats::bump(&ctx.stats.via_errors);
                     if c.kind == CompletionKind::Recv {
                         repost_recv(&ctx, peer, &c);
+                    } else {
+                        reap_slab(&ctx, &c);
                     }
                     continue;
                 }
-                // Send-side and RDMA completions need no further action.
+                // Send-side and RDMA completions need no further action —
+                // except a fast-path send, whose slab slot the NIC owned
+                // until this completion.
                 if c.kind != CompletionKind::Recv {
+                    reap_slab(&ctx, &c);
                     continue;
                 }
                 // ordering: Acquire — pairs with the Release stores in

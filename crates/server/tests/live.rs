@@ -286,6 +286,122 @@ fn remote_write_mode_survives_concurrency_and_ring_wrap() {
 }
 
 #[test]
+fn fast_path_cluster_serves_requests() {
+    // V6: doorbell-coalesced sends staged in the slab pool, over the same
+    // RemoteWrite file transfers V5 uses.
+    let cfg = LiveConfig {
+        file_transfer: FileTransferMode::RemoteWrite,
+        doorbell_batch: 4,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start(cfg, small_catalog(96, 3000)));
+    let mut handles = Vec::new();
+    for c in 0..6 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..120u32 {
+                let file = FileId((i * 7 + c * 19) % 96);
+                let data = cluster
+                    .request(((i + c) % 4) as usize, file, T)
+                    .expect("request");
+                assert_eq!(data, file_contents(file, 3000), "client {c} req {i}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    let stats = cluster.stats();
+    assert_eq!(stats.completed(), 6 * 120);
+    assert!(ServerStats::get(&stats.forwarded) > 0);
+    // Fault-free run: no slab misuse, no failed posts.
+    assert_eq!(ServerStats::get(&stats.via_errors), 0);
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("still shared"),
+    }
+}
+
+#[test]
+fn fast_path_traces_coalesced_doorbells() {
+    use press_telem::{EventKind, LiveTracer};
+    let tracer = LiveTracer::new();
+    // A small window with batched credit returns makes the send thread
+    // drain several queued messages back-to-back when credits arrive —
+    // exactly the burst the doorbell exists to coalesce.
+    let cfg = LiveConfig {
+        window: 4,
+        credit_batch: 4,
+        doorbell_batch: 4,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start_with_tracer(
+        cfg,
+        small_catalog(64, 2048),
+        Some(Arc::clone(&tracer)),
+    ));
+    let mut handles = Vec::new();
+    for c in 0..8u32 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..150u32 {
+                let file = FileId((i * 13 + c * 29) % 64);
+                cluster
+                    .request(((i + c) % 4) as usize, file, T)
+                    .expect("request");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    let cluster = match Arc::try_unwrap(cluster) {
+        Ok(c) => c,
+        Err(_) => panic!("still shared"),
+    };
+    let trace = cluster.shutdown_traced().expect("tracer was installed");
+    // Batched posts carry the batch size in `b`; under this much traffic
+    // at least one doorbell must have coalesced several descriptors.
+    let coalesced = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::ViaPost && e.b >= 2)
+        .count();
+    assert!(coalesced > 0, "no coalesced doorbell rings traced");
+}
+
+#[test]
+fn fast_path_survives_window_pressure() {
+    // Tiny windows force credit stalls — each stall must flush the
+    // doorbell or the cluster deadlocks waiting on credits.
+    let cfg = LiveConfig {
+        window: 2,
+        credit_batch: 1,
+        doorbell_batch: 8,
+        ..LiveConfig::default()
+    };
+    let cluster = Arc::new(LiveCluster::start(cfg, small_catalog(64, 4096)));
+    let mut handles = Vec::new();
+    for c in 0..6 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..80u32 {
+                let file = FileId((i + c * 11) % 64);
+                let data = cluster.request((c % 4) as usize, file, T).expect("request");
+                assert_eq!(data.len(), 4096);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
 fn window_pressure_does_not_deadlock() {
     // A tiny credit window with bursty traffic exercises queuing in the
     // send thread and the credit return path.

@@ -27,6 +27,92 @@ impl Descriptor {
     }
 }
 
+/// Maximum number of segments one scatter-gather descriptor may carry.
+///
+/// Fixed so an [`SgList`] is `Copy` and posting one never allocates:
+/// the fast path's worst case is a response header plus three cached
+/// pages, which fits in four segments.
+pub const MAX_SEGMENTS: usize = 4;
+
+/// A scatter-gather descriptor: up to [`MAX_SEGMENTS`] registered
+/// segments posted as *one* work request and reported by *one*
+/// completion.
+///
+/// V0–V5 send a header and its payload as separate descriptors (two
+/// doorbells, two completions); the V6 fast path gathers them —
+/// typically a slab-resident header segment plus cached-page segments
+/// referenced in place — so the wire message is the concatenation of
+/// the segments and only one completion is reaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgList {
+    segments: [Descriptor; MAX_SEGMENTS],
+    count: u8,
+}
+
+impl SgList {
+    /// Starts an empty gather list.
+    pub fn new() -> Self {
+        SgList {
+            segments: [Descriptor::new(MemHandle(0), 0, 0); MAX_SEGMENTS],
+            count: 0,
+        }
+    }
+
+    /// Appends a segment, failing with [`crate::ViaError::RingFull`]
+    /// once [`MAX_SEGMENTS`] are present.
+    pub fn push(&mut self, segment: Descriptor) -> Result<(), crate::error::ViaError> {
+        if self.count as usize == MAX_SEGMENTS {
+            return Err(crate::error::ViaError::RingFull);
+        }
+        self.segments[self.count as usize] = segment;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// The populated segments, in gather order.
+    pub fn segments(&self) -> &[Descriptor] {
+        &self.segments[..self.count as usize]
+    }
+
+    /// Number of populated segments.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no segments have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total bytes across all segments — the wire length of the message.
+    pub fn total_len(&self) -> usize {
+        self.segments().iter().map(|s| s.len).sum()
+    }
+
+    /// The descriptor reported in this list's completion: the first
+    /// segment, with `len` widened to [`SgList::total_len`] so
+    /// `Completion::transferred` accounting matches single-descriptor
+    /// sends.
+    pub(crate) fn completion_descriptor(&self) -> Descriptor {
+        let first = self.segments[0];
+        Descriptor::new(first.region, first.offset, self.total_len())
+    }
+}
+
+impl Default for SgList {
+    fn default() -> Self {
+        SgList::new()
+    }
+}
+
+impl From<Descriptor> for SgList {
+    fn from(d: Descriptor) -> Self {
+        let mut sg = SgList::new();
+        sg.push(d).expect("first segment always fits");
+        sg
+    }
+}
+
 /// What a completed descriptor did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompletionKind {
@@ -40,7 +126,7 @@ pub enum CompletionKind {
 
 /// A completed (or failed) descriptor, as delivered on a VI's done queue
 /// or an attached [`crate::CompletionQueue`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// Which VI this completion belongs to (index assigned by the fabric).
     pub vi_id: u64,
@@ -82,6 +168,32 @@ mod tests {
         assert_eq!(d.region, MemHandle(3));
         assert_eq!(d.offset, 16);
         assert_eq!(d.len, 128);
+    }
+
+    #[test]
+    fn sg_list_gathers_up_to_max_segments() {
+        let mut sg = SgList::new();
+        assert!(sg.is_empty());
+        for i in 0..MAX_SEGMENTS {
+            sg.push(Descriptor::new(MemHandle(1), i * 32, 32)).unwrap();
+        }
+        assert_eq!(
+            sg.push(Descriptor::new(MemHandle(1), 512, 1)),
+            Err(ViaError::RingFull)
+        );
+        assert_eq!(sg.len(), MAX_SEGMENTS);
+        assert_eq!(sg.total_len(), 32 * MAX_SEGMENTS);
+        let cd = sg.completion_descriptor();
+        assert_eq!(cd.offset, 0);
+        assert_eq!(cd.len, 32 * MAX_SEGMENTS);
+    }
+
+    #[test]
+    fn sg_list_from_descriptor() {
+        let d = Descriptor::new(MemHandle(2), 8, 40);
+        let sg = SgList::from(d);
+        assert_eq!(sg.segments(), &[d]);
+        assert_eq!(sg.total_len(), 40);
     }
 
     #[test]

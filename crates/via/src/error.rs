@@ -7,7 +7,7 @@ use std::fmt;
 /// VIA (Section 2.1 of the paper) reports errors through descriptor
 /// status and connection state; this enum covers both, plus the
 /// library-level misuse cases.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ViaError {
     /// The memory handle is not registered with this NIC.
     UnknownRegion,
@@ -25,6 +25,16 @@ pub enum ViaError {
     Shutdown,
     /// Send and receive descriptors disagree (receive buffer too small).
     RecvBufferTooSmall,
+    /// A registered-memory slab pool has no free slots.
+    PoolExhausted,
+    /// The slot handed to [`crate::SlabPool::free`] was already free.
+    DoubleFree,
+    /// The slot still has an in-flight descriptor and cannot be freed or
+    /// reallocated until its completion is reaped.
+    SlotInFlight,
+    /// A fixed-capacity descriptor ring (receive queue or doorbell batch)
+    /// is full; drain completions or flush before posting more.
+    RingFull,
 }
 
 impl fmt::Display for ViaError {
@@ -38,6 +48,10 @@ impl fmt::Display for ViaError {
             ViaError::Timeout => "timed out waiting for completion",
             ViaError::Shutdown => "nic engine has shut down",
             ViaError::RecvBufferTooSmall => "receive buffer smaller than incoming message",
+            ViaError::PoolExhausted => "slab pool has no free slots",
+            ViaError::DoubleFree => "slab slot is already free",
+            ViaError::SlotInFlight => "slab slot still has an in-flight descriptor",
+            ViaError::RingFull => "descriptor ring is full",
         };
         f.write_str(msg)
     }
@@ -60,6 +74,10 @@ mod tests {
             ViaError::Timeout,
             ViaError::Shutdown,
             ViaError::RecvBufferTooSmall,
+            ViaError::PoolExhausted,
+            ViaError::DoubleFree,
+            ViaError::SlotInFlight,
+            ViaError::RingFull,
         ];
         for e in errors {
             let s = e.to_string();

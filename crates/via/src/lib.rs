@@ -55,9 +55,10 @@ mod error;
 mod fabric;
 mod flow;
 mod mem;
+mod spsc;
 
-pub use descriptor::{Completion, CompletionKind, Descriptor};
+pub use descriptor::{Completion, CompletionKind, Descriptor, SgList, MAX_SEGMENTS};
 pub use error::ViaError;
 pub use fabric::{CompletionQueue, Fabric, FaultConfig, Nic, Reliability, RemoteBuffer, Vi};
-pub use flow::CreditChannel;
-pub use mem::MemHandle;
+pub use flow::{CreditChannel, Doorbell, MAX_DOORBELL};
+pub use mem::{MemHandle, SlabPool, SlabSlot};

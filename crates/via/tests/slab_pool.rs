@@ -1,0 +1,154 @@
+//! Property-based tests of the registered-memory slab pool: exhaustion
+//! and misuse surface as typed errors (never panics), and the lock-free
+//! free list never hands out a slot that is still allocated or in
+//! flight.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use press_via::{Fabric, SlabPool, ViaError};
+use proptest::prelude::*;
+
+fn pool(slots: usize, slot_len: usize) -> SlabPool {
+    let fabric = Fabric::new();
+    let nic = fabric.create_nic("slab-test");
+    // The pool owns an Arc of the fabric state; the Nic handle may drop.
+    nic.register_slab(slots, slot_len, false)
+        .expect("register slab")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Draining the pool yields every slot exactly once, then a typed
+    /// `PoolExhausted` — no panic, no duplicate slot — and freeing makes
+    /// the capacity fully available again.
+    #[test]
+    fn exhaustion_is_a_typed_error_and_capacity_recovers(
+        slots in 1usize..48,
+        extra in 1usize..8,
+    ) {
+        let pool = pool(slots, 64);
+        let mut held = Vec::new();
+        let mut offsets = HashSet::new();
+        for _ in 0..slots {
+            let slot = pool.alloc().expect("pool has capacity");
+            prop_assert!(offsets.insert(slot.offset), "slot handed out twice");
+            held.push(slot);
+        }
+        for _ in 0..extra {
+            prop_assert_eq!(pool.alloc().unwrap_err(), ViaError::PoolExhausted);
+        }
+        prop_assert_eq!(pool.free_slots(), 0);
+        for slot in held.drain(..) {
+            pool.free(slot).expect("free held slot");
+        }
+        prop_assert_eq!(pool.free_slots(), slots);
+        for _ in 0..slots {
+            prop_assert!(pool.alloc().is_ok(), "freed capacity reusable");
+        }
+    }
+
+    /// Freeing a slot twice is rejected with `DoubleFree`, whatever else
+    /// happened to the pool in between.
+    #[test]
+    fn double_free_is_rejected(
+        slots in 2usize..16,
+        churn in 0usize..8,
+    ) {
+        let pool = pool(slots, 32);
+        let slot = pool.alloc().expect("alloc");
+        pool.free(slot).expect("first free");
+        // Churn other slots so the freed slot may or may not sit at the
+        // head of the free list when the stale free arrives.
+        let mut held = Vec::new();
+        for _ in 0..churn {
+            if let Ok(s) = pool.alloc() {
+                held.push(s);
+            }
+        }
+        match pool.free(slot) {
+            // Slot still free, or reissued to `held` (now ALLOCATED):
+            // the stale free must not detach someone else's slot.
+            Err(ViaError::DoubleFree) => {}
+            Ok(()) if held.iter().any(|s| s.offset == slot.offset) => {
+                // Freeing an offset that was reissued is indistinguishable
+                // from the new owner freeing it — allowed by the API.
+            }
+            other => prop_assert!(false, "unexpected stale-free result: {other:?}"),
+        }
+    }
+
+    /// Slots marked in flight are never handed out again and cannot be
+    /// freed until their completion is reaped.
+    #[test]
+    fn in_flight_slots_are_never_reissued(
+        slots in 2usize..24,
+        rounds in 1usize..32,
+    ) {
+        let pool = pool(slots, 32);
+        let in_flight = pool.alloc().expect("alloc");
+        pool.mark_in_flight(in_flight).expect("mark in flight");
+        prop_assert_eq!(pool.free(in_flight).unwrap_err(), ViaError::SlotInFlight);
+        for _ in 0..rounds {
+            let mut held = Vec::new();
+            while let Ok(slot) = pool.alloc() {
+                prop_assert!(slot.offset != in_flight.offset, "in-flight slot reissued");
+                held.push(slot);
+            }
+            prop_assert_eq!(held.len(), slots - 1);
+            for slot in held {
+                pool.free(slot).expect("free");
+            }
+        }
+        // Reaping the completion returns the slot to circulation.
+        pool.mark_complete(in_flight).expect("complete");
+        pool.free(in_flight).expect("free completed slot");
+        let mut seen = HashSet::new();
+        while let Ok(slot) = pool.alloc() {
+            seen.insert(slot.offset);
+        }
+        prop_assert_eq!(seen.len(), slots);
+    }
+}
+
+/// Threads hammering alloc/free concurrently never observe the same slot
+/// owned twice: the Treiber free list's ABA tagging holds up under
+/// contention.
+#[test]
+fn concurrent_alloc_free_never_double_issues() {
+    const SLOTS: usize = 8;
+    const WORKERS: usize = 4;
+    const OPS: usize = 2_000;
+    let pool = Arc::new(pool(SLOTS, 64));
+    let owned: Arc<Vec<AtomicBool>> =
+        Arc::new((0..SLOTS).map(|_| AtomicBool::new(false)).collect());
+    let violations = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let owned = Arc::clone(&owned);
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let Ok(slot) = pool.alloc() else { continue };
+                    let idx = slot.offset / pool.slot_len();
+                    if owned[idx].swap(true, Ordering::AcqRel) {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if i % 3 == 0 {
+                        pool.mark_in_flight(slot).expect("in flight");
+                        pool.mark_complete(slot).expect("complete");
+                    }
+                    owned[idx].store(false, Ordering::Release);
+                    pool.free(slot).expect("free");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    assert_eq!(violations.load(Ordering::Relaxed), 0, "slot double-issued");
+}

@@ -11,6 +11,7 @@
 //! * [`cluster`] — simulated cluster nodes (CPU, disk, NIC, cache, clients).
 //! * [`core`] — the PRESS server: policy, dissemination strategies, V0–V5.
 //! * [`model`] — the paper's analytical queueing model (Figures 8–13).
+//! * [`bench`] — experiment harness regenerating the paper's figures.
 //! * [`server`] — a live, threaded PRESS server over the software VIA.
 //! * [`telem`] — observability: request spans, metrics registry, exporters.
 //!
@@ -26,6 +27,7 @@
 //! # let _ = ProtocolCombo::ViaClan;
 //! ```
 
+pub use press_bench as bench;
 pub use press_cluster as cluster;
 pub use press_core as core;
 pub use press_model as model;

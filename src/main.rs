@@ -29,7 +29,7 @@ USAGE:
         --trace    clarknet|forth|nasa|rutgers   (default clarknet)
         --replay   path to a request log (overrides --trace)
         --combo    tcp-fe|tcp-clan|via           (default via)
-        --version  v0..v5                        (default v0)
+        --version  v0..v6                        (default v0)
         --strategy pb|l1|l4|l16|nlb              (default pb)
         --nodes    N                             (default 8)
         --measure  requests                      (default 60000)
@@ -49,7 +49,7 @@ USAGE:
         result row per combination, in submission order.
         --traces     comma list of clarknet|forth|nasa|rutgers (default clarknet)
         --combos     comma list of tcp-fe|tcp-clan|via         (default via)
-        --versions   comma list of v0..v5                      (default v0)
+        --versions   comma list of v0..v6                      (default v0)
         --strategies comma list of pb|l1|l4|l16|nlb            (default pb)
         --nodes      N                                         (default 8)
         --measure    requests                                  (default 60000)
@@ -69,7 +69,7 @@ USAGE:
 
     press model [OPTIONS]
         Evaluate the analytical model (Section 4).
-        --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen (default via)
+        --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen|via-fastpath (default via)
         --hsn      single-node hit rate          (default 0.9)
         --nodes    N                             (default 8)
         --file-kb  average file size             (default 16)
@@ -230,6 +230,7 @@ fn parse_version(name: &str) -> Result<ServerVersion, String> {
         "v3" => Ok(ServerVersion::V3),
         "v4" => Ok(ServerVersion::V4),
         "v5" => Ok(ServerVersion::V5),
+        "v6" => Ok(ServerVersion::V6),
         other => Err(format!("unknown version {other}")),
     }
 }
@@ -325,6 +326,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             )
         });
         let results = runner.run(jobs);
+        // Timing rows land in results/bench.json (created when absent,
+        // re-runs replacing their previous rows).
+        press::bench::record_timings_as("sweep", &results);
         println!(
             "{:<36} {:>10} {:>10} {:>9}",
             "configuration", "req/s", "resp ms", "hit rate"
@@ -506,6 +510,7 @@ fn cmd_model(args: &[String]) -> ExitCode {
             "via" => CommVariant::ViaRegular,
             "via-rmw" => CommVariant::ViaRmwZeroCopy,
             "via-nextgen" => CommVariant::ViaNextGen,
+            "via-fastpath" => CommVariant::ViaFastPath,
             other => return Err(format!("unknown variant {other}")),
         };
         let hsn: f64 = parse(&flags, "hsn", 0.9)?;
