@@ -15,12 +15,13 @@ use crate::scanner::{find_token, is_ident_char, Line};
 use std::collections::BTreeSet;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "wall-clock",
     "os-random",
     "hash-iter",
     "hot-unwrap",
     "hot-path-alloc",
+    "unbounded-queue",
     "safety-comment",
     "atomic-ordering",
     "raw-eprintln",
@@ -36,6 +37,10 @@ pub fn describe(rule: &str) -> &'static str {
         "hot-path-alloc" => {
             "no heap allocation (Box::new, vec!, to_vec, clone, Vec growth) inside \
              `#[press::hot_path]`-tagged functions — the V6 fast path must not allocate"
+        }
+        "unbounded-queue" => {
+            "no push_back/push_front without a nearby capacity check inside \
+             `#[press::hot_path]` scopes — unbounded queues turn overload into latency"
         }
         "safety-comment" => "every unsafe block needs a `// SAFETY:` comment",
         "atomic-ordering" => {
@@ -168,6 +173,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
 
         if hot[idx] {
             check_hot_alloc(path, line, &vec_names, &mut out);
+            check_unbounded_queue(path, lines, idx, &mut out);
         }
 
         if let Some(pos) = find_token(code, "unsafe") {
@@ -276,6 +282,59 @@ fn check_hot_alloc(path: &str, line: &Line, vec_names: &BTreeSet<String>, out: &
                     ),
                 });
             }
+        }
+    }
+}
+
+/// Queue-growth calls checked for a nearby bound.
+const QUEUE_PUSH_PATTERNS: [&str; 2] = [".push_back(", ".push_front("];
+
+/// Tokens accepted as evidence the queue is bounded at the push site:
+/// an explicit length/capacity comparison, a fullness predicate, or a
+/// matching pop that keeps the size constant.
+const CAPACITY_GUARD_TOKENS: [&str; 6] = [
+    ".len()",
+    ".capacity(",
+    "is_full",
+    "has_capacity",
+    ".pop_front(",
+    ".pop_back(",
+];
+
+/// Flags `push_back`/`push_front` on a line inside a hot-path function
+/// unless a capacity guard appears on the line itself or within the few
+/// code lines above it. An unchecked queue in the fast path is how
+/// overload becomes unbounded latency instead of explicit shedding.
+fn check_unbounded_queue(path: &str, lines: &[Line], idx: usize, out: &mut Vec<Finding>) {
+    let code = lines[idx].code.as_str();
+    for pat in QUEUE_PUSH_PATTERNS {
+        if !code.contains(pat) {
+            continue;
+        }
+        let guarded = |s: &str| CAPACITY_GUARD_TOKENS.iter().any(|t| s.contains(t));
+        let mut found = guarded(code);
+        let (mut seen, mut i) = (0, idx);
+        while !found && seen < 4 && i > 0 {
+            i -= 1;
+            let prev = lines[i].code.as_str();
+            if prev.trim().is_empty() {
+                continue;
+            }
+            seen += 1;
+            found = guarded(prev);
+        }
+        if !found {
+            out.push(Finding {
+                path: path.into(),
+                line: lines[idx].number,
+                rule: "unbounded-queue",
+                message: format!(
+                    "`{}` inside a `#[press::hot_path]` scope with no capacity check \
+                     nearby — bound the queue and shed at the bound, or an overload \
+                     turns into unbounded backlog",
+                    pat.trim_start_matches('.').trim_end_matches('(')
+                ),
+            });
         }
     }
 }

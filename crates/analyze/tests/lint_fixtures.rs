@@ -127,6 +127,30 @@ fn hot_path_alloc_fires_in_any_crate_the_tag_appears_in() {
 }
 
 #[test]
+fn unbounded_queue_fixture_exact_diagnostics() {
+    let f = fixture("unbounded_queue.rs", "crates/via/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(
+        triples(&report),
+        vec![
+            ("crates/via/src/fixture.rs".into(), 7, "unbounded-queue"),
+            ("crates/via/src/fixture.rs".into(), 8, "unbounded-queue"),
+        ],
+        "len-guarded, pop-rotated, untagged, and waived pushes must not fire"
+    );
+    let waived: Vec<(usize, &str)> = report.waived.iter().map(|w| (w.line, w.rule)).collect();
+    assert_eq!(waived, vec![(33, "unbounded-queue")]);
+}
+
+#[test]
+fn unbounded_queue_fires_in_any_crate_the_tag_appears_in() {
+    // Like hot-path-alloc, the tag is the opt-in: not path-scoped.
+    let f = fixture("unbounded_queue.rs", "crates/server/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+}
+
+#[test]
 fn safety_fixture_exact_diagnostics() {
     let f = fixture("safety.rs", "crates/via/src/fixture.rs");
     let report = lint_files(&[f], &Manifest::empty());
@@ -239,6 +263,7 @@ fn every_violating_fixture_exits_nonzero() {
         ("hash_iter.rs", "crates/net/src/fixture.rs"),
         ("hot_unwrap.rs", "crates/server/src/node.rs"),
         ("hot_path_alloc.rs", "crates/via/src/fixture.rs"),
+        ("unbounded_queue.rs", "crates/via/src/fixture.rs"),
         ("safety.rs", "crates/via/src/fixture.rs"),
         ("atomics.rs", "crates/via/src/fixture.rs"),
         ("waivers.rs", "crates/sim/src/fixture.rs"),
@@ -259,6 +284,7 @@ fn all_fixtures() -> Vec<SourceFile> {
         fixture("hash_iter.rs", "crates/net/src/fixture_hash.rs"),
         fixture("hot_unwrap.rs", "crates/server/src/node.rs"),
         fixture("hot_path_alloc.rs", "crates/via/src/fixture_hot_alloc.rs"),
+        fixture("unbounded_queue.rs", "crates/via/src/fixture_queue.rs"),
         fixture("safety.rs", "crates/via/src/fixture_safety.rs"),
         fixture("atomics.rs", "crates/via/src/fixture_atomics.rs"),
         fixture("waivers.rs", "crates/sim/src/fixture_waivers.rs"),

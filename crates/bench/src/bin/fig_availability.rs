@@ -19,28 +19,39 @@ const STRATEGIES: [Dissemination; 3] = [
     Dissemination::None,
 ];
 
-/// The crash scenarios swept per strategy, as (label, plan builder).
-fn scenarios(cfg: &SimConfig) -> Vec<(&'static str, FaultPlan)> {
+/// The crash scenarios swept per strategy, as (label, plan, protected).
+/// The final row re-runs crash+recover with overload protection on, so
+/// the shed column shows what admission control refuses rather than
+/// loses under the same fault schedule.
+fn scenarios(cfg: &SimConfig) -> Vec<(&'static str, FaultPlan, bool)> {
     let quarter = cfg.warmup_requests + cfg.measure_requests / 4;
     // Recovery at 40%: the rejoined node's cold cache has most of the
     // run to re-warm before the tail window (last 25%) is measured.
     let recover = cfg.warmup_requests + cfg.measure_requests * 2 / 5;
     let half = cfg.warmup_requests + cfg.measure_requests / 2;
     vec![
-        ("no faults", FaultPlan::none()),
+        ("no faults", FaultPlan::none(), false),
         (
             "crash 1@25%",
             FaultPlan::crashes_only(17, Vec::new()).with_crash(1, quarter, None),
+            false,
         ),
         (
             "crash+recover",
             FaultPlan::crashes_only(17, Vec::new()).with_crash(1, quarter, Some(recover)),
+            false,
         ),
         (
             "crash 2",
             FaultPlan::crashes_only(17, Vec::new())
                 .with_crash(1, quarter, None)
                 .with_crash(5, half, None),
+            false,
+        ),
+        (
+            "crash+shield",
+            FaultPlan::crashes_only(17, Vec::new()).with_crash(1, quarter, Some(recover)),
+            true,
         ),
     ]
 }
@@ -56,9 +67,12 @@ fn main() {
             c.dissemination = strategy;
             c
         };
-        for (label, plan) in scenarios(&base) {
+        for (label, plan, protected) in scenarios(&base) {
             let mut cfg = base.clone();
             cfg.faults = plan;
+            if protected {
+                cfg.overload = press_core::chaos::protective_overload(&base);
+            }
             jobs.push(Job::new(format!("{}/{label}", strategy.name()), cfg));
             cells.push((strategy, label));
         }
@@ -66,8 +80,8 @@ fn main() {
     let results = run_all(jobs);
 
     println!(
-        "\n{:<5} {:<14} {:>9} {:>7} {:>7} {:>6} {:>6} {:>5}",
-        "strat", "scenario", "req/s", "keep%", "tail%", "retry", "fail", "lost"
+        "\n{:<5} {:<14} {:>9} {:>7} {:>7} {:>6} {:>6} {:>6} {:>5}",
+        "strat", "scenario", "req/s", "keep%", "tail%", "retry", "fail", "shed", "lost"
     );
     let mut baseline = 0.0;
     let mut baseline_tail = 0.0;
@@ -87,7 +101,7 @@ fn main() {
             0.0
         };
         println!(
-            "{:<5} {:<14} {:>9.0} {:>6.1}% {:>6.1}% {:>6} {:>6} {:>5}",
+            "{:<5} {:<14} {:>9.0} {:>6.1}% {:>6.1}% {:>6} {:>6} {:>6} {:>5}",
             strategy.name(),
             label,
             m.throughput_rps,
@@ -95,12 +109,15 @@ fn main() {
             tail,
             m.retries,
             m.failovers,
+            m.requests_shed(),
             m.requests_lost,
         );
     }
     if !quiet() {
         println!();
         println!("(1-of-8 crash should retain well over 50%; with recovery, the tail");
-        println!(" column returns to within ~10% of the fault-free run)");
+        println!(" column returns to within ~10% of the fault-free run. Sheds are");
+        println!(" refusals, not failures: the crash+shield row shows what admission");
+        println!(" control turns away instead of losing or queueing.)");
     }
 }

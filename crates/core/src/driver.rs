@@ -6,10 +6,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use press_cluster::ServiceRates;
 use press_net::ProtocolCombo;
 use press_sim::{FaultPlan, SimTime, Simulator};
-use press_trace::{RequestLog, TracePreset, Workload, WorkloadSpec};
+use press_trace::{RequestLog, ScenarioPlan, TracePreset, Workload, WorkloadSpec};
 
 use crate::load::Dissemination;
 use crate::metrics::Metrics;
+use crate::overload::OverloadConfig;
 use crate::policy::PolicyConfig;
 use crate::server::{ClusterSim, Event, RunParams, SimWorkload};
 use crate::version::ServerVersion;
@@ -55,6 +56,13 @@ pub struct SimConfig {
     /// Injected faults and recovery parameters. [`FaultPlan::none`] (the
     /// default) leaves every code path identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Overload protection (admission bound, deadline shedding, per-peer
+    /// circuit breakers). [`OverloadConfig::disabled`] (the default) is
+    /// inert.
+    pub overload: OverloadConfig,
+    /// Chaos scenario (arrival surges, working-set drift, file updates).
+    /// [`ScenarioPlan::none`] (the default) is inert.
+    pub scenario: ScenarioPlan,
 }
 
 /// Where the workload comes from.
@@ -120,6 +128,8 @@ impl SimConfig {
             measure_requests: 120_000,
             seed: 0xC0FFEE,
             faults: FaultPlan::none(),
+            overload: OverloadConfig::disabled(),
+            scenario: ScenarioPlan::none(),
         }
     }
 
@@ -147,6 +157,8 @@ impl SimConfig {
             measure_requests: 4_000,
             seed: 7,
             faults: FaultPlan::none(),
+            overload: OverloadConfig::disabled(),
+            scenario: ScenarioPlan::none(),
         }
     }
 
@@ -222,6 +234,10 @@ fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Tra
     assert!(cfg.measure_requests >= 1, "nothing to measure");
     cfg.faults.assert_valid(cfg.nodes);
     let source = cfg.build_source();
+    cfg.scenario.assert_valid(
+        (cfg.clients_per_node * cfg.nodes) as u64,
+        source.catalog().len() as u32,
+    );
     let params = RunParams {
         nodes: cfg.nodes,
         cost: cfg.combo.cost_model(),
@@ -233,6 +249,8 @@ fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Tra
         warmup_requests: cfg.warmup_requests,
         measure_requests: cfg.measure_requests,
         faults: cfg.faults.clone(),
+        overload: cfg.overload,
+        scenario: cfg.scenario.clone(),
     };
     let mut sim_model =
         ClusterSim::new(params, source, cfg.cache_bytes_per_node, cfg.seed ^ 0x5EED);

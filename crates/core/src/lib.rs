@@ -29,9 +29,11 @@
 // Any future unsafe fn must scope its unsafe operations explicitly.
 #![deny(unsafe_op_in_unsafe_fn)]
 pub mod batch;
+pub mod chaos;
 mod driver;
 mod load;
 mod metrics;
+mod overload;
 mod policy;
 mod server;
 mod version;
@@ -40,7 +42,9 @@ pub use batch::{ExperimentRunner, Job, RunResult};
 pub use driver::{run_simulation, run_simulation_traced, SimConfig, WorkloadSource};
 pub use load::Dissemination;
 pub use metrics::Metrics;
+pub use overload::{BreakerConfig, CircuitBreaker, OverloadConfig};
 pub use policy::{decide, Decision, PolicyConfig, RequestView};
-pub use press_sim::{CrashWindow, FaultInjector, FaultPlan};
+pub use press_sim::{decorrelated_jitter_micros, CrashWindow, FaultInjector, FaultPlan};
+pub use press_trace::{ScenarioOp, ScenarioPlan};
 pub use server::{ClusterSim, Event, Msg, SimWorkload};
 pub use version::ServerVersion;

@@ -24,6 +24,8 @@ pub struct Metrics {
     pub p95_response_ms: f64,
     /// 99th-percentile client response time in milliseconds.
     pub p99_response_ms: f64,
+    /// 99.9th-percentile client response time in milliseconds.
+    pub p999_response_ms: f64,
     /// Aggregate cache hit rate across nodes during measurement.
     pub hit_rate: f64,
     /// Fraction of requests forwarded to a remote service node (`Q`).
@@ -65,6 +67,15 @@ pub struct Metrics {
     /// Simulated seconds with at least one node down, up to the end of
     /// the measurement window.
     pub time_degraded_secs: f64,
+    /// Arrivals rejected at the admission bound (overload protection).
+    pub shed_admission: u64,
+    /// Requests dropped because their deadline could not cover the
+    /// modeled service time.
+    pub shed_deadline: u64,
+    /// Forwards steered away from peers with open circuit breakers.
+    pub breaker_diverts: u64,
+    /// Cached copies invalidated by scenario file updates.
+    pub invalidations: u64,
 }
 
 impl Metrics {
@@ -121,6 +132,7 @@ impl Metrics {
             p50_response_ms: sim.response_histogram().percentile(50.0),
             p95_response_ms: sim.response_histogram().percentile(95.0),
             p99_response_ms: sim.response_histogram().percentile(99.0),
+            p999_response_ms: sim.response_histogram().percentile(99.9),
             hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -150,7 +162,18 @@ impl Metrics {
             disk_retries: sim.fault_stats().disk_retries,
             membership_epochs: sim.fault_stats().membership_epochs,
             time_degraded_secs: sim.degraded_seconds(),
+            shed_admission: sim.fault_stats().shed_admission,
+            shed_deadline: sim.fault_stats().shed_deadline,
+            breaker_diverts: sim.fault_stats().breaker_diverts,
+            invalidations: sim.fault_stats().invalidations,
         }
+    }
+
+    /// Requests rejected by overload protection (admission + deadline),
+    /// reported separately from failures so availability is not
+    /// overstated under load shedding.
+    pub fn requests_shed(&self) -> u64 {
+        self.shed_admission + self.shed_deadline
     }
 
     /// Publishes this run's metrics into a telemetry [`Registry`] as
@@ -162,6 +185,7 @@ impl Metrics {
         reg.set_gauge("press_p50_response_ms", labels, self.p50_response_ms);
         reg.set_gauge("press_p95_response_ms", labels, self.p95_response_ms);
         reg.set_gauge("press_p99_response_ms", labels, self.p99_response_ms);
+        reg.set_gauge("press_p999_response_ms", labels, self.p999_response_ms);
         reg.set_gauge("press_hit_rate", labels, self.hit_rate);
         reg.set_gauge("press_forward_fraction", labels, self.forward_fraction);
         reg.set_gauge(
@@ -180,6 +204,7 @@ impl Metrics {
         reg.inc("press_retries", labels, self.retries);
         reg.inc("press_failovers", labels, self.failovers);
         reg.inc("press_dropped_messages", labels, self.dropped_messages);
+        reg.inc("press_shed_requests", labels, self.requests_shed());
         self.counters.fill_registry(reg, labels);
     }
 }

@@ -1,0 +1,275 @@
+//! Overload protection: admission limits, deadline-aware shedding, and
+//! per-peer circuit breakers.
+//!
+//! The paper's server assumes offered load that the cluster can absorb;
+//! under a flash crowd the intra-cluster forwarding fabric amplifies
+//! overload instead of containing it (every miss forwards, every timeout
+//! retries). This module gives both engines one vocabulary for degrading
+//! gracefully:
+//!
+//! * **Admission limit** — a bound on in-flight admitted requests per
+//!   node; arrivals beyond it are rejected immediately (explicit
+//!   backpressure instead of unbounded queue growth).
+//! * **Deadline shedding** — a request whose remaining deadline cannot
+//!   cover the modeled service time is dropped at parse time, spending
+//!   no disk or network resources on an answer nobody will wait for.
+//! * **Circuit breaker** — a per-peer state machine layered on the PR 2
+//!   retry machinery: consecutive deadline misses open the breaker,
+//!   a half-open probe tests recovery, and one success closes it. While
+//!   open, forwards are steered to other cachers (or served locally), so
+//!   a saturated or dying peer stops accumulating retry storms.
+//!
+//! Everything is expressed in plain microsecond timestamps so the
+//! simulator can drive it with [`SimTime::as_micros`] and the live
+//! cluster with an `Instant` anchor, and so the proptest suite can walk
+//! the state machine with arbitrary clocks.
+//!
+//! [`SimTime::as_micros`]: press_sim::SimTime::as_micros
+
+/// Tuning for one [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a half-open
+    /// probe, in microseconds.
+    pub cooldown_micros: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_micros: 500_000,
+        }
+    }
+}
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Traffic flows; counts consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// No traffic until the cooldown elapses.
+    Open { until_micros: u64 },
+    /// One probe may be in flight; its outcome decides the next state.
+    HalfOpen { probe_in_flight: bool },
+}
+
+/// A per-peer circuit breaker over the retry/backoff machinery.
+///
+/// `allow` is a pure query; the mutating transitions are `on_send`
+/// (marks the half-open probe), `record_failure` and `record_success`.
+/// Time is caller-supplied microseconds, monotone non-decreasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Whether a send to this peer is currently admissible.
+    ///
+    /// Open breakers refuse until the cooldown elapses; half-open
+    /// breakers admit exactly one probe at a time.
+    pub fn allow(&self, now_micros: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until_micros } => now_micros >= until_micros,
+            BreakerState::HalfOpen { probe_in_flight } => !probe_in_flight,
+        }
+    }
+
+    /// Records that a send was issued at `now_micros`. An open breaker
+    /// past its cooldown transitions to half-open with the probe marked
+    /// in flight.
+    pub fn on_send(&mut self, now_micros: u64) {
+        match self.state {
+            BreakerState::Open { until_micros } if now_micros >= until_micros => {
+                self.state = BreakerState::HalfOpen {
+                    probe_in_flight: true,
+                };
+            }
+            BreakerState::HalfOpen { .. } => {
+                self.state = BreakerState::HalfOpen {
+                    probe_in_flight: true,
+                };
+            }
+            _ => {}
+        }
+    }
+
+    /// The peer answered in time: close the breaker.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// The peer missed a deadline: count it, and (re-)open once the
+    /// consecutive-failure threshold is reached. A failed half-open
+    /// probe re-opens immediately for a fresh cooldown.
+    pub fn record_failure(&mut self, now_micros: u64) {
+        let open = BreakerState::Open {
+            until_micros: now_micros.saturating_add(self.cfg.cooldown_micros),
+        };
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures + 1;
+                if fails >= self.cfg.failure_threshold.max(1) {
+                    self.state = open;
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: fails,
+                    };
+                }
+            }
+            BreakerState::HalfOpen { .. } | BreakerState::Open { .. } => self.state = open,
+        }
+    }
+
+    /// Whether the breaker is open (and still cooling down) at `now`.
+    pub fn is_open(&self, now_micros: u64) -> bool {
+        matches!(self.state, BreakerState::Open { until_micros } if now_micros < until_micros)
+    }
+
+    /// A short state label for report cards and debugging.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+/// Overload-protection knobs shared by the simulator and the live
+/// cluster. [`OverloadConfig::disabled`] (the default) is inert: no
+/// admission bound, no shedding, no breakers — code paths that consult
+/// it behave identically to code that was never wired for overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Master switch; when false every other knob is ignored.
+    pub enabled: bool,
+    /// Maximum in-flight admitted requests per node; arrivals beyond it
+    /// are shed with explicit backpressure. `0` means unbounded.
+    pub admission_limit: u32,
+    /// End-to-end deadline budget granted to each admitted request, in
+    /// microseconds. `0` disables deadline shedding.
+    pub deadline_micros: u64,
+    /// Modeled service time the deadline shedder assumes for a cache
+    /// miss, in microseconds (a disk access plus reply transmission).
+    pub service_estimate_micros: u64,
+    /// Per-peer breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig::disabled()
+    }
+}
+
+impl OverloadConfig {
+    /// The inert configuration: protection off, pre-PR behavior.
+    pub fn disabled() -> Self {
+        OverloadConfig {
+            enabled: false,
+            admission_limit: 0,
+            deadline_micros: 0,
+            service_estimate_micros: 12_000,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// The protective defaults used by `press chaos`: admission bounded
+    /// at four times the closed-loop population a node expects, a 250 ms
+    /// deadline (matching the default retry timeout), and breakers that
+    /// open after three consecutive misses.
+    pub fn protective() -> Self {
+        OverloadConfig {
+            enabled: true,
+            admission_limit: 256,
+            deadline_micros: 250_000,
+            service_estimate_micros: 12_000,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_micros: cooldown,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let mut b = breaker(3, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.allow(2), "two failures stay closed");
+        b.record_success();
+        b.record_failure(3);
+        b.record_failure(4);
+        assert!(b.allow(5), "success resets the streak");
+        b.record_failure(6);
+        assert!(!b.allow(7), "third consecutive failure opens");
+        assert!(b.is_open(7));
+    }
+
+    #[test]
+    fn half_open_probe_cycle() {
+        let mut b = breaker(1, 100);
+        b.record_failure(10);
+        assert!(!b.allow(50), "cooling down");
+        assert!(b.allow(110), "cooldown over admits a probe");
+        b.on_send(110);
+        assert!(!b.allow(111), "only one probe in flight");
+        b.record_success();
+        assert!(b.allow(112), "probe success closes");
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        b.on_send(100);
+        b.record_failure(150);
+        assert!(!b.allow(200), "fresh cooldown from the probe failure");
+        assert!(b.allow(250));
+    }
+
+    #[test]
+    fn disabled_config_is_inert_defaults() {
+        let cfg = OverloadConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.admission_limit, 0);
+        assert_eq!(cfg.deadline_micros, 0);
+    }
+
+    #[test]
+    fn zero_threshold_behaves_like_one() {
+        let mut b = breaker(0, 100);
+        b.record_failure(0);
+        assert!(!b.allow(1), "threshold 0 trips on the first failure");
+    }
+}

@@ -18,11 +18,12 @@ use press_net::{
 };
 use press_sim::{FaultInjector, FaultPlan, Histogram, MeanVar, Model, Scheduler, SimTime};
 use press_telem::{lane, EventKind, Trace, TraceBuffer, TraceEvent};
-use press_trace::{FileCatalog, FileId, RequestLog, Workload};
+use press_trace::{FileCatalog, FileId, RequestLog, ScenarioOp, ScenarioPlan, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::load::Dissemination;
+use crate::overload::{CircuitBreaker, OverloadConfig};
 use crate::policy::{decide, Decision, PolicyConfig, RequestView};
 use crate::version::ServerVersion;
 
@@ -44,6 +45,13 @@ const POLL_INTERVAL_NS: f64 = 100_000.0;
 const POLL_COST_NS: f64 = 150.0;
 /// Delay before a client whose node crashed reconnects elsewhere.
 const RECONNECT_DELAY: SimTime = SimTime::from_micros(1_000);
+/// Delay before a client whose request was shed (admission or deadline)
+/// retries; long enough that rejected clients don't hammer, short enough
+/// that capacity freed by shedding is re-offered quickly.
+const SHED_RETRY_DELAY: SimTime = SimTime::from_micros(5_000);
+/// Stagger between the arrivals of a scenario's surge clients (matches
+/// the driver's initial client stagger).
+const SURGE_STAGGER: SimTime = SimTime::from_micros(97);
 /// Doorbell batch size modeled for the V6 fast path (matches the live
 /// engine's default): the per-doorbell CPU cost is amortized over this
 /// many coalesced sends.
@@ -62,6 +70,8 @@ pub(crate) struct RunParams {
     pub warmup_requests: u64,
     pub measure_requests: u64,
     pub faults: FaultPlan,
+    pub overload: OverloadConfig,
+    pub scenario: ScenarioPlan,
 }
 
 /// One in-flight client request.
@@ -81,6 +91,9 @@ struct Request {
     server: Option<u16>,
     /// The reply has started streaming to the client; retries are moot.
     replying: bool,
+    /// Absolute deadline granted at admission; `None` when overload
+    /// protection is off or deadline shedding is disabled.
+    deadline: Option<SimTime>,
 }
 
 /// One intra-cluster message.
@@ -140,6 +153,15 @@ pub(crate) struct FaultCounters {
     pub disk_retries: u64,
     /// Membership transitions (crashes + recoveries).
     pub membership_epochs: u64,
+    /// Arrivals rejected because the node's admission bound was full.
+    pub shed_admission: u64,
+    /// Requests dropped because their remaining deadline could not cover
+    /// the modeled service time.
+    pub shed_deadline: u64,
+    /// Forwards steered away from a peer whose circuit breaker was open.
+    pub breaker_diverts: u64,
+    /// Cached copies invalidated by scenario file updates.
+    pub invalidations: u64,
 }
 
 /// Per-channel (sender→receiver) flow-control state.
@@ -165,7 +187,7 @@ pub enum SimWorkload {
 }
 
 impl SimWorkload {
-    fn catalog(&self) -> &FileCatalog {
+    pub(crate) fn catalog(&self) -> &FileCatalog {
         match self {
             SimWorkload::Synthetic(wl) => wl.catalog(),
             SimWorkload::Replay(log) => log.catalog(),
@@ -206,6 +228,19 @@ pub struct ClusterSim {
     crashed_now: usize,
     degraded_since: Option<SimTime>,
     time_degraded: SimTime,
+    // --- overload-protection state (inert unless params.overload.enabled) ---
+    /// Per-(initial, target) circuit breakers, row-major; empty when
+    /// overload protection is disabled.
+    breakers: Vec<CircuitBreaker>,
+    // --- scenario state ---
+    /// Scenario operations sorted by completed-request trigger.
+    scenario_schedule: Vec<(u64, ScenarioOp)>,
+    scenario_next: usize,
+    /// Current working-set rotation (mod catalog size).
+    drift_offset: u32,
+    /// Closed-loop clients to retire: that many request completions skip
+    /// re-issuing, shrinking the population deterministically.
+    retire_clients: u32,
     // --- measurement state ---
     counters: MsgCounters,
     forwarded: u64,
@@ -280,6 +315,12 @@ impl ClusterSim {
 
         let faults = params.faults.clone();
         faults.assert_valid(n);
+        let breakers = if params.overload.enabled {
+            vec![CircuitBreaker::new(params.overload.breaker); n * n]
+        } else {
+            Vec::new()
+        };
+        let scenario_schedule = params.scenario.schedule().to_vec();
         ClusterSim {
             nodes,
             source,
@@ -303,6 +344,11 @@ impl ClusterSim {
             crashed_now: 0,
             degraded_since: None,
             time_degraded: SimTime::ZERO,
+            breakers,
+            scenario_schedule,
+            scenario_next: 0,
+            drift_offset: 0,
+            retire_clients: 0,
             faults,
             counters: MsgCounters::default(),
             forwarded: 0,
@@ -333,9 +379,10 @@ impl ClusterSim {
         self.trace.take().map(|b| b.into_trace())
     }
 
-    /// The next requested file: replayed from the log, or Zipf-sampled.
+    /// The next requested file: replayed from the log, or Zipf-sampled,
+    /// then rotated by the scenario's current working-set drift.
     fn next_file(&mut self) -> FileId {
-        match &self.source {
+        let file = match &self.source {
             SimWorkload::Synthetic(wl) => wl.sample(&mut self.rng),
             SimWorkload::Replay(log) => {
                 let requests = log.requests();
@@ -343,6 +390,12 @@ impl ClusterSim {
                 self.replay_next += 1;
                 file
             }
+        };
+        if self.drift_offset == 0 {
+            file
+        } else {
+            let len = self.source.catalog().len() as u32;
+            FileId((file.0 + self.drift_offset) % len)
         }
     }
 
@@ -567,6 +620,132 @@ impl ClusterSim {
             .map(|off| (node + off) % n)
             .find(|&i| self.alive[i as usize])
             .expect("at least one node alive")
+    }
+
+    /// Whether overload protection is live for this run.
+    fn protected(&self) -> bool {
+        self.params.overload.enabled
+    }
+
+    /// Whether `from` may currently forward to `to` per its breaker.
+    fn breaker_allows(&self, from: u16, to: u16, now: SimTime) -> bool {
+        if self.breakers.is_empty() {
+            return true;
+        }
+        let n = self.params.nodes;
+        self.breakers[from as usize * n + to as usize].allow(now.as_micros())
+    }
+
+    /// Marks a send on the `from → to` breaker (half-open probe
+    /// accounting); a no-op when protection is off.
+    fn breaker_on_send(&mut self, from: u16, to: u16, now: SimTime) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        let n = self.params.nodes;
+        self.breakers[from as usize * n + to as usize].on_send(now.as_micros());
+    }
+
+    /// Records a deadline miss on the `from → to` breaker.
+    fn breaker_failure(&mut self, from: u16, to: u16, now: SimTime) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        let n = self.params.nodes;
+        self.breakers[from as usize * n + to as usize].record_failure(now.as_micros());
+    }
+
+    /// Records a timely answer on the `from → to` breaker.
+    fn breaker_success(&mut self, from: u16, to: u16) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        let n = self.params.nodes;
+        self.breakers[from as usize * n + to as usize].record_success();
+    }
+
+    /// The modeled completion time the deadline shedder assumes for this
+    /// request at `node`: the current CPU backlog, plus reply
+    /// transmission, plus the disk backlog and one access when the
+    /// content is not locally cached. Including the *queueing* terms is
+    /// what gives the shedder teeth under overload — the per-request
+    /// work barely changes when a flash crowd hits, the backlog is what
+    /// explodes, and a request that would spend its whole deadline in a
+    /// queue is exactly the one worth refusing.
+    fn modeled_service(&self, now: SimTime, node: u16, file: FileId, bytes: u64) -> SimTime {
+        let st = &self.nodes[node as usize];
+        let backlog = |busy_until: SimTime| {
+            if busy_until > now {
+                busy_until - now
+            } else {
+                SimTime::ZERO
+            }
+        };
+        let reply = self.params.rates.reply_time(bytes + REPLY_HEADER_BYTES);
+        let est = backlog(st.cpu.busy_until()) + reply;
+        if st.cache.contains(file) {
+            est
+        } else {
+            est + backlog(st.disk.busy_until()) + st.disk_model.access_time(bytes)
+        }
+    }
+
+    /// A shed client's closed loop continues after a backoff: the client
+    /// saw an explicit rejection and retries later.
+    fn requeue_shed_client(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        if !self.stop_arrivals {
+            let next = self.rng.gen_range(0..self.params.nodes) as u16;
+            sched.schedule(now + SHED_RETRY_DELAY, Event::NewRequest { node: next });
+        }
+    }
+
+    /// Applies every scenario operation whose completed-request trigger
+    /// has been reached (mirrors [`Self::process_fault_schedule`]).
+    fn process_scenario_schedule(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        while let Some(&(at, op)) = self.scenario_schedule.get(self.scenario_next) {
+            if self.total_completed < at {
+                break;
+            }
+            self.scenario_next += 1;
+            match op {
+                ScenarioOp::ClientsDelta(d) if d > 0 => {
+                    // A surge: d new closed-loop clients connect, their
+                    // arrivals staggered like the driver's initial ramp.
+                    for k in 0..d as u64 {
+                        if self.stop_arrivals {
+                            break;
+                        }
+                        let node = self.rng.gen_range(0..self.params.nodes) as u16;
+                        let at = now + SimTime::from_nanos(SURGE_STAGGER.as_nanos() * k);
+                        sched.schedule(at, Event::NewRequest { node });
+                    }
+                }
+                ScenarioOp::ClientsDelta(d) => {
+                    self.retire_clients += (-d) as u32;
+                }
+                ScenarioOp::Drift(offset) => {
+                    let len = self.source.catalog().len() as u32;
+                    self.drift_offset = offset % len.max(1);
+                }
+                ScenarioOp::FileUpdate(raw) => {
+                    let len = self.source.catalog().len() as u32;
+                    let file = FileId(raw % len.max(1));
+                    self.invalidate_file(now, file, sched);
+                }
+            }
+        }
+    }
+
+    /// The file's content changed: drop every cached copy cluster-wide
+    /// and clear the caching knowledge, so the next request re-reads it.
+    fn invalidate_file(&mut self, _now: SimTime, file: FileId, _sched: &mut Scheduler<Event>) {
+        let mask = self.cachers[file.0 as usize];
+        for node in 0..self.params.nodes as u16 {
+            if mask & (1 << node) != 0 && self.nodes[node as usize].cache.remove(file) {
+                self.fault_stats.invalidations += 1;
+            }
+        }
+        self.cachers[file.0 as usize] = 0;
     }
 
     /// Grants `credits` to the `from → to` channel and transmits any
@@ -949,11 +1128,17 @@ impl ClusterSim {
             self.begin_measurement(now);
         }
         self.process_fault_schedule(now, sched);
+        self.process_scenario_schedule(now, sched);
         // Closed loop: the client immediately issues its next request to a
-        // uniformly random node.
+        // uniformly random node — unless the scenario is retiring clients,
+        // in which case this one leaves the population.
         if !self.stop_arrivals {
-            let next = self.rng.gen_range(0..self.params.nodes) as u16;
-            sched.schedule(now, Event::NewRequest { node: next });
+            if self.retire_clients > 0 {
+                self.retire_clients -= 1;
+            } else {
+                let next = self.rng.gen_range(0..self.params.nodes) as u16;
+                sched.schedule(now, Event::NewRequest { node: next });
+            }
         }
     }
 
@@ -971,8 +1156,10 @@ impl ClusterSim {
     }
 
     /// Arms the per-peer timeout for a forwarded request. Only runs when
-    /// the fault plan is active, so fault-free runs schedule no extra
-    /// events and stay byte-identical to the pre-fault code paths.
+    /// the fault plan is active or overload protection is on (the breaker
+    /// needs timeouts to observe deadline misses), so default runs
+    /// schedule no extra events and stay byte-identical to the pre-fault
+    /// code paths.
     fn schedule_retry(
         &mut self,
         now: SimTime,
@@ -980,8 +1167,8 @@ impl ClusterSim {
         attempt: u32,
         sched: &mut Scheduler<Event>,
     ) {
-        if self.faults.is_active() {
-            let at = now + SimTime::from_micros(self.faults.backoff_micros(attempt));
+        if self.faults.is_active() || self.protected() {
+            let at = now + SimTime::from_micros(self.faults.backoff_micros(req_id, attempt));
             sched.schedule(
                 at,
                 Event::RetryTimeout {
@@ -1003,13 +1190,15 @@ impl ClusterSim {
         let next_attempt = attempt + 1;
         let mask = self.cachers[file.0 as usize];
         // Next-best: alive (as far as the initial node knows), caching the
-        // file, and not the peer that just failed us.
+        // file, not the peer that just failed us, and not behind an open
+        // circuit breaker.
         let candidates: Vec<u16> = (0..self.params.nodes as u16)
             .filter(|&i| {
                 self.alive_view[i as usize]
                     && mask & (1 << i) != 0
                     && Some(i) != prev_server
                     && i != initial
+                    && self.breaker_allows(initial, i, now)
             })
             .collect();
         if next_attempt > self.faults.max_retries || candidates.is_empty() {
@@ -1051,6 +1240,7 @@ impl ClusterSim {
             r.server = Some(target);
             r.pending_file_msgs = 0;
         }
+        self.breaker_on_send(initial, target, now);
         self.send_msg(
             now,
             MessageType::Forward,
@@ -1244,6 +1434,8 @@ impl ClusterSim {
                 }
                 req.pending_file_msgs -= 1;
                 if req.pending_file_msgs == 0 {
+                    // The serving peer answered: its breaker (re-)closes.
+                    self.breaker_success(msg.to, msg.from);
                     self.start_reply(now, req_id, sched);
                 }
             }
@@ -1273,10 +1465,27 @@ impl Model for ClusterSim {
                 // A client aimed at a dead node connects to the next one
                 // up instead (alive == all nodes in fault-free runs).
                 let node = self.route_alive(node);
+                // Bounded admission: a node at its in-flight limit rejects
+                // the arrival outright (explicit backpressure) instead of
+                // growing an unbounded connection backlog.
+                let limit = self.params.overload.admission_limit;
+                if self.protected()
+                    && limit > 0
+                    && self.nodes[node as usize].open_connections >= limit
+                {
+                    self.fault_stats.shed_admission += 1;
+                    self.requeue_shed_client(now, sched);
+                    return;
+                }
                 let file = self.next_file();
                 let bytes = self.source.catalog().size(file);
                 let req_id = self.next_req;
                 self.next_req += 1;
+                let deadline = if self.protected() && self.params.overload.deadline_micros > 0 {
+                    Some(now + SimTime::from_micros(self.params.overload.deadline_micros))
+                } else {
+                    None
+                };
                 self.requests.insert(
                     req_id,
                     Request {
@@ -1289,6 +1498,7 @@ impl Model for ClusterSim {
                         attempt: 0,
                         server: None,
                         replying: false,
+                        deadline,
                     },
                 );
                 self.nodes[node as usize].open_connections += 1;
@@ -1330,12 +1540,27 @@ impl Model for ClusterSim {
                 sched.schedule(parsed, Event::Parsed { req: req_id });
             }
             Event::Parsed { req: req_id } => {
-                let (node, file, bytes) = {
+                let (node, file, bytes, deadline) = {
                     let Some(req) = self.requests.get(&req_id) else {
                         return;
                     };
-                    (req.initial.0, req.file, req.bytes)
+                    (req.initial.0, req.file, req.bytes, req.deadline)
                 };
+                // Deadline-aware shedding: if the remaining budget cannot
+                // cover the modeled service time, drop now — spending a
+                // disk access on an answer the client stopped waiting for
+                // only deepens the overload.
+                if let Some(dl) = deadline {
+                    if now + self.modeled_service(now, node, file, bytes) > dl {
+                        self.fault_stats.shed_deadline += 1;
+                        self.requests.remove(&req_id);
+                        let oc = &mut self.nodes[node as usize].open_connections;
+                        *oc = oc.saturating_sub(1);
+                        self.load_changed(now, node, sched);
+                        self.requeue_shed_client(now, sched);
+                        return;
+                    }
+                }
                 let first = !self.ever_requested[file.0 as usize];
                 self.ever_requested[file.0 as usize] = true;
                 let cachers_mask = self.cachers[file.0 as usize];
@@ -1374,6 +1599,28 @@ impl Model for ClusterSim {
                         self.service_request(now, req_id, node, sched);
                     }
                     Decision::Forward(target) => {
+                        // Circuit breaker: a peer that keeps missing
+                        // deadlines is not a forwarding target. Steer to
+                        // the best-admissible cacher, or serve locally.
+                        let target = if self.breaker_allows(node, target.0, now) {
+                            Some(target.0)
+                        } else {
+                            self.fault_stats.breaker_diverts += 1;
+                            cachers
+                                .iter()
+                                .map(|c| c.0)
+                                .filter(|&c| c != node && self.breaker_allows(node, c, now))
+                                .min_by_key(|&c| (self.load_views[node as usize][c as usize], c))
+                        };
+                        let Some(target) = target else {
+                            // Every admissible peer is broken open: local
+                            // service beats piling onto a saturated one.
+                            if let Some(r) = self.requests.get_mut(&req_id) {
+                                r.server = Some(node);
+                            }
+                            self.service_request(now, req_id, node, sched);
+                            return;
+                        };
                         self.trace_instant(
                             now,
                             node,
@@ -1381,17 +1628,18 @@ impl Model for ClusterSim {
                             EventKind::Dispatch,
                             req_id,
                             1,
-                            target.0 as u64,
+                            target as u64,
                         );
                         if let Some(r) = self.requests.get_mut(&req_id) {
                             r.forwarded = true;
-                            r.server = Some(target.0);
+                            r.server = Some(target);
                         }
+                        self.breaker_on_send(node, target, now);
                         self.send_msg(
                             now,
                             MessageType::Forward,
                             node,
-                            target.0,
+                            target,
                             0,
                             Some(req_id),
                             0,
@@ -1520,6 +1768,13 @@ impl Model for ClusterSim {
                 // already streaming: nothing to do.
                 if r.attempt != attempt || r.replying {
                     return;
+                }
+                // A live deadline miss: feed the peer's breaker before
+                // re-routing, so consecutive misses eventually open it.
+                if let (initial, Some(server)) = (r.initial.0, r.server) {
+                    if server != initial {
+                        self.breaker_failure(initial, server, now);
+                    }
                 }
                 self.retry_request(now, req_id, sched);
             }

@@ -1,0 +1,133 @@
+//! Property tests for the circuit-breaker state machine: the safety and
+//! liveness guarantees the overload machinery leans on. Whatever history
+//! a breaker has seen, it must (a) never admit a send while open inside
+//! its cooldown, and (b) always recover — a half-open probe that
+//! succeeds closes the breaker for good until the next failure streak.
+
+use press_core::{BreakerConfig, CircuitBreaker};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+    CircuitBreaker::new(BreakerConfig {
+        failure_threshold: threshold,
+        cooldown_micros: cooldown,
+    })
+}
+
+/// Replays an arbitrary operation history with a monotone clock and
+/// returns the breaker plus the final clock value. Ops: 0 = failure,
+/// 1 = success, 2 = on_send (only when `allow` admits it, as both
+/// engines gate sends on `allow`).
+fn replay(mut b: CircuitBreaker, ops: &[(u8, u64)]) -> (CircuitBreaker, u64) {
+    let mut now = 0u64;
+    for &(op, dt) in ops {
+        now += dt;
+        match op % 3 {
+            0 => b.record_failure(now),
+            1 => b.record_success(),
+            _ => {
+                if b.allow(now) {
+                    b.on_send(now);
+                }
+            }
+        }
+    }
+    (b, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Safety: from any reachable state, a failure streak long enough to
+    /// trip the breaker leaves it refusing sends for the whole cooldown.
+    #[test]
+    fn never_sends_while_open_within_cooldown(
+        threshold in 0u32..8,
+        cooldown in 1u64..1_000_000,
+        history in vec((0u8..3, 0u64..10_000), 0..64),
+        probe_offsets in vec(0u64..1_000_000, 1..16),
+    ) {
+        let (mut b, now) = replay(breaker(threshold, cooldown), &history);
+        // Trip it: enough consecutive failures from wherever we are.
+        let mut t = now;
+        for _ in 0..threshold.max(1) {
+            t += 1;
+            b.record_failure(t);
+        }
+        prop_assert!(b.is_open(t), "a full failure streak must open the breaker");
+        for &off in &probe_offsets {
+            let inside = t + off % cooldown;
+            prop_assert!(
+                !b.allow(inside),
+                "open breaker admitted a send {off} us into a {cooldown} us cooldown"
+            );
+        }
+        // And `allow` is monotone in time while no transition runs: once
+        // the cooldown elapses the breaker stops refusing.
+        prop_assert!(b.allow(t + cooldown));
+    }
+
+    /// Liveness: from any reachable state, cooldown expiry admits a
+    /// half-open probe, and a successful probe closes the breaker —
+    /// sends flow again at every later instant until the next failure.
+    #[test]
+    fn always_recovers_after_half_open_success(
+        threshold in 0u32..8,
+        cooldown in 1u64..1_000_000,
+        history in vec((0u8..3, 0u64..10_000), 0..64),
+        later in vec(0u64..1_000_000, 1..16),
+    ) {
+        let (mut b, now) = replay(breaker(threshold, cooldown), &history);
+        let mut t = now;
+        for _ in 0..threshold.max(1) {
+            t += 1;
+            b.record_failure(t);
+        }
+        let probe_at = t + cooldown;
+        prop_assert!(b.allow(probe_at), "cooldown expiry must admit a probe");
+        b.on_send(probe_at);
+        prop_assert!(!b.allow(probe_at), "only one probe may be in flight");
+        b.record_success();
+        prop_assert_eq!(b.state_name(), "closed");
+        for &dt in &later {
+            prop_assert!(b.allow(probe_at + dt), "recovered breaker refused a send");
+        }
+    }
+
+    /// A success always lands the breaker closed, from any state — the
+    /// machine cannot wedge somewhere sends are refused forever.
+    #[test]
+    fn success_closes_from_any_state(
+        threshold in 0u32..8,
+        cooldown in 1u64..1_000_000,
+        history in vec((0u8..3, 0u64..10_000), 0..128),
+    ) {
+        let (mut b, now) = replay(breaker(threshold, cooldown), &history);
+        b.record_success();
+        prop_assert_eq!(b.state_name(), "closed");
+        prop_assert!(b.allow(now));
+    }
+
+    /// A breaker that never sees a failure never refuses: successes and
+    /// sends alone cannot open it.
+    #[test]
+    fn failure_free_history_always_allows(
+        threshold in 0u32..8,
+        cooldown in 1u64..1_000_000,
+        history in vec((1u8..3, 0u64..10_000), 0..128),
+    ) {
+        let mut b = breaker(threshold, cooldown);
+        let mut now = 0u64;
+        for &(op, dt) in &history {
+            now += dt;
+            prop_assert!(b.allow(now), "breaker opened without any failure");
+            if op == 2 {
+                b.on_send(now);
+            } else {
+                b.record_success();
+            }
+            prop_assert!(b.allow(now), "send/success left the breaker refusing");
+        }
+    }
+}

@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
-use press_core::{FaultPlan, PolicyConfig};
+use press_core::{FaultPlan, OverloadConfig, PolicyConfig};
 use press_telem::{lane, LiveTracer, Trace};
 use press_trace::{FileCatalog, FileId};
 use press_via::{
@@ -17,7 +17,7 @@ use press_via::{
 use crate::membership::Membership;
 use crate::node::{
     disk_loop, main_loop, recv_loop, send_loop, slot_bytes_for, FileTransferMode, MainConfig,
-    NodeCtx, NodeEvent, SendJob,
+    NodeCtx, NodeEvent, Reply, SendJob,
 };
 use crate::stats::ServerStats;
 use crate::wire::{HEADER_BYTES, RING_TRAILER_BYTES};
@@ -60,6 +60,10 @@ pub struct LiveConfig {
     /// the plan's message-loss probabilities become VIA-level injected
     /// faults. `None` leaves every path identical to a fault-free run.
     pub faults: Option<FaultPlan>,
+    /// Overload protection: bounded admission, deadline shedding, and
+    /// per-peer circuit breakers in every node's main loop. The disabled
+    /// default leaves all paths identical to pre-protection builds.
+    pub overload: OverloadConfig,
 }
 
 impl Default for LiveConfig {
@@ -78,6 +82,7 @@ impl Default for LiveConfig {
             retry_timeout: Duration::from_millis(150),
             max_retries: 3,
             faults: None,
+            overload: OverloadConfig::disabled(),
         }
     }
 }
@@ -91,6 +96,9 @@ pub enum LiveError {
     Timeout,
     /// The file id is outside the catalog.
     UnknownFile,
+    /// Overload protection rejected the request (admission bound or
+    /// deadline shedding) — explicit backpressure, retry later.
+    Rejected,
 }
 
 impl std::fmt::Display for LiveError {
@@ -99,6 +107,7 @@ impl std::fmt::Display for LiveError {
             LiveError::Disconnected => "cluster is shutting down",
             LiveError::Timeout => "request timed out",
             LiveError::UnknownFile => "file id outside the catalog",
+            LiveError::Rejected => "request shed by overload protection",
         };
         f.write_str(msg)
     }
@@ -431,6 +440,8 @@ impl LiveCluster {
                 disk_tx,
                 retry_timeout: cfg.retry_timeout,
                 max_retries: cfg.max_retries,
+                overload: cfg.overload,
+                jitter_seed: cfg.faults.as_ref().map_or(0, |p| p.seed),
             };
             let cq = cq_iter.next().expect("one cq per node");
 
@@ -608,11 +619,29 @@ impl LiveCluster {
             .send(NodeEvent::Client {
                 file,
                 reply: reply_tx,
+                // The client's patience is the deadline the shedder
+                // grades against (ignored when protection is off).
+                deadline: Some(std::time::Instant::now() + timeout),
             })
             .map_err(|_| LiveError::Disconnected)?;
-        reply_rx
-            .recv_timeout(timeout)
-            .map_err(|_| LiveError::Timeout)
+        match reply_rx.recv_timeout(timeout) {
+            Ok(Reply::Data(bytes)) => Ok(bytes),
+            Ok(Reply::Shed) => Err(LiveError::Rejected),
+            Err(_) => Err(LiveError::Timeout),
+        }
+    }
+
+    /// Applies a mid-run content update to `file`: every node discards
+    /// its cached copy (and its record of who else cached one), so the
+    /// next access re-reads the new version from disk. The chaos suite's
+    /// churn scenarios drive this.
+    pub fn update_file(&self, file: FileId) {
+        if (file.0 as usize) >= self.catalog.len() {
+            return;
+        }
+        for tx in &self.ctl.mains {
+            let _ = tx.send(NodeEvent::Invalidate { file });
+        }
     }
 
     /// The cluster's catalog.

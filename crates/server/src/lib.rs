@@ -26,12 +26,14 @@
 
 // Any future unsafe fn must scope its unsafe operations explicitly.
 #![deny(unsafe_op_in_unsafe_fn)]
+mod chaos;
 mod cluster;
 mod membership;
 mod node;
 mod stats;
 mod wire;
 
+pub use chaos::{run_suite_live, LiveChaosConfig};
 pub use cluster::{LiveCluster, LiveConfig, LiveError};
 pub use membership::Membership;
 pub use node::FileTransferMode;

@@ -8,7 +8,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use press_cluster::{FileCache, NodeId};
-use press_core::{decide, Decision, PolicyConfig, RequestView};
+use press_core::{
+    decide, decorrelated_jitter_micros, CircuitBreaker, Decision, OverloadConfig, PolicyConfig,
+    RequestView,
+};
 use press_telem::{EventKind, TraceHandle};
 use press_trace::{FileCatalog, FileId};
 use press_via::{
@@ -35,14 +38,29 @@ pub enum FileTransferMode {
     RemoteWrite,
 }
 
+/// What a node sends back on a request's reply channel: the file bytes,
+/// or an explicit rejection (backpressure made visible to the client
+/// rather than silently queueing into an ever-deeper backlog).
+#[derive(Debug)]
+pub(crate) enum Reply {
+    Data(Vec<u8>),
+    Shed,
+}
+
 /// Events delivered to a node's main thread.
 #[derive(Debug)]
 pub(crate) enum NodeEvent {
     /// A client request arrived at this (initial) node.
     Client {
         file: FileId,
-        reply: Sender<Vec<u8>>,
+        reply: Sender<Reply>,
+        /// The client's latency budget; overload protection sheds the
+        /// request when the budget cannot cover the modeled service time.
+        deadline: Option<Instant>,
     },
+    /// A mid-run content update: every cached copy of `file` is stale and
+    /// must be discarded (re-read from disk on next access).
+    Invalidate { file: FileId },
     /// The receive thread decoded an intra-cluster message.
     Remote { from: usize, msg: WireMsg },
     /// The disk thread finished reading `file`.
@@ -143,23 +161,31 @@ pub(crate) struct MainConfig {
     /// Write the load table after this many main-loop events.
     pub load_write_period: u32,
     pub disk_tx: Sender<(FileId, u64)>,
-    /// Base deadline for a forwarded request's reply; doubles per retry
-    /// (capped at 8×) before the request is re-routed or failed over.
+    /// Base deadline for a forwarded request's reply; later attempts walk
+    /// a decorrelated-jitter schedule in `[base, 8 * base]` before the
+    /// request is re-routed or failed over.
     pub retry_timeout: Duration,
     /// Retries before a forwarded request falls back to local service.
     pub max_retries: u32,
+    /// Overload protection: admission bound, deadline shedding, per-peer
+    /// circuit breakers. Disabled leaves every path identical to pre-
+    /// protection builds.
+    pub overload: OverloadConfig,
+    /// Seed of the retry-backoff jitter stream (the fault plan's seed, so
+    /// both engines draw the same schedule for the same token).
+    pub jitter_seed: u64,
 }
 
 /// What to do when a disk read completes.
 enum DiskWaiter {
-    ReplyLocal(Sender<Vec<u8>>),
+    ReplyLocal(Sender<Reply>),
     SendBack { to: usize, token: u64 },
 }
 
 /// A forwarded request awaiting its file data, with the recovery state
 /// needed to re-route it if the service node stops answering.
 struct Pending {
-    reply: Sender<Vec<u8>>,
+    reply: Sender<Reply>,
     file: FileId,
     /// The peer currently expected to answer.
     target: usize,
@@ -169,10 +195,19 @@ struct Pending {
     deadline: Instant,
 }
 
-/// Capped exponential backoff: base, 2×, 4×, then 8× for every further
-/// attempt (mirrors the simulator's `FaultPlan::backoff_micros`).
-fn retry_deadline(now: Instant, base: Duration, attempt: u32) -> Instant {
-    now + base * (1u32 << attempt.min(3))
+/// Seeded decorrelated-jitter backoff (mirrors the simulator's
+/// `FaultPlan::backoff_micros`): attempt 0 waits the base timeout, later
+/// attempts walk a per-token random schedule in `[base, 8 * base]`, which
+/// desynchronizes the retry storms a shared exponential schedule causes.
+fn retry_deadline(now: Instant, base: Duration, seed: u64, token: u64, attempt: u32) -> Instant {
+    let micros = decorrelated_jitter_micros(seed, token, base.as_micros() as u64, attempt);
+    now + Duration::from_micros(micros)
+}
+
+/// Whether a breaker table admits sends to `peer` (an empty table — the
+/// protection-off configuration — admits everything).
+fn breaker_allows(breakers: &[CircuitBreaker], peer: usize, now_micros: u64) -> bool {
+    breakers.is_empty() || breakers[peer].allow(now_micros)
 }
 
 /// The main thread: parses requests, decides locally-vs-forward, tracks
@@ -200,6 +235,16 @@ pub(crate) fn main_loop(
     let mut crashed = false;
     // Peer loads as last observed; refreshed from the RDMA region.
     let mut loads = vec![0u32; ctx.nodes];
+    // Per-peer circuit breakers (empty when overload protection is off,
+    // so the protection-off build never touches them). Breaker time is
+    // micros since the loop started — monotonic, per-node, and never
+    // compared across nodes.
+    let t0 = Instant::now();
+    let mut breakers: Vec<CircuitBreaker> = if cfg.overload.enabled {
+        vec![CircuitBreaker::new(cfg.overload.breaker); ctx.nodes]
+    } else {
+        Vec::new()
+    };
 
     let read_loads = |own: u32, loads: &mut Vec<u32>| {
         if let Ok(bytes) = ctx.nic.read_region(ctx.load_region, 0, 4 * ctx.nodes) {
@@ -262,81 +307,150 @@ pub(crate) fn main_loop(
                         ServerStats::bump(&ctx.stats.requests_lost);
                     }
                 }
-                NodeEvent::Client { file, reply } => {
-                    load += 1;
-                    let bytes = cfg.catalog.size(file);
-                    ctx.trace_event(EventKind::Arrive, 0, file.0 as u64, bytes);
-                    read_loads(load, &mut loads);
-                    // Crashed peers drop out of the candidate set the
-                    // moment the membership view changes, whatever the
-                    // dissemination strategy populated `cachers` with.
-                    let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
-                        .filter(|&i| {
-                            cachers[file.0 as usize] & (1 << i) != 0
-                                && ctx.membership.is_live(i as usize)
-                        })
-                        .map(NodeId)
-                        .collect();
-                    let decision = decide(
-                        &cfg.policy,
-                        &RequestView {
-                            initial: NodeId(ctx.id as u16),
-                            file_bytes: bytes,
-                            cached_locally: cache.contains(file),
-                            first_request: cachers[file.0 as usize] == 0,
-                            cachers: &cacher_list,
-                            loads: &loads,
-                            load_balancing: true,
-                        },
-                    );
-                    match decision {
-                        Decision::ServeLocal => {
-                            ctx.trace_event(EventKind::Dispatch, 0, 0, ctx.id as u64);
-                            if cache.touch(file) {
-                                ctx.trace_event(EventKind::CacheHit, 0, file.0 as u64, bytes);
-                                send_reply(&ctx.stats, &reply, file, bytes);
-                                ctx.trace_event(EventKind::Done, 0, file.0 as u64, bytes);
-                                load = load.saturating_sub(1);
+                NodeEvent::Client {
+                    file,
+                    reply,
+                    deadline,
+                } => {
+                    let ov = &cfg.overload;
+                    let admission_full =
+                        ov.enabled && ov.admission_limit > 0 && load >= ov.admission_limit;
+                    // A request whose remaining budget cannot cover even
+                    // the modeled service time is rejected now, while it
+                    // is cheap, rather than after consuming resources.
+                    let hopeless = !admission_full
+                        && ov.enabled
+                        && deadline.is_some_and(|dl| {
+                            let est = if cache.contains(file) {
+                                Duration::ZERO
                             } else {
-                                enqueue_disk(
-                                    &cfg,
-                                    &ctx.stats,
-                                    &mut waiting_disk,
-                                    file,
-                                    bytes,
-                                    DiskWaiter::ReplyLocal(reply),
-                                );
+                                Duration::from_micros(ov.service_estimate_micros)
+                            };
+                            Instant::now() + est > dl
+                        });
+                    if admission_full || hopeless {
+                        ServerStats::bump(if admission_full {
+                            &ctx.stats.shed_admission
+                        } else {
+                            &ctx.stats.shed_deadline
+                        });
+                        let _ = reply.send(Reply::Shed);
+                    } else {
+                        load += 1;
+                        let bytes = cfg.catalog.size(file);
+                        ctx.trace_event(EventKind::Arrive, 0, file.0 as u64, bytes);
+                        read_loads(load, &mut loads);
+                        // Crashed peers drop out of the candidate set the
+                        // moment the membership view changes, whatever the
+                        // dissemination strategy populated `cachers` with.
+                        let cacher_list: Vec<NodeId> = (0..ctx.nodes as u16)
+                            .filter(|&i| {
+                                cachers[file.0 as usize] & (1 << i) != 0
+                                    && ctx.membership.is_live(i as usize)
+                            })
+                            .map(NodeId)
+                            .collect();
+                        let mut decision = decide(
+                            &cfg.policy,
+                            &RequestView {
+                                initial: NodeId(ctx.id as u16),
+                                file_bytes: bytes,
+                                cached_locally: cache.contains(file),
+                                first_request: cachers[file.0 as usize] == 0,
+                                cachers: &cacher_list,
+                                loads: &loads,
+                                load_balancing: true,
+                            },
+                        );
+                        if let Decision::Forward(target) = decision {
+                            let t = target.0 as usize;
+                            let now_us = t0.elapsed().as_micros() as u64;
+                            if !breaker_allows(&breakers, t, now_us) {
+                                // The breaker says this peer stopped
+                                // answering: steer to the best admissible
+                                // alternative cacher, or absorb the work
+                                // locally rather than feed a black hole.
+                                ServerStats::bump(&ctx.stats.breaker_diverts);
+                                decision = cacher_list
+                                    .iter()
+                                    .filter(|c| {
+                                        let i = c.0 as usize;
+                                        i != t
+                                            && i != ctx.id
+                                            && breaker_allows(&breakers, i, now_us)
+                                    })
+                                    .min_by_key(|c| (loads[c.0 as usize], c.0))
+                                    .map_or(Decision::ServeLocal, |&c| Decision::Forward(c));
                             }
                         }
-                        Decision::Forward(target) => {
-                            ctx.trace_event(EventKind::Dispatch, 0, 1, target.0 as u64);
-                            let token = next_token;
-                            next_token += 1;
-                            pending.insert(
-                                token,
-                                Pending {
-                                    reply,
-                                    file,
-                                    target: target.0 as usize,
-                                    attempt: 0,
-                                    deadline: retry_deadline(Instant::now(), cfg.retry_timeout, 0),
-                                },
-                            );
-                            ServerStats::bump(&ctx.stats.forward_msgs);
-                            ServerStats::bump(&ctx.stats.forwarded);
-                            let _ = send_tx.send(SendJob::Msg {
-                                to: target.0 as usize,
-                                msg: WireMsg {
-                                    kind: WireKind::Forward,
-                                    file,
+                        match decision {
+                            Decision::ServeLocal => {
+                                ctx.trace_event(EventKind::Dispatch, 0, 0, ctx.id as u64);
+                                if cache.touch(file) {
+                                    ctx.trace_event(EventKind::CacheHit, 0, file.0 as u64, bytes);
+                                    send_reply(&ctx.stats, &reply, file, bytes);
+                                    ctx.trace_event(EventKind::Done, 0, file.0 as u64, bytes);
+                                    load = load.saturating_sub(1);
+                                } else {
+                                    enqueue_disk(
+                                        &cfg,
+                                        &ctx.stats,
+                                        &mut waiting_disk,
+                                        file,
+                                        bytes,
+                                        DiskWaiter::ReplyLocal(reply),
+                                    );
+                                }
+                            }
+                            Decision::Forward(target) => {
+                                ctx.trace_event(EventKind::Dispatch, 0, 1, target.0 as u64);
+                                let token = next_token;
+                                next_token += 1;
+                                pending.insert(
                                     token,
-                                    sender_load: load,
-                                    payload: Vec::new(),
-                                },
-                                needs_credit: true,
-                            });
+                                    Pending {
+                                        reply,
+                                        file,
+                                        target: target.0 as usize,
+                                        attempt: 0,
+                                        deadline: retry_deadline(
+                                            Instant::now(),
+                                            cfg.retry_timeout,
+                                            cfg.jitter_seed,
+                                            token,
+                                            0,
+                                        ),
+                                    },
+                                );
+                                if !breakers.is_empty() {
+                                    breakers[target.0 as usize]
+                                        .on_send(t0.elapsed().as_micros() as u64);
+                                }
+                                ServerStats::bump(&ctx.stats.forward_msgs);
+                                ServerStats::bump(&ctx.stats.forwarded);
+                                let _ = send_tx.send(SendJob::Msg {
+                                    to: target.0 as usize,
+                                    msg: WireMsg {
+                                        kind: WireKind::Forward,
+                                        file,
+                                        token,
+                                        sender_load: load,
+                                        payload: Vec::new(),
+                                    },
+                                    needs_credit: true,
+                                });
+                            }
                         }
                     }
+                }
+                NodeEvent::Invalidate { file } => {
+                    // The old bytes are stale everywhere: drop our cached
+                    // copy and forget who else held one (their copies are
+                    // being dropped by the same broadcast).
+                    if cache.remove(file) {
+                        ServerStats::bump(&ctx.stats.invalidations);
+                    }
+                    cachers[file.0 as usize] = 0;
                 }
                 NodeEvent::Remote { from, msg } => {
                     // Piggy-backed load keeps our view of the sender fresh
@@ -367,8 +481,16 @@ pub(crate) fn main_loop(
                             // from `pending` (first answer won) fall
                             // through harmlessly.
                             if let Some(p) = pending.remove(&msg.token) {
+                                if !breakers.is_empty() {
+                                    breakers[p.target].record_success();
+                                }
                                 let bytes = p.file.0 as u64;
-                                let _ = p.reply.send(msg.payload);
+                                let _ = p.reply.send(Reply::Data(msg.payload));
+                                // The forwarded request is no longer open
+                                // on this node; without this the load
+                                // counter (and the admission bound fed by
+                                // it) ratchets upward forever.
+                                load = load.saturating_sub(1);
                                 ctx.trace_event(EventKind::Done, msg.token, bytes, 0);
                             }
                         }
@@ -424,6 +546,8 @@ pub(crate) fn main_loop(
                 &mut ring_expected,
                 &mut ring_consumed,
                 &mut pending,
+                &mut breakers,
+                &mut load,
                 crashed,
             );
         }
@@ -441,23 +565,35 @@ pub(crate) fn main_loop(
                 .map(|(&t, _)| t)
                 .collect();
             expired.sort_unstable();
+            let now_us = t0.elapsed().as_micros() as u64;
             for token in expired {
                 let Some(p) = pending.remove(&token) else {
                     continue;
                 };
+                // A missed deadline is the breaker's failure signal:
+                // enough of them in a row opens the peer's breaker and
+                // new forwards steer around it until a probe succeeds.
+                if !breakers.is_empty() && p.target != ctx.id {
+                    breakers[p.target].record_failure(now_us);
+                }
                 let mut candidates: Vec<usize> = (0..ctx.nodes)
                     .filter(|&i| {
                         i != ctx.id
                             && i != p.target
                             && cachers[p.file.0 as usize] & (1 << i) != 0
                             && ctx.membership.is_live(i)
+                            && breaker_allows(&breakers, i, now_us)
                     })
                     .collect();
                 // No alternative cacher, but the target still looks
                 // alive: the *message* may have been lost rather than the
                 // node — retransmit to the same peer (backoff rising)
                 // until retries run out or the membership evicts it.
-                if candidates.is_empty() && p.target != ctx.id && ctx.membership.is_live(p.target) {
+                if candidates.is_empty()
+                    && p.target != ctx.id
+                    && ctx.membership.is_live(p.target)
+                    && breaker_allows(&breakers, p.target, now_us)
+                {
                     candidates.push(p.target);
                 }
                 let bytes = cfg.catalog.size(p.file);
@@ -498,9 +634,18 @@ pub(crate) fn main_loop(
                             file: p.file,
                             target,
                             attempt,
-                            deadline: retry_deadline(now, cfg.retry_timeout, attempt),
+                            deadline: retry_deadline(
+                                now,
+                                cfg.retry_timeout,
+                                cfg.jitter_seed,
+                                token,
+                                attempt,
+                            ),
                         },
                     );
+                    if !breakers.is_empty() {
+                        breakers[target].on_send(now_us);
+                    }
                     ServerStats::bump(&ctx.stats.forward_msgs);
                     let _ = send_tx.send(SendJob::Msg {
                         to: target,
@@ -533,12 +678,15 @@ pub(crate) fn main_loop(
 /// consumes the entry (completing the pending client request) and
 /// returns credits in batches. This is PRESS's version-3 receive path —
 /// no interrupts, no receive-thread involvement.
+#[allow(clippy::too_many_arguments)]
 fn poll_file_rings(
     ctx: &NodeCtx,
     send_tx: &Sender<SendJob>,
     expected: &mut [u64],
     consumed: &mut [u32],
     pending: &mut HashMap<u64, Pending>,
+    breakers: &mut [CircuitBreaker],
+    load: &mut u32,
     crashed: bool,
 ) {
     for src in 0..ctx.nodes {
@@ -569,7 +717,12 @@ fn poll_file_rings(
                 continue;
             };
             if let Some(p) = pending.remove(&token) {
-                let _ = p.reply.send(payload);
+                if !breakers.is_empty() {
+                    breakers[p.target].record_success();
+                }
+                let _ = p.reply.send(Reply::Data(payload));
+                // Forward completed: close it out of the load counter.
+                *load = (*load).saturating_sub(1);
             }
             consumed[src] += 1;
             if consumed[src] >= ctx.credit_batch {
@@ -592,9 +745,9 @@ fn poll_file_rings(
     }
 }
 
-fn send_reply(stats: &ServerStats, reply: &Sender<Vec<u8>>, file: FileId, bytes: u64) {
+fn send_reply(stats: &ServerStats, reply: &Sender<Reply>, file: FileId, bytes: u64) {
     ServerStats::bump(&stats.served_local);
-    let _ = reply.send(file_contents(file, bytes as usize));
+    let _ = reply.send(Reply::Data(file_contents(file, bytes as usize)));
 }
 
 fn enqueue_disk(

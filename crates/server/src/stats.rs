@@ -35,6 +35,14 @@ pub struct ServerStats {
     /// VIA operations that completed with error status (or could not be
     /// posted); recovered by the retry machinery rather than panicking.
     pub via_errors: AtomicCounter,
+    /// Arrivals rejected at the admission bound (overload protection).
+    pub shed_admission: AtomicCounter,
+    /// Arrivals rejected because their deadline could not be met.
+    pub shed_deadline: AtomicCounter,
+    /// Forwards steered away from a peer whose circuit breaker is open.
+    pub breaker_diverts: AtomicCounter,
+    /// Cached copies discarded by mid-run file updates.
+    pub invalidations: AtomicCounter,
 }
 
 impl ServerStats {
@@ -61,7 +69,7 @@ impl ServerStats {
     /// Publishes every counter into a telemetry [`Registry`] under the
     /// `press_live_*` names, with any caller-supplied labels.
     pub fn fill_registry(&self, reg: &mut Registry, labels: &[(&str, &str)]) {
-        let series: [(&str, &AtomicCounter); 13] = [
+        let series: [(&str, &AtomicCounter); 17] = [
             ("press_live_served_local", &self.served_local),
             ("press_live_forwarded", &self.forwarded),
             ("press_live_disk_reads", &self.disk_reads),
@@ -75,6 +83,10 @@ impl ServerStats {
             ("press_live_failovers", &self.failovers),
             ("press_live_requests_lost", &self.requests_lost),
             ("press_live_via_errors", &self.via_errors),
+            ("press_live_shed_admission", &self.shed_admission),
+            ("press_live_shed_deadline", &self.shed_deadline),
+            ("press_live_breaker_diverts", &self.breaker_diverts),
+            ("press_live_invalidations", &self.invalidations),
         ];
         for (name, c) in series {
             reg.inc(name, labels, c.get());
@@ -104,7 +116,7 @@ mod tests {
         let mut reg = Registry::default();
         s.fill_registry(&mut reg, &[("engine", "live")]);
         let recs = reg.records();
-        assert_eq!(recs.len(), 13);
+        assert_eq!(recs.len(), 17);
         let file_msgs = recs
             .iter()
             .find(|r| r.name == "press_live_file_msgs")

@@ -154,11 +154,12 @@ impl FaultPlan {
         );
     }
 
-    /// The capped exponential backoff for retry `attempt` (0-based), in
-    /// microseconds: `base << attempt`, capped at eight times the base.
-    pub fn backoff_micros(&self, attempt: u32) -> u64 {
-        let base = self.retry_timeout_micros.max(1);
-        base.saturating_mul(1u64 << attempt.min(3))
+    /// The backoff before retry `attempt` (0-based) of request `token`,
+    /// in microseconds: seeded decorrelated jitter over
+    /// [`decorrelated_jitter_micros`] keyed on the plan seed, so each
+    /// request walks its own reproducible schedule in `[base, 8 * base]`.
+    pub fn backoff_micros(&self, token: u64, attempt: u32) -> u64 {
+        decorrelated_jitter_micros(self.seed, token, self.retry_timeout_micros, attempt)
     }
 
     /// Builds the injector for this plan's probabilistic decisions.
@@ -190,6 +191,38 @@ impl FaultPlan {
     }
 }
 
+/// One splitmix64 step (Steele et al.): full-period, passes BigCrush,
+/// and two instructions short of free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded decorrelated-jitter backoff, in microseconds.
+///
+/// `sleep(0) = base`, then `sleep(n) = min(cap, uniform(base, 3 *
+/// sleep(n-1)))` with `cap = 8 * base` — the "decorrelated jitter"
+/// strategy, which kills the synchronized retry storms a capped
+/// exponential produces when many peers arm timeouts off the same
+/// failure instant. The draw stream is a private splitmix64 keyed on
+/// `(seed, token)`: stateless, reproducible per request across runs and
+/// across both engines, and different tokens desynchronize immediately.
+pub fn decorrelated_jitter_micros(seed: u64, token: u64, base: u64, attempt: u32) -> u64 {
+    let base = base.max(1);
+    let cap = base.saturating_mul(8);
+    let mut state = seed ^ token.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut sleep = base;
+    for _ in 0..attempt.min(16) {
+        let unit = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let hi = sleep.saturating_mul(3).min(cap);
+        sleep = base + ((hi - base) as f64 * unit) as u64;
+    }
+    sleep.min(cap)
+}
+
 /// The reproducible decision stream of a [`FaultPlan`].
 ///
 /// Each query draws from a private splitmix64 stream *only when the
@@ -208,13 +241,7 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     fn next_u64(&mut self) -> u64 {
-        // splitmix64 (Steele et al.): full-period, passes BigCrush, and
-        // two instructions short of free.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64(&mut self.state)
     }
 
     fn decide(&mut self, p: f64) -> bool {
@@ -340,16 +367,67 @@ mod tests {
     }
 
     #[test]
-    fn backoff_is_capped_exponential() {
+    fn backoff_first_attempt_is_base_and_later_stay_bounded() {
         let plan = FaultPlan {
+            seed: 9,
             retry_timeout_micros: 1_000,
             ..FaultPlan::none()
         };
-        assert_eq!(plan.backoff_micros(0), 1_000);
-        assert_eq!(plan.backoff_micros(1), 2_000);
-        assert_eq!(plan.backoff_micros(2), 4_000);
-        assert_eq!(plan.backoff_micros(3), 8_000);
-        assert_eq!(plan.backoff_micros(10), 8_000, "capped at 8x base");
+        for token in 0..64 {
+            assert_eq!(plan.backoff_micros(token, 0), 1_000, "attempt 0 = base");
+            for attempt in 1..8 {
+                let b = plan.backoff_micros(token, attempt);
+                assert!((1_000..=8_000).contains(&b), "backoff {b} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_token_and_decorrelated_across_tokens() {
+        let plan = FaultPlan {
+            seed: 7,
+            retry_timeout_micros: 1_000,
+            ..FaultPlan::none()
+        };
+        // Same (seed, token, attempt) always replays the same schedule.
+        for attempt in 0..6 {
+            assert_eq!(
+                plan.backoff_micros(41, attempt),
+                plan.backoff_micros(41, attempt)
+            );
+        }
+        // Different tokens (and different seeds) desynchronize: across
+        // many tokens the third attempt cannot collapse to one value the
+        // way the old capped exponential did.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..256).map(|t| plan.backoff_micros(t, 2)).collect();
+        assert!(
+            spread.len() > 128,
+            "only {} distinct backoffs",
+            spread.len()
+        );
+        let other = FaultPlan {
+            seed: 8,
+            ..plan.clone()
+        };
+        assert_ne!(
+            (0..64)
+                .map(|t| plan.backoff_micros(t, 2))
+                .collect::<Vec<_>>(),
+            (0..64)
+                .map(|t| other.backoff_micros(t, 2))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jitter_helper_respects_base_and_cap() {
+        for attempt in 0..12 {
+            let b = decorrelated_jitter_micros(1, 2, 250_000, attempt);
+            assert!((250_000..=2_000_000).contains(&b));
+        }
+        // Degenerate base never panics or returns zero.
+        assert!(decorrelated_jitter_micros(0, 0, 0, 5) >= 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod stats;
 mod time;
 
 pub use engine::{Model, Scheduler, Simulator};
-pub use fault::{CrashWindow, FaultInjector, FaultPlan};
+pub use fault::{decorrelated_jitter_micros, CrashWindow, FaultInjector, FaultPlan};
 // Scalar statistics moved to press-telem (the unified observability
 // crate); re-exported so `press_sim::Histogram` etc. keep working.
 pub use press_telem::{Counter, Histogram, MeanVar};

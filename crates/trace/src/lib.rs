@@ -29,6 +29,7 @@
 mod catalog;
 mod log;
 mod presets;
+mod scenario;
 mod stats;
 mod stream;
 mod zipf;
@@ -36,6 +37,7 @@ mod zipf;
 pub use catalog::{FileCatalog, FileId};
 pub use log::RequestLog;
 pub use presets::{TracePreset, WorkloadSpec};
+pub use scenario::{ScenarioOp, ScenarioPlan};
 pub use stats::TraceStats;
 pub use stream::{RequestStream, Workload};
 pub use zipf::{zipf_mass, ZipfSampler};

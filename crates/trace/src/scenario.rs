@@ -1,0 +1,280 @@
+//! Seeded, deterministic chaos scenarios: time-varying load, working-set
+//! drift, and mid-run file updates.
+//!
+//! The paper measures its cluster only under well-behaved, read-only
+//! Zipf replays. A [`ScenarioPlan`] composes the adversity a production
+//! web cluster actually sees — flash crowds, diurnal curves, content
+//! churn — into a pure description that both engines replay identically.
+//! Like `FaultPlan`, triggers are expressed in *completed requests
+//! across the whole cluster*, which both engines count the same way, so
+//! "surge at 25% of the run" means the same thing at any request rate.
+//!
+//! A plan is inert by default ([`ScenarioPlan::none`]): no operations,
+//! no RNG draws, and scenario-aware code paths reduce to the originals.
+
+/// One scenario operation, applied when the cluster-wide completed
+/// request count reaches its trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// Add (positive) or retire (negative) this many closed-loop
+    /// clients, spread round-robin across the nodes.
+    ClientsDelta(i32),
+    /// Shift the working set: sampled file ids are rotated by this
+    /// offset (mod catalog size) from now on. Models the reference
+    /// locality moving to a different part of the corpus.
+    Drift(u32),
+    /// The file's content changed: every cached copy cluster-wide must
+    /// be invalidated (the id is an index into the catalog).
+    FileUpdate(u32),
+}
+
+/// A complete, seeded description of one chaos scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPlan {
+    /// Seed for any derived randomness (e.g. which files update).
+    pub seed: u64,
+    /// Operations as `(completed_requests_trigger, op)`, kept sorted by
+    /// trigger (ties in insertion order).
+    steps: Vec<(u64, ScenarioOp)>,
+}
+
+impl Default for ScenarioPlan {
+    fn default() -> Self {
+        ScenarioPlan::none()
+    }
+}
+
+/// One splitmix64 step — private copy so this leaf crate stays
+/// dependency-free; must match `press-sim`'s stream for a given state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ScenarioPlan {
+    /// The inert plan: nothing ever happens.
+    pub fn none() -> Self {
+        ScenarioPlan {
+            seed: 0,
+            steps: Vec::new(),
+        }
+    }
+
+    /// An empty plan carrying a seed, ready for builder composition.
+    pub fn seeded(seed: u64) -> Self {
+        ScenarioPlan {
+            seed,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Whether this plan can change anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.steps.is_empty()
+    }
+
+    /// Adds one operation at a trigger (builder style).
+    pub fn with_step(mut self, at: u64, op: ScenarioOp) -> Self {
+        let idx = self.steps.partition_point(|&(t, _)| t <= at);
+        self.steps.insert(idx, (at, op));
+        self
+    }
+
+    /// A flash crowd: `surge` extra clients arrive at `start` completed
+    /// requests and leave again at `end`.
+    pub fn flash_crowd(mut self, start: u64, end: u64, surge: u32) -> Self {
+        assert!(end > start, "flash crowd ends at {end} <= start {start}");
+        self = self.with_step(start, ScenarioOp::ClientsDelta(surge as i32));
+        self.with_step(end, ScenarioOp::ClientsDelta(-(surge as i32)))
+    }
+
+    /// A diurnal curve approximated by `steps` half-cosine increments:
+    /// load ramps from the base population up by `amplitude` clients and
+    /// back down across `[start, end]`, the way day traffic crests.
+    pub fn diurnal(mut self, start: u64, end: u64, amplitude: u32, steps: u32) -> Self {
+        assert!(end > start, "diurnal window ends at {end} <= start {start}");
+        let steps = steps.max(2);
+        let mut current: i64 = 0;
+        for k in 0..=steps {
+            let phase = k as f64 / steps as f64; // 0 -> 1 across the window
+            let level = (amplitude as f64 * (std::f64::consts::PI * phase).sin()).round() as i64;
+            let delta = level - current;
+            if delta != 0 {
+                let at = start + (end - start) * k as u64 / steps as u64;
+                self = self.with_step(at, ScenarioOp::ClientsDelta(delta as i32));
+                current = level;
+            }
+        }
+        self
+    }
+
+    /// Working-set drift: every `every` completed requests from `start`,
+    /// the sampled ids rotate by another `step` files, `times` times.
+    pub fn drifting(mut self, start: u64, every: u64, step: u32, times: u32) -> Self {
+        assert!(every > 0, "drift interval must be positive");
+        let mut offset = 0u32;
+        for k in 0..times {
+            offset = offset.wrapping_add(step);
+            self = self.with_step(start + every * k as u64, ScenarioOp::Drift(offset));
+        }
+        self
+    }
+
+    /// Mid-run content churn: `count` file updates at `every`-request
+    /// intervals from `start`, hitting seeded-pseudorandom ids below
+    /// `catalog_len`. Updates skew toward low ids (the popular end of a
+    /// Zipf catalog) so invalidations actually evict cached copies.
+    pub fn file_updates(mut self, start: u64, every: u64, count: u32, catalog_len: u32) -> Self {
+        assert!(every > 0, "update interval must be positive");
+        assert!(catalog_len > 0, "empty catalog cannot update files");
+        let mut state = self.seed ^ 0xC0DE_F11E;
+        for k in 0..count {
+            let raw = splitmix64(&mut state) % catalog_len as u64;
+            // Square toward zero: popular (low) ids update more often.
+            let file = ((raw * raw) / catalog_len.max(1) as u64) as u32;
+            self = self.with_step(start + every * k as u64, ScenarioOp::FileUpdate(file));
+        }
+        self
+    }
+
+    /// The operations as a sorted `(trigger, op)` schedule both engines
+    /// apply in one deterministic order.
+    pub fn schedule(&self) -> &[(u64, ScenarioOp)] {
+        &self.steps
+    }
+
+    /// Net client delta over the whole plan (useful for validating that
+    /// a scenario retires no more clients than it added).
+    pub fn net_clients(&self) -> i64 {
+        self.steps
+            .iter()
+            .map(|&(_, op)| match op {
+                ScenarioOp::ClientsDelta(d) => d as i64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Panics if the plan is malformed: a cumulative client delta that
+    /// dips below `-base_clients` (retiring clients that do not exist)
+    /// or an update outside `0..catalog_len`.
+    pub fn assert_valid(&self, base_clients: u64, catalog_len: u32) {
+        let mut cumulative: i64 = 0;
+        for &(at, op) in &self.steps {
+            match op {
+                ScenarioOp::ClientsDelta(d) => {
+                    cumulative += d as i64;
+                    assert!(
+                        cumulative >= -(base_clients as i64),
+                        "scenario retires more clients than exist at trigger {at}"
+                    );
+                }
+                ScenarioOp::FileUpdate(f) => {
+                    assert!(
+                        f < catalog_len,
+                        "scenario updates file {f} outside catalog of {catalog_len}"
+                    );
+                }
+                ScenarioOp::Drift(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let plan = ScenarioPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.schedule().is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_balances_and_orders() {
+        let plan = ScenarioPlan::seeded(1).flash_crowd(1_000, 3_000, 64);
+        assert_eq!(
+            plan.schedule(),
+            &[
+                (1_000, ScenarioOp::ClientsDelta(64)),
+                (3_000, ScenarioOp::ClientsDelta(-64)),
+            ]
+        );
+        assert_eq!(plan.net_clients(), 0);
+    }
+
+    #[test]
+    fn diurnal_ramps_up_then_down_to_zero() {
+        let plan = ScenarioPlan::seeded(2).diurnal(0, 8_000, 100, 8);
+        assert_eq!(plan.net_clients(), 0, "curve returns to base population");
+        let peaks: i64 = plan
+            .schedule()
+            .iter()
+            .map(|&(_, op)| match op {
+                ScenarioOp::ClientsDelta(d) if d > 0 => d as i64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(peaks, 100, "total ramp-up equals the amplitude");
+        let mut cumulative = 0i64;
+        let mut max_seen = 0i64;
+        for &(_, op) in plan.schedule() {
+            if let ScenarioOp::ClientsDelta(d) = op {
+                cumulative += d as i64;
+                max_seen = max_seen.max(cumulative);
+            }
+        }
+        assert_eq!(max_seen, 100);
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_deterministic() {
+        let build = || {
+            ScenarioPlan::seeded(77)
+                .flash_crowd(2_000, 6_000, 32)
+                .drifting(1_000, 2_500, 500, 3)
+                .file_updates(500, 1_500, 5, 10_000)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(a.schedule().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn different_seeds_pick_different_update_files() {
+        let files = |seed| -> Vec<u32> {
+            ScenarioPlan::seeded(seed)
+                .file_updates(0, 100, 16, 1 << 20)
+                .schedule()
+                .iter()
+                .filter_map(|&(_, op)| match op {
+                    ScenarioOp::FileUpdate(f) => Some(f),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(files(1), files(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "retires more clients")]
+    fn rejects_retiring_ghost_clients() {
+        ScenarioPlan::seeded(0)
+            .with_step(10, ScenarioOp::ClientsDelta(-5))
+            .assert_valid(4, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn rejects_update_outside_catalog() {
+        ScenarioPlan::seeded(0)
+            .with_step(10, ScenarioOp::FileUpdate(100))
+            .assert_valid(4, 100);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for [`ScenarioPlan`]: a plan is a pure function of its
+//! seed and builder arguments — the determinism guarantee that makes the
+//! chaos suite's report cards byte-identical across runs — and every
+//! composed plan keeps its structural invariants (sorted triggers,
+//! balanced client deltas, in-catalog updates).
+
+use press_trace::{ScenarioOp, ScenarioPlan};
+use proptest::prelude::*;
+
+/// Builds the fully-composed plan the chaos suite exercises: a flash
+/// crowd, a diurnal curve, working-set drift, and content churn.
+#[allow(clippy::too_many_arguments)]
+fn compose(
+    seed: u64,
+    start: u64,
+    len: u64,
+    surge: u32,
+    amplitude: u32,
+    steps: u32,
+    drift_step: u32,
+    updates: u32,
+    catalog_len: u32,
+) -> ScenarioPlan {
+    ScenarioPlan::seeded(seed)
+        .flash_crowd(start, start + len, surge)
+        .diurnal(start, start + len, amplitude, steps)
+        .drifting(start, (len / 4).max(1), drift_step, 3)
+        .file_updates(start, (len / 8).max(1), updates, catalog_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same seed and arguments, same plan — twice-built plans are equal,
+    /// operation for operation.
+    #[test]
+    fn same_inputs_yield_identical_plans(
+        seed in 0u64..=u64::MAX,
+        start in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+        surge in 1u32..10_000,
+        amplitude in 1u32..10_000,
+        steps in 2u32..32,
+        drift_step in 0u32..1_000,
+        updates in 0u32..64,
+        catalog_len in 1u32..100_000,
+    ) {
+        let a = compose(seed, start, len, surge, amplitude, steps, drift_step, updates, catalog_len);
+        let b = compose(seed, start, len, surge, amplitude, steps, drift_step, updates, catalog_len);
+        prop_assert_eq!(a.schedule(), b.schedule());
+        prop_assert_eq!(a, b);
+    }
+
+    /// The schedule is sorted by trigger whatever order the builders ran
+    /// in, and every update stays inside the catalog — `assert_valid`
+    /// accepts the composed plan with no base clients at all, because
+    /// load scenarios never retire clients they did not add.
+    #[test]
+    fn composed_plans_keep_structural_invariants(
+        seed in 0u64..=u64::MAX,
+        start in 0u64..100_000,
+        len in 8u64..100_000,
+        surge in 1u32..10_000,
+        amplitude in 1u32..10_000,
+        steps in 2u32..32,
+        updates in 0u32..64,
+        catalog_len in 1u32..100_000,
+    ) {
+        let plan = compose(seed, start, len, surge, amplitude, steps, 17, updates, catalog_len);
+        prop_assert!(plan.schedule().windows(2).all(|w| w[0].0 <= w[1].0));
+        plan.assert_valid(0, catalog_len);
+        // Load scenarios return to the base population.
+        prop_assert_eq!(plan.net_clients(), 0);
+        // The running population never dips below base even mid-plan.
+        let mut cumulative = 0i64;
+        for &(_, op) in plan.schedule() {
+            if let ScenarioOp::ClientsDelta(d) = op {
+                cumulative += d as i64;
+                prop_assert!(cumulative >= 0, "plan retires clients it never added");
+            }
+        }
+    }
+
+    /// File-update draws depend only on the seed: replaying the builder
+    /// with another seed moves the update targets, replaying with the
+    /// same seed does not — and every target is in `0..catalog_len`.
+    #[test]
+    fn update_targets_are_seeded_and_in_catalog(
+        seed in 0u64..u64::MAX - 1,
+        count in 1u32..64,
+        catalog_len in 1u32..100_000,
+    ) {
+        let targets = |s: u64| -> Vec<u32> {
+            ScenarioPlan::seeded(s)
+                .file_updates(0, 10, count, catalog_len)
+                .schedule()
+                .iter()
+                .filter_map(|&(_, op)| match op {
+                    ScenarioOp::FileUpdate(f) => Some(f),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = targets(seed);
+        prop_assert_eq!(a.len(), count as usize);
+        prop_assert!(a.iter().all(|&f| f < catalog_len));
+        prop_assert_eq!(a.clone(), targets(seed));
+        // A different seed is allowed to collide only when the catalog is
+        // too small to tell two draw streams apart.
+        if catalog_len > 1024 && count >= 8 {
+            prop_assert_ne!(a, targets(seed + 1));
+        }
+    }
+}
