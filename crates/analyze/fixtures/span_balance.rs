@@ -1,0 +1,54 @@
+//! span-balance fixture: span starts that never reach a close, next to
+//! properly balanced (and waived, and test-exempt) ones.
+
+pub struct Tracer;
+impl Tracer {
+    pub fn now_ns(&self) -> u64 {
+        0
+    }
+    pub fn span(&self, _start: u64, _kind: u32) {}
+    pub fn span_in(&self, _start: u64, _kind: u32, _parent: u32) {}
+}
+
+pub fn leaky(t: &Tracer) {
+    let start = t.now_ns();
+    let _ = start + 1;
+}
+
+pub fn balanced(t: &Tracer) {
+    let start = t.now_ns();
+    t.span(start, 1);
+}
+
+pub fn balanced_nested(t: &Tracer) {
+    let begin = t.now_ns();
+    if begin > 0 {
+        t.span_in(begin, 2, 7);
+    }
+}
+
+pub fn leaky_inner_scope(t: &Tracer) {
+    {
+        let s0 = t.now_ns();
+        let _ = s0;
+    }
+    // A close outside the binding's scope cannot see it.
+    t.span(0, 3);
+}
+
+pub fn waived(t: &Tracer) -> u64 {
+    // press::allow(span-balance): the start is returned to the caller,
+    // which closes the span at completion.
+    let deferred = t.now_ns();
+    deferred
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_exempt() {
+        let t = super::Tracer;
+        let start = t.now_ns();
+        let _ = start;
+    }
+}

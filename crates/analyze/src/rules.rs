@@ -15,7 +15,7 @@ use crate::scanner::{find_token, is_ident_char, Line};
 use std::collections::BTreeSet;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 9] = [
+pub const RULE_NAMES: [&str; 10] = [
     "wall-clock",
     "os-random",
     "hash-iter",
@@ -25,6 +25,7 @@ pub const RULE_NAMES: [&str; 9] = [
     "safety-comment",
     "atomic-ordering",
     "raw-eprintln",
+    "span-balance",
 ];
 
 /// One-line description per rule, for `--list-rules`.
@@ -49,6 +50,10 @@ pub fn describe(rule: &str) -> &'static str {
         "raw-eprintln" => {
             "no direct eprintln!/eprint! in runtime crates — use press_telem::progress so \
              PRESS_QUIET silences everything uniformly"
+        }
+        "span-balance" => {
+            "a span start captured with `let x = ...now_ns();` must reach a `span(x`/\
+             `span_in(x` close in the same scope — an unclosed open skews attribution"
         }
         _ => "unknown rule",
     }
@@ -104,6 +109,21 @@ fn eprintln_scope(path: &str) -> bool {
         "crates/telem/src/",
     ];
     RUNTIME.iter().any(|p| path.starts_with(p)) || path.starts_with("src/")
+}
+
+/// Paths where the span-balance rule applies: the engine crates and the
+/// CLI — everywhere spans are *emitted*. The telem crate is exempt: it
+/// implements the span primitives the rule reasons about.
+fn span_balance_scope(path: &str) -> bool {
+    const ENGINES: [&str; 6] = [
+        "crates/sim/src/",
+        "crates/core/src/",
+        "crates/net/src/",
+        "crates/via/src/",
+        "crates/cluster/src/",
+        "crates/server/src/",
+    ];
+    ENGINES.iter().any(|p| path.starts_with(p)) || path.starts_with("src/")
 }
 
 /// Runs every rule over one scanned file, returning raw findings
@@ -207,6 +227,10 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                     });
                 }
             }
+        }
+
+        if span_balance_scope(path) {
+            check_span_balance(path, lines, idx, &mut out);
         }
 
         if is_atomic_site(lines, idx) {
@@ -337,6 +361,54 @@ fn check_unbounded_queue(path: &str, lines: &[Line], idx: usize, out: &mut Vec<F
             });
         }
     }
+}
+
+/// Flags a trace span opened but never closed: a start timestamp bound
+/// with `let <name> = <expr>.now_ns();` (the span-open idiom) that no
+/// later `span(<name>`/`span_in(<name>` call consumes before the
+/// binding's scope ends. An unmatched open leaves a dangling interval
+/// that the critical-path attribution then never charges — begin/end
+/// imbalance silently skews the breakdown. Brace counting is reliable
+/// here because the scanner blanks string and char literal contents.
+fn check_span_balance(path: &str, lines: &[Line], idx: usize, out: &mut Vec<Finding>) {
+    let code = lines[idx].code.as_str();
+    if !code.contains(".now_ns()") {
+        return;
+    }
+    let Some(let_pos) = find_token(code, "let") else {
+        return;
+    };
+    let rest = code[let_pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let Some(name) = leading_ident(rest) else {
+        return;
+    };
+    let closers = [format!("span({name}"), format!("span_in({name}")];
+    let consumed = |c: &str| closers.iter().any(|p| c.contains(p.as_str()));
+    if consumed(code) {
+        return;
+    }
+    let mut depth: i64 = code.matches('{').count() as i64 - code.matches('}').count() as i64;
+    for line in &lines[idx + 1..] {
+        let c = line.code.as_str();
+        if consumed(c) {
+            return;
+        }
+        depth += c.matches('{').count() as i64 - c.matches('}').count() as i64;
+        if depth < 0 {
+            break; // the binding's scope ended
+        }
+    }
+    out.push(Finding {
+        path: path.into(),
+        line: lines[idx].number,
+        rule: "span-balance",
+        message: format!(
+            "span start `{name}` is captured from now_ns() but never reaches a \
+             `span({name}`/`span_in({name}` close in this scope — the open/close \
+             imbalance drops the interval from critical-path attribution"
+        ),
+    });
 }
 
 /// Marks lines inside `#[press::hot_path]`- (or `#[hot_path]`-) tagged

@@ -221,6 +221,33 @@ fn raw_eprintln_rule_is_scoped_to_runtime_crates() {
 }
 
 #[test]
+fn span_balance_fixture_exact_diagnostics() {
+    let f = fixture("span_balance.rs", "crates/core/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert_eq!(
+        triples(&report),
+        vec![
+            ("crates/core/src/fixture.rs".into(), 14, "span-balance"),
+            ("crates/core/src/fixture.rs".into(), 32, "span-balance"),
+        ],
+        "balanced, nested-close, waived, and #[cfg(test)] starts must not fire"
+    );
+    let waived: Vec<(usize, &str)> = report.waived.iter().map(|w| (w.line, w.rule)).collect();
+    assert_eq!(waived, vec![(42, "span-balance")]);
+}
+
+#[test]
+fn span_balance_rule_exempts_the_telem_crate() {
+    let f = fixture("span_balance.rs", "crates/telem/src/fixture.rs");
+    let report = lint_files(&[f], &Manifest::empty());
+    assert!(
+        report.violations.is_empty(),
+        "telem implements the span primitives and is out of scope: {:?}",
+        report.violations
+    );
+}
+
+#[test]
 fn stale_manifest_entries_warn() {
     let f = fixture("atomics.rs", "crates/via/src/fixture.rs");
     let manifest = Manifest::parse(
@@ -268,6 +295,7 @@ fn every_violating_fixture_exits_nonzero() {
         ("atomics.rs", "crates/via/src/fixture.rs"),
         ("waivers.rs", "crates/sim/src/fixture.rs"),
         ("raw_eprintln.rs", "crates/bench/src/fixture.rs"),
+        ("span_balance.rs", "crates/core/src/fixture.rs"),
     ] {
         let report = lint_files(&[fixture(name, as_path)], &Manifest::empty());
         let (rendered, code) = press_analyze::render(&report, false);
@@ -289,6 +317,7 @@ fn all_fixtures() -> Vec<SourceFile> {
         fixture("atomics.rs", "crates/via/src/fixture_atomics.rs"),
         fixture("waivers.rs", "crates/sim/src/fixture_waivers.rs"),
         fixture("raw_eprintln.rs", "crates/bench/src/fixture_eprintln.rs"),
+        fixture("span_balance.rs", "crates/core/src/fixture_span.rs"),
     ]
 }
 

@@ -12,10 +12,10 @@
 //! same seed produces byte-identical report cards, which is what the CI
 //! chaos job diffs.
 
-use press_telem::Registry;
+use press_telem::{attribute_trace, hot_stages, summarize, FlightDump, Registry};
 use press_trace::ScenarioPlan;
 
-use crate::driver::{run_simulation, SimConfig};
+use crate::driver::{run_simulation_flight, SimConfig};
 use crate::metrics::Metrics;
 use crate::overload::OverloadConfig;
 use crate::FaultPlan;
@@ -77,6 +77,10 @@ pub struct SloCard {
     pub p99_ms: f64,
     pub p999_ms: f64,
     pub target: SloTarget,
+    /// The top-2 critical-path buckets of the run's latency attribution
+    /// (e.g. `"disk 41% / net-send 22%"`), or `"n/a"` when the engine
+    /// recorded no attributable trace.
+    pub hot_stages: String,
 }
 
 impl SloCard {
@@ -105,6 +109,7 @@ impl SloCard {
             p99_ms: m.p99_response_ms,
             p999_ms: m.p999_response_ms,
             target,
+            hot_stages: "n/a".to_string(),
         }
     }
 
@@ -156,6 +161,7 @@ impl SloCard {
             "| latency ms  p50 {:.2}  p99 {:.2}  p999 {:.2}  (target p99 <= {:.2})\n",
             self.p50_ms, self.p99_ms, self.p999_ms, self.target.p99_ms,
         ));
+        out.push_str(&format!("| hot stages  {}\n", self.hot_stages));
         out.push_str(&format!(
             "+- verdict {}\n",
             if self.pass() { "PASS" } else { "FAIL" }
@@ -264,13 +270,17 @@ pub fn chaos_suite(cfg: &SimConfig, smoke: bool) -> Vec<ChaosScenario> {
     }
 }
 
-/// One scenario's result in the simulator.
+/// One scenario's result in the simulator. The run is traced with the
+/// flight recorder armed: the card carries the run's top critical-path
+/// stages, and any `breaker-open` flight dumps come back labeled with
+/// the scenario name. Tracing is passive, so metrics and grades are
+/// identical to an untraced run of the same seed.
 pub fn run_chaos_scenario_sim(
     base: &SimConfig,
     sc: &ChaosScenario,
     protected: bool,
     target: SloTarget,
-) -> (SloCard, Metrics) {
+) -> (SloCard, Metrics, Vec<(String, FlightDump)>) {
     let mut cfg = base.clone();
     cfg.scenario = sc.scenario.clone();
     cfg.faults = sc.faults.clone();
@@ -279,9 +289,15 @@ pub fn run_chaos_scenario_sim(
     } else {
         OverloadConfig::disabled()
     };
-    let m = run_simulation(&cfg);
-    let card = SloCard::from_metrics(sc.name, "sim", protected, &m, target);
-    (card, m)
+    let (m, trace, flight) = run_simulation_flight(&cfg);
+    let mut card = SloCard::from_metrics(sc.name, "sim", protected, &m, target);
+    card.hot_stages = hot_stages(&summarize(&attribute_trace(&trace)));
+    let dumps = flight
+        .dumps()
+        .iter()
+        .map(|d| (sc.name.to_string(), d.clone()))
+        .collect();
+    (card, m, dumps)
 }
 
 /// The whole suite's report in one engine run.
@@ -293,6 +309,9 @@ pub struct ChaosReport {
     /// Per-scenario simulator metrics, aligned with `cards` (empty for
     /// the live engine, whose stats live in the cards alone).
     pub metrics: Vec<Metrics>,
+    /// Flight-recorder snapshots taken during the suite (a circuit
+    /// breaker opened mid-scenario), labeled with the scenario name.
+    pub flight_dumps: Vec<(String, FlightDump)>,
 }
 
 /// Runs the suite in the simulator: the steady scenario first (its p99
@@ -306,7 +325,8 @@ pub fn run_suite_sim(base: &SimConfig, protected: bool, smoke: bool) -> ChaosRep
         p99_ms: f64::INFINITY,
         availability: AVAILABILITY_TARGET,
     };
-    let (steady_card, steady_m) = run_chaos_scenario_sim(base, steady, protected, bootstrap);
+    let (steady_card, steady_m, steady_dumps) =
+        run_chaos_scenario_sim(base, steady, protected, bootstrap);
     let target = SloTarget {
         p99_ms: P99_TARGET_MULTIPLE * steady_m.p99_response_ms,
         availability: AVAILABILITY_TARGET,
@@ -317,15 +337,18 @@ pub fn run_suite_sim(base: &SimConfig, protected: bool, smoke: bool) -> ChaosRep
     }];
     let steady_p99_ms = steady_m.p99_response_ms;
     let mut metrics = vec![steady_m];
+    let mut flight_dumps = steady_dumps;
     for sc in &suite[1..] {
-        let (card, m) = run_chaos_scenario_sim(base, sc, protected, target);
+        let (card, m, dumps) = run_chaos_scenario_sim(base, sc, protected, target);
         cards.push(card);
         metrics.push(m);
+        flight_dumps.extend(dumps);
     }
     ChaosReport {
         cards,
         steady_p99_ms,
         metrics,
+        flight_dumps,
     }
 }
 
@@ -396,6 +419,7 @@ mod tests {
                 p99_ms: 2.0,
                 availability: 0.95,
             },
+            hot_stages: "n/a".into(),
         };
         assert!((card.availability() - 0.9).abs() < 1e-9);
         assert!(!card.pass(), "availability 0.9 < 0.95 floor");

@@ -212,7 +212,7 @@ impl SimConfig {
 /// assert!(metrics.hit_rate > 0.5);
 /// ```
 pub fn run_simulation(cfg: &SimConfig) -> Metrics {
-    run_inner(cfg, false).0
+    run_inner(cfg, false, false).0
 }
 
 /// Like [`run_simulation`], but records a request-span trace alongside the
@@ -222,13 +222,40 @@ pub fn run_simulation(cfg: &SimConfig) -> Metrics {
 /// [`run_simulation`] produces for the same configuration, and the trace
 /// carries one span/instant per modeled step of every request (arrival,
 /// dispatch decision, cache/disk service, VIA send/receive, credit stalls,
-/// reply transmission) suitable for Chrome `trace_event` export.
+/// reply transmission) suitable for Chrome `trace_event` export. Spans
+/// carry causal `(span, parent)` links stitched across nodes via the
+/// message-borne context, so a forwarded request assembles into one
+/// multi-node trace.
 pub fn run_simulation_traced(cfg: &SimConfig) -> (Metrics, press_telem::Trace) {
-    let (metrics, trace) = run_inner(cfg, true);
+    let (metrics, trace, _) = run_inner(cfg, true, false);
     (metrics, trace.expect("tracing was enabled"))
 }
 
-fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Trace>) {
+/// Like [`run_simulation_traced`], but with the always-on flight
+/// recorder armed as well: a bounded, deterministically sampled store of
+/// complete request traces that snapshots itself whenever a circuit
+/// breaker opens during the run. Both recorders are passive — metrics
+/// are identical to an untraced run of the same configuration.
+pub fn run_simulation_flight(
+    cfg: &SimConfig,
+) -> (Metrics, press_telem::Trace, press_telem::FlightRecorder) {
+    let (metrics, trace, flight) = run_inner(cfg, true, true);
+    (
+        metrics,
+        trace.expect("tracing was enabled"),
+        flight.expect("flight recorder was enabled"),
+    )
+}
+
+fn run_inner(
+    cfg: &SimConfig,
+    traced: bool,
+    flight: bool,
+) -> (
+    Metrics,
+    Option<press_telem::Trace>,
+    Option<press_telem::FlightRecorder>,
+) {
     assert!(cfg.nodes >= 2, "the cluster needs at least two nodes");
     assert!(cfg.clients_per_node >= 1, "at least one client per node");
     assert!(cfg.measure_requests >= 1, "nothing to measure");
@@ -257,6 +284,12 @@ fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Tra
     if traced {
         sim_model.enable_trace();
     }
+    if flight {
+        sim_model.enable_flight(
+            press_telem::DEFAULT_FLIGHT_KEEP,
+            press_telem::DEFAULT_FLIGHT_SAMPLE,
+        );
+    }
     let mut sim = Simulator::new(sim_model);
     // Stagger the initial client population to avoid a thundering herd at
     // t = 0 (clients then pick nodes uniformly at random on every request).
@@ -273,7 +306,8 @@ fn run_inner(cfg: &SimConfig, traced: bool) -> (Metrics, Option<press_telem::Tra
     );
     let metrics = Metrics::from_sim(sim.model());
     let trace = sim.model_mut().take_trace();
-    (metrics, trace)
+    let flight = sim.model_mut().take_flight();
+    (metrics, trace, flight)
 }
 
 #[cfg(test)]

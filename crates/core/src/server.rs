@@ -17,7 +17,7 @@ use press_net::{
     DeliveryMode, EndpointCost, MessageType, MsgCounters, FILE_SEGMENT_BYTES,
 };
 use press_sim::{FaultInjector, FaultPlan, Histogram, MeanVar, Model, Scheduler, SimTime};
-use press_telem::{lane, EventKind, Trace, TraceBuffer, TraceEvent};
+use press_telem::{lane, EventKind, FlightRecorder, Trace, TraceBuffer, TraceEvent};
 use press_trace::{FileCatalog, FileId, RequestLog, ScenarioOp, ScenarioPlan, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +111,11 @@ pub struct Msg {
     sender_load: u32,
     /// The request's delivery attempt when this message was sent.
     attempt: u32,
+    /// Causal context: the sender-side span that produced this message
+    /// (with `req`, the compact `(request_id, parent_span)` pair every
+    /// inter-node message carries). Zero when tracing is off; never read
+    /// by simulation logic, only copied into trace events.
+    parent_span: u32,
 }
 
 /// Simulation events.
@@ -260,6 +265,11 @@ pub struct ClusterSim {
     /// passive — it never reads the RNG or mutates simulation state — so
     /// traced and untraced same-seed runs stay byte-identical.
     trace: Option<Box<TraceBuffer>>,
+    /// Flight recorder, present only when enabled. Like `trace` it is
+    /// passive (deterministic request-id sampling, no RNG reads); it
+    /// keeps the last N complete request timelines and snapshots them
+    /// when a circuit breaker opens.
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl ClusterSim {
@@ -363,6 +373,7 @@ impl ClusterSim {
             stop_arrivals: false,
             tail_start: None,
             trace: None,
+            flight: None,
             params,
         }
     }
@@ -377,6 +388,17 @@ impl ClusterSim {
     /// Takes the recorded trace, if tracing was enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take().map(|b| b.into_trace())
+    }
+
+    /// Turns on the flight recorder (bounded, deterministic sampling;
+    /// passive like span recording). Call before the run starts.
+    pub fn enable_flight(&mut self, keep: usize, sample: u64) {
+        self.flight = Some(Box::new(FlightRecorder::new(keep, sample)));
+    }
+
+    /// Takes the flight recorder, if it was enabled.
+    pub fn take_flight(&mut self) -> Option<FlightRecorder> {
+        self.flight.take().map(|b| *b)
     }
 
     /// The next requested file: replayed from the log, or Zipf-sampled,
@@ -494,6 +516,26 @@ impl ClusterSim {
         SimTime::from_secs_f64(demand.as_secs_f64() * self.cpu_inflation)
     }
 
+    /// Records one causal trace event into the buffer (when tracing is
+    /// on) and the flight recorder (when enabled), returning the span id
+    /// assigned to it — 0 when tracing is off. `parent` 0 lets the
+    /// buffer auto-chain to the request's previous span; a nonzero
+    /// parent (a wire-carried context) wins.
+    fn trace_event(&mut self, mut ev: TraceEvent) -> u32 {
+        if let Some(t) = self.trace.as_mut() {
+            ev = t.record_causal(ev);
+            if let Some(f) = self.flight.as_mut() {
+                f.observe(ev);
+            }
+            ev.span
+        } else {
+            if let Some(f) = self.flight.as_mut() {
+                f.observe(ev);
+            }
+            0
+        }
+    }
+
     /// Records an instant trace event; a no-op when tracing is disabled.
     #[allow(clippy::too_many_arguments)] // mirrors the trace-event fields
     fn trace_instant(
@@ -505,19 +547,19 @@ impl ClusterSim {
         req: u64,
         a: u64,
         b: u64,
-    ) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(TraceEvent {
-                ts_ns: at.as_nanos(),
-                dur_ns: 0,
-                node,
-                lane,
-                kind,
-                req,
-                a,
-                b,
-            });
-        }
+    ) -> u32 {
+        self.trace_event(TraceEvent {
+            ts_ns: at.as_nanos(),
+            dur_ns: 0,
+            node,
+            lane,
+            kind,
+            req,
+            a,
+            b,
+            span: 0,
+            parent: 0,
+        })
     }
 
     /// Records a complete span covering the service period `start..done`;
@@ -533,19 +575,50 @@ impl ClusterSim {
         req: u64,
         a: u64,
         b: u64,
-    ) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(TraceEvent {
-                ts_ns: start.as_nanos(),
-                dur_ns: done.as_nanos().saturating_sub(start.as_nanos()),
-                node,
-                lane,
-                kind,
-                req,
-                a,
-                b,
-            });
-        }
+    ) -> u32 {
+        self.trace_event(TraceEvent {
+            ts_ns: start.as_nanos(),
+            dur_ns: done.as_nanos().saturating_sub(start.as_nanos()),
+            node,
+            lane,
+            kind,
+            req,
+            a,
+            b,
+            span: 0,
+            parent: 0,
+        })
+    }
+
+    /// [`Self::trace_span`] with an explicit causal parent — the
+    /// receive side of a message stitches to the sender's span via the
+    /// wire-carried `(req, parent_span)` context instead of the local
+    /// per-request chain.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event fields
+    fn trace_span_in(
+        &mut self,
+        start: SimTime,
+        done: SimTime,
+        node: u16,
+        lane: u16,
+        kind: EventKind,
+        req: u64,
+        a: u64,
+        b: u64,
+        parent: u32,
+    ) -> u32 {
+        self.trace_event(TraceEvent {
+            ts_ns: start.as_nanos(),
+            dur_ns: done.as_nanos().saturating_sub(start.as_nanos()),
+            node,
+            lane,
+            kind,
+            req,
+            a,
+            b,
+            span: 0,
+            parent,
+        })
     }
 
     fn mode_of(&self, ty: MessageType) -> DeliveryMode {
@@ -646,13 +719,23 @@ impl ClusterSim {
         self.breakers[from as usize * n + to as usize].on_send(now.as_micros());
     }
 
-    /// Records a deadline miss on the `from → to` breaker.
+    /// Records a deadline miss on the `from → to` breaker. A closed→open
+    /// transition trips the flight recorder: the last complete sampled
+    /// traces are frozen under a `breaker-open` reason.
     fn breaker_failure(&mut self, from: u16, to: u16, now: SimTime) {
         if self.breakers.is_empty() {
             return;
         }
         let n = self.params.nodes;
-        self.breakers[from as usize * n + to as usize].record_failure(now.as_micros());
+        let b = &mut self.breakers[from as usize * n + to as usize];
+        let was_open = b.is_open(now.as_micros());
+        b.record_failure(now.as_micros());
+        let is_open = b.is_open(now.as_micros());
+        if !was_open && is_open {
+            if let Some(f) = self.flight.as_mut() {
+                f.trip(&format!("breaker-open {from}->{to}"), now.as_nanos());
+            }
+        }
     }
 
     /// Records a timely answer on the `from → to` breaker.
@@ -830,6 +913,7 @@ impl ClusterSim {
             credits,
             sender_load: self.nodes[from as usize].open_connections,
             attempt,
+            parent_span: 0,
         };
         if self.needs_credit(ty) {
             let ch = self.channel_mut(from, to);
@@ -877,7 +961,9 @@ impl ClusterSim {
             .nic_int_tx
             .submit(cpu_done, sc.nic, 0);
         let req = msg.req.unwrap_or(0);
-        self.trace_span(
+        // The ViaSend span is the causal context this message carries on
+        // the wire: the receive side stitches its ViaRecv to it.
+        msg.parent_span = self.trace_span(
             cpu_done - self.inflated(sc.cpu),
             cpu_done,
             msg.from,
@@ -1702,7 +1788,9 @@ impl Model for ClusterSim {
                     now
                 };
                 let done = self.cpu(msg.to, start, rc.cpu, CpuCategory::IntComm);
-                self.trace_span(
+                // Stitch to the sender's ViaSend span via the message's
+                // wire-carried causal context rather than the local chain.
+                self.trace_span_in(
                     done - self.inflated(rc.cpu),
                     done,
                     msg.to,
@@ -1711,6 +1799,7 @@ impl Model for ClusterSim {
                     msg.req.unwrap_or(0),
                     msg.wire,
                     msg.ty as u64,
+                    msg.parent_span,
                 );
                 sched.schedule(done, Event::MsgConsumed(msg));
             }

@@ -19,6 +19,7 @@ use press_core::chaos::{
     P99_TARGET_MULTIPLE,
 };
 use press_core::{OverloadConfig, ScenarioOp, SimConfig};
+use press_telem::{attribute_trace, hot_stages, summarize, FlightDump, FlightRecorder, LiveTracer};
 use press_trace::{FileCatalog, FileId};
 
 use crate::cluster::{LiveCluster, LiveConfig, LiveError};
@@ -106,8 +107,15 @@ fn live_protective(cfg: &LiveChaosConfig) -> OverloadConfig {
     }
 }
 
-/// Runs one scenario against a fresh live cluster and grades it.
-fn run_scenario_live(cfg: &LiveChaosConfig, sc: &ChaosScenario, target: SloTarget) -> SloCard {
+/// Runs one scenario against a fresh live cluster and grades it. The
+/// cluster is always traced: the card's hot-stages column comes from
+/// attributing the drained trace, and a failing card trips a flight
+/// recorder fed from the same trace (returned as labeled dumps).
+fn run_scenario_live(
+    cfg: &LiveChaosConfig,
+    sc: &ChaosScenario,
+    target: SloTarget,
+) -> (SloCard, Vec<(String, FlightDump)>) {
     let catalog = chaos_catalog();
     let catalog_len = catalog.len() as u32;
     let live = LiveConfig {
@@ -121,7 +129,11 @@ fn run_scenario_live(cfg: &LiveChaosConfig, sc: &ChaosScenario, target: SloTarge
         retry_timeout: Duration::from_millis(50),
         ..LiveConfig::default()
     };
-    let cluster = Arc::new(LiveCluster::start(live, catalog));
+    let cluster = Arc::new(LiveCluster::start_with_tracer(
+        live,
+        catalog,
+        Some(LiveTracer::new()),
+    ));
 
     // Shared run state the scenario monitor mutates.
     let done = Arc::new(AtomicBool::new(false));
@@ -281,7 +293,7 @@ fn run_scenario_live(cfg: &LiveChaosConfig, sc: &ChaosScenario, target: SloTarge
     // The admission/deadline shed split comes from the server-side
     // counters (whole-run; the client only sees an opaque rejection).
     let stats: &ServerStats = cluster.stats();
-    let card = SloCard {
+    let mut card = SloCard {
         scenario: sc.name.to_string(),
         engine: "live",
         protected: cfg.protected,
@@ -298,11 +310,25 @@ fn run_scenario_live(cfg: &LiveChaosConfig, sc: &ChaosScenario, target: SloTarge
         p99_ms: percentile_ms(&latencies, 99.0),
         p999_ms: percentile_ms(&latencies, 99.9),
         target,
+        hot_stages: "n/a".to_string(),
     };
-    if let Ok(c) = Arc::try_unwrap(cluster) {
-        c.shutdown();
+    let trace = match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown_traced(),
+        Err(_) => None,
+    };
+    let mut dumps = Vec::new();
+    if let Some(trace) = trace {
+        card.hot_stages = hot_stages(&summarize(&attribute_trace(&trace)));
+        if !card.pass() {
+            // The live rings are drained post-run, so the recorder is
+            // fed by replay; a failing card plays the breaker-trip role.
+            let mut rec = FlightRecorder::default();
+            rec.ingest(&trace);
+            rec.trip(&format!("slo-fail {}", sc.name), 0);
+            dumps.extend(rec.dumps().iter().map(|d| (sc.name.to_string(), d.clone())));
+        }
     }
-    card
+    (card, dumps)
 }
 
 /// Runs the suite against the live engine: the steady baseline first
@@ -324,7 +350,7 @@ pub fn run_suite_live(cfg: &LiveChaosConfig) -> ChaosReport {
         p99_ms: f64::INFINITY,
         availability: AVAILABILITY_TARGET,
     };
-    let steady_card = run_scenario_live(cfg, &suite[0], bootstrap);
+    let (steady_card, steady_dumps) = run_scenario_live(cfg, &suite[0], bootstrap);
     let steady_p99 = steady_card.p99_ms;
     let target = SloTarget {
         p99_ms: P99_TARGET_MULTIPLE * steady_p99,
@@ -334,13 +360,17 @@ pub fn run_suite_live(cfg: &LiveChaosConfig) -> ChaosReport {
         target,
         ..steady_card
     }];
+    let mut flight_dumps = steady_dumps;
     for sc in &suite[1..] {
-        cards.push(run_scenario_live(cfg, sc, target));
+        let (card, dumps) = run_scenario_live(cfg, sc, target);
+        cards.push(card);
+        flight_dumps.extend(dumps);
     }
     ChaosReport {
         cards,
         steady_p99_ms: steady_p99,
         metrics: Vec::new(),
+        flight_dumps,
     }
 }
 

@@ -145,10 +145,19 @@ pub(crate) struct NodeCtx {
 }
 
 impl NodeCtx {
-    /// Records one instant request-lifecycle event when tracing is on.
-    fn trace_event(&self, kind: EventKind, req: u64, a: u64, b: u64) {
-        if let Some(t) = &self.trace {
-            t.instant(kind, req, a, b);
+    /// Records one instant request-lifecycle event when tracing is on,
+    /// returning its span id (0 when tracing is off) for causal chaining.
+    fn trace_event(&self, kind: EventKind, req: u64, a: u64, b: u64) -> u32 {
+        self.trace_event_in(kind, req, a, b, 0)
+    }
+
+    /// As [`NodeCtx::trace_event`], with an explicit causal parent — the
+    /// receive side of a message stitches to the sender's span via the
+    /// wire-carried `(token, parent_span)` context.
+    fn trace_event_in(&self, kind: EventKind, req: u64, a: u64, b: u64, parent: u32) -> u32 {
+        match &self.trace {
+            Some(t) => t.instant_in(kind, req, a, b, parent),
+            None => 0,
         }
     }
 }
@@ -176,10 +185,31 @@ pub(crate) struct MainConfig {
     pub jitter_seed: u64,
 }
 
-/// What to do when a disk read completes.
+/// What to do when a disk read completes. Each waiter carries the trace
+/// request id and causal parent span so the completion events stitch to
+/// the request chain that queued the read.
 enum DiskWaiter {
-    ReplyLocal(Sender<Reply>),
-    SendBack { to: usize, token: u64 },
+    ReplyLocal {
+        reply: Sender<Reply>,
+        treq: u64,
+        parent: u32,
+    },
+    SendBack {
+        to: usize,
+        token: u64,
+        parent: u32,
+    },
+}
+
+/// One file's outstanding disk read plus everyone waiting on it.
+struct DiskWait {
+    /// Tracer nanoseconds when the read was queued (0 when tracing off).
+    start_ns: u64,
+    /// Trace request id / causal parent of the waiter that triggered the
+    /// read (later waiters piggy-back on the same platter access).
+    req: u64,
+    parent: u32,
+    waiters: Vec<DiskWaiter>,
 }
 
 /// A forwarded request awaiting its file data, with the recovery state
@@ -193,6 +223,9 @@ struct Pending {
     attempt: u32,
     /// When to give up on `target` and retry elsewhere.
     deadline: Instant,
+    /// Stable trace request id: retries mint fresh wire tokens, but the
+    /// request's spans all carry the id assigned at client arrival.
+    trace_req: u64,
 }
 
 /// Seeded decorrelated-jitter backoff (mirrors the simulator's
@@ -226,7 +259,7 @@ pub(crate) fn main_loop(
     }
     let mut cachers = initial_cachers;
     let mut pending: HashMap<u64, Pending> = HashMap::new();
-    let mut waiting_disk: HashMap<FileId, Vec<DiskWaiter>> = HashMap::new();
+    let mut waiting_disk: HashMap<FileId, DiskWait> = HashMap::new();
     let mut load: u32 = 0;
     let mut next_token: u64 = (ctx.id as u64) << 48 | 1;
     let mut events_since_load_write = 0u32;
@@ -282,7 +315,7 @@ pub(crate) fn main_loop(
                         let lost = pending.len()
                             // press::allow(hash-iter): commutative sum —
                             // the visit order cannot reach the total.
-                            + waiting_disk.values().map(Vec::len).sum::<usize>();
+                            + waiting_disk.values().map(|w| w.waiters.len()).sum::<usize>();
                         ServerStats::add(&ctx.stats.requests_lost, lost as u64);
                         pending.clear();
                         waiting_disk.clear();
@@ -338,7 +371,13 @@ pub(crate) fn main_loop(
                     } else {
                         load += 1;
                         let bytes = cfg.catalog.size(file);
-                        ctx.trace_event(EventKind::Arrive, 0, file.0 as u64, bytes);
+                        // Every admitted request gets a token: forwards use
+                        // it on the wire, and it keys the request's trace
+                        // spans on every node it touches.
+                        let treq = next_token;
+                        next_token += 1;
+                        let arrive_span =
+                            ctx.trace_event(EventKind::Arrive, treq, file.0 as u64, bytes);
                         read_loads(load, &mut loads);
                         // Crashed peers drop out of the candidate set the
                         // moment the membership view changes, whatever the
@@ -385,27 +424,65 @@ pub(crate) fn main_loop(
                         }
                         match decision {
                             Decision::ServeLocal => {
-                                ctx.trace_event(EventKind::Dispatch, 0, 0, ctx.id as u64);
+                                let disp = ctx.trace_event_in(
+                                    EventKind::Dispatch,
+                                    treq,
+                                    0,
+                                    ctx.id as u64,
+                                    arrive_span,
+                                );
                                 if cache.touch(file) {
-                                    ctx.trace_event(EventKind::CacheHit, 0, file.0 as u64, bytes);
+                                    let hit = ctx.trace_event_in(
+                                        EventKind::CacheHit,
+                                        treq,
+                                        file.0 as u64,
+                                        bytes,
+                                        disp,
+                                    );
                                     send_reply(&ctx.stats, &reply, file, bytes);
-                                    ctx.trace_event(EventKind::Done, 0, file.0 as u64, bytes);
+                                    ctx.trace_event_in(
+                                        EventKind::Done,
+                                        treq,
+                                        file.0 as u64,
+                                        bytes,
+                                        hit,
+                                    );
                                     load = load.saturating_sub(1);
                                 } else {
                                     enqueue_disk(
                                         &cfg,
-                                        &ctx.stats,
+                                        &ctx,
                                         &mut waiting_disk,
                                         file,
                                         bytes,
-                                        DiskWaiter::ReplyLocal(reply),
+                                        treq,
+                                        disp,
+                                        DiskWaiter::ReplyLocal {
+                                            reply,
+                                            treq,
+                                            parent: disp,
+                                        },
                                     );
                                 }
                             }
                             Decision::Forward(target) => {
-                                ctx.trace_event(EventKind::Dispatch, 0, 1, target.0 as u64);
-                                let token = next_token;
-                                next_token += 1;
+                                let disp = ctx.trace_event_in(
+                                    EventKind::Dispatch,
+                                    treq,
+                                    1,
+                                    target.0 as u64,
+                                    arrive_span,
+                                );
+                                // The token minted at arrival doubles as
+                                // the first attempt's wire token.
+                                let token = treq;
+                                let send_span = ctx.trace_event_in(
+                                    EventKind::ViaSend,
+                                    treq,
+                                    bytes,
+                                    target.0 as u64,
+                                    disp,
+                                );
                                 pending.insert(
                                     token,
                                     Pending {
@@ -420,6 +497,7 @@ pub(crate) fn main_loop(
                                             token,
                                             0,
                                         ),
+                                        trace_req: treq,
                                     },
                                 );
                                 if !breakers.is_empty() {
@@ -435,6 +513,7 @@ pub(crate) fn main_loop(
                                         file,
                                         token,
                                         sender_load: load,
+                                        parent_span: send_span,
                                         payload: Vec::new(),
                                     },
                                     needs_credit: true,
@@ -460,18 +539,39 @@ pub(crate) fn main_loop(
                         WireKind::Forward => {
                             let file = msg.file;
                             let bytes = cfg.catalog.size(file);
+                            // Stitch to the origin's ViaSend span via the
+                            // message's wire-carried causal context.
+                            let recv = ctx.trace_event_in(
+                                EventKind::ViaRecv,
+                                msg.token,
+                                file.0 as u64,
+                                from as u64,
+                                msg.parent_span,
+                            );
                             if cache.touch(file) {
-                                send_file_back(&ctx, &send_tx, from, msg.token, file, bytes, load);
+                                let hit = ctx.trace_event_in(
+                                    EventKind::CacheHit,
+                                    msg.token,
+                                    file.0 as u64,
+                                    bytes,
+                                    recv,
+                                );
+                                send_file_back(
+                                    &ctx, &send_tx, from, msg.token, file, bytes, load, hit,
+                                );
                             } else {
                                 enqueue_disk(
                                     &cfg,
-                                    &ctx.stats,
+                                    &ctx,
                                     &mut waiting_disk,
                                     file,
                                     bytes,
+                                    msg.token,
+                                    recv,
                                     DiskWaiter::SendBack {
                                         to: from,
                                         token: msg.token,
+                                        parent: recv,
                                     },
                                 );
                             }
@@ -485,13 +585,20 @@ pub(crate) fn main_loop(
                                     breakers[p.target].record_success();
                                 }
                                 let bytes = p.file.0 as u64;
+                                let recv = ctx.trace_event_in(
+                                    EventKind::ViaRecv,
+                                    p.trace_req,
+                                    bytes,
+                                    from as u64,
+                                    msg.parent_span,
+                                );
                                 let _ = p.reply.send(Reply::Data(msg.payload));
                                 // The forwarded request is no longer open
                                 // on this node; without this the load
                                 // counter (and the admission bound fed by
                                 // it) ratchets upward forever.
                                 load = load.saturating_sub(1);
-                                ctx.trace_event(EventKind::Done, msg.token, bytes, 0);
+                                ctx.trace_event_in(EventKind::Done, p.trace_req, bytes, 0, recv);
                             }
                         }
                         WireKind::Caching => {
@@ -509,7 +616,20 @@ pub(crate) fn main_loop(
                 }
                 NodeEvent::DiskDone { file } => {
                     let bytes = cfg.catalog.size(file);
-                    ctx.trace_event(EventKind::DiskRead, 0, file.0 as u64, bytes);
+                    let wait = waiting_disk.remove(&file);
+                    // Charge the whole disk residency (enqueue to
+                    // completion) as one span on the request that caused
+                    // the read; piggy-backed waiters chain off it too.
+                    if let (Some(t), Some(w)) = (&ctx.trace, &wait) {
+                        t.span_in(
+                            w.start_ns,
+                            EventKind::DiskRead,
+                            w.req,
+                            file.0 as u64,
+                            bytes,
+                            w.parent,
+                        );
+                    }
                     // Cache the file and broadcast the caching information
                     // (insertion plus any evictions), as in Section 2.2.
                     let evicted = cache.insert(file, bytes);
@@ -520,14 +640,27 @@ pub(crate) fn main_loop(
                         cachers[ev.0 as usize] &= !bit;
                         broadcast_caching(&ctx, &send_tx, ev, 1, load);
                     }
-                    for waiter in waiting_disk.remove(&file).unwrap_or_default() {
+                    for waiter in wait.map(|w| w.waiters).unwrap_or_default() {
                         match waiter {
-                            DiskWaiter::ReplyLocal(reply) => {
+                            DiskWaiter::ReplyLocal {
+                                reply,
+                                treq,
+                                parent,
+                            } => {
                                 send_reply(&ctx.stats, &reply, file, bytes);
                                 load = load.saturating_sub(1);
+                                ctx.trace_event_in(
+                                    EventKind::Done,
+                                    treq,
+                                    file.0 as u64,
+                                    bytes,
+                                    parent,
+                                );
                             }
-                            DiskWaiter::SendBack { to, token } => {
-                                send_file_back(&ctx, &send_tx, to, token, file, bytes, load);
+                            DiskWaiter::SendBack { to, token, parent } => {
+                                send_file_back(
+                                    &ctx, &send_tx, to, token, file, bytes, load, parent,
+                                );
                             }
                         }
                     }
@@ -601,17 +734,36 @@ pub(crate) fn main_loop(
                     // Out of options elsewhere: serve from our own cache
                     // or disk so the client still gets an answer.
                     ServerStats::bump(&ctx.stats.failovers);
+                    let fo = ctx.trace_event(
+                        EventKind::Failover,
+                        p.trace_req,
+                        p.file.0 as u64,
+                        p.attempt as u64,
+                    );
                     if cache.touch(p.file) {
                         send_reply(&ctx.stats, &p.reply, p.file, bytes);
                         load = load.saturating_sub(1);
+                        ctx.trace_event_in(
+                            EventKind::Done,
+                            p.trace_req,
+                            p.file.0 as u64,
+                            bytes,
+                            fo,
+                        );
                     } else {
                         enqueue_disk(
                             &cfg,
-                            &ctx.stats,
+                            &ctx,
                             &mut waiting_disk,
                             p.file,
                             bytes,
-                            DiskWaiter::ReplyLocal(p.reply),
+                            p.trace_req,
+                            fo,
+                            DiskWaiter::ReplyLocal {
+                                reply: p.reply,
+                                treq: p.trace_req,
+                                parent: fo,
+                            },
                         );
                     }
                 } else {
@@ -627,6 +779,22 @@ pub(crate) fn main_loop(
                     let attempt = p.attempt + 1;
                     let token = next_token;
                     next_token += 1;
+                    // The wire token changes on retry, but the trace
+                    // request id stays stable so all attempts stitch into
+                    // one causal chain.
+                    let retry_span = ctx.trace_event(
+                        EventKind::Retry,
+                        p.trace_req,
+                        attempt as u64,
+                        target as u64,
+                    );
+                    let send_span = ctx.trace_event_in(
+                        EventKind::ViaSend,
+                        p.trace_req,
+                        0,
+                        target as u64,
+                        retry_span,
+                    );
                     pending.insert(
                         token,
                         Pending {
@@ -641,6 +809,7 @@ pub(crate) fn main_loop(
                                 token,
                                 attempt,
                             ),
+                            trace_req: p.trace_req,
                         },
                     );
                     if !breakers.is_empty() {
@@ -654,6 +823,7 @@ pub(crate) fn main_loop(
                             file: p.file,
                             token,
                             sender_load: load,
+                            parent_span: send_span,
                             payload: Vec::new(),
                         },
                         needs_credit: true,
@@ -699,7 +869,7 @@ fn poll_file_rings(
             let Ok(trailer) = ctx.nic.read_region(ring, trailer_off, RING_TRAILER_BYTES) else {
                 break;
             };
-            let Some((len, token, seq)) = decode_ring_trailer(&trailer) else {
+            let Some((len, token, parent, seq)) = decode_ring_trailer(&trailer) else {
                 break;
             };
             if seq != expected[src] {
@@ -720,9 +890,19 @@ fn poll_file_rings(
                 if !breakers.is_empty() {
                     breakers[p.target].record_success();
                 }
+                // The ring trailer carried the remote sender's span id:
+                // stitch the zero-copy arrival into the causal chain.
+                let recv = ctx.trace_event_in(
+                    EventKind::ViaRecv,
+                    p.trace_req,
+                    len as u64,
+                    src as u64,
+                    parent,
+                );
                 let _ = p.reply.send(Reply::Data(payload));
                 // Forward completed: close it out of the load counter.
                 *load = (*load).saturating_sub(1);
+                ctx.trace_event_in(EventKind::Done, p.trace_req, len as u64, 0, recv);
             }
             consumed[src] += 1;
             if consumed[src] >= ctx.credit_batch {
@@ -736,6 +916,7 @@ fn poll_file_rings(
                         file: FileId(0),
                         token: n as u64,
                         sender_load: 0,
+                        parent_span: 0,
                         payload: Vec::new(),
                     },
                     needs_credit: false,
@@ -750,22 +931,39 @@ fn send_reply(stats: &ServerStats, reply: &Sender<Reply>, file: FileId, bytes: u
     let _ = reply.send(Reply::Data(file_contents(file, bytes as usize)));
 }
 
+/// Queues a waiter on an in-flight (or newly issued) disk read. The
+/// first waiter for a file actually issues the read and owns the trace
+/// context the eventual `DiskRead` span is charged to; later waiters
+/// piggy-back on that read (and chain their own completion events off
+/// the same span).
+#[allow(clippy::too_many_arguments)]
 fn enqueue_disk(
     cfg: &MainConfig,
-    stats: &ServerStats,
-    waiting: &mut HashMap<FileId, Vec<DiskWaiter>>,
+    ctx: &NodeCtx,
+    waiting: &mut HashMap<FileId, DiskWait>,
     file: FileId,
     bytes: u64,
+    treq: u64,
+    parent: u32,
     waiter: DiskWaiter,
 ) {
-    let entry = waiting.entry(file).or_default();
-    entry.push(waiter);
-    if entry.len() == 1 {
-        ServerStats::bump(&stats.disk_reads);
-        let _ = cfg.disk_tx.send((file, bytes));
+    use std::collections::hash_map::Entry;
+    match waiting.entry(file) {
+        Entry::Occupied(mut e) => e.get_mut().waiters.push(waiter),
+        Entry::Vacant(e) => {
+            e.insert(DiskWait {
+                start_ns: ctx.trace.as_ref().map(|t| t.now_ns()).unwrap_or(0),
+                req: treq,
+                parent,
+                waiters: vec![waiter],
+            });
+            ServerStats::bump(&ctx.stats.disk_reads);
+            let _ = cfg.disk_tx.send((file, bytes));
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn send_file_back(
     ctx: &NodeCtx,
     send_tx: &Sender<SendJob>,
@@ -774,8 +972,12 @@ fn send_file_back(
     file: FileId,
     bytes: u64,
     load: u32,
+    parent: u32,
 ) {
     ServerStats::bump(&ctx.stats.file_msgs);
+    // The send span becomes the wire-carried causal context, so the
+    // origin's ViaRecv stitches straight onto this node's chain.
+    let send_span = ctx.trace_event_in(EventKind::ViaSend, token, bytes, to as u64, parent);
     let _ = send_tx.send(SendJob::Msg {
         to,
         msg: WireMsg {
@@ -783,6 +985,7 @@ fn send_file_back(
             file,
             token,
             sender_load: load,
+            parent_span: send_span,
             payload: file_contents(file, bytes as usize),
         },
         needs_credit: true,
@@ -808,6 +1011,7 @@ fn broadcast_caching(
                 file,
                 token: action,
                 sender_load: load,
+                parent_span: 0,
                 payload: Vec::new(),
             },
             needs_credit: true,
@@ -1156,7 +1360,14 @@ fn rmw_file(
     let seq = next_ring_seq[to];
     next_ring_seq[to] += 1;
     let ring_slot = ((seq - 1) % ctx.window as u64) as usize;
-    encode_ring_slot(buf, ctx.ring_slot_bytes, &msg.payload, msg.token, seq);
+    encode_ring_slot(
+        buf,
+        ctx.ring_slot_bytes,
+        &msg.payload,
+        msg.token,
+        msg.parent_span,
+        seq,
+    );
     // Stage in our send region (the credit window keeps the slot live
     // until the reader consumed the previous occupant of the ring slot).
     let (Some(region), Some(peer_ring)) = (ctx.send_regions[to], ctx.peer_rings[to]) else {
@@ -1279,6 +1490,7 @@ pub(crate) fn recv_loop(
                             file: FileId(0),
                             token: n as u64,
                             sender_load: 0,
+                            parent_span: 0,
                             payload: Vec::new(),
                         },
                         needs_credit: false,

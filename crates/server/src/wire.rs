@@ -3,7 +3,7 @@
 use press_trace::FileId;
 
 /// Fixed header size in bytes.
-pub const HEADER_BYTES: usize = 24;
+pub const HEADER_BYTES: usize = 28;
 
 /// Intra-cluster message kinds of the live server. Load information
 /// travels exclusively through remote memory writes (the paper's
@@ -52,6 +52,11 @@ pub struct WireMsg {
     pub token: u64,
     /// Sender's load at transmit time (piggy-backed, Section 3.3).
     pub sender_load: u32,
+    /// Causal trace context: the sender-side span that produced this
+    /// message (with `token`, the compact `(request, parent span)` pair
+    /// every inter-node message carries). Zero when tracing is off;
+    /// never read by protocol logic, only stitched into trace events.
+    pub parent_span: u32,
     /// Payload bytes (file data only).
     pub payload: Vec<u8>,
 }
@@ -71,6 +76,7 @@ impl WireMsg {
         buf[8..16].copy_from_slice(&self.token.to_le_bytes());
         buf[16..20].copy_from_slice(&self.sender_load.to_le_bytes());
         buf[20..24].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf[24..28].copy_from_slice(&self.parent_span.to_le_bytes());
         buf[HEADER_BYTES..total].copy_from_slice(&self.payload);
         total
     }
@@ -89,6 +95,7 @@ impl WireMsg {
         let token = u64::from_le_bytes(buf[8..16].try_into().ok()?);
         let sender_load = u32::from_le_bytes(buf[16..20].try_into().ok()?);
         let len = u32::from_le_bytes(buf[20..24].try_into().ok()?) as usize;
+        let parent_span = u32::from_le_bytes(buf[24..28].try_into().ok()?);
         if buf.len() < HEADER_BYTES + len {
             return None;
         }
@@ -97,28 +104,32 @@ impl WireMsg {
             file,
             token,
             sender_load,
+            parent_span,
             payload: buf[HEADER_BYTES..HEADER_BYTES + len].to_vec(),
         })
     }
 }
 
 /// Trailer bytes at the end of each remote-write ring slot:
-/// `len: u32 | token: u64 | seq: u64` (the sequence number last, as in the
-/// paper: "polling is done by looking at message sequence numbers stored
-/// at the last position of each buffer entry").
-pub const RING_TRAILER_BYTES: usize = 20;
+/// `len: u32 | token: u64 | parent: u32 | seq: u64` (the sequence number
+/// last, as in the paper: "polling is done by looking at message
+/// sequence numbers stored at the last position of each buffer entry").
+/// `parent` is the sender-side causal span id — the trace context rides
+/// the slot the data already occupies, costing no extra wire message.
+pub const RING_TRAILER_BYTES: usize = 24;
 
 /// Parses a ring slot's trailer (the last [`RING_TRAILER_BYTES`] of the
-/// slot): returns `(len, token, seq)`. The reader polls this fixed
-/// per-slot offset, O(1) per check.
-pub fn decode_ring_trailer(trailer: &[u8]) -> Option<(usize, u64, u64)> {
+/// slot): returns `(len, token, parent, seq)`. The reader polls this
+/// fixed per-slot offset, O(1) per check.
+pub fn decode_ring_trailer(trailer: &[u8]) -> Option<(usize, u64, u32, u64)> {
     if trailer.len() != RING_TRAILER_BYTES {
         return None;
     }
     let len = u32::from_le_bytes(trailer[0..4].try_into().ok()?) as usize;
     let token = u64::from_le_bytes(trailer[4..12].try_into().ok()?);
-    let seq = u64::from_le_bytes(trailer[12..20].try_into().ok()?);
-    Some((len, token, seq))
+    let parent = u32::from_le_bytes(trailer[12..16].try_into().ok()?);
+    let seq = u64::from_le_bytes(trailer[16..24].try_into().ok()?);
+    Some((len, token, parent, seq))
 }
 
 /// Encodes one ring slot of exactly `slot_bytes`: payload at the front,
@@ -128,7 +139,14 @@ pub fn decode_ring_trailer(trailer: &[u8]) -> Option<(usize, u64, u64)> {
 /// # Panics
 ///
 /// Panics if the payload does not fit the slot.
-pub fn encode_ring_slot(buf: &mut [u8], slot_bytes: usize, payload: &[u8], token: u64, seq: u64) {
+pub fn encode_ring_slot(
+    buf: &mut [u8],
+    slot_bytes: usize,
+    payload: &[u8],
+    token: u64,
+    parent: u32,
+    seq: u64,
+) {
     assert!(buf.len() >= slot_bytes, "staging buffer too small");
     assert!(
         payload.len() + RING_TRAILER_BYTES <= slot_bytes,
@@ -138,7 +156,8 @@ pub fn encode_ring_slot(buf: &mut [u8], slot_bytes: usize, payload: &[u8], token
     let t = slot_bytes - RING_TRAILER_BYTES;
     buf[t..t + 4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     buf[t + 4..t + 12].copy_from_slice(&token.to_le_bytes());
-    buf[t + 12..t + 20].copy_from_slice(&seq.to_le_bytes());
+    buf[t + 12..t + 16].copy_from_slice(&parent.to_le_bytes());
+    buf[t + 16..t + 24].copy_from_slice(&seq.to_le_bytes());
 }
 
 /// Deterministic synthetic contents for a file: the live cluster's "disk"
@@ -174,6 +193,7 @@ mod tests {
                 file: FileId(1234),
                 token: 0xDEAD_BEEF,
                 sender_load: 42,
+                parent_span: 0xCAFE_F00D,
                 payload: if kind == WireKind::FileData {
                     vec![7; 100]
                 } else {
@@ -201,6 +221,7 @@ mod tests {
             file: FileId(0),
             token: 0,
             sender_load: 0,
+            parent_span: 0,
             payload: vec![1; 100],
         };
         let mut full = vec![0u8; 256];
@@ -226,24 +247,24 @@ mod tests {
         let slot_bytes = 256;
         let mut buf = vec![0u8; slot_bytes];
         let payload = vec![9u8; 100];
-        encode_ring_slot(&mut buf, slot_bytes, &payload, 77, 5);
+        encode_ring_slot(&mut buf, slot_bytes, &payload, 77, 31, 5);
         let trailer = &buf[slot_bytes - RING_TRAILER_BYTES..];
-        let (len, token, seq) = decode_ring_trailer(trailer).expect("trailer");
-        assert_eq!((len, token, seq), (100, 77, 5));
+        let (len, token, parent, seq) = decode_ring_trailer(trailer).expect("trailer");
+        assert_eq!((len, token, parent, seq), (100, 77, 31, 5));
         assert_eq!(&buf[..100], &payload[..]);
     }
 
     #[test]
     fn ring_trailer_rejects_wrong_size() {
-        assert!(decode_ring_trailer(&[0u8; 19]).is_none());
-        assert!(decode_ring_trailer(&[0u8; 21]).is_none());
+        assert!(decode_ring_trailer(&[0u8; 23]).is_none());
+        assert!(decode_ring_trailer(&[0u8; 25]).is_none());
     }
 
     #[test]
     #[should_panic(expected = "does not fit ring slot")]
     fn ring_slot_checks_payload_fit() {
         let mut buf = vec![0u8; 64];
-        encode_ring_slot(&mut buf, 64, &[0u8; 60], 0, 1);
+        encode_ring_slot(&mut buf, 64, &[0u8; 60], 0, 0, 1);
     }
 
     #[test]
@@ -254,6 +275,7 @@ mod tests {
             file: FileId(0),
             token: 0,
             sender_load: 0,
+            parent_span: 0,
             payload: Vec::new(),
         };
         let mut buf = vec![0u8; 8];

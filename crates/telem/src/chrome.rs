@@ -31,8 +31,8 @@ fn push_event(out: &mut String, e: &TraceEvent) {
         out.push_str(",\"s\":\"t\"");
     }
     out.push_str(&format!(
-        ",\"pid\":{},\"tid\":{},\"args\":{{\"req\":{},\"a\":{},\"b\":{}}}}}",
-        e.node, e.lane, e.req, e.a, e.b
+        ",\"pid\":{},\"tid\":{},\"args\":{{\"req\":{},\"a\":{},\"b\":{},\"span\":{},\"parent\":{}}}}}",
+        e.node, e.lane, e.req, e.a, e.b, e.span, e.parent
     ));
 }
 
@@ -459,6 +459,8 @@ mod tests {
                     req: 1,
                     a: 7,
                     b: 0,
+                    span: 1,
+                    parent: 0,
                 },
                 TraceEvent {
                     ts_ns: 2_000,
@@ -469,6 +471,8 @@ mod tests {
                     req: 1,
                     a: 512,
                     b: 2,
+                    span: 2,
+                    parent: 1,
                 },
             ],
             0,
@@ -492,6 +496,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"ts\":1.500"));
         assert!(a.contains("\"dur\":3.250"));
+        assert!(
+            a.contains("\"span\":2,\"parent\":1"),
+            "causal args exported"
+        );
     }
 
     #[test]

@@ -183,6 +183,8 @@ mod tests {
                     req: 1,
                     a: 0,
                     b: 0,
+                    span: 0,
+                    parent: 0,
                 },
                 TraceEvent {
                     ts_ns: 500,
@@ -193,6 +195,8 @@ mod tests {
                     req: 2,
                     a: 0,
                     b: 0,
+                    span: 0,
+                    parent: 0,
                 },
             ],
             0,

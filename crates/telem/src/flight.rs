@@ -1,0 +1,342 @@
+//! The always-on flight recorder: a bounded, sampling store of complete
+//! request traces, dumped when something goes wrong (a circuit breaker
+//! opens, an SLO card fails).
+//!
+//! The recorder observes the same [`TraceEvent`] stream the tracers
+//! record, keeps per-request event lists only for a deterministic
+//! sample of requests, and retires each request to a bounded ring of
+//! the last N *complete* traces when its `Done` event is seen. A trip
+//! freezes a snapshot of that ring together with its reason, so a chaos
+//! run's report card can point at concrete request timelines instead of
+//! a bare FAIL.
+//!
+//! Sampling is a deterministic hash of the request id (splitmix64) —
+//! never a live RNG — so the recorder is passive in the simulator:
+//! enabling it cannot perturb results, and same-seed runs sample the
+//! same requests.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use crate::span::{EventKind, Trace, TraceEvent};
+
+/// Default number of complete traces retained.
+pub const DEFAULT_FLIGHT_KEEP: usize = 32;
+/// Default sampling denominator: roughly one request in this many is
+/// followed.
+pub const DEFAULT_FLIGHT_SAMPLE: u64 = 8;
+/// Events retained per open request (beyond this the tail is dropped
+/// and counted).
+const MAX_EVENTS_PER_REQ: usize = 512;
+/// Open (not yet completed) requests followed at once; beyond this new
+/// requests are not followed until one completes.
+const MAX_OPEN_REQS: usize = 1024;
+
+/// splitmix64: the deterministic request-sampling hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One complete sampled request trace.
+#[derive(Debug, Clone)]
+pub struct FlightTrace {
+    /// Request id.
+    pub req: u64,
+    /// Its events, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A snapshot taken when the recorder tripped.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Why the recorder tripped (e.g. `breaker-open 2->5`).
+    pub reason: String,
+    /// Timestamp (engine nanoseconds) of the trip.
+    pub at_ns: u64,
+    /// The last complete traces at the moment of the trip, oldest
+    /// first.
+    pub traces: Vec<FlightTrace>,
+}
+
+/// The bounded, sampling recorder. See the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    keep: usize,
+    sample: u64,
+    open: HashMap<u64, Vec<TraceEvent>>,
+    completed: VecDeque<FlightTrace>,
+    dumps: Vec<FlightDump>,
+    truncated_events: u64,
+    unfollowed: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `keep` complete traces and
+    /// following about one request in `sample` (0 or 1 follows all).
+    pub fn new(keep: usize, sample: u64) -> Self {
+        FlightRecorder {
+            keep,
+            sample: sample.max(1),
+            open: HashMap::new(),
+            completed: VecDeque::new(),
+            dumps: Vec::new(),
+            truncated_events: 0,
+            unfollowed: 0,
+        }
+    }
+
+    /// Whether a request id falls in the deterministic sample.
+    pub fn sampled(&self, req: u64) -> bool {
+        req != 0 && splitmix64(req).is_multiple_of(self.sample)
+    }
+
+    /// Observes one event. Request-bound events of sampled requests are
+    /// followed; a `Done` retires the request's trace to the completed
+    /// ring.
+    pub fn observe(&mut self, ev: TraceEvent) {
+        if !self.sampled(ev.req) {
+            return;
+        }
+        let done = ev.kind == EventKind::Done;
+        let open_now = self.open.len();
+        match self.open.entry(ev.req) {
+            Entry::Occupied(mut o) => {
+                let events = o.get_mut();
+                if events.len() < MAX_EVENTS_PER_REQ {
+                    events.push(ev);
+                } else {
+                    self.truncated_events += 1;
+                }
+                if done {
+                    let events = o.remove();
+                    if self.completed.len() >= self.keep {
+                        self.completed.pop_front();
+                    }
+                    self.completed.push_back(FlightTrace {
+                        req: ev.req,
+                        events,
+                    });
+                }
+            }
+            Entry::Vacant(v) => {
+                if done {
+                    // Completion of a request whose start we never saw
+                    // (recorder enabled mid-flight): nothing to keep.
+                    return;
+                }
+                if open_now >= MAX_OPEN_REQS {
+                    self.unfollowed += 1;
+                    return;
+                }
+                v.insert(vec![ev]);
+            }
+        }
+    }
+
+    /// Replays a finished trace through the recorder — how an engine
+    /// that buffers events (or drains rings post-run) feeds it.
+    pub fn ingest(&mut self, trace: &Trace) {
+        for e in trace.events() {
+            self.observe(*e);
+        }
+    }
+
+    /// Trips the recorder: snapshots the current ring of complete
+    /// traces under `reason`.
+    pub fn trip(&mut self, reason: &str, at_ns: u64) {
+        self.dumps.push(FlightDump {
+            reason: reason.to_string(),
+            at_ns,
+            traces: self.completed.iter().cloned().collect(),
+        });
+    }
+
+    /// Snapshots taken so far.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Complete traces currently held.
+    pub fn completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Events dropped from over-long requests plus requests not
+    /// followed because too many were open.
+    pub fn pressure(&self) -> (u64, u64) {
+        (self.truncated_events, self.unfollowed)
+    }
+
+    /// Renders all dumps as a deterministic JSON document.
+    pub fn dump_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"dumps\":[\n");
+        for (i, d) in self.dumps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push('{');
+            out.push_str(&dump_json_fields(d));
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// The body of one dump object (reason, trip time, traces), shared by
+/// [`FlightRecorder::dump_json`] and [`labeled_dumps_json`].
+fn dump_json_fields(d: &FlightDump) -> String {
+    let mut out = format!(
+        "\"reason\":\"{}\",\"at_ns\":{},\"traces\":[",
+        crate::chrome::json_escape(&d.reason),
+        d.at_ns
+    );
+    for (j, t) in d.traces.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"req\":{},\"events\":[", t.req));
+        for (k, e) in t.events.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"ts_ns\":{},\"dur_ns\":{},\"node\":{},\"lane\":{},\
+                 \"kind\":\"{}\",\"a\":{},\"b\":{},\"span\":{},\"parent\":{}}}",
+                e.ts_ns,
+                e.dur_ns,
+                e.node,
+                e.lane,
+                e.kind.name(),
+                e.a,
+                e.b,
+                e.span,
+                e.parent
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders scenario-labeled dumps (as collected by the chaos suites) as
+/// one deterministic JSON document — the diagnosable artifact a failing
+/// report card leaves behind.
+pub fn labeled_dumps_json(dumps: &[(String, FlightDump)]) -> String {
+    let mut out = String::from("{\"dumps\":[\n");
+    for (i, (scenario, d)) in dumps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",{}}}",
+            crate::chrome::json_escape(scenario),
+            dump_json_fields(d)
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_KEEP, DEFAULT_FLIGHT_SAMPLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::lane;
+
+    fn ev(req: u64, ts: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 0,
+            node: 0,
+            lane: lane::MAIN,
+            kind,
+            req,
+            a: 0,
+            b: 0,
+            span: 0,
+            parent: 0,
+        }
+    }
+
+    /// A request id that falls in every sample-of-`s` recorder.
+    fn sampled_req(rec: &FlightRecorder, from: u64) -> u64 {
+        (from..from + 10_000)
+            .find(|&r| rec.sampled(r))
+            .expect("some id samples")
+    }
+
+    #[test]
+    fn completes_retire_and_ring_is_bounded() {
+        let mut rec = FlightRecorder::new(2, 1);
+        for req in 1..=4u64 {
+            rec.observe(ev(req, req * 10, EventKind::Arrive));
+            rec.observe(ev(req, req * 10 + 5, EventKind::Done));
+        }
+        assert_eq!(rec.completed(), 2, "ring keeps only the last 2");
+        rec.trip("test", 99);
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        let reqs: Vec<u64> = dumps[0].traces.iter().map(|t| t.req).collect();
+        assert_eq!(reqs, vec![3, 4]);
+        assert_eq!(dumps[0].traces[0].events.len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_selective() {
+        let rec = FlightRecorder::new(8, 7);
+        let a: Vec<bool> = (1..100).map(|r| rec.sampled(r)).collect();
+        let b: Vec<bool> = (1..100).map(|r| rec.sampled(r)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&s| s), "some requests are followed");
+        assert!(a.iter().any(|&s| !s), "some requests are skipped");
+        assert!(!rec.sampled(0), "req 0 is never request-bound");
+    }
+
+    #[test]
+    fn unsampled_requests_cost_nothing() {
+        let mut rec = FlightRecorder::new(8, 1_000_000_007);
+        let unsampled = (1..10_000)
+            .find(|&r| !rec.sampled(r))
+            .expect("some id misses");
+        rec.observe(ev(unsampled, 0, EventKind::Arrive));
+        rec.observe(ev(unsampled, 5, EventKind::Done));
+        assert_eq!(rec.completed(), 0);
+        assert!(rec.open.is_empty());
+    }
+
+    #[test]
+    fn dump_json_is_deterministic_and_parses() {
+        let mut rec = FlightRecorder::new(4, 1);
+        let req = sampled_req(&rec, 1);
+        rec.observe(ev(req, 0, EventKind::Arrive));
+        rec.observe(ev(req, 9, EventKind::Done));
+        rec.trip("breaker-open 0->1", 42);
+        let a = rec.dump_json();
+        let b = rec.dump_json();
+        assert_eq!(a, b);
+        let v = crate::chrome::Json::parse(&a).expect("valid json");
+        let dumps = v.as_object().unwrap()["dumps"].as_array().unwrap();
+        assert_eq!(dumps.len(), 1);
+        let d = dumps[0].as_object().unwrap();
+        assert_eq!(d["reason"].as_str(), Some("breaker-open 0->1"));
+        assert_eq!(d["traces"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn done_without_start_is_ignored() {
+        let mut rec = FlightRecorder::new(4, 1);
+        rec.observe(ev(5, 10, EventKind::Done));
+        assert_eq!(rec.completed(), 0);
+    }
+}

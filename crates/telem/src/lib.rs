@@ -32,8 +32,10 @@
 
 // Any future unsafe fn must scope its unsafe operations explicitly.
 #![deny(unsafe_op_in_unsafe_fn)]
+mod attribute;
 mod chrome;
 mod export;
+mod flight;
 mod histogram;
 mod log;
 mod registry;
@@ -41,10 +43,18 @@ mod ring;
 mod span;
 mod stats;
 
+pub use attribute::{
+    attribute_request, attribute_trace, by_request, chain_to_root, hot_stages, summarize,
+    AttributionSummary, Bucket, RequestAttribution, BUCKETS, BUCKET_COUNT,
+};
 pub use chrome::{chrome_trace_json, json_escape, validate_chrome_json, Json, TraceCheck};
 pub use export::{metrics_csv, metrics_json, utilization_csv};
+pub use flight::{
+    labeled_dumps_json, FlightDump, FlightRecorder, FlightTrace, DEFAULT_FLIGHT_KEEP,
+    DEFAULT_FLIGHT_SAMPLE,
+};
 pub use histogram::Histogram;
-pub use log::{env_quiet, progress, progress_with, quiet};
+pub use log::{env_quiet, error, progress, progress_with, quiet};
 pub use registry::{MetricRecord, MetricValue, Registry};
 pub use ring::{LiveTracer, ThreadRing, TraceHandle, DEFAULT_RING_CAP};
 pub use span::{lane, EventKind, Trace, TraceBuffer, TraceEvent, DEFAULT_TRACE_CAP, EVENT_KINDS};

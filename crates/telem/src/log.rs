@@ -34,6 +34,15 @@ pub fn progress_with(f: impl FnOnce() -> String) {
     }
 }
 
+/// Prints one error line to stderr. Unlike [`progress`], errors are never
+/// silenced: quiet mode suppresses chatter, not failure reporting. Having
+/// the chokepoint here (rather than waivers at each call site) keeps the
+/// `raw-eprintln` lint meaningful in the CLI crates.
+pub fn error(msg: &str) {
+    // press::allow(raw-eprintln): the error chokepoint itself.
+    eprintln!("{msg}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,14 +8,15 @@
 //! producing threads have quiesced (joined), which the thread-join
 //! happens-before edge makes safe without any further synchronization.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::span::{EventKind, Trace, TraceEvent};
 
-/// Words per encoded event in a ring.
-const WORDS: usize = 6;
+/// Words per encoded event in a ring; the seventh word packs the causal
+/// context as `span << 32 | parent`.
+const WORDS: usize = 7;
 
 /// Default per-ring capacity in events.
 pub const DEFAULT_RING_CAP: usize = 1 << 16;
@@ -59,8 +60,9 @@ impl ThreadRing {
             return;
         }
         let meta = ((ev.node as u64) << 32) | ((ev.lane as u64) << 16) | ev.kind as u64;
+        let causal = ((ev.span as u64) << 32) | ev.parent as u64;
         let base = i * WORDS;
-        let words = [ev.ts_ns, ev.dur_ns, meta, ev.req, ev.a, ev.b];
+        let words = [ev.ts_ns, ev.dur_ns, meta, ev.req, ev.a, ev.b, causal];
         for (off, w) in words.iter().enumerate() {
             // ordering: Relaxed — published by the producer thread's
             // join, not by this store.
@@ -82,6 +84,7 @@ impl ThreadRing {
             let Some(kind) = EventKind::from_u16((meta & 0xFFFF) as u16) else {
                 continue;
             };
+            let causal = w(6);
             out.push(TraceEvent {
                 ts_ns: w(0),
                 dur_ns: w(1),
@@ -91,6 +94,8 @@ impl ThreadRing {
                 req: w(3),
                 a: w(4),
                 b: w(5),
+                span: (causal >> 32) as u32,
+                parent: (causal & 0xFFFF_FFFF) as u32,
             });
         }
         // ordering: Relaxed — statistical counter.
@@ -104,6 +109,7 @@ impl ThreadRing {
 pub struct LiveTracer {
     anchor: Instant,
     rings: Mutex<Vec<Arc<ThreadRing>>>,
+    next_span: AtomicU32,
 }
 
 impl LiveTracer {
@@ -112,12 +118,20 @@ impl LiveTracer {
         Arc::new(LiveTracer {
             anchor: Instant::now(),
             rings: Mutex::new(Vec::new()),
+            next_span: AtomicU32::new(1),
         })
     }
 
     /// Monotonic nanoseconds since the tracer was created.
     pub fn now_ns(&self) -> u64 {
         self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Allocates the next tracer-unique span id (never zero).
+    fn alloc_span(&self) -> u32 {
+        // ordering: Relaxed — a pure id allocator; uniqueness comes from
+        // the atomic RMW itself, no other memory is published through it.
+        self.next_span.fetch_add(1, Ordering::Relaxed).max(1)
     }
 
     /// Creates a recording handle for one `(node, lane)` coordinate,
@@ -175,7 +189,15 @@ impl TraceHandle {
 
     /// Records an instant event stamped with the current time.
     pub fn instant(&self, kind: EventKind, req: u64, a: u64, b: u64) {
+        self.instant_in(kind, req, a, b, 0);
+    }
+
+    /// Records an instant event with an explicit causal parent span id
+    /// (e.g. one carried here in a message's wire causal context).
+    /// Returns this event's span id for further chaining.
+    pub fn instant_in(&self, kind: EventKind, req: u64, a: u64, b: u64, parent: u32) -> u32 {
         let ts = self.now_ns();
+        let span = self.tracer.alloc_span();
         self.ring.record(&TraceEvent {
             ts_ns: ts,
             dur_ns: 0,
@@ -185,13 +207,31 @@ impl TraceHandle {
             req,
             a,
             b,
+            span,
+            parent,
         });
+        span
     }
 
     /// Records a span from `start_ns` (a prior [`TraceHandle::now_ns`])
     /// to the current time.
     pub fn span(&self, start_ns: u64, kind: EventKind, req: u64, a: u64, b: u64) {
+        self.span_in(start_ns, kind, req, a, b, 0);
+    }
+
+    /// As [`TraceHandle::span`], with an explicit causal parent span id.
+    /// Returns this event's span id for further chaining.
+    pub fn span_in(
+        &self,
+        start_ns: u64,
+        kind: EventKind,
+        req: u64,
+        a: u64,
+        b: u64,
+        parent: u32,
+    ) -> u32 {
         let now = self.now_ns();
+        let span = self.tracer.alloc_span();
         self.ring.record(&TraceEvent {
             ts_ns: start_ns,
             dur_ns: now.saturating_sub(start_ns),
@@ -201,7 +241,10 @@ impl TraceHandle {
             req,
             a,
             b,
+            span,
+            parent,
         });
+        span
     }
 }
 
@@ -223,6 +266,8 @@ mod tests {
                 req: i,
                 a: 100 + i,
                 b: 7,
+                span: 40 + i as u32,
+                parent: 9,
             });
         }
         let (evs, dropped) = ring.drain();
@@ -232,6 +277,8 @@ mod tests {
         assert_eq!(evs[0].lane, lane::SEND);
         assert_eq!(evs[3].a, 103);
         assert_eq!(evs[3].kind, EventKind::ViaPost);
+        assert_eq!(evs[3].span, 43, "causal word round-trips");
+        assert_eq!(evs[3].parent, 9);
     }
 
     #[test]
@@ -239,12 +286,20 @@ mod tests {
         let tracer = LiveTracer::new();
         let h0 = tracer.handle(0, lane::MAIN);
         let h1 = tracer.handle(1, lane::RECV);
-        h0.instant(EventKind::Arrive, 1, 0, 0);
+        let arrive = h0.instant_in(EventKind::Arrive, 1, 0, 0, 0);
         let s = h1.now_ns();
-        h1.span(s, EventKind::ViaRecv, 1, 512, 0);
+        let recv = h1.span_in(s, EventKind::ViaRecv, 1, 512, 0, arrive);
         let trace = tracer.drain();
         assert_eq!(trace.events().len(), 2);
         assert_eq!(trace.nodes(), vec![0, 1]);
+        assert_ne!(arrive, 0);
+        assert_ne!(recv, arrive, "span ids are tracer-unique");
+        let recv_ev = trace
+            .events()
+            .iter()
+            .find(|e| e.kind == EventKind::ViaRecv)
+            .unwrap();
+        assert_eq!(recv_ev.parent, arrive, "cross-handle causal link");
     }
 
     #[test]
@@ -264,6 +319,8 @@ mod tests {
                         req: i,
                         a: 0,
                         b: 0,
+                        span: 0,
+                        parent: 0,
                     });
                 }
             }));

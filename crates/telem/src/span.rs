@@ -208,12 +208,20 @@ pub struct TraceEvent {
     pub a: u64,
     /// Second kind-specific argument.
     pub b: u64,
+    /// Span id within the trace, assigned by the recorder; zero for
+    /// events recorded outside a causal recorder.
+    pub span: u32,
+    /// Causal parent span id: the span whose work caused this event
+    /// (possibly on another node, carried there in the message's causal
+    /// context). Zero means "no known parent".
+    pub parent: u32,
 }
 
 impl TraceEvent {
     /// Sort key: time, then a stable tiebreak so equal-time events order
     /// identically across runs.
-    fn key(&self) -> (u64, u16, u16, u16, u64, u64, u64) {
+    #[allow(clippy::type_complexity)]
+    fn key(&self) -> (u64, u16, u16, u16, u64, u64, u64, u32) {
         (
             self.ts_ns,
             self.node,
@@ -222,6 +230,7 @@ impl TraceEvent {
             self.req,
             self.a,
             self.b,
+            self.span,
         )
     }
 }
@@ -239,6 +248,8 @@ pub struct TraceBuffer {
     events: Vec<TraceEvent>,
     cap: usize,
     dropped: u64,
+    next_span: u32,
+    last_by_req: std::collections::HashMap<u64, u32>,
 }
 
 impl TraceBuffer {
@@ -248,6 +259,8 @@ impl TraceBuffer {
             events: Vec::new(),
             cap,
             dropped: 0,
+            next_span: 0,
+            last_by_req: std::collections::HashMap::new(),
         }
     }
 
@@ -258,6 +271,30 @@ impl TraceBuffer {
             return;
         }
         self.events.push(ev);
+    }
+
+    /// Records one event causally: assigns it the next span id, and — if
+    /// it names no explicit parent — links it to the most recent span
+    /// recorded for the same request (the intra-node causal chain).
+    /// Returns the finalized event; callers stamp its `span` into
+    /// outgoing messages as the cross-node causal context.
+    ///
+    /// Span ids are assigned even for events dropped at capacity, so ids
+    /// stay stable whatever the buffer size; links into the dropped tail
+    /// simply dangle, which consumers must tolerate.
+    pub fn record_causal(&mut self, mut ev: TraceEvent) -> TraceEvent {
+        self.next_span = self.next_span.wrapping_add(1).max(1);
+        ev.span = self.next_span;
+        if ev.parent == 0 && ev.req != 0 {
+            if let Some(&last) = self.last_by_req.get(&ev.req) {
+                ev.parent = last;
+            }
+        }
+        if ev.req != 0 {
+            self.last_by_req.insert(ev.req, ev.span);
+        }
+        self.record(ev);
+        ev
     }
 
     /// Number of events recorded so far.
@@ -335,6 +372,8 @@ mod tests {
             req: 0,
             a: 0,
             b: 0,
+            span: 0,
+            parent: 0,
         }
     }
 
@@ -372,6 +411,33 @@ mod tests {
             ]
         );
         assert_eq!(t.nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn causal_recording_assigns_ids_and_chains_by_request() {
+        let mut b = TraceBuffer::new(16);
+        let mut e1 = ev(10, 0, EventKind::Arrive);
+        e1.req = 7;
+        let s1 = b.record_causal(e1).span;
+        let mut e2 = ev(20, 0, EventKind::Parse);
+        e2.req = 7;
+        let s2 = b.record_causal(e2).span;
+        // An unrelated request starts its own chain.
+        let mut e3 = ev(25, 1, EventKind::Arrive);
+        e3.req = 9;
+        let s3 = b.record_causal(e3).span;
+        // An explicit parent (the cross-node case) wins over the chain.
+        let mut e4 = ev(30, 1, EventKind::ViaRecv);
+        e4.req = 7;
+        e4.parent = s1;
+        let s4 = b.record_causal(e4).span;
+        assert_eq!((s1, s2, s3, s4), (1, 2, 3, 4));
+        let t = b.into_trace();
+        let find = |span: u32| *t.events().iter().find(|e| e.span == span).unwrap();
+        assert_eq!(find(s1).parent, 0);
+        assert_eq!(find(s2).parent, s1, "same-request chain");
+        assert_eq!(find(s3).parent, 0, "new request, fresh chain");
+        assert_eq!(find(s4).parent, s1, "explicit parent preserved");
     }
 
     #[test]

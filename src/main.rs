@@ -67,6 +67,21 @@ USAGE:
         --seed     u64                           (default 12648430)
         --out      output directory              (default results)
 
+    press attribute [OPTIONS]
+        Attribute every traced nanosecond of simulated requests to one
+        critical-path bucket and print a fig3-style breakdown table per
+        (version, strategy) pair, with p50/p99 critical paths and a
+        stitched multi-node Chrome trace per pair. The sim engine is
+        deterministic: the same seed prints byte-identical tables.
+        --trace      clarknet|forth|nasa|rutgers   (default clarknet)
+        --versions   comma list of v0..v6          (default v0,v5,v6)
+        --strategies comma list of pb|l1|l4|l16|nlb (default pb)
+        --nodes      N                             (default 8)
+        --measure    requests                      (default 10000)
+        --warmup     requests                      (default 2000)
+        --seed       u64                           (default 12648430)
+        --out        output directory              (default results)
+
     press model [OPTIONS]
         Evaluate the analytical model (Section 4).
         --variant  tcp|tcp-nextgen|via|via-rmw|via-nextgen|via-fastpath (default via)
@@ -80,7 +95,9 @@ USAGE:
         report card per scenario. The sim engine is deterministic: the
         same seed renders byte-identical cards. Sim rows land in
         results/bench.json; live cards carry wall-clock latencies and are
-        reduced to their structural lines under --quiet.
+        reduced to their structural lines under --quiet. Failing cards
+        (and, in the sim, breaker-trips) dump flight-recorder traces to
+        results/flight_chaos_<engine>_<arm>.json.
         --engine     sim|live                    (default sim)
         --trace      clarknet|forth|nasa|rutgers (default clarknet; sim)
         --nodes      N                           (default 8 sim, 4 live)
@@ -100,6 +117,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("attribute") => cmd_attribute(&args[1..]),
         Some("model") => cmd_model(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -107,9 +125,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(other) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("unknown command: {other}\n\n{USAGE}");
+            press::telem::error(&format!("unknown command: {other}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -213,9 +229,9 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -364,9 +380,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -396,9 +412,9 @@ fn cmd_export(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -486,9 +502,9 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -516,6 +532,149 @@ fn print_trace_summary(
             "warning: {} events dropped (raise the buffer or shorten the run)",
             trace.dropped()
         );
+    }
+}
+
+/// One traced sim per (version, strategy): fig3-style breakdown tables
+/// on stdout (integer virtual-time nanoseconds, so a fixed seed prints
+/// byte-identical output), a stitched multi-node Chrome trace per pair,
+/// and idempotent rows in the bench log.
+fn cmd_attribute(args: &[String]) -> ExitCode {
+    // `--quiet`/`-q` is a bare switch, as in `press sweep`.
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--quiet" && a.as_str() != "-q")
+        .cloned()
+        .collect();
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(
+            &args,
+            &[
+                "trace",
+                "versions",
+                "strategies",
+                "nodes",
+                "measure",
+                "warmup",
+                "seed",
+                "out",
+            ],
+        )?;
+        let preset = parse_preset(flags.get("trace").map(String::as_str))?;
+        let versions = parse_list(&flags, "versions", "v0,v5,v6", parse_version)?;
+        let strategies = parse_list(&flags, "strategies", "pb", parse_strategy)?;
+        let nodes = parse(&flags, "nodes", 8usize)?;
+        let measure = parse(&flags, "measure", 10_000u64)?;
+        let warmup = parse(&flags, "warmup", 2_000u64)?;
+        let out_dir = flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "results".into());
+        std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+
+        let mut rows: Vec<press::core::RunResult> = Vec::new();
+        let mut artifacts: Vec<String> = Vec::new();
+        for &version in &versions {
+            for &strategy in &strategies {
+                let mut cfg = SimConfig::paper_default(preset);
+                cfg.version = version;
+                cfg.dissemination = strategy;
+                cfg.nodes = nodes;
+                cfg.measure_requests = measure;
+                cfg.warmup_requests = warmup;
+                cfg.seed = parse(&flags, "seed", cfg.seed)?;
+                press::telem::progress_with(|| {
+                    format!("attribute: {}/{} ...", version.name(), strategy.name())
+                });
+                let t0 = std::time::Instant::now();
+                let (metrics, trace) = run_simulation_traced(&cfg);
+                let wall = t0.elapsed();
+                let attrs = press::telem::attribute_trace(&trace);
+                let summary = press::telem::summarize(&attrs);
+                println!(
+                    "== attribute | {} | {} | {} | {} nodes | seed {} ==",
+                    preset.name(),
+                    version.name(),
+                    strategy.name(),
+                    cfg.nodes,
+                    cfg.seed
+                );
+                print_attribution(&summary);
+
+                let chrome = press::telem::chrome_trace_json(&trace);
+                press::telem::validate_chrome_json(&chrome)
+                    .map_err(|e| format!("stitched trace failed validation: {e}"))?;
+                let path = format!(
+                    "{out_dir}/trace_attr_{}_{}.json",
+                    version.name(),
+                    strategy.name()
+                );
+                std::fs::write(&path, &chrome).map_err(|e| format!("cannot write {path}: {e}"))?;
+                artifacts.push(path);
+                rows.push(press::core::RunResult {
+                    label: format!(
+                        "{}/{}/{} hot {}",
+                        preset.name(),
+                        version.name(),
+                        strategy.name(),
+                        press::telem::hot_stages(&summary)
+                    ),
+                    metrics,
+                    wall,
+                });
+                println!();
+            }
+        }
+        press::bench::record_timings_as("attribute", &rows);
+        println!("artifacts:");
+        for p in &artifacts {
+            println!("  {p}   (open in https://ui.perfetto.dev or chrome://tracing)");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The fig3-style table: mean nanoseconds per request charged to each
+/// bucket (with its integer share of the charged total), then the p50
+/// and p99 exemplar critical paths. Conservation holds by construction —
+/// each request's bucket charges sum exactly to its end-to-end latency.
+fn print_attribution(summary: &press::telem::AttributionSummary) {
+    println!(
+        "requests {} attributed ({} forwarded across nodes), mean end-to-end {} ns",
+        summary.requests, summary.forwarded, summary.mean_total_ns
+    );
+    let charged: u64 = summary.mean_ns.iter().sum();
+    println!("{:<14} {:>14} {:>7}", "bucket", "mean ns/req", "share");
+    for b in press::telem::BUCKETS {
+        let ns = summary.mean_ns[b as usize];
+        let share = (ns * 100).checked_div(charged).unwrap_or(0);
+        println!("{:<14} {:>14} {:>6}%", b.name(), ns, share);
+    }
+    for (tag, pick) in [("p50", &summary.p50), ("p99", &summary.p99)] {
+        if let Some(a) = pick {
+            let path: Vec<String> = press::telem::BUCKETS
+                .iter()
+                .filter(|&&b| a.ns[b as usize] > 0)
+                .map(|&b| format!("{} {}", b.name(), a.ns[b as usize]))
+                .collect();
+            println!(
+                "{tag} critical path (req {}, {} node{}, {} ns): {}",
+                a.req,
+                a.nodes,
+                if a.nodes == 1 { "" } else { "s" },
+                a.total_ns,
+                path.join(" / ")
+            );
+        }
     }
 }
 
@@ -570,9 +729,9 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -623,6 +782,7 @@ fn chaos_sim(flags: &HashMap<String, String>, smoke: bool) -> Result<(), String>
             print!("{}", card.render());
         }
         println!();
+        write_flight_dumps("sim", arm, &report.flight_dumps)?;
         for (card, m) in report.cards.iter().zip(&report.metrics) {
             rows.push(press::core::RunResult {
                 label: format!("{}/{}/{}", preset.name(), card.scenario, arm),
@@ -694,7 +854,37 @@ fn chaos_live(flags: &HashMap<String, String>, smoke: bool, quiet: bool) -> Resu
             }
         }
         println!("cards: {}", report.cards.len());
+        write_flight_dumps("live", arm, &report.flight_dumps)?;
     }
+    Ok(())
+}
+
+/// Writes a suite's flight-recorder dumps (if any) to the results
+/// directory, announced on stderr so the cards on stdout stay
+/// byte-diffable run to run.
+fn write_flight_dumps(
+    engine: &str,
+    arm: &str,
+    dumps: &[(String, press::telem::FlightDump)],
+) -> Result<(), String> {
+    if dumps.is_empty() {
+        return Ok(());
+    }
+    std::fs::create_dir_all("results").map_err(|e| format!("cannot create results: {e}"))?;
+    let path = format!("results/flight_chaos_{engine}_{arm}.json");
+    std::fs::write(&path, press::telem::labeled_dumps_json(dumps))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    press::telem::progress_with(|| {
+        format!(
+            "flight recorder: {} dump(s) ({}) -> {path}",
+            dumps.len(),
+            dumps
+                .iter()
+                .map(|(_, d)| d.reason.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    });
     Ok(())
 }
 
@@ -742,9 +932,9 @@ fn cmd_model(args: &[String]) -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            // press::allow(raw-eprintln): CLI error reporting must reach
-            // stderr even under --quiet.
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Errors are never silenced: the telem chokepoint prints
+            // them to stderr even under --quiet.
+            press::telem::error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
