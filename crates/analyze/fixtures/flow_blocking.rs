@@ -1,0 +1,20 @@
+//! Flow fixture: blocking calls reachable from a hot-path root.
+
+#[press::hot_path]
+pub fn root() {
+    helper();
+    helper_waived();
+}
+
+fn helper() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn helper_waived() {
+    // press::allow(blocking-in-hot-path): fixture — bounded test pause.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn cold_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,22 @@
+//! Flow fixture: inconsistent lock order across two functions.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,25 @@
+//! Flow fixture: the lock-order cycle from `flow_lock.rs`, waived.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        // press::allow(lock-order): fixture — the reversed path below
+        // is unreachable while `ab` runs.
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        // press::allow(lock-order): fixture — see `ab`.
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,14 @@
+//! Flow fixture: deterministic-engine code calling a tainted helper.
+
+pub fn tick() -> u64 {
+    stamp()
+}
+
+pub fn tick_waived() -> u64 {
+    // press::allow(determinism-taint): fixture — diagnostic-only path.
+    stamp()
+}
+
+pub fn tick_clean() -> u64 {
+    steady()
+}

@@ -1,0 +1,10 @@
+//! Flow fixture: a live-engine helper that reads the wall clock.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn steady() -> u64 {
+    7
+}

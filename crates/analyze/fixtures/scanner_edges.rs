@@ -1,0 +1,26 @@
+//! Scanner fixture: pattern text inside comments, strings, raw strings,
+//! and `#[cfg(test)]` regions must never fire; real sites still must.
+
+/* a block comment mentioning Instant::now() and thread_rng() */
+pub fn strings_are_inert() -> String {
+    let raw = r#"Instant::now() inside a raw string"#;
+    let s = "SystemTime::now() inside a string";
+    format!("{raw}{s}")
+}
+
+/* a multi-line block comment:
+   Instant::now()
+   still inside the comment */
+pub fn also_clean() {}
+
+pub fn real_site() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,397 @@
+//! A hand-rolled, loss-free Rust lexer.
+//!
+//! Produces a token stream that tiles the source byte-for-byte: the
+//! concatenation of every token's text is exactly the input (the
+//! round-trip property, checked by proptest). Comments, string and char
+//! literals, raw strings (any hash depth), byte strings, raw
+//! identifiers, and lifetimes are each single tokens, so every layer
+//! above — the line scanner, the item parser, the call-graph builder —
+//! can classify text without re-deriving literal boundaries with
+//! per-rule hacks.
+//!
+//! The lexer is total: any byte sequence lexes (malformed literals
+//! degrade to `Punct`/EOF-bounded tokens), which matters because lint
+//! fixtures deliberately contain pathological input.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` to end of line (incl. `///` and `//!`).
+    LineComment,
+    /// `/* ... */`, nesting-aware; unterminated runs to EOF.
+    BlockComment,
+    /// `"..."`, `b"..."`, `c"..."` with escapes; may span lines.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br#"..."#` at any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{7f}'`, `b'x'`.
+    Char,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Identifiers and keywords, incl. raw identifiers (`r#fn`).
+    Ident,
+    /// Numeric literals (lexed loosely; exact shape never matters here).
+    Number,
+    /// Any other single byte (`{`, `.`, `::` arrives as two `:`).
+    Punct,
+}
+
+/// One token: a classified byte range of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What the range is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Whether `b` can appear in a Rust identifier.
+fn ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `b` can start a Rust identifier.
+fn ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Lexes `src` into a token stream tiling `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.count_lines(start, self.pos);
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn count_lines(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn at(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    /// Consumes one token starting at `self.pos`, returning its kind.
+    fn next_kind(&mut self) -> TokKind {
+        let b = self.src[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while self.pos < self.src.len()
+                    && matches!(self.at(0), b' ' | b'\t' | b'\r' | b'\n')
+                {
+                    self.pos += 1;
+                }
+                TokKind::Whitespace
+            }
+            b'/' if self.at(1) == b'/' => {
+                while self.pos < self.src.len() && self.at(0) != b'\n' {
+                    self.pos += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if self.at(1) == b'*' => {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while self.pos < self.src.len() && depth > 0 {
+                    if self.at(0) == b'/' && self.at(1) == b'*' {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.at(0) == b'*' && self.at(1) == b'/' {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                self.pos += 1;
+                self.scan_str_body();
+                TokKind::Str
+            }
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' => self.prefixed_or_ident(),
+            _ if ident_start(b) => {
+                while self.pos < self.src.len() && ident_char(self.at(0)) {
+                    self.pos += 1;
+                }
+                TokKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                while self.pos < self.src.len() && ident_char(self.at(0)) {
+                    self.pos += 1;
+                }
+                TokKind::Number
+            }
+            _ => {
+                // One punct byte — or one whole multi-byte scalar, so
+                // token boundaries always land on char boundaries and
+                // `Token::text` can slice safely.
+                let w = match b {
+                    x if x >= 0xF0 => 4,
+                    x if x >= 0xE0 => 3,
+                    x if x >= 0xC0 => 2,
+                    _ => 1,
+                };
+                self.pos += w.min(self.src.len() - self.pos);
+                TokKind::Punct
+            }
+        }
+    }
+
+    /// Consumes a `"`-terminated body with `\` escapes (opening quote
+    /// already consumed). Unterminated bodies run to EOF.
+    fn scan_str_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.at(0) {
+                b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `"..."` terminated by `"` plus
+    /// `hashes` `#`s (opening delimiter already consumed).
+    fn scan_raw_body(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.at(0) == b'"' {
+                let mut n = 0;
+                while n < hashes && self.src.get(self.pos + 1 + n) == Some(&b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// At `'`: char literal or lifetime.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        if self.at(1) == b'\\' {
+            // Escaped char: consume the escaped character itself (so
+            // `'\''` doesn't mistake it for the closer), then skip to
+            // the closing quote.
+            self.pos += 3.min(self.src.len() - self.pos);
+            while self.pos < self.src.len() {
+                match self.at(0) {
+                    b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                    b'\'' => {
+                        self.pos += 1;
+                        return TokKind::Char;
+                    }
+                    b'\n' => break, // malformed; don't eat further lines
+                    _ => self.pos += 1,
+                }
+            }
+            return TokKind::Char;
+        }
+        // Width of the next UTF-8 scalar after the quote.
+        let w = match self.at(1) {
+            0 => 0,
+            x if x < 0x80 => 1,
+            x if x >= 0xF0 => 4,
+            x if x >= 0xE0 => 3,
+            x if x >= 0xC0 => 2,
+            _ => 1,
+        };
+        if w > 0 && self.src.get(self.pos + 1 + w) == Some(&b'\'') {
+            // 'x' — a char literal (this arm also wins for 'a' vs the
+            // lifetime reading, as in real Rust).
+            self.pos += 2 + w;
+            return TokKind::Char;
+        }
+        if ident_start(self.at(1)) {
+            self.pos += 2;
+            while self.pos < self.src.len() && ident_char(self.at(0)) {
+                self.pos += 1;
+            }
+            return TokKind::Lifetime;
+        }
+        // Stray quote.
+        self.pos += 1;
+        TokKind::Punct
+    }
+
+    /// At `r`, `b`, or `c`: raw string, byte string/char, raw
+    /// identifier, or a plain identifier starting with that letter.
+    fn prefixed_or_ident(&mut self) -> TokKind {
+        let b0 = self.at(0);
+        // Hash run length after an optional second prefix byte.
+        let raw_at = |s: &Self, off: usize| -> Option<usize> {
+            let mut n = 0;
+            while s.at(off + n) == b'#' {
+                n += 1;
+            }
+            (s.at(off + n) == b'"').then_some(n)
+        };
+        match b0 {
+            b'r' => {
+                if let Some(h) = raw_at(self, 1) {
+                    self.pos += 2 + h;
+                    self.scan_raw_body(h);
+                    return TokKind::RawStr;
+                }
+                if self.at(1) == b'#' && ident_start(self.at(2)) {
+                    // Raw identifier r#type.
+                    self.pos += 3;
+                    while self.pos < self.src.len() && ident_char(self.at(0)) {
+                        self.pos += 1;
+                    }
+                    return TokKind::Ident;
+                }
+            }
+            b'b' => {
+                if self.at(1) == b'"' {
+                    self.pos += 2;
+                    self.scan_str_body();
+                    return TokKind::Str;
+                }
+                if self.at(1) == b'\'' {
+                    self.pos += 1;
+                    return self.char_or_lifetime();
+                }
+                if self.at(1) == b'r' {
+                    if let Some(h) = raw_at(self, 2) {
+                        self.pos += 3 + h;
+                        self.scan_raw_body(h);
+                        return TokKind::RawStr;
+                    }
+                }
+            }
+            b'c' => {
+                if self.at(1) == b'"' {
+                    self.pos += 2;
+                    self.scan_str_body();
+                    return TokKind::Str;
+                }
+            }
+            _ => unreachable!(),
+        }
+        while self.pos < self.src.len() && ident_char(self.at(0)) {
+            self.pos += 1;
+        }
+        TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn f(x: &'a str) -> usize { x.len() /* c */ } // t\n";
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_single_tokens() {
+        let src = r####"let a = "x\"y"; let b = r#"un"safe"#; let c = br##"q"##;"####;
+        let t = kinds(src);
+        assert!(t.contains(&(TokKind::Str, "\"x\\\"y\"")));
+        assert!(t.contains(&(TokKind::RawStr, "r#\"un\"safe\"#")));
+        assert!(t.contains(&(TokKind::RawStr, "br##\"q\"##")));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a u8) { let c = 'x'; let d = '\\n'; let e = '\\''; }";
+        let t = kinds(src);
+        assert!(t.contains(&(TokKind::Lifetime, "'a")));
+        assert!(t.contains(&(TokKind::Char, "'x'")));
+        assert!(t.contains(&(TokKind::Char, "'\\n'")));
+        assert!(t.contains(&(TokKind::Char, "'\\''")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "a /* x /* y */ z */ b";
+        let t = kinds(src);
+        assert!(t.contains(&(TokKind::BlockComment, "/* x /* y */ z */")));
+        assert!(t.contains(&(TokKind::Ident, "b")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.contains(&(TokKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "a\nb\n  c";
+        let toks = lex(src);
+        let c = toks.iter().find(|t| t.text(src) == "c").unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let t = kinds("let c = 'é';");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && *s == "'é'"));
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'"] {
+            let toks = lex(src);
+            let joined: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(joined, src);
+        }
+    }
+}

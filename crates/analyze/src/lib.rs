@@ -1,6 +1,6 @@
 //! `press-analyze`: static analysis for the PRESS reproduction.
 //!
-//! Two engines keep the workspace's correctness story machine-checked:
+//! Three engines keep the workspace's correctness story machine-checked:
 //!
 //! 1. **Project-invariant lints** ([`lint_files`]): named, suppressible
 //!    rules over the workspace source — no wall-clock or OS entropy in
@@ -9,17 +9,29 @@
 //!    `// SAFETY:` on every `unsafe`, and a `// ordering:` justification
 //!    (or an atomics-manifest entry) on every atomic access. Waive a
 //!    site with `// press::allow(rule-name): reason`; waivers are
-//!    counted, never silent.
-//! 2. **Mini-loom interleaving models** ([`models`]): the lock-free
+//!    counted, never silent — and a waiver whose rule no longer fires
+//!    is itself reported as stale.
+//! 2. **Flow-aware lints** ([`flow_rules`]): a lexer → item parser →
+//!    call-graph pipeline ([`lexer`], [`ir`], [`callgraph`]) feeding
+//!    four transitive rule families — hot-path-transitive, lock-order,
+//!    blocking-in-hot-path, and determinism-taint — with the offending
+//!    call chain printed in each diagnostic. Ambiguous call edges are
+//!    pinned in `crates/analyze/callgraph.toml`.
+//! 3. **Mini-loom interleaving models** ([`models`]): the lock-free
 //!    membership bitmask, the ResetPeer credit repair, and the
 //!    batch-pool claim protocol re-expressed over the vendored
 //!    [`minloom`] shadow atomics and checked across *every* thread
 //!    interleaving and stale-read choice.
 //!
 //! Run the lints with `cargo run -p press-analyze` (add
-//! `--deny-warnings` in CI); the models run under
+//! `--deny-warnings` in CI, `--json` for machine-readable findings,
+//! `--graph` for a DOT dump of the call graph); the models run under
 //! `cargo test -p press-analyze`.
 
+pub mod callgraph;
+pub mod flow_rules;
+pub mod ir;
+pub mod lexer;
 pub mod manifest;
 pub mod models;
 pub mod rules;
@@ -28,6 +40,8 @@ pub mod scanner;
 pub use manifest::Manifest;
 pub use rules::Finding;
 
+use callgraph::{CallGraph, Pins};
+use ir::Workspace;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -49,31 +63,69 @@ pub struct Report {
     pub violations: Vec<Finding>,
     /// Violations suppressed by `press::allow` comments, same order.
     pub waived: Vec<Finding>,
-    /// Non-fatal problems (stale manifest entries); fatal under
+    /// Non-fatal problems (stale manifest entries, stale waivers,
+    /// unresolved call-graph edges, stale pins); fatal under
     /// `--deny-warnings`.
     pub warnings: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
 
-/// Lints a set of files against `manifest`.
+/// Pipeline switches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Run only the 10 line-local rules with the original waiver and
+    /// manifest semantics — for golden-diffing against pre-IR reports.
+    pub legacy: bool,
+}
+
+/// Lints a set of files against `manifest` with the full pipeline and
+/// no call-graph pins.
+pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
+    lint_files_opts(files, manifest, &Pins::empty(), LintOptions::default())
+}
+
+/// Lints a set of files: line-local rules, and — unless
+/// `opts.legacy` — the flow rules over the call graph.
 ///
 /// Output is sorted, so the report is identical whatever order the files
 /// arrive in.
-pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
+pub fn lint_files_opts(
+    files: &[SourceFile],
+    manifest: &Manifest,
+    pins: &Pins,
+    opts: LintOptions,
+) -> Report {
+    let ws = Workspace::build(files);
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        raw.extend(rules::check_file(&file.path, &file.lines, manifest));
+    }
+    let mut warnings = Vec::new();
+    if !opts.legacy {
+        let cg = CallGraph::build(&ws, pins);
+        raw.extend(flow_rules::check_workspace(&ws, &cg));
+        warnings.extend(cg.ambiguities.iter().cloned());
+        warnings.extend(cg.stale_pins.iter().cloned());
+    }
+
     let mut violations = Vec::new();
     let mut waived = Vec::new();
-    let mut scanned = Vec::new();
-    for file in files {
-        let lines = scanner::scan(&file.content);
-        for finding in rules::check_file(&file.path, &lines, manifest) {
-            if waiver_for(&lines, &finding) {
+    let mut used_waivers: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    for finding in raw {
+        let file_idx = ws
+            .files
+            .iter()
+            .position(|f| f.path == finding.path)
+            .expect("finding paths come from scanned files");
+        match waiver_for(&ws.files[file_idx].lines, &finding) {
+            Some(line_idx) => {
+                used_waivers.insert((file_idx, line_idx));
                 waived.push(finding);
-            } else {
-                violations.push(finding);
             }
+            None => violations.push(finding),
         }
-        scanned.push((file.path.clone(), lines));
     }
     violations.sort();
     violations.dedup();
@@ -81,11 +133,10 @@ pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
     waived.dedup();
 
     // Stale-entry check: every manifest site must still match a line.
-    let mut warnings = Vec::new();
     for site in &manifest.sites {
-        let alive = scanned.iter().any(|(path, lines)| {
-            path.ends_with(&site.path)
-                && lines
+        let alive = ws.files.iter().any(|f| {
+            f.path.ends_with(&site.path)
+                && f.lines
                     .iter()
                     .any(|l| l.code.contains(&site.symbol) && l.code.contains(&site.ordering))
         });
@@ -97,6 +148,41 @@ pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
         }
     }
 
+    // Stale-waiver check: a press::allow whose rule never fired on its
+    // site is itself reported (mirrors the manifest staleness).
+    if !opts.legacy {
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            for (line_idx, line) in file.lines.iter().enumerate() {
+                if line.in_test || !line.comment.contains("press::allow(") {
+                    continue;
+                }
+                if !used_waivers.contains(&(file_idx, line_idx)) {
+                    let rule = line
+                        .comment
+                        .split("press::allow(")
+                        .nth(1)
+                        .and_then(|r| r.split(')').next())
+                        .unwrap_or("?");
+                    // Prose that merely *mentions* the waiver syntax
+                    // (docs, this file) names no real rule; only known
+                    // rule names are live waivers.
+                    if !rules::RULE_NAMES.contains(&rule)
+                        && !flow_rules::FLOW_RULE_NAMES.contains(&rule)
+                    {
+                        continue;
+                    }
+                    warnings.push(format!(
+                        "stale waiver: press::allow({}) at {}:{} suppresses nothing — \
+                         the rule no longer fires there; delete the waiver",
+                        rule, file.path, line.number
+                    ));
+                }
+            }
+        }
+    }
+    warnings.sort();
+    warnings.dedup();
+
     Report {
         violations,
         waived,
@@ -105,13 +191,22 @@ pub fn lint_files(files: &[SourceFile], manifest: &Manifest) -> Report {
     }
 }
 
+/// Builds the workspace IR and resolved call graph for `files` (the
+/// `--graph` export and the determinism tests use this directly).
+pub fn build_graph(files: &[SourceFile], pins: &Pins) -> (Workspace, CallGraph) {
+    let ws = Workspace::build(files);
+    let cg = CallGraph::build(&ws, pins);
+    (ws, cg)
+}
+
 /// Whether the finding's line (or a comment line directly above it)
-/// carries a `press::allow(rule)` waiver.
-fn waiver_for(lines: &[scanner::Line], finding: &Finding) -> bool {
+/// carries a `press::allow(rule)` waiver; returns the waiving line's
+/// 0-based index so stale waivers can be detected.
+fn waiver_for(lines: &[scanner::Line], finding: &Finding) -> Option<usize> {
     let needle = format!("press::allow({})", finding.rule);
     let idx = finding.line - 1;
     if lines[idx].comment.contains(&needle) {
-        return true;
+        return Some(idx);
     }
     // Walk up over pure-comment lines.
     let mut i = idx;
@@ -122,13 +217,13 @@ fn waiver_for(lines: &[scanner::Line], finding: &Finding) -> bool {
             break;
         }
         if l.comment.contains(&needle) {
-            return true;
+            return Some(i);
         }
         if l.comment.trim().is_empty() {
             break;
         }
     }
-    false
+    None
 }
 
 /// Directory names never scanned: generated or reference code, test and
@@ -194,8 +289,23 @@ pub fn load_manifest(root: &Path) -> Result<Manifest, String> {
     }
 }
 
+/// Loads the call-graph pin file from its conventional location under
+/// the workspace root, or an empty pin set if absent.
+///
+/// # Errors
+///
+/// Returns the parse error message for a malformed pin file.
+pub fn load_pins(root: &Path) -> Result<Pins, String> {
+    let path = root.join("crates/analyze/callgraph.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Pins::parse(&text),
+        Err(_) => Ok(Pins::empty()),
+    }
+}
+
 /// Renders the report in `file:line: severity: press::rule: message`
-/// form, one diagnostic per line, plus a summary.
+/// form, one diagnostic per line (flow findings add an indented
+/// `call chain:` line), plus a summary.
 pub fn render(report: &Report, deny_warnings: bool) -> (String, i32) {
     let mut out = String::new();
     for v in &report.violations {
@@ -203,12 +313,18 @@ pub fn render(report: &Report, deny_warnings: bool) -> (String, i32) {
             "{}:{}: error: press::{}: {}\n",
             v.path, v.line, v.rule, v.message
         ));
+        if !v.chain.is_empty() {
+            out.push_str(&format!("    call chain: {}\n", v.chain.join(" -> ")));
+        }
     }
     for w in &report.waived {
         out.push_str(&format!(
             "{}:{}: waived: press::{}: {}\n",
             w.path, w.line, w.rule, w.message
         ));
+        if !w.chain.is_empty() {
+            out.push_str(&format!("    call chain: {}\n", w.chain.join(" -> ")));
+        }
     }
     for w in &report.warnings {
         out.push_str(&format!(
@@ -226,4 +342,55 @@ pub fn render(report: &Report, deny_warnings: bool) -> (String, i32) {
     ));
     let failed = !report.violations.is_empty() || (deny_warnings && !report.warnings.is_empty());
     (out, if failed { 1 } else { 0 })
+}
+
+/// Renders the report as deterministic JSON (sorted findings, stable
+/// key order) for machine consumption; byte-identical across runs on
+/// the same tree.
+pub fn render_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn finding(f: &Finding) -> String {
+        let chain = f
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", esc(c)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"chain\":[{}]}}",
+            esc(&f.path),
+            f.line,
+            esc(f.rule),
+            esc(&f.message),
+            chain
+        )
+    }
+    let violations: Vec<String> = report.violations.iter().map(finding).collect();
+    let waived: Vec<String> = report.waived.iter().map(finding).collect();
+    let warnings: Vec<String> = report
+        .warnings
+        .iter()
+        .map(|w| format!("\"{}\"", esc(w)))
+        .collect();
+    format!(
+        "{{\"files_scanned\":{},\"violations\":[{}],\"waived\":[{}],\"warnings\":[{}]}}\n",
+        report.files_scanned,
+        violations.join(","),
+        waived.join(","),
+        warnings.join(",")
+    )
 }

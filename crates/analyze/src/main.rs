@@ -4,30 +4,43 @@
 //! ```text
 //! cargo run -p press-analyze                  # lint the workspace
 //! cargo run -p press-analyze -- --deny-warnings
+//! cargo run -p press-analyze -- --json        # machine-readable report
+//! cargo run -p press-analyze -- --graph       # call graph as DOT
+//! cargo run -p press-analyze -- --legacy      # 10 line-local rules only
 //! cargo run -p press-analyze -- --list-rules
 //! cargo run -p press-analyze -- --root /path/to/workspace
 //! ```
 //!
 //! Exit status: 0 clean, 1 violations (or warnings under
-//! `--deny-warnings`), 2 usage or I/O errors. The interleaving models
-//! run separately under `cargo test -p press-analyze`.
+//! `--deny-warnings`/`--deny`), 2 usage or I/O errors. The interleaving
+//! models run separately under `cargo test -p press-analyze`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use press_analyze::flow_rules::FLOW_RULE_NAMES;
 use press_analyze::rules::{describe, RULE_NAMES};
-use press_analyze::{collect_workspace, lint_files, load_manifest, render};
+use press_analyze::{
+    build_graph, collect_workspace, lint_files_opts, load_manifest, load_pins, render, render_json,
+    LintOptions,
+};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny_warnings = false;
+    let mut json = false;
+    let mut graph = false;
+    let mut legacy = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--deny-warnings" => deny_warnings = true,
+            "--deny-warnings" | "--deny" => deny_warnings = true,
+            "--json" => json = true,
+            "--graph" => graph = true,
+            "--legacy" => legacy = true,
             "--list-rules" => {
-                for rule in RULE_NAMES {
-                    println!("press::{rule:<16} {}", describe(rule));
+                for rule in RULE_NAMES.iter().chain(FLOW_RULE_NAMES.iter()) {
+                    println!("press::{rule:<20} {}", describe(rule));
                 }
                 println!("\nwaive a site with `// press::allow(<rule>): reason`");
                 return ExitCode::SUCCESS;
@@ -41,7 +54,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "press-analyze [--root PATH] [--deny-warnings] [--list-rules]\n\
+                    "press-analyze [--root PATH] [--deny-warnings|--deny] [--json] \
+                     [--graph] [--legacy] [--list-rules]\n\
                      lints the workspace against the project invariants"
                 );
                 return ExitCode::SUCCESS;
@@ -68,6 +82,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let pins = match load_pins(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let files = match collect_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -75,7 +96,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = lint_files(&files, &manifest);
+
+    if graph {
+        let (ws, cg) = build_graph(&files, &pins);
+        print!("{}", cg.to_dot(&ws));
+        return ExitCode::SUCCESS;
+    }
+
+    let report = lint_files_opts(&files, &manifest, &pins, LintOptions { legacy });
+    if json {
+        let code =
+            if !report.violations.is_empty() || (deny_warnings && !report.warnings.is_empty()) {
+                1
+            } else {
+                0
+            };
+        print!("{}", render_json(&report));
+        return ExitCode::from(code);
+    }
     let (text, code) = render(&report, deny_warnings);
     print!("{text}");
     ExitCode::from(code as u8)

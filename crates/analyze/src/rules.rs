@@ -55,6 +55,22 @@ pub fn describe(rule: &str) -> &'static str {
             "a span start captured with `let x = ...now_ns();` must reach a `span(x`/\
              `span_in(x` close in the same scope — an unclosed open skews attribution"
         }
+        "hot-path-transitive" => {
+            "functions reachable from a `#[press::hot_path]` root inherit the no-unwrap/\
+             no-alloc/bounded-queue checks; the diagnostic prints the call chain"
+        }
+        "lock-order" => {
+            "per-function lock-acquisition sequences composed through the call graph \
+             must form an acyclic order — any cycle is a deadlock finding"
+        }
+        "blocking-in-hot-path" => {
+            "no thread::sleep, channel recv, join, or blocking lock() reachable from a \
+             `#[press::hot_path]` root — the fast path must never park a thread"
+        }
+        "determinism-taint" => {
+            "wall-clock/OS-entropy values from live-cluster helpers must not flow, via \
+             the call graph, into press-core/press-sim state"
+        }
         _ => "unknown rule",
     }
 }
@@ -66,10 +82,14 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule name (one of [`RULE_NAMES`]).
+    /// Rule name (one of [`RULE_NAMES`] or
+    /// [`crate::flow_rules::FLOW_RULE_NAMES`]).
     pub rule: &'static str,
     /// Human-readable diagnostic.
     pub message: String,
+    /// For flow rules: the call chain from the root to the offending
+    /// site (function quals). Empty for line-local rules.
+    pub chain: Vec<String>,
 }
 
 /// Paths where the wall-clock rule applies: the deterministic simulation
@@ -147,6 +167,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                         path: path.into(),
                         line: line.number,
                         rule: "wall-clock",
+                        chain: Vec::new(),
                         message: format!(
                             "`{pat}` in a simulation path — wall-clock time breaks \
                              deterministic replay; use simulated time"
@@ -163,6 +184,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                         path: path.into(),
                         line: line.number,
                         rule: "os-random",
+                        chain: Vec::new(),
                         message: format!(
                             "`{pat}` draws OS entropy — results must come from seeded \
                              generators only"
@@ -181,6 +203,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                         path: path.into(),
                         line: line.number,
                         rule: "hot-unwrap",
+                        chain: Vec::new(),
                         message: format!(
                             "`{}` in a node hot loop — a poisoned thread takes the whole \
                              node down; handle the None/Err arm",
@@ -208,6 +231,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                     path: path.into(),
                     line: line.number,
                     rule: "safety-comment",
+                    chain: Vec::new(),
                     message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
                 });
             }
@@ -220,6 +244,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                         path: path.into(),
                         line: line.number,
                         rule: "raw-eprintln",
+                        chain: Vec::new(),
                         message: format!(
                             "`{pat}` bypasses the quiet-aware logger — route stderr chatter \
                              through `press_telem::progress`/`progress_with`"
@@ -243,6 +268,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
                     path: path.into(),
                     line: line.number,
                     rule: "atomic-ordering",
+                    chain: Vec::new(),
                     message: "atomic access without a `// ordering:` justification or an \
                               atomics-manifest entry"
                         .into(),
@@ -254,7 +280,7 @@ pub fn check_file(path: &str, lines: &[Line], manifest: &Manifest) -> Vec<Findin
 }
 
 /// Allocating constructs flagged inside `#[press::hot_path]` bodies.
-const HOT_ALLOC_PATTERNS: [&str; 12] = [
+pub(crate) const HOT_ALLOC_PATTERNS: [&str; 12] = [
     "Box::new(",
     "vec!",
     "Vec::new",
@@ -280,6 +306,7 @@ fn check_hot_alloc(path: &str, line: &Line, vec_names: &BTreeSet<String>, out: &
                 path: path.into(),
                 line: line.number,
                 rule: "hot-path-alloc",
+                chain: Vec::new(),
                 message: format!(
                     "`{}` heap-allocates inside a `#[press::hot_path]` function — \
                      the fast path must draw from the slab pool or fixed-capacity \
@@ -299,6 +326,7 @@ fn check_hot_alloc(path: &str, line: &Line, vec_names: &BTreeSet<String>, out: &
                     path: path.into(),
                     line: line.number,
                     rule: "hot-path-alloc",
+                    chain: Vec::new(),
                     message: format!(
                         "`{name}.push` can grow a Vec inside a `#[press::hot_path]` \
                          function — reserve outside the hot path or use a fixed-size \
@@ -311,12 +339,12 @@ fn check_hot_alloc(path: &str, line: &Line, vec_names: &BTreeSet<String>, out: &
 }
 
 /// Queue-growth calls checked for a nearby bound.
-const QUEUE_PUSH_PATTERNS: [&str; 2] = [".push_back(", ".push_front("];
+pub(crate) const QUEUE_PUSH_PATTERNS: [&str; 2] = [".push_back(", ".push_front("];
 
 /// Tokens accepted as evidence the queue is bounded at the push site:
 /// an explicit length/capacity comparison, a fullness predicate, or a
 /// matching pop that keeps the size constant.
-const CAPACITY_GUARD_TOKENS: [&str; 6] = [
+pub(crate) const CAPACITY_GUARD_TOKENS: [&str; 6] = [
     ".len()",
     ".capacity(",
     "is_full",
@@ -352,6 +380,7 @@ fn check_unbounded_queue(path: &str, lines: &[Line], idx: usize, out: &mut Vec<F
                 path: path.into(),
                 line: lines[idx].number,
                 rule: "unbounded-queue",
+                chain: Vec::new(),
                 message: format!(
                     "`{}` inside a `#[press::hot_path]` scope with no capacity check \
                      nearby — bound the queue and shed at the bound, or an overload \
@@ -403,6 +432,7 @@ fn check_span_balance(path: &str, lines: &[Line], idx: usize, out: &mut Vec<Find
         path: path.into(),
         line: lines[idx].number,
         rule: "span-balance",
+        chain: Vec::new(),
         message: format!(
             "span start `{name}` is captured from now_ns() but never reaches a \
              `span({name}`/`span_in({name}` close in this scope — the open/close \
@@ -652,6 +682,7 @@ fn check_hash_iter(
                         path: path.into(),
                         line: line.number,
                         rule: "hash-iter",
+                        chain: Vec::new(),
                         message: format!(
                             "iteration over HashMap/HashSet `{name}` — hash order is \
                              process-random and can leak into results or schedules; \
@@ -682,6 +713,7 @@ fn check_hash_iter(
                     path: path.into(),
                     line: line.number,
                     rule: "hash-iter",
+                    chain: Vec::new(),
                     message: format!(
                         "`for` loop over HashMap/HashSet `{tail}` — hash order is \
                          process-random and can leak into results or schedules; \

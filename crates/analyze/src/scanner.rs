@@ -1,12 +1,16 @@
-//! Line-level source scanning: splits each line into code and comment
-//! text (string and char literal contents blanked out) and marks lines
-//! inside `#[cfg(test)]` modules, so rules never fire on literals,
-//! comments, or test code.
+//! Line-level source scanning, built on the [`crate::lexer`] token
+//! stream: splits each line into code and comment text (string and char
+//! literal contents blanked out) and marks lines inside `#[cfg(test)]`
+//! modules, so rules never fire on literals, comments, or test code.
 //!
-//! This is a lexer-grade approximation, not a parser: it tracks block
-//! comments (nested), regular and raw string literals, char literals vs.
-//! lifetimes, and brace depth for test-module extents. That is enough
-//! for the token-oriented project lints in [`crate::rules`].
+//! Earlier versions re-derived literal boundaries per line with ad-hoc
+//! state; lexing first fixes the cases that model got wrong — most
+//! notably a `#[cfg(test)]` attribute on a *non-module* item no longer
+//! exempts whatever `mod` happens to appear later in the file, and
+//! brace depth is counted over tokens, immune to braces in literals and
+//! comments.
+
+use crate::lexer::{lex, TokKind, Token};
 
 /// One scanned source line.
 #[derive(Debug, Clone)]
@@ -14,7 +18,7 @@ pub struct Line {
     /// 1-based line number.
     pub number: usize,
     /// The line's code text, with comments removed and the contents of
-    /// string/char literals replaced by spaces.
+    /// string/char literals replaced (`""` / `' '`).
     pub code: String,
     /// The line's comment text (line comments plus any block-comment
     /// text crossing the line), concatenated.
@@ -23,70 +27,200 @@ pub struct Line {
     pub in_test: bool,
 }
 
-/// Lexer state carried across lines.
-#[derive(Default)]
-struct State {
-    /// Nesting depth of `/* */` block comments.
-    block_comment: usize,
-    /// `Some(hashes)` while inside a (raw) string literal.
-    in_string: Option<usize>,
-    /// Brace depth at end of the previous line.
-    depth: usize,
-    /// A `#[cfg(test)]` attribute is waiting for its `mod`.
-    pending_cfg_test: bool,
-    /// Depth at which the current test module's body closes.
-    test_until_depth: Option<usize>,
-}
-
 /// Scans `content` into classified lines.
 pub fn scan(content: &str) -> Vec<Line> {
-    let mut state = State::default();
-    let mut out = Vec::new();
-    for (i, raw) in content.lines().enumerate() {
-        let in_test_at_start = state.test_until_depth.is_some();
-        let (code, comment) = split_line(raw, &mut state);
+    let tokens = lex(content);
+    scan_tokens(content, &tokens)
+}
 
-        if state.test_until_depth.is_none() && code.contains("#[cfg(test)]") {
-            state.pending_cfg_test = true;
+/// Scans already-lexed `tokens` over `content` (the IR layer lexes once
+/// and shares the stream).
+pub fn scan_tokens(content: &str, tokens: &[Token]) -> Vec<Line> {
+    // Line boundaries: byte ranges excluding the terminating '\n'.
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for (i, b) in content.bytes().enumerate() {
+        if b == b'\n' {
+            bounds.push((start, i));
+            start = i + 1;
         }
-        if state.pending_cfg_test {
-            // The attribute binds to the next `mod` item: an inline body
-            // starts a test region; `mod name;` points at a file that
-            // path-based filtering must handle.
-            if let Some(pos) = find_token(&code, "mod") {
-                let rest = &code[pos + 3..];
-                if let Some(brace) = rest.find('{') {
-                    let before = format!("{}{}", &code[..pos], &rest[..brace]);
-                    let opens_before = before.matches('{').count();
-                    let closes_before = before.matches('}').count();
-                    let depth_at_brace = (state.depth + opens_before).saturating_sub(closes_before);
-                    state.test_until_depth = Some(depth_at_brace);
-                    state.pending_cfg_test = false;
-                } else if rest.contains(';') {
-                    state.pending_cfg_test = false;
+    }
+    if start < content.len() {
+        bounds.push((start, content.len()));
+    }
+
+    let mut lines: Vec<Line> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Line {
+            number: i + 1,
+            code: String::new(),
+            comment: String::new(),
+            in_test: false,
+        })
+        .collect();
+
+    // Distribute each token over the lines it intersects.
+    for tok in tokens {
+        let first_line = tok.line as usize - 1;
+        for (idx, line) in lines.iter_mut().enumerate().skip(first_line) {
+            let (ls, le) = bounds[idx];
+            if ls >= tok.end {
+                break;
+            }
+            let lo = tok.start.max(ls);
+            let hi = tok.end.min(le);
+            match tok.kind {
+                TokKind::Str | TokKind::RawStr => line.code.push_str("\"\""),
+                TokKind::Char => line.code.push_str("' '"),
+                TokKind::LineComment => {
+                    let text = &content[lo..hi];
+                    line.comment
+                        .push_str(text.strip_prefix("//").unwrap_or(text));
+                }
+                TokKind::BlockComment => {
+                    if lo < hi {
+                        let text = &content[lo..hi];
+                        let text = if lo == tok.start {
+                            text.strip_prefix("/*").unwrap_or(text)
+                        } else {
+                            text
+                        };
+                        line.comment.push_str(text);
+                        line.comment.push(' ');
+                    }
+                }
+                _ => {
+                    if lo < hi {
+                        line.code.push_str(&content[lo..hi]);
+                    }
                 }
             }
         }
-
-        // Update brace depth; the test region closes when depth returns
-        // to the level its module's `{` was opened at.
-        let opens = code.matches('{').count();
-        let closes = code.matches('}').count();
-        state.depth = (state.depth + opens).saturating_sub(closes);
-        if let Some(limit) = state.test_until_depth {
-            if state.depth <= limit {
-                state.test_until_depth = None;
-            }
-        }
-
-        out.push(Line {
-            number: i + 1,
-            code,
-            comment,
-            in_test: in_test_at_start || state.test_until_depth.is_some(),
-        });
     }
-    out
+
+    let n_lines = lines.len();
+    for (from, to) in test_regions(content, tokens) {
+        for line in &mut lines[from.saturating_sub(1)..to.min(n_lines)] {
+            line.in_test = true;
+        }
+    }
+    lines
+}
+
+/// Line spans (1-based, inclusive) of `#[cfg(test)] mod ... { ... }`
+/// bodies. The attribute binds to the *next item*: only a `mod` with an
+/// inline body opens a region; an attribute on any other item binds to
+/// that item and exempts nothing beyond it.
+fn test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect();
+    let mut regions = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < sig.len() {
+        let t = sig[i];
+        let text = t.text(src);
+        if t.kind == TokKind::Punct
+            && text == "#"
+            && matches!(sig.get(i + 1), Some(n) if n.text(src) == "[")
+        {
+            // An attribute: join its tokens and look for cfg(test).
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut attr = String::new();
+            while j < sig.len() {
+                let tj = sig[j].text(src);
+                if tj == "[" {
+                    depth += 1;
+                } else if tj == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                attr.push_str(tj);
+                j += 1;
+            }
+            if attr.contains("cfg(test)") {
+                pending = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        if pending && t.kind == TokKind::Ident {
+            match text {
+                // Visibility and other attributes may sit between the
+                // cfg and its item.
+                "pub" => {
+                    i += 1;
+                    if matches!(sig.get(i), Some(n) if n.text(src) == "(") {
+                        while i < sig.len() && sig[i].text(src) != ")" {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                "mod" => {
+                    // Find the body brace (or `;` for a file module).
+                    let mut j = i + 1;
+                    while j < sig.len() {
+                        let tj = sig[j].text(src);
+                        if tj == "{" {
+                            let open_line = sig[j].line as usize;
+                            let close = matching_brace(src, &sig, j);
+                            let close_line = close
+                                .map(|c| sig[c].line as usize)
+                                .unwrap_or(usize::MAX - 1);
+                            regions.push((open_line.min(t.line as usize), close_line));
+                            i = close.unwrap_or(sig.len());
+                            break;
+                        }
+                        if tj == ";" {
+                            i = j;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    pending = false;
+                }
+                // The attribute bound to a non-module item: nothing to
+                // exempt (this was the old scanner's false negative —
+                // it kept waiting and exempted a later, unrelated mod).
+                _ => pending = false,
+            }
+        } else if pending && !(t.kind == TokKind::Punct && (text == "#" || text == "[")) {
+            pending = false;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Index (into `sig`) of the `}` matching the `{` at `open`.
+fn matching_brace(src: &str, sig: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in sig.iter().enumerate().skip(open) {
+        match t.text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Finds `token` in `code` at identifier boundaries.
@@ -109,119 +243,6 @@ pub fn find_token(code: &str, token: &str) -> Option<usize> {
 /// Whether `b` can appear in a Rust identifier.
 pub fn is_ident_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Splits one raw line into (code, comment), blanking literal contents.
-fn split_line(raw: &str, state: &mut State) -> (String, String) {
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let bytes = raw.as_bytes();
-    let mut i = 0;
-
-    // Resume a multi-line string: blank until the terminator.
-    while i < bytes.len() {
-        if let Some(hashes) = state.in_string {
-            let closer: String = if hashes == usize::MAX {
-                "\"".into()
-            } else {
-                format!("\"{}", "#".repeat(hashes))
-            };
-            let is_raw = hashes != usize::MAX;
-            let mut closed = false;
-            while i < bytes.len() {
-                if !is_raw && bytes[i] == b'\\' {
-                    i += 2;
-                    continue;
-                }
-                if bytes[i..].starts_with(closer.as_bytes()) {
-                    i += closer.len();
-                    state.in_string = None;
-                    closed = true;
-                    break;
-                }
-                i += 1;
-            }
-            code.push_str("\"\"");
-            if !closed {
-                break;
-            }
-            continue;
-        }
-        if state.block_comment > 0 {
-            // Inside /* */: capture as comment text, watch for nesting.
-            let start = i;
-            while i < bytes.len() && state.block_comment > 0 {
-                if bytes[i..].starts_with(b"/*") {
-                    state.block_comment += 1;
-                    i += 2;
-                } else if bytes[i..].starts_with(b"*/") {
-                    state.block_comment -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            comment.push_str(&String::from_utf8_lossy(&bytes[start..i]));
-            comment.push(' ');
-            continue;
-        }
-        if bytes[i..].starts_with(b"//") {
-            comment.push_str(&String::from_utf8_lossy(&bytes[i + 2..]));
-            i = bytes.len();
-            continue;
-        }
-        if bytes[i..].starts_with(b"/*") {
-            state.block_comment = 1;
-            i += 2;
-            continue;
-        }
-        match bytes[i] {
-            b'"' => {
-                state.in_string = Some(usize::MAX);
-                i += 1;
-            }
-            b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
-                // Raw string: count hashes.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == b'"' {
-                    state.in_string = Some(hashes);
-                    i = j + 1;
-                } else {
-                    code.push('r');
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime.
-                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
-                    // Escaped char literal: skip to closing quote.
-                    let mut j = i + 2;
-                    while j < bytes.len() && bytes[j] != b'\'' {
-                        j += 1;
-                    }
-                    code.push_str("' '");
-                    i = (j + 1).min(bytes.len());
-                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                    code.push_str("' '");
-                    i += 3;
-                } else {
-                    // Lifetime (or stray quote): keep and move on.
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            b => {
-                code.push(b as char);
-                i += 1;
-            }
-        }
-    }
-    (code, comment)
 }
 
 #[cfg(test)]
@@ -255,6 +276,30 @@ mod tests {
     }
 
     #[test]
+    fn cfg_test_on_non_module_item_exempts_nothing_later() {
+        // The old scanner kept waiting for a `mod` and wrongly exempted
+        // this unrelated module.
+        let src = "#[cfg(test)]\nfn helper() {}\nmod live {\n    fn f() { x.unwrap(); }\n}\n";
+        let lines = scan(src);
+        assert!(
+            lines.iter().all(|l| !l.in_test),
+            "a cfg(test) fn must not exempt a later live module"
+        );
+    }
+
+    #[test]
+    fn braces_in_literals_do_not_skew_test_extents() {
+        let src =
+            "#[cfg(test)]\nmod t {\n    const S: &str = \"}\";\n    fn b() {}\n}\nfn live() {}\n";
+        let lines = scan(src);
+        assert!(lines[3].in_test, "inside the module");
+        assert!(
+            !lines[5].in_test,
+            "the stray brace in a string must not close the module early"
+        );
+    }
+
+    #[test]
     fn lifetimes_do_not_eat_code() {
         let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }\n");
         assert!(lines[0].code.contains("trim"));
@@ -265,6 +310,13 @@ mod tests {
         let lines = scan("let x = r#\"unsafe { .unwrap() }\"#; x.len();\n");
         assert!(!lines[0].code.contains("unwrap"));
         assert!(lines[0].code.contains("len"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_blank_every_line() {
+        let lines = scan("let x = r#\"a\nInstant::now()\nb\"#; x.len();\n");
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[2].code.contains("len"));
     }
 
     #[test]

@@ -107,9 +107,11 @@ impl Default for SgList {
 
 impl From<Descriptor> for SgList {
     fn from(d: Descriptor) -> Self {
-        let mut sg = SgList::new();
-        sg.push(d).expect("first segment always fits");
-        sg
+        // Direct construction: one segment always fits, and this sits on
+        // the post_send fast path where a panic arm is unacceptable.
+        let mut segments = [Descriptor::new(MemHandle(0), 0, 0); MAX_SEGMENTS];
+        segments[0] = d;
+        SgList { segments, count: 1 }
     }
 }
 

@@ -154,6 +154,9 @@ fn engine_push(nic: &NicShared, ring: &SpscRing<Completion>, c: Completion) {
                     return;
                 }
                 c = back;
+                // press::allow(blocking-in-hot-path): bounded producer
+                // backoff while the consumer drains the ring — a yield,
+                // not a park, and only on the ring-full slow branch.
                 std::thread::yield_now();
             }
         }
@@ -211,6 +214,9 @@ struct NicShared {
 impl NicShared {
     fn region(&self, h: MemHandle) -> Result<Region, ViaError> {
         self.regions
+            // press::allow(blocking-in-hot-path): registration-time
+            // map — written only by register/deregister on the control
+            // path, so the read lock is uncontended during transfers.
             .read()
             .get(&h.0)
             .cloned()
@@ -231,6 +237,9 @@ impl NicShared {
         if !self.fault_active.load(Ordering::Acquire) {
             return false;
         }
+        // press::allow(blocking-in-hot-path): behind the fault_active
+        // gate above — the lock is only ever taken with faults armed,
+        // i.e. in chaos runs, never on the production fast path.
         let mut g = self.fault.lock();
         let p = g.0.drop_probability;
         p > 0.0 && g.1.gen::<f64>() < p
@@ -241,6 +250,8 @@ impl NicShared {
         if !self.fault_active.load(Ordering::Acquire) {
             return false;
         }
+        // press::allow(blocking-in-hot-path): behind the fault_active
+        // gate above — see `should_drop`.
         let mut g = self.fault.lock();
         let p = g.0.fail_probability;
         p > 0.0 && g.1.gen::<f64>() < p
@@ -676,6 +687,9 @@ impl Vi {
     #[press::hot_path]
     pub fn wait_send_completion(&self, timeout: Duration) -> Result<Completion, ViaError> {
         let _own = self.shared.send_reap.claim();
+        // press::allow(blocking-in-hot-path): this *is* the explicit
+        // VipWaitDone-style wait API — blocking is its contract; the
+        // non-blocking alternative is `poll_send_completion`.
         // SAFETY: the owner tag above makes this thread the ring's sole
         // consumer for the duration of the wait.
         unsafe { self.shared.send_done.pop_wait(timeout) }.ok_or(ViaError::Timeout)
@@ -689,6 +703,8 @@ impl Vi {
     #[press::hot_path]
     pub fn wait_recv_completion(&self, timeout: Duration) -> Result<Completion, ViaError> {
         let _own = self.shared.recv_reap.claim();
+        // press::allow(blocking-in-hot-path): the explicit wait API —
+        // blocking is its contract; see `wait_send_completion`.
         // SAFETY: the owner tag above makes this thread the ring's sole
         // consumer for the duration of the wait.
         unsafe { self.shared.recv_done.pop_wait(timeout) }.ok_or(ViaError::Timeout)
@@ -826,6 +842,9 @@ fn engine_loop(nic: Arc<NicShared>, ops: Receiver<EngineOp>) {
 type PeerRef = (Arc<NicShared>, Arc<ViShared>);
 
 fn lookup(nic: &Arc<NicShared>, vi: u64) -> Option<(Arc<ViShared>, Reliability, Option<PeerRef>)> {
+    // press::allow(blocking-in-hot-path): the VI table is written only
+    // by connect/disconnect on the control path; data-path readers
+    // never contend with each other on this RwLock.
     let local = nic.vis.read().get(&vi).cloned()?;
     let reliability = local.reliability;
     let peer = local.peer.as_ref().and_then(|(w, id)| {
@@ -849,6 +868,9 @@ fn copy_between(
     len: usize,
 ) -> Result<(), ViaError> {
     if Arc::ptr_eq(&src.bytes, &dst.bytes) {
+        // press::allow(blocking-in-hot-path): region locks model DMA —
+        // one writer per transfer, taken in address order below, and
+        // the simulated wire is the only contender.
         let mut b = dst.bytes.write();
         if src_off + len > b.len() || dst_off + len > b.len() {
             return Err(ViaError::OutOfBounds);
@@ -860,11 +882,11 @@ fn copy_between(
         std::ptr::addr_of!(*src.bytes) as usize <= std::ptr::addr_of!(*dst.bytes) as usize;
     let (sb, mut db);
     if src_first {
-        sb = src.bytes.read();
-        db = dst.bytes.write();
+        sb = src.bytes.read(); // press::allow(blocking-in-hot-path): address-ordered DMA pair
+        db = dst.bytes.write(); // press::allow(blocking-in-hot-path): address-ordered DMA pair
     } else {
-        db = dst.bytes.write();
-        sb = src.bytes.read();
+        db = dst.bytes.write(); // press::allow(blocking-in-hot-path): address-ordered DMA pair
+        sb = src.bytes.read(); // press::allow(blocking-in-hot-path): address-ordered DMA pair
     }
     if src_off + len > sb.len() || dst_off + len > db.len() {
         return Err(ViaError::OutOfBounds);

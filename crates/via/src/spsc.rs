@@ -167,6 +167,9 @@ impl<T> SpscRing<T> {
             if spins < 64 {
                 std::hint::spin_loop();
             } else {
+                // press::allow(blocking-in-hot-path): pop_wait is the
+                // wait primitive itself — callers opt into parking by
+                // choosing it over the non-blocking `pop`.
                 std::thread::yield_now();
             }
         }
