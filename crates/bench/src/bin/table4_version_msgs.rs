@@ -46,4 +46,57 @@ fn main() {
     print!("{}", v6.counters.format_table(scale));
     println!();
     println!("(V6 gathers metadata with file data, so the V3-V5 metadata message disappears)");
+
+    collect_section(preset);
+}
+
+/// Appended section (press-collect): the best version (V5) at 64 nodes
+/// under flat vs. topology-aware dissemination — the version-message
+/// accounting from Table 4 carries over unchanged, while the Load and
+/// Caching rows drop with trees/sparse sampling. Shorter runs
+/// (PRESS_SCALE_MEASURE / PRESS_SCALE_WARMUP override); counts are raw,
+/// not extrapolated.
+fn collect_section(preset: TracePreset) {
+    use press_core::Dissemination;
+    let measure: u64 = std::env::var("PRESS_SCALE_MEASURE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000);
+    let warmup: u64 = std::env::var("PRESS_SCALE_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000);
+    let nodes = 64usize;
+    let combos = [
+        ("V5+L16", Dissemination::Broadcast(16)),
+        ("V5+T16", Dissemination::TreeBroadcast(16)),
+        (
+            "V5+SP4",
+            Dissemination::SparsePull {
+                threshold: 4,
+                fanout: 4,
+            },
+        ),
+    ];
+    println!();
+    println!("Table 4 revisited: V5 dissemination cost at {nodes} nodes ({measure} measured reqs)");
+    let jobs = combos
+        .iter()
+        .map(|&(label, strategy)| {
+            let mut cfg = standard_config(preset);
+            cfg.version = ServerVersion::V5;
+            cfg.nodes = nodes;
+            cfg.measure_requests = measure;
+            cfg.warmup_requests = warmup;
+            cfg.dissemination = strategy;
+            Job::new(label, cfg)
+        })
+        .collect();
+    for (&(label, _), m) in combos.iter().zip(run_all(jobs)) {
+        println!("\n{label} ({nodes} nodes):");
+        print!("{}", m.counters.format_table(1.0));
+    }
+    println!();
+    println!("(the zero-copy file path is orthogonal: trees only change who carries");
+    println!(" the Load/Caching rows, so V5's File/Flow accounting is unchanged)");
 }

@@ -1,0 +1,42 @@
+//! press-collect — topology-aware dissemination for the cluster.
+//!
+//! The paper's strategies (PB, L1/L4/L16, NLB) all disseminate caching
+//! information and load values with a naive flat broadcast: the origin
+//! sends one message to each of the other `N - 1` nodes. That is fine at
+//! the paper's 8–16 nodes and ranking-inverting at 64+, where the origin
+//! serializes `N - 1` send costs per broadcast and threshold strategies
+//! degenerate into message storms.
+//!
+//! This crate provides the two ingredients that fix it, both
+//! deterministic and seed-driven so simulation runs stay byte-identical
+//! for a fixed seed:
+//!
+//! * **Collective topologies** ([`Topology`], [`TreeView`]): flat,
+//!   binomial tree and chain tree over the *live* member set, with a
+//!   size-switched selection rule ([`select_topology`]) keyed on message
+//!   size and live node count, after Barchet-Estefanel & Mounié's "Fast
+//!   Tuning of Intra-Cluster Collective Communications". Trees are pure
+//!   functions of `(topology, origin, live mask)`: every node derives
+//!   the same tree independently from its membership snapshot, so
+//!   "repair" after a crash or rejoin is just reconstruction from the
+//!   new mask — no protocol, no coordinator.
+//! * **Sparse load-balancing samplers** ([`DetRng`], [`sample_peers`]):
+//!   power-of-two-choices sampling and threshold-triggered sparse pulls
+//!   need a small number of distinct live peers drawn deterministically;
+//!   [`sample_peers`] is a partial Fisher–Yates over the live set, after
+//!   Mendelson & Kuang's "Load Balancing Using Sparse Communication".
+//!
+//! The crate is a leaf: no engine types, no I/O, no OS entropy. Both the
+//! simulator (`press-core`) and the live cluster (`press-server`) build
+//! their dissemination fan-out on these primitives.
+
+mod det;
+mod sparse;
+mod topology;
+
+pub use det::DetRng;
+pub use sparse::sample_peers;
+pub use topology::{
+    ceil_log2, select_topology, Children, Topology, TreeView, FLAT_MAX_NODES, MAX_NODES,
+    PIPELINE_MIN_BYTES,
+};

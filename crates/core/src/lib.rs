@@ -43,7 +43,7 @@ pub use driver::{run_simulation, run_simulation_traced, SimConfig, WorkloadSourc
 pub use load::Dissemination;
 pub use metrics::Metrics;
 pub use overload::{BreakerConfig, CircuitBreaker, OverloadConfig};
-pub use policy::{decide, Decision, PolicyConfig, RequestView};
+pub use policy::{decide, decide_probed, Decision, PolicyConfig, RequestView};
 pub use press_sim::{decorrelated_jitter_micros, CrashWindow, FaultInjector, FaultPlan};
 pub use press_trace::{ScenarioOp, ScenarioPlan};
 pub use server::{ClusterSim, Event, Msg, SimWorkload};

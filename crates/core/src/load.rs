@@ -1,4 +1,6 @@
-//! Load-information dissemination strategies (Section 3.3, Figure 4).
+//! Load-information dissemination strategies (Section 3.3, Figure 4),
+//! plus the topology-aware and sparse extensions built on
+//! `press-collect` for clusters past the paper's 8–16 nodes.
 
 /// How nodes learn about each other's load (open-connection counts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,6 +14,21 @@ pub enum Dissemination {
     /// No load information at all; distribution is purely locality-driven
     /// ("NLB" in Figure 4).
     None,
+    /// Like `Broadcast(k)`, but the broadcast fans out along a collective
+    /// tree (binomial or chain, size-switched over the live member set)
+    /// instead of `N - 1` serialized sends from the origin ("T1"/"T4"/
+    /// "T16").
+    TreeBroadcast(u32),
+    /// Power-of-two-choices sparse sampling ("P2C"): no broadcasts at
+    /// all; each forwarding decision probes `d` randomly sampled remote
+    /// cachers for their current load and picks the least loaded of the
+    /// replies.
+    PowerOfTwoChoices(u32),
+    /// Threshold-triggered sparse pulls ("SP"): when a node's own load
+    /// moves at least `threshold` connections, it refreshes its view by
+    /// probing `fanout` sampled live peers instead of broadcasting to
+    /// everyone.
+    SparsePull { threshold: u32, fanout: u32 },
 }
 
 impl Dissemination {
@@ -25,12 +42,28 @@ impl Dissemination {
         Dissemination::None,
     ];
 
+    /// The topology-aware and sparse extensions, in the order the
+    /// revisited Figure 4 plots them (T16, T4, T1, P2C, SP4).
+    pub const FIGURE4_EXT: [Dissemination; 5] = [
+        Dissemination::TreeBroadcast(16),
+        Dissemination::TreeBroadcast(4),
+        Dissemination::TreeBroadcast(1),
+        Dissemination::PowerOfTwoChoices(2),
+        Dissemination::SparsePull {
+            threshold: 4,
+            fanout: 4,
+        },
+    ];
+
     /// The figure label.
     pub fn name(self) -> String {
         match self {
             Dissemination::Piggyback => "PB".to_string(),
             Dissemination::Broadcast(k) => format!("L{k}"),
             Dissemination::None => "NLB".to_string(),
+            Dissemination::TreeBroadcast(k) => format!("T{k}"),
+            Dissemination::PowerOfTwoChoices(d) => format!("P{d}C"),
+            Dissemination::SparsePull { threshold, .. } => format!("SP{threshold}"),
         }
     }
 
@@ -40,12 +73,39 @@ impl Dissemination {
     }
 
     /// Whether a node whose load moved from `last_broadcast` to `load`
-    /// must broadcast now.
+    /// must broadcast (or, for `SparsePull`, pull) now.
     pub fn should_broadcast(self, load: u32, last_broadcast: u32) -> bool {
         match self {
-            Dissemination::Broadcast(k) => load.abs_diff(last_broadcast) >= k,
+            Dissemination::Broadcast(k) | Dissemination::TreeBroadcast(k) => {
+                load.abs_diff(last_broadcast) >= k
+            }
+            Dissemination::SparsePull { threshold, .. } => {
+                load.abs_diff(last_broadcast) >= threshold
+            }
             _ => false,
         }
+    }
+
+    /// Whether explicit load/caching dissemination under this strategy
+    /// fans out along a collective tree (vs. the legacy flat loop).
+    pub fn tree_dissemination(self) -> bool {
+        matches!(self, Dissemination::TreeBroadcast(_))
+    }
+
+    /// The number of peers a sparse strategy samples per probe round
+    /// (0 for the non-sparse strategies).
+    pub fn probe_fanout(self) -> u32 {
+        match self {
+            Dissemination::PowerOfTwoChoices(d) => d,
+            Dissemination::SparsePull { fanout, .. } => fanout,
+            _ => 0,
+        }
+    }
+
+    /// Whether forwarding decisions wait on fresh probe replies
+    /// (power-of-two-choices) rather than a passive load view.
+    pub fn probes_on_decision(self) -> bool {
+        matches!(self, Dissemination::PowerOfTwoChoices(_))
     }
 }
 
@@ -63,6 +123,15 @@ mod tests {
     fn figure4_labels() {
         let labels: Vec<String> = Dissemination::FIGURE4.iter().map(|d| d.name()).collect();
         assert_eq!(labels, vec!["PB", "L16", "L4", "L1", "NLB"]);
+    }
+
+    #[test]
+    fn figure4_ext_labels() {
+        let labels: Vec<String> = Dissemination::FIGURE4_EXT
+            .iter()
+            .map(|d| d.name())
+            .collect();
+        assert_eq!(labels, vec!["T16", "T4", "T1", "P2C", "SP4"]);
     }
 
     #[test]
@@ -85,5 +154,33 @@ mod tests {
         assert!(Dissemination::Piggyback.load_balancing());
         assert!(Dissemination::Broadcast(1).load_balancing());
         assert!(!Dissemination::None.load_balancing());
+        assert!(Dissemination::TreeBroadcast(4).load_balancing());
+        assert!(Dissemination::PowerOfTwoChoices(2).load_balancing());
+    }
+
+    #[test]
+    fn tree_variants_share_the_threshold_rule() {
+        let t4 = Dissemination::TreeBroadcast(4);
+        assert!(t4.tree_dissemination());
+        assert!(!t4.should_broadcast(3, 0));
+        assert!(t4.should_broadcast(4, 0));
+        assert!(!Dissemination::Broadcast(4).tree_dissemination());
+    }
+
+    #[test]
+    fn sparse_strategy_shapes() {
+        let sp = Dissemination::SparsePull {
+            threshold: 4,
+            fanout: 4,
+        };
+        assert!(sp.should_broadcast(0, 4));
+        assert!(!sp.should_broadcast(3, 0));
+        assert_eq!(sp.probe_fanout(), 4);
+        assert!(!sp.probes_on_decision());
+        let p2c = Dissemination::PowerOfTwoChoices(2);
+        assert!(p2c.probes_on_decision());
+        assert_eq!(p2c.probe_fanout(), 2);
+        assert!(!p2c.should_broadcast(100, 0));
+        assert_eq!(Dissemination::Piggyback.probe_fanout(), 0);
     }
 }

@@ -12,6 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use press_cluster::{CpuCategory, FileCache, Node, NodeId, ServiceRates};
+use press_collect::{sample_peers, select_topology, DetRng, TreeView};
 use press_net::{
     fastpath_recv_cost, fastpath_send_cost, recv_cost, send_cost, wire_bytes, CostModel,
     DeliveryMode, EndpointCost, MessageType, MsgCounters, FILE_SEGMENT_BYTES,
@@ -24,7 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::load::Dissemination;
 use crate::overload::{CircuitBreaker, OverloadConfig};
-use crate::policy::{decide, Decision, PolicyConfig, RequestView};
+use crate::policy::{decide, decide_probed, Decision, PolicyConfig, RequestView};
 use crate::version::ServerVersion;
 
 /// Mean wire size of a client HTTP request (GET line + headers).
@@ -56,6 +57,17 @@ const SURGE_STAGGER: SimTime = SimTime::from_micros(97);
 /// engine's default): the per-doorbell CPU cost is amortized over this
 /// many coalesced sends.
 const DOORBELL_BATCH: usize = 4;
+/// How long a power-of-two-choices decision waits for probe replies
+/// before falling back to whatever replies have arrived. Generous
+/// relative to the probe round trip (~100 µs of send/receive CPU plus
+/// wire latency) because under load the replies queue behind other
+/// communication work; it only bounds the rare lost-probe case, and is
+/// still small against multi-millisecond response times.
+const PROBE_TIMEOUT: SimTime = SimTime::from_micros(2_000);
+/// Seed perturbation for the dissemination engine's own RNG stream:
+/// new strategies draw sampling decisions from it without touching the
+/// legacy `StdRng` stream, keeping legacy runs byte-identical.
+const COLLECT_SEED_XOR: u64 = 0xC011_EC75;
 
 /// Immutable parameters of one simulation run.
 #[derive(Debug, Clone)]
@@ -94,6 +106,11 @@ struct Request {
     /// Absolute deadline granted at admission; `None` when overload
     /// protection is off or deadline shedding is disabled.
     deadline: Option<SimTime>,
+    /// Probe replies the dispatch decision is still waiting for
+    /// (power-of-two-choices only; 0 otherwise and once dispatched).
+    pending_probes: u32,
+    /// `(peer, load)` replies collected so far for this decision.
+    probed: Vec<(u16, u32)>,
 }
 
 /// One intra-cluster message.
@@ -116,6 +133,14 @@ pub struct Msg {
     /// inter-node message carries). Zero when tracing is off; never read
     /// by simulation logic, only copied into trace events.
     parent_span: u32,
+    /// The node that originated this broadcast (== `from` for direct
+    /// sends; differs on tree-relayed hops).
+    origin: u16,
+    /// The origin's load at broadcast time, carried through relays so a
+    /// relayed Load still refreshes the receiver's view of the origin.
+    origin_load: u32,
+    /// Sparse-probe marker: 0 = not a probe, 1 = query, 2 = reply.
+    probe: u8,
 }
 
 /// Simulation events.
@@ -139,6 +164,8 @@ pub enum Event {
     Membership { node: u16, alive: bool },
     /// A forwarded request's per-peer timeout expired.
     RetryTimeout { req: u64, attempt: u32 },
+    /// A power-of-two-choices decision stopped waiting for probe replies.
+    ProbeTimeout { req: u64, attempt: u32 },
 }
 
 /// Degraded-mode event counters, accumulated over the whole run.
@@ -218,6 +245,10 @@ pub struct ClusterSim {
     requests: HashMap<u64, Request>,
     next_req: u64,
     cpu_inflation: f64,
+    /// Sampling stream for the sparse dissemination strategies. Separate
+    /// from `rng` so legacy strategies (which never draw from it) stay
+    /// byte-identical at a fixed seed.
+    collect_rng: DetRng,
     // --- fault-injection state ---
     faults: FaultPlan,
     injector: FaultInjector,
@@ -344,6 +375,7 @@ impl ClusterSim {
             requests: HashMap::new(),
             next_req: 1,
             cpu_inflation,
+            collect_rng: DetRng::new(seed ^ COLLECT_SEED_XOR),
             injector: faults.injector(),
             fault_schedule: faults.schedule(),
             fault_next: 0,
@@ -635,6 +667,30 @@ impl ClusterSim {
         self.params.dissemination == Dissemination::Piggyback
     }
 
+    /// Whether this run uses the press-collect dissemination engine
+    /// (tree fan-out for broadcasts, sparse sampling for load). Legacy
+    /// strategies return false and execute the unmodified flat paths.
+    fn uses_collect(&self) -> bool {
+        matches!(
+            self.params.dissemination,
+            Dissemination::TreeBroadcast(_)
+                | Dissemination::PowerOfTwoChoices(_)
+                | Dissemination::SparsePull { .. }
+        )
+    }
+
+    /// The failure detector's live-member bitmask — the membership epoch
+    /// every node derives its dissemination tree from.
+    fn live_mask(&self) -> u128 {
+        let mut mask = 0u128;
+        for (i, &alive) in self.alive_view.iter().enumerate() {
+            if alive {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
     fn needs_credit(&self, ty: MessageType) -> bool {
         self.params.cost.explicit_flow_control
             && matches!(
@@ -898,6 +954,27 @@ impl ClusterSim {
         credits: u32,
         sched: &mut Scheduler<Event>,
     ) {
+        self.send_msg_ext(now, ty, from, to, data_len, req, credits, from, 0, 0, sched);
+    }
+
+    /// [`Self::send_msg`] with explicit dissemination routing: `origin`
+    /// (the broadcast's root, ≠ `from` on tree-relayed hops), the
+    /// origin's load at broadcast time, and the sparse-probe marker.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire-message fields
+    fn send_msg_ext(
+        &mut self,
+        now: SimTime,
+        ty: MessageType,
+        from: u16,
+        to: u16,
+        data_len: u64,
+        req: Option<u64>,
+        credits: u32,
+        origin: u16,
+        origin_load: u32,
+        probe: u8,
+        sched: &mut Scheduler<Event>,
+    ) {
         debug_assert_ne!(from, to, "no self-messages");
         let mode = self.mode_of(ty);
         let wire = wire_bytes(ty, data_len, mode, self.piggyback());
@@ -914,6 +991,9 @@ impl ClusterSim {
             sender_load: self.nodes[from as usize].open_connections,
             attempt,
             parent_span: 0,
+            origin,
+            origin_load,
+            probe,
         };
         if self.needs_credit(ty) {
             let ch = self.channel_mut(from, to);
@@ -1019,6 +1099,73 @@ impl ClusterSim {
         sched.schedule(rx_done, Event::MsgDelivered(msg));
     }
 
+    /// Fans a broadcast one hop down the dissemination tree rooted at
+    /// `origin`: sends to `me`'s children in the tree derived from the
+    /// current membership epoch. Every hop rebuilds the tree from its own
+    /// live mask, so a crash or rejoin between hops re-routes the
+    /// remainder of the broadcast automatically (epoch-aware repair).
+    fn tree_fanout(
+        &mut self,
+        now: SimTime,
+        ty: MessageType,
+        me: u16,
+        origin: u16,
+        origin_load: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let mask = self.live_mask();
+        let topo = select_topology(mask.count_ones(), 0);
+        let tree = TreeView::build(topo, origin, mask, self.params.nodes as u16);
+        let children = tree.children(me);
+        if children.is_empty() {
+            return;
+        }
+        self.trace_instant(
+            now,
+            me,
+            lane::MAIN,
+            EventKind::TreeRelay,
+            0,
+            origin as u64,
+            children.len() as u64,
+        );
+        for c in children {
+            self.send_msg_ext(now, ty, me, c, 0, None, 0, origin, origin_load, 0, sched);
+        }
+    }
+
+    /// Threshold-triggered sparse pull: instead of broadcasting its load
+    /// to everyone, `node` probes a few sampled live peers. The query
+    /// carries the puller's load (refreshing the peer's view of us), the
+    /// reply carries the peer's (refreshing ours) — a bidirectional view
+    /// refresh at `2 × fanout` messages instead of `N - 1`.
+    fn sparse_pull(&mut self, now: SimTime, node: u16, fanout: u32, sched: &mut Scheduler<Event>) {
+        let mask = self.live_mask();
+        let targets = sample_peers(
+            &mut self.collect_rng,
+            node,
+            mask,
+            self.params.nodes as u16,
+            fanout as usize,
+        );
+        for t in targets {
+            self.trace_instant(now, node, lane::MAIN, EventKind::LoadProbe, 0, t as u64, 0);
+            self.send_msg_ext(
+                now,
+                MessageType::Load,
+                node,
+                t,
+                0,
+                None,
+                0,
+                node,
+                0,
+                1,
+                sched,
+            );
+        }
+    }
+
     /// A connection opened or closed at `node`: update the local view and
     /// broadcast under threshold dissemination.
     fn load_changed(&mut self, now: SimTime, node: u16, sched: &mut Scheduler<Event>) {
@@ -1030,9 +1177,19 @@ impl ClusterSim {
             .should_broadcast(load, self.last_broadcast[node as usize])
         {
             self.last_broadcast[node as usize] = load;
-            for peer in 0..self.params.nodes as u16 {
-                if peer != node {
-                    self.send_msg(now, MessageType::Load, node, peer, 0, None, 0, sched);
+            match self.params.dissemination {
+                Dissemination::TreeBroadcast(_) => {
+                    self.tree_fanout(now, MessageType::Load, node, node, load, sched);
+                }
+                Dissemination::SparsePull { fanout, .. } => {
+                    self.sparse_pull(now, node, fanout, sched);
+                }
+                _ => {
+                    for peer in 0..self.params.nodes as u16 {
+                        if peer != node {
+                            self.send_msg(now, MessageType::Load, node, peer, 0, None, 0, sched);
+                        }
+                    }
                 }
             }
         }
@@ -1055,9 +1212,15 @@ impl ClusterSim {
         for ev in &evicted {
             self.cachers[ev.0 as usize] &= !bit;
         }
-        for peer in 0..self.params.nodes as u16 {
-            if peer != node {
-                self.send_msg(now, MessageType::Caching, node, peer, 0, None, 0, sched);
+        if self.uses_collect() {
+            // Caching info still reaches everyone, but along the tree:
+            // the origin pays O(fan-out) sends instead of N - 1.
+            self.tree_fanout(now, MessageType::Caching, node, node, 0, sched);
+        } else {
+            for peer in 0..self.params.nodes as u16 {
+                if peer != node {
+                    self.send_msg(now, MessageType::Caching, node, peer, 0, None, 0, sched);
+                }
             }
         }
     }
@@ -1340,6 +1503,272 @@ impl ClusterSim {
         self.schedule_retry(now, req_id, next_attempt, sched);
     }
 
+    /// Forwards `req_id` from `node` to `target` (the acting half of a
+    /// `Decision::Forward`, shared by the view-based and probed paths).
+    fn do_forward(
+        &mut self,
+        now: SimTime,
+        req_id: u64,
+        node: u16,
+        target: u16,
+        sched: &mut Scheduler<Event>,
+    ) {
+        self.trace_instant(
+            now,
+            node,
+            lane::MAIN,
+            EventKind::Dispatch,
+            req_id,
+            1,
+            target as u64,
+        );
+        if let Some(r) = self.requests.get_mut(&req_id) {
+            r.forwarded = true;
+            r.server = Some(target);
+        }
+        self.breaker_on_send(node, target, now);
+        self.send_msg(
+            now,
+            MessageType::Forward,
+            node,
+            target,
+            0,
+            Some(req_id),
+            0,
+            sched,
+        );
+        self.schedule_retry(now, req_id, 0, sched);
+    }
+
+    /// One probe reply arrived for a deferred power-of-two-choices
+    /// decision; dispatch once the last expected reply is in.
+    fn probe_reply(
+        &mut self,
+        now: SimTime,
+        req_id: u64,
+        from: u16,
+        load: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let ready = {
+            let Some(r) = self.requests.get_mut(&req_id) else {
+                return;
+            };
+            // Already dispatched (timeout beat us) or never probing.
+            if r.pending_probes == 0 {
+                return;
+            }
+            r.probed.push((from, load));
+            r.pending_probes -= 1;
+            r.pending_probes == 0
+        };
+        if ready {
+            self.dispatch_probed(now, req_id, sched);
+        }
+    }
+
+    /// Acts on a probed decision with whatever replies arrived: forward
+    /// to the least-loaded probed peer (fresh loads, not a lagging view)
+    /// or serve locally.
+    fn dispatch_probed(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
+        let (node, probed) = {
+            let Some(r) = self.requests.get_mut(&req_id) else {
+                return;
+            };
+            r.pending_probes = 0;
+            (r.initial.0, std::mem::take(&mut r.probed))
+        };
+        let peers: Vec<NodeId> = probed.iter().map(|&(n, _)| NodeId(n)).collect();
+        let loads: Vec<u32> = probed.iter().map(|&(_, l)| l).collect();
+        let own = self.nodes[node as usize].open_connections;
+        let mut decision = if probed.is_empty() {
+            // Every probe timed out (lost or badly delayed). Serving
+            // locally would replicate the file through a disk read; the
+            // NLB-style fallback — lowest-numbered live cacher — keeps
+            // the request on a cached copy.
+            let file = match self.requests.get(&req_id) {
+                Some(r) => r.file,
+                None => return,
+            };
+            let mask = self.cachers[file.0 as usize];
+            (0..self.params.nodes as u16)
+                .find(|&i| i != node && mask & (1 << i) != 0 && self.alive_view[i as usize])
+                .map(|t| Decision::Forward(NodeId(t)))
+                .unwrap_or(Decision::ServeLocal)
+        } else {
+            decide_probed(&self.params.policy, NodeId(node), own, &peers, &loads)
+        };
+        if let Decision::Forward(t) = decision {
+            if !self.breaker_allows(node, t.0, now) {
+                // Steer to the best probed peer the breaker still admits.
+                self.fault_stats.breaker_diverts += 1;
+                decision = probed
+                    .iter()
+                    .filter(|&&(c, _)| c != node && self.breaker_allows(node, c, now))
+                    .min_by_key(|&&(c, l)| (l, c))
+                    .map(|&(c, _)| Decision::Forward(NodeId(c)))
+                    .unwrap_or(Decision::ServeLocal);
+            }
+        }
+        match decision {
+            Decision::ServeLocal => {
+                self.trace_instant(
+                    now,
+                    node,
+                    lane::MAIN,
+                    EventKind::Dispatch,
+                    req_id,
+                    0,
+                    node as u64,
+                );
+                if let Some(r) = self.requests.get_mut(&req_id) {
+                    r.server = Some(node);
+                }
+                self.service_request(now, req_id, node, sched);
+            }
+            Decision::Forward(t) => self.do_forward(now, req_id, node, t.0, sched),
+        }
+    }
+
+    /// Makes the distribution decision for a parsed request (Section 2.2)
+    /// and acts on it. Factored out of the `Parsed` event so the probing
+    /// strategies can defer the decision and re-enter the acting half
+    /// from [`Self::dispatch_probed`] once replies arrive.
+    fn dispatch_request(&mut self, now: SimTime, req_id: u64, sched: &mut Scheduler<Event>) {
+        let (node, file, bytes) = {
+            let Some(req) = self.requests.get(&req_id) else {
+                return;
+            };
+            (req.initial.0, req.file, req.bytes)
+        };
+        let first = !self.ever_requested[file.0 as usize];
+        self.ever_requested[file.0 as usize] = true;
+        let cachers_mask = self.cachers[file.0 as usize];
+        // Peers the failure detector has evicted are not
+        // forwarding candidates, whatever the caching info says.
+        let cachers: Vec<NodeId> = (0..self.params.nodes as u16)
+            .filter(|&i| cachers_mask & (1 << i) != 0 && self.alive_view[i as usize])
+            .map(NodeId)
+            .collect();
+        // Power-of-two-choices: a request that would consult the lagging
+        // load view instead probes a few sampled cachers for their live
+        // load and defers the decision to the replies. The guards mirror
+        // policy steps 1–2, which never look at loads.
+        if self.params.dissemination.probes_on_decision()
+            && !first
+            && bytes < self.params.policy.large_file_cutoff
+            && !self.nodes[node as usize].cache.contains(file)
+        {
+            let mut pmask = 0u128;
+            for c in &cachers {
+                if c.0 != node {
+                    pmask |= 1 << c.0;
+                }
+            }
+            if pmask != 0 {
+                let d = self.params.dissemination.probe_fanout() as usize;
+                let targets = sample_peers(
+                    &mut self.collect_rng,
+                    node,
+                    pmask,
+                    self.params.nodes as u16,
+                    d,
+                );
+                let attempt = self.requests.get(&req_id).map_or(0, |r| r.attempt);
+                if let Some(r) = self.requests.get_mut(&req_id) {
+                    r.pending_probes = targets.len() as u32;
+                    r.probed.clear();
+                }
+                for &t in &targets {
+                    self.trace_instant(
+                        now,
+                        node,
+                        lane::MAIN,
+                        EventKind::LoadProbe,
+                        req_id,
+                        t as u64,
+                        0,
+                    );
+                    self.send_msg_ext(
+                        now,
+                        MessageType::Load,
+                        node,
+                        t,
+                        0,
+                        Some(req_id),
+                        0,
+                        node,
+                        0,
+                        1,
+                        sched,
+                    );
+                }
+                sched.schedule(
+                    now + PROBE_TIMEOUT,
+                    Event::ProbeTimeout {
+                        req: req_id,
+                        attempt,
+                    },
+                );
+                return;
+            }
+        }
+        let decision = decide(
+            &self.params.policy,
+            &RequestView {
+                initial: NodeId(node),
+                file_bytes: bytes,
+                cached_locally: self.nodes[node as usize].cache.contains(file),
+                first_request: first,
+                cachers: &cachers,
+                loads: &self.load_views[node as usize],
+                load_balancing: self.params.dissemination.load_balancing(),
+            },
+        );
+        match decision {
+            Decision::ServeLocal => {
+                self.trace_instant(
+                    now,
+                    node,
+                    lane::MAIN,
+                    EventKind::Dispatch,
+                    req_id,
+                    0,
+                    node as u64,
+                );
+                if let Some(r) = self.requests.get_mut(&req_id) {
+                    r.server = Some(node);
+                }
+                self.service_request(now, req_id, node, sched);
+            }
+            Decision::Forward(target) => {
+                // Circuit breaker: a peer that keeps missing
+                // deadlines is not a forwarding target. Steer to
+                // the best-admissible cacher, or serve locally.
+                let target = if self.breaker_allows(node, target.0, now) {
+                    Some(target.0)
+                } else {
+                    self.fault_stats.breaker_diverts += 1;
+                    cachers
+                        .iter()
+                        .map(|c| c.0)
+                        .filter(|&c| c != node && self.breaker_allows(node, c, now))
+                        .min_by_key(|&c| (self.load_views[node as usize][c as usize], c))
+                };
+                let Some(target) = target else {
+                    // Every admissible peer is broken open: local
+                    // service beats piling onto a saturated one.
+                    if let Some(r) = self.requests.get_mut(&req_id) {
+                        r.server = Some(node);
+                    }
+                    self.service_request(now, req_id, node, sched);
+                    return;
+                };
+                self.do_forward(now, req_id, node, target, sched);
+            }
+        }
+    }
+
     /// Applies every crash/recovery transition whose completed-request
     /// trigger has been reached.
     fn process_fault_schedule(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
@@ -1493,8 +1922,61 @@ impl ClusterSim {
         if self.piggyback() || msg.ty == MessageType::Load {
             self.load_views[msg.to as usize][msg.from as usize] = msg.sender_load;
         }
+        // A tree-relayed Load also refreshes the view of the broadcast's
+        // origin, whose load rode along through the relay hops.
+        if msg.ty == MessageType::Load && msg.probe == 0 && msg.origin != msg.from {
+            self.load_views[msg.to as usize][msg.origin as usize] = msg.origin_load;
+        }
         match msg.ty {
-            MessageType::Load | MessageType::Caching => {}
+            MessageType::Load | MessageType::Caching => {
+                if msg.probe == 1 {
+                    // Sparse probe query: answer with our own load (the
+                    // reply's sender_load, set at transmit). Echo the
+                    // request id so a P2C decision can collect replies.
+                    self.trace_instant(
+                        now,
+                        msg.to,
+                        lane::MAIN,
+                        EventKind::LoadProbe,
+                        msg.req.unwrap_or(0),
+                        msg.from as u64,
+                        0,
+                    );
+                    self.send_msg_ext(
+                        now,
+                        MessageType::Load,
+                        msg.to,
+                        msg.from,
+                        0,
+                        msg.req,
+                        0,
+                        msg.to,
+                        0,
+                        2,
+                        sched,
+                    );
+                } else if msg.probe == 2 {
+                    self.trace_instant(
+                        now,
+                        msg.to,
+                        lane::MAIN,
+                        EventKind::LoadProbe,
+                        msg.req.unwrap_or(0),
+                        msg.from as u64,
+                        1,
+                    );
+                    if let Some(req_id) = msg.req {
+                        self.probe_reply(now, req_id, msg.from, msg.sender_load, sched);
+                    }
+                } else if self.uses_collect()
+                    && (msg.ty == MessageType::Caching
+                        || self.params.dissemination.tree_dissemination())
+                {
+                    // Relay the broadcast one hop further down the tree,
+                    // rebuilt from our current membership epoch.
+                    self.tree_fanout(now, msg.ty, msg.to, msg.origin, msg.origin_load, sched);
+                }
+            }
             MessageType::Flow => {
                 self.grant_credits(now, msg.to, msg.from, msg.credits, sched);
             }
@@ -1585,6 +2067,8 @@ impl Model for ClusterSim {
                         server: None,
                         replying: false,
                         deadline,
+                        pending_probes: 0,
+                        probed: Vec::new(),
                     },
                 );
                 self.nodes[node as usize].open_connections += 1;
@@ -1647,93 +2131,7 @@ impl Model for ClusterSim {
                         return;
                     }
                 }
-                let first = !self.ever_requested[file.0 as usize];
-                self.ever_requested[file.0 as usize] = true;
-                let cachers_mask = self.cachers[file.0 as usize];
-                // Peers the failure detector has evicted are not
-                // forwarding candidates, whatever the caching info says.
-                let cachers: Vec<NodeId> = (0..self.params.nodes as u16)
-                    .filter(|&i| cachers_mask & (1 << i) != 0 && self.alive_view[i as usize])
-                    .map(NodeId)
-                    .collect();
-                let decision = decide(
-                    &self.params.policy,
-                    &RequestView {
-                        initial: NodeId(node),
-                        file_bytes: bytes,
-                        cached_locally: self.nodes[node as usize].cache.contains(file),
-                        first_request: first,
-                        cachers: &cachers,
-                        loads: &self.load_views[node as usize],
-                        load_balancing: self.params.dissemination.load_balancing(),
-                    },
-                );
-                match decision {
-                    Decision::ServeLocal => {
-                        self.trace_instant(
-                            now,
-                            node,
-                            lane::MAIN,
-                            EventKind::Dispatch,
-                            req_id,
-                            0,
-                            node as u64,
-                        );
-                        if let Some(r) = self.requests.get_mut(&req_id) {
-                            r.server = Some(node);
-                        }
-                        self.service_request(now, req_id, node, sched);
-                    }
-                    Decision::Forward(target) => {
-                        // Circuit breaker: a peer that keeps missing
-                        // deadlines is not a forwarding target. Steer to
-                        // the best-admissible cacher, or serve locally.
-                        let target = if self.breaker_allows(node, target.0, now) {
-                            Some(target.0)
-                        } else {
-                            self.fault_stats.breaker_diverts += 1;
-                            cachers
-                                .iter()
-                                .map(|c| c.0)
-                                .filter(|&c| c != node && self.breaker_allows(node, c, now))
-                                .min_by_key(|&c| (self.load_views[node as usize][c as usize], c))
-                        };
-                        let Some(target) = target else {
-                            // Every admissible peer is broken open: local
-                            // service beats piling onto a saturated one.
-                            if let Some(r) = self.requests.get_mut(&req_id) {
-                                r.server = Some(node);
-                            }
-                            self.service_request(now, req_id, node, sched);
-                            return;
-                        };
-                        self.trace_instant(
-                            now,
-                            node,
-                            lane::MAIN,
-                            EventKind::Dispatch,
-                            req_id,
-                            1,
-                            target as u64,
-                        );
-                        if let Some(r) = self.requests.get_mut(&req_id) {
-                            r.forwarded = true;
-                            r.server = Some(target);
-                        }
-                        self.breaker_on_send(node, target, now);
-                        self.send_msg(
-                            now,
-                            MessageType::Forward,
-                            node,
-                            target,
-                            0,
-                            Some(req_id),
-                            0,
-                            sched,
-                        );
-                        self.schedule_retry(now, req_id, 0, sched);
-                    }
-                }
+                self.dispatch_request(now, req_id, sched);
             }
             Event::DiskDone { req: req_id, node } => {
                 // The disk of a crashed node completes into the void, and
@@ -1866,6 +2264,21 @@ impl Model for ClusterSim {
                     }
                 }
                 self.retry_request(now, req_id, sched);
+            }
+            Event::ProbeTimeout {
+                req: req_id,
+                attempt,
+            } => {
+                let Some(r) = self.requests.get(&req_id) else {
+                    return;
+                };
+                // Stale (retried meanwhile) or already dispatched by the
+                // last reply: nothing to do. Otherwise decide now with
+                // whatever replies arrived (possibly none → serve local).
+                if r.attempt != attempt || r.pending_probes == 0 {
+                    return;
+                }
+                self.dispatch_probed(now, req_id, sched);
             }
         }
     }

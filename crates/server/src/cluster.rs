@@ -64,6 +64,16 @@ pub struct LiveConfig {
     /// per-peer circuit breakers in every node's main loop. The disabled
     /// default leaves all paths identical to pre-protection builds.
     pub overload: OverloadConfig,
+    /// Fan caching broadcasts out along a collective tree derived from
+    /// the membership bitmask (size-switched flat/binomial/chain, origin
+    /// packed into the Caching token's high bits) instead of the flat
+    /// origin-sends-to-everyone loop. The disabled default keeps the
+    /// wire traffic identical to pre-tree builds.
+    pub tree_caching: bool,
+    /// Sparse load dissemination: RDMA-write the periodic load-table
+    /// update to only this many sampled live peers per period instead of
+    /// all of them. `0` (the default) writes to every live peer.
+    pub load_write_fanout: u32,
 }
 
 impl Default for LiveConfig {
@@ -83,6 +93,8 @@ impl Default for LiveConfig {
             max_retries: 3,
             faults: None,
             overload: OverloadConfig::disabled(),
+            tree_caching: false,
+            load_write_fanout: 0,
         }
     }
 }
@@ -431,6 +443,7 @@ impl LiveCluster {
                 membership: Arc::clone(&membership),
                 dead: Arc::clone(&dead[i]),
                 trace: tracer.as_ref().map(|t| t.handle(i as u16, lane::MAIN)),
+                load_write_fanout: cfg.load_write_fanout,
             });
             let main_cfg = MainConfig {
                 catalog: Arc::clone(&catalog),
@@ -442,6 +455,7 @@ impl LiveCluster {
                 max_retries: cfg.max_retries,
                 overload: cfg.overload,
                 jitter_seed: cfg.faults.as_ref().map_or(0, |p| p.seed),
+                tree_caching: cfg.tree_caching,
             };
             let cq = cq_iter.next().expect("one cq per node");
 

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use press_cluster::{FileCache, NodeId};
+use press_collect::{sample_peers, select_topology, DetRng, TreeView};
 use press_core::{
     decide, decorrelated_jitter_micros, CircuitBreaker, Decision, OverloadConfig, PolicyConfig,
     RequestView,
@@ -142,6 +143,9 @@ pub(crate) struct NodeCtx {
     /// Main-thread telemetry handle (wall-clock spans); None when tracing
     /// is off, leaving the hot path a single branch.
     pub trace: Option<TraceHandle>,
+    /// Sparse load dissemination: RDMA-write the periodic load update to
+    /// only this many sampled live peers (0 = all live peers).
+    pub load_write_fanout: u32,
 }
 
 impl NodeCtx {
@@ -183,6 +187,9 @@ pub(crate) struct MainConfig {
     /// Seed of the retry-backoff jitter stream (the fault plan's seed, so
     /// both engines draw the same schedule for the same token).
     pub jitter_seed: u64,
+    /// Fan caching broadcasts out along a collective tree over the
+    /// membership bitmask instead of the flat per-peer loop.
+    pub tree_caching: bool,
 }
 
 /// What to do when a disk read completes. Each waiter carries the trace
@@ -602,12 +609,31 @@ pub(crate) fn main_loop(
                             }
                         }
                         WireKind::Caching => {
-                            // token 0 = now caches, 1 = evicted.
-                            let bit = 1u128 << from;
-                            if msg.token == 0 {
+                            // Low byte: 0 = now caches, 1 = evicted. High
+                            // bits: origin+1 when tree-routed (0 = legacy
+                            // flat send, where the sender IS the origin).
+                            let action = msg.token & 0xFF;
+                            let origin_enc = msg.token >> 8;
+                            let origin = if origin_enc == 0 {
+                                from
+                            } else {
+                                (origin_enc - 1) as usize
+                            };
+                            let bit = 1u128 << origin;
+                            if action == 0 {
                                 cachers[msg.file.0 as usize] |= bit;
                             } else {
                                 cachers[msg.file.0 as usize] &= !bit;
+                            }
+                            if origin_enc != 0 {
+                                tree_caching_fanout(
+                                    &ctx,
+                                    &send_tx,
+                                    msg.file,
+                                    msg.token,
+                                    msg.sender_load,
+                                    origin,
+                                );
                             }
                         }
                         // Flow is consumed by the receive thread.
@@ -635,10 +661,10 @@ pub(crate) fn main_loop(
                     let evicted = cache.insert(file, bytes);
                     let bit = 1u128 << ctx.id;
                     cachers[file.0 as usize] |= bit;
-                    broadcast_caching(&ctx, &send_tx, file, 0, load);
+                    broadcast_caching(&ctx, &send_tx, file, 0, load, cfg.tree_caching);
                     for ev in evicted {
                         cachers[ev.0 as usize] &= !bit;
-                        broadcast_caching(&ctx, &send_tx, ev, 1, load);
+                        broadcast_caching(&ctx, &send_tx, ev, 1, load, cfg.tree_caching);
                     }
                     for waiter in wait.map(|w| w.waiters).unwrap_or_default() {
                         match waiter {
@@ -998,18 +1024,71 @@ fn broadcast_caching(
     file: FileId,
     action: u64,
     load: u32,
+    tree: bool,
 ) {
-    for peer in 0..ctx.nodes {
-        if peer == ctx.id || !ctx.membership.is_live(peer) {
-            continue;
+    if tree {
+        // The origin rides in the token's high bits (action stays in the
+        // low byte), so relays can rebuild the same tree: the wire format
+        // is unchanged, legacy receivers see origin 0 == "the sender".
+        let token = action | ((ctx.id as u64 + 1) << 8);
+        tree_caching_fanout(ctx, send_tx, file, token, load, ctx.id);
+    } else {
+        for peer in 0..ctx.nodes {
+            if peer == ctx.id || !ctx.membership.is_live(peer) {
+                continue;
+            }
+            ServerStats::bump(&ctx.stats.caching_msgs);
+            let _ = send_tx.send(SendJob::Msg {
+                to: peer,
+                msg: WireMsg {
+                    kind: WireKind::Caching,
+                    file,
+                    token: action,
+                    sender_load: load,
+                    parent_span: 0,
+                    payload: Vec::new(),
+                },
+                needs_credit: true,
+            });
         }
+    }
+}
+
+/// Sends a (possibly relayed) tree-routed Caching message to this node's
+/// children in the dissemination tree rooted at `origin`, rebuilt from
+/// the *current* membership snapshot — so a crash or rejoin between hops
+/// re-routes the rest of the broadcast (epoch-aware repair), with no
+/// repair protocol. The credit window applies per hop, exactly as for
+/// flat sends.
+fn tree_caching_fanout(
+    ctx: &NodeCtx,
+    send_tx: &Sender<SendJob>,
+    file: FileId,
+    token: u64,
+    load: u32,
+    origin: usize,
+) {
+    let (_, mask) = ctx.membership.snapshot();
+    let topo = select_topology(mask.count_ones(), 0);
+    let tree = TreeView::build(topo, origin as u16, mask as u128, ctx.nodes as u16);
+    let children = tree.children(ctx.id as u16);
+    if children.is_empty() {
+        return;
+    }
+    ctx.trace_event(
+        EventKind::TreeRelay,
+        0,
+        origin as u64,
+        children.len() as u64,
+    );
+    for c in children {
         ServerStats::bump(&ctx.stats.caching_msgs);
         let _ = send_tx.send(SendJob::Msg {
-            to: peer,
+            to: c as usize,
             msg: WireMsg {
                 kind: WireKind::Caching,
                 file,
-                token: action,
+                token,
                 sender_load: load,
                 parent_span: 0,
                 payload: Vec::new(),
@@ -1186,6 +1265,9 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
     let mut next_flow_slot = vec![0usize; n];
     let mut next_ring_seq = vec![1u64; n];
     let mut buf = vec![0u8; ctx.slot_bytes.max(ctx.ring_slot_bytes)];
+    // Sparse load dissemination: deterministic per-node stream, so a
+    // given (seed, fanout) config replays the same peer samples.
+    let mut load_rng = DetRng::new(0x10AD_u64 ^ ctx.id as u64);
 
     // V6 fast path: one doorbell per peer coalescing descriptor posts,
     // fed from the shared slab pool. All None when doorbell_batch is 1,
@@ -1304,9 +1386,30 @@ pub(crate) fn send_loop(ctx: Arc<NodeCtx>, jobs: Receiver<SendJob>) {
                     ServerStats::bump(&ctx.stats.via_errors);
                     continue;
                 }
+                // Sparse mode: write the load to a random sample of live
+                // peers instead of all of them (power-of-two-choices
+                // reads tolerate stale views elsewhere). Fanout 0 keeps
+                // the dense legacy behaviour.
+                let sparse_targets = if ctx.load_write_fanout > 0 {
+                    let (_, mask) = ctx.membership.snapshot();
+                    Some(sample_peers(
+                        &mut load_rng,
+                        ctx.id as u16,
+                        mask as u128,
+                        ctx.nodes as u16,
+                        ctx.load_write_fanout as usize,
+                    ))
+                } else {
+                    None
+                };
                 for (peer, bell) in bells.iter_mut().enumerate() {
                     if peer == ctx.id || !ctx.membership.is_live(peer) {
                         continue;
+                    }
+                    if let Some(ts) = &sparse_targets {
+                        if !ts.contains(&(peer as u16)) {
+                            continue;
+                        }
                     }
                     // RDMA bypasses the doorbell; keep per-VI ordering.
                     flush_bell(&ctx, bell);

@@ -430,3 +430,39 @@ fn window_pressure_does_not_deadlock() {
         Err(_) => panic!("cluster still shared"),
     }
 }
+
+#[test]
+fn tree_caching_and_sparse_loads_keep_cluster_consistent() {
+    // 12 nodes: above FLAT_MAX_NODES, so caching broadcasts route over a
+    // binomial tree (origin in the token's high bits, per-hop relays),
+    // while load writes go to a random sample of 2 peers per period.
+    let cfg = LiveConfig {
+        nodes: 12,
+        cache_bytes: 2 * 1024, // 2 files/node: most requests miss -> broadcasts
+        disk_fixed: Duration::from_millis(1),
+        load_write_period: 1,
+        tree_caching: true,
+        load_write_fanout: 2,
+        ..LiveConfig::default()
+    };
+    let cluster = LiveCluster::start(cfg, small_catalog(128, 1024));
+    // Two passes: the first spreads cache insertions (tree broadcasts),
+    // the second is served from caches found via the relayed state.
+    for pass in 0..2 {
+        for f in 0..64u32 {
+            let node = ((f + pass) % 12) as usize;
+            let data = cluster.request(node, FileId(f), T).expect("request");
+            assert_eq!(data, file_contents(FileId(f), 1024), "file {f} pass {pass}");
+        }
+    }
+    let stats = cluster.stats();
+    assert!(
+        ServerStats::get(&stats.caching_msgs) > 0,
+        "tree broadcasts must still emit caching messages"
+    );
+    assert!(
+        ServerStats::get(&stats.rdma_load_writes) > 0,
+        "sparse fanout must still write load tables"
+    );
+    cluster.shutdown();
+}

@@ -66,10 +66,17 @@ pub enum EventKind {
     /// A peer was declared dead and its requests failed over (instant;
     /// `a` = dead node).
     Failover = 21,
+    /// A dissemination message was relayed down a collective tree
+    /// (instant; `a` = origin node, `b` = fan-out at this hop).
+    TreeRelay = 22,
+    /// A sparse load probe — power-of-two-choices query or
+    /// threshold-triggered pull — or its reply (instant; `a` = probed
+    /// peer, `b` = 0 query / 1 reply).
+    LoadProbe = 23,
 }
 
 /// All kinds, in discriminant order (for decoding and for exporters).
-pub const EVENT_KINDS: [EventKind; 22] = [
+pub const EVENT_KINDS: [EventKind; 24] = [
     EventKind::Arrive,
     EventKind::Parse,
     EventKind::Dispatch,
@@ -92,6 +99,8 @@ pub const EVENT_KINDS: [EventKind; 22] = [
     EventKind::Crash,
     EventKind::Recover,
     EventKind::Failover,
+    EventKind::TreeRelay,
+    EventKind::LoadProbe,
 ];
 
 impl EventKind {
@@ -120,6 +129,8 @@ impl EventKind {
             EventKind::Crash => "crash",
             EventKind::Recover => "recover",
             EventKind::Failover => "failover",
+            EventKind::TreeRelay => "tree_relay",
+            EventKind::LoadProbe => "load_probe",
         }
     }
 
@@ -141,7 +152,9 @@ impl EventKind {
             | EventKind::ViaComplete
             | EventKind::RdmaWrite
             | EventKind::CreditStall
-            | EventKind::CreditGrant => "via",
+            | EventKind::CreditGrant
+            | EventKind::TreeRelay
+            | EventKind::LoadProbe => "via",
             EventKind::NicTx | EventKind::NicRx => "res",
             EventKind::DiskError
             | EventKind::Retry

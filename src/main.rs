@@ -30,7 +30,7 @@ USAGE:
         --replay   path to a request log (overrides --trace)
         --combo    tcp-fe|tcp-clan|via           (default via)
         --version  v0..v6                        (default v0)
-        --strategy pb|l1|l4|l16|nlb              (default pb)
+        --strategy pb|l1|l4|l16|nlb|t1|t4|t16|p2c|sp4  (default pb)
         --nodes    N                             (default 8)
         --measure  requests                      (default 60000)
         --warmup   requests                      (default 20000)
@@ -50,7 +50,7 @@ USAGE:
         --traces     comma list of clarknet|forth|nasa|rutgers (default clarknet)
         --combos     comma list of tcp-fe|tcp-clan|via         (default via)
         --versions   comma list of v0..v6                      (default v0)
-        --strategies comma list of pb|l1|l4|l16|nlb            (default pb)
+        --strategies comma list of pb|l1|l4|l16|nlb|t1|t4|t16|p2c|sp4 (default pb)
         --nodes      N                                         (default 8)
         --measure    requests                                  (default 60000)
         --warmup     requests                                  (default 20000)
@@ -75,7 +75,7 @@ USAGE:
         deterministic: the same seed prints byte-identical tables.
         --trace      clarknet|forth|nasa|rutgers   (default clarknet)
         --versions   comma list of v0..v6          (default v0,v5,v6)
-        --strategies comma list of pb|l1|l4|l16|nlb (default pb)
+        --strategies comma list of pb|l1|l4|l16|nlb|t1|t4|t16|p2c|sp4 (default pb)
         --nodes      N                             (default 8)
         --measure    requests                      (default 10000)
         --warmup     requests                      (default 2000)
@@ -276,6 +276,14 @@ fn parse_strategy(name: &str) -> Result<Dissemination, String> {
         "l4" => Ok(Dissemination::Broadcast(4)),
         "l16" => Ok(Dissemination::Broadcast(16)),
         "nlb" => Ok(Dissemination::None),
+        "t1" => Ok(Dissemination::TreeBroadcast(1)),
+        "t4" => Ok(Dissemination::TreeBroadcast(4)),
+        "t16" => Ok(Dissemination::TreeBroadcast(16)),
+        "p2c" => Ok(Dissemination::PowerOfTwoChoices(2)),
+        "sp4" => Ok(Dissemination::SparsePull {
+            threshold: 4,
+            fanout: 4,
+        }),
         other => Err(format!("unknown strategy {other}")),
     }
 }

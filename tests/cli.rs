@@ -228,3 +228,63 @@ fn bad_flag_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
+
+#[test]
+fn sweep_covers_collect_strategies() {
+    // The press-collect strategies are first-class sweep arms: tree
+    // broadcasts (t1/t4/t16), power-of-two-choices (p2c), and sparse
+    // pulls (sp4) parse and run beside the legacy flat strategies.
+    let out = press()
+        .args([
+            "sweep",
+            "--strategies",
+            "l16,t16,p2c,sp4",
+            "--nodes",
+            "16",
+            "--measure",
+            "800",
+            "--warmup",
+            "200",
+        ])
+        .output()
+        .expect("run press");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in [
+        "Clarknet/VIA/cLAN/V0/L16",
+        "Clarknet/VIA/cLAN/V0/T16",
+        "Clarknet/VIA/cLAN/V0/P2C",
+        "Clarknet/VIA/cLAN/V0/SP4",
+    ] {
+        assert!(text.contains(label), "missing {label}: {text}");
+    }
+}
+
+#[test]
+fn simulate_accepts_collect_strategies() {
+    for s in ["t1", "t4", "t16", "p2c", "sp4"] {
+        let out = press()
+            .args([
+                "simulate",
+                "--strategy",
+                s,
+                "--nodes",
+                "16",
+                "--measure",
+                "600",
+                "--warmup",
+                "200",
+            ])
+            .output()
+            .expect("run press");
+        assert!(
+            out.status.success(),
+            "strategy {s}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Byte-identity gate for the legacy dissemination strategies.
+//!
+//! The press-collect subsystem (tree broadcasts, sparse load balancing)
+//! added new `Strategy` variants and rewired the simulator's message
+//! paths. The legacy strategies (PB, L1, L4, L16, NLB) must execute the
+//! exact same code and RNG draws as before: `press simulate` output at
+//! the default seed is diffed byte-for-byte against checked-in goldens
+//! captured from the pre-collect build. Any drift — an extra RNG draw,
+//! a reordered event, a changed counter — fails this gate.
+
+use std::process::Command;
+
+fn simulate(strategy: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_press"))
+        .args([
+            "simulate",
+            "--strategy",
+            strategy,
+            "--measure",
+            "3000",
+            "--warmup",
+            "500",
+        ])
+        .output()
+        .expect("run press simulate");
+    assert!(out.status.success(), "simulate {strategy} failed");
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn golden(name: &str) -> String {
+    let path = format!(
+        "{}/tests/golden/simulate_{name}_seed12648430.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_byte_identical(strategy: &str) {
+    let live = simulate(strategy);
+    let want = golden(strategy);
+    assert!(
+        live == want,
+        "strategy {strategy} diverged from golden: legacy output must be \
+         byte-identical (first differing line: {:?})",
+        live.lines()
+            .zip(want.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("got `{a}`, want `{b}`"))
+    );
+}
+
+#[test]
+fn pb_output_is_byte_identical_to_golden() {
+    assert_byte_identical("pb");
+}
+
+#[test]
+fn l1_output_is_byte_identical_to_golden() {
+    assert_byte_identical("l1");
+}
+
+#[test]
+fn l4_output_is_byte_identical_to_golden() {
+    assert_byte_identical("l4");
+}
+
+#[test]
+fn l16_output_is_byte_identical_to_golden() {
+    assert_byte_identical("l16");
+}
+
+#[test]
+fn nlb_output_is_byte_identical_to_golden() {
+    assert_byte_identical("nlb");
+}
+
+/// The new strategies are deterministic too: two runs at the same seed
+/// must print the same bytes (they draw from their own seeded stream,
+/// so this also guards against accidental wall-clock or HashMap-order
+/// dependence in the collect paths).
+#[test]
+fn collect_strategies_are_run_to_run_stable() {
+    for s in ["t4", "p2c", "sp4"] {
+        let a = simulate(s);
+        let b = simulate(s);
+        assert!(a == b, "strategy {s} is not run-to-run byte-stable");
+        assert!(!a.is_empty());
+    }
+}
